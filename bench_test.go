@@ -1,0 +1,174 @@
+// Benchmarks: one testing.B bench per table and figure of the paper's
+// evaluation (§VI). Each bench runs a shortened version of the
+// corresponding experiment on the simulated testbed and reports the
+// figure's headline numbers as custom metrics (Kops/s, µs, ratios).
+// go test -bench=. -benchmem regenerates every row; cmd/experiments runs
+// the full-length versions.
+package kvaccel
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"kvaccel/internal/core"
+	"kvaccel/internal/harness"
+)
+
+// benchParams is a shortened configuration so the full bench suite
+// completes in minutes.
+func benchParams() harness.Params {
+	p := harness.DefaultParams()
+	p.Duration = 25 * time.Second
+	p.KeySpace = 200_000
+	return p
+}
+
+// BenchmarkFig2SlowdownAblation regenerates Figure 2: per-second
+// throughput of RocksDB and ADOC with the slowdown mechanism on and off.
+func BenchmarkFig2SlowdownAblation(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig2_3(io.Discard)
+		b.ReportMetric(res[0].AvgKops, "rocksdb-noSD-kops")
+		b.ReportMetric(res[2].AvgKops, "rocksdb-SD-kops")
+		b.ReportMetric(float64(res[2].Slowdowns), "rocksdb-slowdowns")
+		b.ReportMetric(float64(res[3].Slowdowns), "adoc-slowdowns")
+	}
+}
+
+// BenchmarkFig3TailLatency regenerates Figure 3: average throughput and
+// tail latency across the four slowdown-ablation configurations.
+func BenchmarkFig3TailLatency(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig2_3(io.Discard)
+		b.ReportMetric(float64(res[0].P99.Microseconds()), "rocksdb-noSD-p99-us")
+		b.ReportMetric(float64(res[2].P99.Microseconds()), "rocksdb-SD-p99-us")
+		b.ReportMetric(float64(res[1].P999.Microseconds()), "adoc-noSD-p999-us")
+		b.ReportMetric(float64(res[3].P999.Microseconds()), "adoc-SD-p999-us")
+	}
+}
+
+// BenchmarkFig4PCIeTimeSeries regenerates Figure 4: PCIe traffic during
+// write stalls for RocksDB(1)/(4) without slowdown.
+func BenchmarkFig4PCIeTimeSeries(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig4_5(io.Discard)
+		b.ReportMetric(float64(res[0].StallSeconds), "rocksdb1-stall-secs")
+		b.ReportMetric(res[0].Res.PCIeSeries.Mean(), "rocksdb1-pcie-MBps")
+	}
+}
+
+// BenchmarkFig5PCIeCDF regenerates Figure 5: the CDF of PCIe bandwidth
+// utilization during write-stall seconds.
+func BenchmarkFig5PCIeCDF(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig4_5(io.Discard)
+		b.ReportMetric(100*res[0].FracZeroTraffic, "rocksdb1-zero-traffic-pct")
+		b.ReportMetric(100*res[0].FracHighTraffic, "rocksdb1-high-traffic-pct")
+		if len(res) > 1 {
+			b.ReportMetric(100*res[1].FracZeroTraffic, "rocksdb4-zero-traffic-pct")
+		}
+	}
+}
+
+// BenchmarkFig11PerSecondThroughput regenerates Figure 11: RocksDB(1),
+// ADOC(1), KVACCEL(1) under workload A.
+func BenchmarkFig11PerSecondThroughput(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig11(io.Discard)
+		b.ReportMetric(res[0].WriteKops(), "rocksdb1-kops")
+		b.ReportMetric(res[1].WriteKops(), "adoc1-kops")
+		b.ReportMetric(res[2].WriteKops(), "kvaccel1-kops")
+		if base := res[0].WriteKops(); base > 0 {
+			b.ReportMetric(res[2].WriteKops()/base, "kvaccel-vs-rocksdb")
+		}
+	}
+}
+
+// BenchmarkFig12ThroughputP99Efficiency regenerates Figure 12 for the
+// 1-thread column (the full 3x3 sweep runs via cmd/experiments).
+func BenchmarkFig12ThroughputP99Efficiency(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		specs := []harness.EngineSpec{
+			{Kind: harness.KindRocksDB, Threads: 1, Slowdown: true},
+			{Kind: harness.KindADOC, Threads: 1, Slowdown: true},
+			{Kind: harness.KindKVAccel, Threads: 1, Rollback: core.RollbackDisabled},
+		}
+		names := []string{"rocksdb1", "adoc1", "kvaccel1"}
+		for j, spec := range specs {
+			res := p.Run(spec, harness.WorkloadA)
+			b.ReportMetric(res.WriteKops(), names[j]+"-kops")
+			b.ReportMetric(res.Efficiency(), names[j]+"-efficiency")
+		}
+	}
+}
+
+// BenchmarkFig13RollbackSchemes regenerates Figure 13 for workload C
+// (8:2 mix), comparing lazy and eager rollback at 4 threads.
+func BenchmarkFig13RollbackSchemes(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		lazy := p.Run(harness.EngineSpec{Kind: harness.KindKVAccel, Threads: 4, Rollback: core.RollbackLazy}, harness.WorkloadC)
+		eager := p.Run(harness.EngineSpec{Kind: harness.KindKVAccel, Threads: 4, Rollback: core.RollbackEager}, harness.WorkloadC)
+		adoc := p.Run(harness.EngineSpec{Kind: harness.KindADOC, Threads: 4, Slowdown: true}, harness.WorkloadC)
+		b.ReportMetric(lazy.WriteKops(), "kvaccel-L-write-kops")
+		b.ReportMetric(eager.WriteKops(), "kvaccel-E-write-kops")
+		b.ReportMetric(eager.ReadKops(), "kvaccel-E-read-kops")
+		b.ReportMetric(adoc.WriteKops(), "adoc-write-kops")
+	}
+}
+
+// BenchmarkTableVRangeQuery regenerates Table V: seekrandom throughput
+// across the three engines.
+func BenchmarkTableVRangeQuery(b *testing.B) {
+	p := benchParams()
+	p.KeySpace = 30_000 // shorter preload for bench time
+	p.Duration = 5 * time.Second
+	for i := 0; i < b.N; i++ {
+		rows := p.TableV(io.Discard)
+		for _, row := range rows {
+			b.ReportMetric(row.Kops, row.Name+"-kops")
+		}
+	}
+}
+
+// BenchmarkTableVIOverheads regenerates Table VI: real wall-clock costs
+// of the Detector and metadata-manager operations.
+func BenchmarkTableVIOverheads(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.TableVI(io.Discard)
+		b.ReportMetric(float64(res.Detector.Nanoseconds())/1000, "detector-us")
+		b.ReportMetric(float64(res.KeyInsert.Nanoseconds())/1000, "key-insert-us")
+		b.ReportMetric(float64(res.KeyCheck.Nanoseconds())/1000, "key-check-us")
+		b.ReportMetric(float64(res.KeyDelete.Nanoseconds())/1000, "key-delete-us")
+	}
+}
+
+// BenchmarkRecovery regenerates §VI-D: rolling 10,000 pairs back from the
+// Dev-LSM after metadata loss.
+func BenchmarkRecovery(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Recovery(io.Discard)
+		b.ReportMetric(res.Elapsed.Seconds(), "recovery-sec-virtual")
+	}
+}
+
+// BenchmarkFig14ZeroTrafficIntervals regenerates Figure 14: the
+// reduction in zero-PCIe-traffic seconds with KVACCEL.
+func BenchmarkFig14ZeroTrafficIntervals(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := p.Fig14(io.Discard)
+		b.ReportMetric(float64(res.RocksDBZeroSecs), "rocksdb-zero-secs")
+		b.ReportMetric(float64(res.KVAccelZeroSecs), "kvaccel-zero-secs")
+		b.ReportMetric(res.ReductionPct, "reduction-pct")
+	}
+}

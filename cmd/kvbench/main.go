@@ -1,0 +1,113 @@
+// Command kvbench is the repo's db_bench: it runs a Table IV workload
+// against one engine (rocksdb, adoc, or kvaccel) on a fresh simulated
+// testbed and prints db_bench-style summary lines plus optional
+// per-second series.
+//
+// Examples:
+//
+//	kvbench -engine rocksdb -workload fillrandom -threads 1 -slowdown=false
+//	kvbench -engine kvaccel -workload readwhilewriting -readfraction 0.2 -rollback eager
+//	kvbench -engine adoc -workload seekrandom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kvaccel/internal/core"
+	"kvaccel/internal/harness"
+)
+
+func main() {
+	var (
+		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel")
+		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom")
+		threads  = flag.Int("threads", 1, "compaction threads")
+		slowdown = flag.Bool("slowdown", true, "enable the RocksDB slowdown mechanism (rocksdb/adoc)")
+		rollback = flag.String("rollback", "lazy", "kvaccel rollback scheme: disabled, lazy, eager")
+		readFrac = flag.Float64("readfraction", 0.1, "read share for readwhilewriting")
+		scale    = flag.Int("scale", 10, "device/CPU scale divisor")
+		duration = flag.Duration("duration", 30*time.Second, "virtual run duration")
+		keyspace = flag.Int("keyspace", 300_000, "key domain size")
+		value    = flag.Int("value", 4096, "value size in bytes")
+		series   = flag.Bool("series", false, "print per-second throughput TSV")
+	)
+	flag.Parse()
+
+	p := harness.DefaultParams()
+	p.Scale = *scale
+	p.Duration = *duration
+	p.KeySpace = *keyspace
+	p.ValueSize = *value
+
+	spec := harness.EngineSpec{Threads: *threads, Slowdown: *slowdown}
+	switch strings.ToLower(*engine) {
+	case "rocksdb":
+		spec.Kind = harness.KindRocksDB
+	case "adoc":
+		spec.Kind = harness.KindADOC
+	case "kvaccel":
+		spec.Kind = harness.KindKVAccel
+		switch strings.ToLower(*rollback) {
+		case "disabled":
+			spec.Rollback = core.RollbackDisabled
+		case "lazy":
+			spec.Rollback = core.RollbackLazy
+		case "eager":
+			spec.Rollback = core.RollbackEager
+		default:
+			fmt.Fprintf(os.Stderr, "unknown rollback scheme %q\n", *rollback)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	var kind harness.WorkloadKind
+	switch strings.ToLower(*wl) {
+	case "fillrandom":
+		kind = harness.WorkloadA
+	case "readwhilewriting":
+		if *readFrac >= 0.15 {
+			kind = harness.WorkloadC
+		} else {
+			kind = harness.WorkloadB
+		}
+	case "seekrandom":
+		kind = harness.WorkloadD
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB\n",
+		spec.Name(), kind, p.Scale, p.Duration, p.KeySpace, p.ValueSize)
+	res := p.Run(spec, kind)
+
+	fmt.Printf("\nwrites      : %d ops, %.2f Kops/s, %.1f MB/s\n", res.Rec.Writes(), res.WriteKops(), res.WriteMBps())
+	fmt.Printf("write lat   : %s\n", res.Rec.WriteLatency)
+	if res.Rec.Reads() > 0 {
+		fmt.Printf("reads       : %d ops, %.2f Kops/s\n", res.Rec.Reads(), res.ReadKops())
+		fmt.Printf("read lat    : %s\n", res.Rec.ReadLatency)
+	}
+	s := res.MainStats
+	fmt.Printf("cpu         : %.1f%% avg  efficiency=%.3f MB/s per cpu%%\n", res.CPUAvg, res.Efficiency())
+	fmt.Printf("stalls      : %d events (%v total), %d slowdowns\n", s.TotalStalls(), s.StallTime, s.Slowdowns)
+	fmt.Printf("engine      : flushes=%d compactions=%d write-amp=%.2f\n", s.Flushes, s.Compactions, s.WriteAmplification())
+	fmt.Printf("tree        : %s\n", res.Levels)
+	if res.Redirects > 0 || res.Rollbacks > 0 {
+		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
+	}
+	if *series {
+		fmt.Println()
+		fmt.Print(res.Rec.WriteSeries.TSV())
+		if res.Rec.Reads() > 0 {
+			fmt.Print(res.Rec.ReadSeries.TSV())
+		}
+		fmt.Print(res.PCIeSeries.TSV())
+	}
+}

@@ -1,0 +1,58 @@
+package kvaccel_test
+
+import (
+	"fmt"
+
+	"kvaccel"
+)
+
+// Example demonstrates the basic lifecycle: open the simulated machine,
+// run a workload thread, read back, and join the simulation.
+func Example() {
+	db := kvaccel.Open(kvaccel.DefaultOptions())
+	db.Run("main", func(r *kvaccel.Runner) {
+		defer db.Close()
+		_ = db.Put(r, []byte("hello"), []byte("world"))
+		v, ok, _ := db.Get(r, []byte("hello"))
+		fmt.Println(ok, string(v))
+	})
+	db.Wait()
+	// Output: true world
+}
+
+// ExampleDB_WriteBatch commits several operations atomically.
+func ExampleDB_WriteBatch() {
+	db := kvaccel.Open(kvaccel.DefaultOptions())
+	db.Run("main", func(r *kvaccel.Runner) {
+		defer db.Close()
+		var b kvaccel.Batch
+		b.Put([]byte("a"), []byte("1"))
+		b.Put([]byte("b"), []byte("2"))
+		b.Delete([]byte("c"))
+		_ = db.WriteBatch(r, &b)
+		fmt.Println("committed", b.Len(), "ops")
+	})
+	db.Wait()
+	// Output: committed 3 ops
+}
+
+// ExampleDB_NewIterator scans a key range through the dual-LSM cursor.
+func ExampleDB_NewIterator() {
+	db := kvaccel.Open(kvaccel.DefaultOptions())
+	db.Run("main", func(r *kvaccel.Runner) {
+		defer db.Close()
+		for _, k := range []string{"cherry", "apple", "banana"} {
+			_ = db.Put(r, []byte(k), []byte("fruit"))
+		}
+		it := db.NewIterator(r)
+		defer it.Close()
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			fmt.Println(string(it.Key()))
+		}
+	})
+	db.Wait()
+	// Output:
+	// apple
+	// banana
+	// cherry
+}

@@ -1,0 +1,77 @@
+// Multitenant: the §V-D multi-tenancy story — one dual-interface SSD
+// carved into isolated per-tenant views on BOTH interfaces. Each tenant
+// gets a block namespace (a page range of the block region, here hosting
+// its own file system + Main-LSM) and a matching KV namespace (a key
+// prefix of the KV region). Tenants share the physical dies, the PCIe
+// link, and the controller core, but never each other's data.
+package main
+
+import (
+	"fmt"
+
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/fs"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/ssd"
+	"kvaccel/internal/vclock"
+)
+
+func main() {
+	clk := vclock.New()
+	cfg := ssd.CosmosConfig(10)
+	dev := ssd.New(cfg)
+
+	// Split the block region in half for two tenants.
+	totalPages := int(cfg.BlockRegionBytes) / cfg.Geometry.PageSize
+	half := totalPages / 2
+	tenants := []struct {
+		name  string
+		block *ssd.BlockNS
+		kv    *ssd.KVNamespace
+	}{
+		{"tenant-A", dev.BlockNamespace(0, half), dev.KVNamespace(1)},
+		{"tenant-B", dev.BlockNamespace(half, half), dev.KVNamespace(2)},
+	}
+
+	pool := cpu.NewPool(8, "host")
+	for _, ten := range tenants {
+		ten := ten
+		clk.Go(ten.name, func(r *vclock.Runner) {
+			// Each tenant runs its own Main-LSM on its block namespace.
+			opt := lsm.DefaultOptions(pool)
+			opt.MemtableSize = 1 << 20
+			db := lsm.Open(clk, fs.New(ten.block), opt)
+			defer db.Close()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("key%04d", i))
+				_ = db.Put(r, k, []byte(ten.name))
+			}
+			db.Flush(r)
+			v, ok, _ := db.Get(r, []byte("key0042"))
+			fmt.Printf("%s block-interface read: %q ok=%v\n", ten.name, v, ok)
+
+			// And buffers redirected pairs under its own KV prefix.
+			for i := 0; i < 100; i++ {
+				ten.kv.Put(r, memtable.KindPut, []byte(fmt.Sprintf("buf%03d", i)), []byte(ten.name))
+			}
+			v2, _, ok2 := ten.kv.Get(r, []byte("buf007"))
+			fmt.Printf("%s kv-interface read   : %q ok=%v\n", ten.name, v2, ok2)
+
+			// Isolation: the other tenant's keys are invisible here.
+			n := 0
+			ten.kv.BulkScan(r, func(entries []memtable.Entry) {
+				for _, e := range entries {
+					if string(e.Value) != ten.name {
+						panic("cross-tenant leak!")
+					}
+					n++
+				}
+			})
+			fmt.Printf("%s kv-interface scan   : %d entries, all own\n", ten.name, n)
+		})
+	}
+	clk.Wait()
+	fmt.Printf("\nshared device totals: %d NAND pages programmed, %.1f MB over PCIe\n",
+		dev.Array.Stats().PagesProgrammed, float64(dev.Link.TotalBytes())/1e6)
+}

@@ -1,0 +1,60 @@
+// Rangescan: the paper's §V-F range query across both interfaces. Half
+// the keys live in the Main-LSM, half are redirected into the Dev-LSM;
+// the dual-iterator comparator (Figure 10) merges them into one ordered
+// stream, with the metadata manager resolving keys present in both.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"kvaccel"
+)
+
+func main() {
+	opt := kvaccel.DefaultOptions()
+	opt.Rollback = kvaccel.RollbackDisabled // keep the Dev-LSM populated
+	db := kvaccel.Open(opt)
+
+	db.Run("main", func(r *kvaccel.Runner) {
+		defer db.Close()
+		kv, dev := db.Internals()
+
+		// Even keys via the normal path into the Main-LSM.
+		for i := 0; i < 2000; i += 2 {
+			_ = db.Put(r, key(i), []byte(fmt.Sprintf("main-%d", i)))
+		}
+		// Odd keys during a (forced) stall: redirected to the Dev-LSM.
+		kv.Detector().SetOverride(true)
+		for i := 1; i < 2000; i += 2 {
+			_ = db.Put(r, key(i), []byte(fmt.Sprintf("dev-%d", i)))
+		}
+		// One key overwritten through the stall path: Dev-LSM must win.
+		_ = db.Put(r, key(100), []byte("dev-wins"))
+		kv.Detector().SetOverride(false)
+
+		fmt.Printf("main-LSM keys=1000  dev-LSM pairs=%d\n\n", dev.Dev.Count())
+
+		it := db.NewIterator(r)
+		defer it.Close()
+
+		fmt.Println("scan [key 0096, key 0105):")
+		for it.Seek(key(96)); it.Valid() && string(it.Key()) < string(key(106)); it.Next() {
+			fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+		}
+
+		// Count the full merged stream and time it in virtual time.
+		t0 := r.Now()
+		n := 0
+		for it.Seek(key(0)); it.Valid(); it.Next() {
+			n++
+		}
+		fmt.Printf("\nfull scan: %d keys in %v of virtual time\n", n, r.Now().Sub(t0))
+		fmt.Println("(Dev-LSM iterators have no read cache, so scans touching the")
+		fmt.Println(" KV interface run slower — the Table V effect)")
+		_ = time.Second
+	})
+	db.Wait()
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key %04d", i)) }

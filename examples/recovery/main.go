@@ -1,0 +1,59 @@
+// Recovery: the §VI-D crash scenario. A burst of writes is redirected
+// into the Dev-LSM; then the host "crashes", losing the volatile metadata
+// hash table. Because the redirected pairs sit in non-volatile NAND,
+// Recover() rolls every pair back into the Main-LSM and the database is
+// whole again — the paper measures 1.1 s for 10,000 pairs.
+package main
+
+import (
+	"fmt"
+
+	"kvaccel"
+)
+
+func main() {
+	opt := kvaccel.DefaultOptions()
+	opt.Rollback = kvaccel.RollbackDisabled
+	db := kvaccel.Open(opt)
+
+	db.Run("main", func(r *kvaccel.Runner) {
+		defer db.Close()
+		kv, dev := db.Internals()
+
+		const pairs = 10_000
+		kv.Detector().SetOverride(true) // force the stall path
+		for i := 0; i < pairs; i++ {
+			k := []byte(fmt.Sprintf("key%08d", i))
+			v := []byte(fmt.Sprintf("value-%d", i))
+			if err := db.Put(r, k, v); err != nil {
+				panic(err)
+			}
+		}
+		kv.Detector().SetOverride(false)
+		fmt.Printf("buffered %d pairs in the Dev-LSM (%d bytes)\n", dev.Dev.Count(), dev.Dev.Bytes())
+
+		// Crash: the metadata manager's hash table is volatile and gone.
+		db.SimulateCrash()
+		if _, ok, _ := db.Get(r, []byte("key00000042")); ok {
+			fmt.Println("unexpected: key visible without metadata")
+		} else {
+			fmt.Println("after crash: redirected keys unreachable (metadata lost)")
+		}
+
+		t0 := r.Now()
+		db.Recover(r)
+		fmt.Printf("recovery: %d pairs restored in %v of virtual time (paper: 1.1s)\n",
+			pairs, r.Now().Sub(t0))
+
+		// Verify.
+		missing := 0
+		for i := 0; i < pairs; i += 97 {
+			if _, ok, _ := db.Get(r, []byte(fmt.Sprintf("key%08d", i))); !ok {
+				missing++
+			}
+		}
+		fmt.Printf("spot check: %d missing keys (want 0); Dev-LSM empty=%v\n",
+			missing, dev.Dev.Empty())
+	})
+	db.Wait()
+}

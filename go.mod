@@ -1,0 +1,3 @@
+module kvaccel
+
+go 1.22

@@ -1,0 +1,114 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = key(i)
+		}
+		f := Build(keys, DefaultBitsPerKey)
+		for i := range keys {
+			if !f.MayContain(keys[i]) {
+				t.Fatalf("n=%d: false negative for %q", n, keys[i])
+			}
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	f := Build(keys, DefaultBitsPerKey)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(key(n + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.02 {
+		t.Fatalf("false positive rate = %.4f, want <= 0.02 at 10 bits/key", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := Build(nil, DefaultBitsPerKey)
+	if f.MayContain([]byte("anything")) {
+		// A tiny chance of a false positive exists even on an empty
+		// filter only if bits were set — they were not.
+		t.Fatal("empty filter claimed to contain a key")
+	}
+	var zero Filter
+	if zero.MayContain([]byte("x")) {
+		t.Fatal("zero-length filter claimed to contain a key")
+	}
+}
+
+func TestLowBitsPerKeyClamped(t *testing.T) {
+	keys := [][]byte{key(1), key(2)}
+	f := Build(keys, 0) // clamped to 1 bit/key
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatal("false negative with clamped bitsPerKey")
+		}
+	}
+}
+
+func TestMembershipProperty(t *testing.T) {
+	f := func(keys [][]byte, probe []byte) bool {
+		filter := Build(keys, DefaultBitsPerKey)
+		for _, k := range keys {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureEncodingConservative(t *testing.T) {
+	// A probe count > 30 marks a future encoding; lookups must return
+	// "maybe" rather than a false negative.
+	f := Filter{0x00, 0x00, 31}
+	if !f.MayContain([]byte("x")) {
+		t.Fatal("future-encoded filter returned a definite negative")
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(keys, DefaultBitsPerKey)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	f := Build(keys, DefaultBitsPerKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,310 @@
+// Package core implements KVACCEL (§V): the host-SSD co-design that
+// bypasses Main-LSM write stalls by redirecting writes over the dual-
+// interface SSD's key-value interface into the Dev-LSM, then rolling them
+// back into the Main-LSM when the stall clears.
+//
+// The four software modules of Figure 7(b) map directly onto this
+// package: Detector (detector.go), Controller (the Put/Get/Delete paths
+// below), Metadata Manager (metadata.go), and Rollback Manager
+// (rollback.go). The dual-LSM range query of Figure 10 is iterator.go.
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/ssd"
+	"kvaccel/internal/vclock"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("kvaccel: database closed")
+
+// RollbackScheme selects when the Rollback Manager drains the Dev-LSM
+// (§V-E "Rollback Scheduling").
+type RollbackScheme int
+
+const (
+	// RollbackDisabled never rolls back automatically; callers drain with
+	// RollbackNow after the workload (the paper's workload-A setup).
+	RollbackDisabled RollbackScheme = iota
+	// RollbackLazy waits until the engine is quiet: no stall pressure, no
+	// running compactions, and no recent redirection. Best for
+	// write-intensive workloads.
+	RollbackLazy
+	// RollbackEager drains as soon as no stall is present, trading some
+	// write bandwidth for faster reads from the Main-LSM. Best for
+	// read-heavy mixes.
+	RollbackEager
+)
+
+func (s RollbackScheme) String() string {
+	switch s {
+	case RollbackDisabled:
+		return "disabled"
+	case RollbackLazy:
+		return "lazy"
+	case RollbackEager:
+		return "eager"
+	}
+	return "unknown"
+}
+
+// Options configures KVACCEL's software modules.
+type Options struct {
+	// DetectorPeriod is how often the Detector and Rollback Manager
+	// refresh (0.1 s in the paper).
+	DetectorPeriod time.Duration
+	// DetectorCost is the host CPU charged per detector check
+	// (Table VI: 1.37 µs).
+	DetectorCost time.Duration
+	// Rollback selects the scheduling scheme.
+	Rollback RollbackScheme
+	// LazyQuietPeriod is how long redirection must have been inactive
+	// before a lazy rollback fires.
+	LazyQuietPeriod time.Duration
+	// MetadataShards sizes the metadata manager's lock striping.
+	MetadataShards int
+}
+
+// DefaultOptions mirrors the paper's implementation constants.
+func DefaultOptions() Options {
+	return Options{
+		DetectorPeriod:  100 * time.Millisecond,
+		DetectorCost:    1370 * time.Nanosecond,
+		Rollback:        RollbackLazy,
+		LazyQuietPeriod: time.Second,
+		MetadataShards:  16,
+	}
+}
+
+// Stats are KVACCEL's cumulative counters.
+type Stats struct {
+	NormalPuts     int64
+	RedirectedPuts int64
+	MainGets       int64
+	DevGets        int64
+	Rollbacks      int64
+	RollbackPairs  int64
+	RollbackTime   time.Duration
+	Recoveries     int64
+	RecoveryTime   time.Duration
+}
+
+// DB is a KVACCEL instance: a Main-LSM on the block interface plus a
+// Dev-LSM on the KV interface of the same dual-interface SSD.
+type DB struct {
+	clk  *vclock.Clock
+	opt  Options
+	main *lsm.DB
+	dev  *ssd.Device
+	meta *MetadataManager
+	det  *Detector
+
+	// gate serializes rollback chunk merges against foreground writes:
+	// writers hold one unit, a rollback chunk holds all of them. This is
+	// the isolation the paper's Controller provides between the two LSMs
+	// (§V-G).
+	gate *vclock.Semaphore
+
+	rollingBack  atomic.Bool
+	lastRedirect atomic.Int64 // vclock.Time of the last redirected write
+	closed       atomic.Bool
+
+	normalPuts     atomic.Int64
+	redirectedPuts atomic.Int64
+	mainGets       atomic.Int64
+	devGets        atomic.Int64
+	rollbacks      atomic.Int64
+	rollbackPairs  atomic.Int64
+	rollbackNS     atomic.Int64
+	recoveries     atomic.Int64
+	recoveryNS     atomic.Int64
+}
+
+const gateUnits = 1 << 20 // effectively "all writers"
+
+// Open assembles KVACCEL over an already-open Main-LSM and device, and
+// starts the Detector and Rollback Manager runners.
+func Open(clk *vclock.Clock, main *lsm.DB, dev *ssd.Device, opt Options) *DB {
+	if opt.DetectorPeriod <= 0 {
+		opt.DetectorPeriod = 100 * time.Millisecond
+	}
+	if opt.MetadataShards < 1 {
+		opt.MetadataShards = 16
+	}
+	if opt.LazyQuietPeriod <= 0 {
+		opt.LazyQuietPeriod = time.Second
+	}
+	db := &DB{
+		clk:  clk,
+		opt:  opt,
+		main: main,
+		dev:  dev,
+		meta: NewMetadataManager(opt.MetadataShards),
+		gate: vclock.NewSemaphore(gateUnits, "kvaccel.gate"),
+	}
+	db.det = NewDetector(main, opt.DetectorPeriod, opt.DetectorCost)
+	db.det.Start(clk, nil)
+	db.startRollbackManager()
+	return db
+}
+
+// Main exposes the underlying Main-LSM (stats, health).
+func (db *DB) Main() *lsm.DB { return db.main }
+
+// Device exposes the dual-interface SSD.
+func (db *DB) Device() *ssd.Device { return db.dev }
+
+// Metadata exposes the metadata manager (tests, Table VI bench).
+func (db *DB) Metadata() *MetadataManager { return db.meta }
+
+// Detector exposes the detector (tests, Table VI bench).
+func (db *DB) Detector() *Detector { return db.det }
+
+// Stats returns a snapshot of KVACCEL's counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		NormalPuts:     db.normalPuts.Load(),
+		RedirectedPuts: db.redirectedPuts.Load(),
+		MainGets:       db.mainGets.Load(),
+		DevGets:        db.devGets.Load(),
+		Rollbacks:      db.rollbacks.Load(),
+		RollbackPairs:  db.rollbackPairs.Load(),
+		RollbackTime:   time.Duration(db.rollbackNS.Load()),
+		Recoveries:     db.recoveries.Load(),
+		RecoveryTime:   time.Duration(db.recoveryNS.Load()),
+	}
+}
+
+// Close stops the detector and rollback runners and closes the Main-LSM.
+func (db *DB) Close() {
+	if db.closed.Swap(true) {
+		return
+	}
+	db.det.Stop()
+	db.main.Close()
+}
+
+// shouldRedirect is the Controller's path decision (§V-C Write Path):
+// redirect while a stall is detected, unless a rollback is mid-flight
+// (the Dev-LSM must not absorb new writes that the imminent Reset would
+// drop).
+func (db *DB) shouldRedirect() bool {
+	return db.det.StallLikely() && !db.rollingBack.Load()
+}
+
+// Put writes a key-value pair through the Controller.
+func (db *DB) Put(r *vclock.Runner, key, value []byte) error {
+	return db.write(r, memtable.KindPut, key, value)
+}
+
+// Delete writes a tombstone through the Controller; redirected deletes
+// become Dev-LSM tombstones that the rollback later applies.
+func (db *DB) Delete(r *vclock.Runner, key []byte) error {
+	return db.write(r, memtable.KindDelete, key, nil)
+}
+
+func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.gate.Acquire(r, 1)
+	defer db.gate.Release(1)
+
+	if db.shouldRedirect() {
+		// Stall path: buffer in the Dev-LSM, record location metadata.
+		db.dev.KVPut(r, kind, key, value)
+		db.meta.Insert(key)
+		db.redirectedPuts.Add(1)
+		db.lastRedirect.Store(int64(r.Now()))
+		return nil
+	}
+	// Normal path.
+	var err error
+	if kind == memtable.KindDelete {
+		err = db.main.Delete(r, key)
+	} else {
+		err = db.main.Put(r, key, value)
+	}
+	if err != nil {
+		return err
+	}
+	// §V-C Write Path (3-1): the newest version now lives in Main-LSM.
+	// If a buffered copy exists, mark it superseded on the device so a
+	// post-crash recovery (which replays every buffered pair, §VI-D)
+	// cannot resurrect the stale version over this newer one.
+	if db.meta.Remove(key) {
+		db.dev.KVPut(r, memtable.KindSupersede, key, nil)
+	}
+	db.normalPuts.Add(1)
+	return nil
+}
+
+// WriteBatch commits a batch atomically through the Controller: on the
+// normal path via the Main-LSM's single-WAL-record commit, on the stall
+// path via one compound KV command (§IV's buffered I/O [33]).
+func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	db.gate.Acquire(r, 1)
+	defer db.gate.Release(1)
+
+	if db.shouldRedirect() {
+		entries := make([]memtable.Entry, 0, b.Len())
+		b.Ops(func(kind memtable.Kind, key, value []byte) {
+			entries = append(entries, memtable.Entry{Kind: kind, Key: key, Value: value})
+		})
+		db.dev.KVPutCompound(r, entries)
+		b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
+		db.redirectedPuts.Add(int64(b.Len()))
+		db.lastRedirect.Store(int64(r.Now()))
+		return nil
+	}
+	if err := db.main.Write(r, b); err != nil {
+		return err
+	}
+	b.Ops(func(_ memtable.Kind, key, _ []byte) {
+		if db.meta.Remove(key) {
+			db.dev.KVPut(r, memtable.KindSupersede, key, nil)
+		}
+	})
+	db.normalPuts.Add(int64(b.Len()))
+	return nil
+}
+
+// Get reads a key through the Controller (§V-C Read Path): the Metadata
+// Manager picks the LSM holding the newest version.
+func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	if db.meta.Contains(key) {
+		db.devGets.Add(1)
+		v, kind, found := db.dev.KVGet(r, key)
+		if found && kind != memtable.KindSupersede {
+			if kind == memtable.KindDelete {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+		// Metadata said Dev-LSM but the pair is gone (rolled back between
+		// our check and the device read); fall through to the Main-LSM.
+	}
+	db.mainGets.Add(1)
+	return db.main.Get(r, key)
+}
+
+// Flush drains the Main-LSM memtable (delegates; the Dev-LSM is flushed
+// by its own DRAM budget).
+func (db *DB) Flush(r *vclock.Runner) { db.main.Flush(r) }
+
+// WaitIdle parks until Main-LSM background work is done.
+func (db *DB) WaitIdle(r *vclock.Runner) { db.main.WaitIdle(r) }

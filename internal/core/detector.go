@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/vclock"
+)
+
+// Detector periodically samples the Main-LSM's stall signals — L0 file
+// count, memtable fill, and pending compaction bytes (§V-C) — and
+// publishes a redirect decision the Controller reads on every write. It
+// runs detached from the write path, refreshing every Period (0.1 s in
+// the paper's implementation).
+type Detector struct {
+	main   *lsm.DB
+	period time.Duration
+	cost   time.Duration // host CPU charged per check (Table VI: 1.37 us)
+
+	stall    atomic.Bool
+	override atomic.Pointer[bool] // non-nil pins the stall signal (tests, ablations)
+	checks   atomic.Int64
+	closed   atomic.Bool
+
+	lastHealth atomic.Pointer[lsm.Health]
+}
+
+// NewDetector creates a detector over main; Start launches its runner.
+func NewDetector(main *lsm.DB, period, checkCost time.Duration) *Detector {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	d := &Detector{main: main, period: period, cost: checkCost}
+	h := lsm.Health{}
+	d.lastHealth.Store(&h)
+	return d
+}
+
+// Start launches the detector runner on clk.
+func (d *Detector) Start(clk *vclock.Clock, cpuRun func(*vclock.Runner, time.Duration)) {
+	clk.Go("kvaccel.detector", func(r *vclock.Runner) {
+		for !d.closed.Load() {
+			d.Check(r, cpuRun)
+			r.Sleep(d.period)
+		}
+	})
+}
+
+// Check performs one detection pass. It is exposed for tests and the
+// Table VI overhead bench.
+func (d *Detector) Check(r *vclock.Runner, cpuRun func(*vclock.Runner, time.Duration)) {
+	h := d.main.Health()
+	d.lastHealth.Store(&h)
+	// The write-stall prediction (§V-C): a stop condition already
+	// holding, a slowdown trigger, or — the anticipatory signal — the
+	// active memtable filling up while the flush backlog is at its
+	// limit, which means the next rotation would block the writer.
+	memPressure := h.ImmutableMemtables > 0 &&
+		h.MemtableCapacity > 0 && h.MemtableBytes*10 >= h.MemtableCapacity*6
+	d.stall.Store(h.Stalled || h.SlowdownLikely || memPressure)
+	d.checks.Add(1)
+	if cpuRun != nil && d.cost > 0 {
+		cpuRun(r, d.cost)
+	}
+}
+
+// StallLikely is the Controller's per-write redirect signal.
+func (d *Detector) StallLikely() bool {
+	if o := d.override.Load(); o != nil {
+		return *o
+	}
+	return d.stall.Load()
+}
+
+// SetOverride pins the stall signal regardless of the Main-LSM's real
+// health — used by tests and the redirection-ablation benches.
+func (d *Detector) SetOverride(v bool) { d.override.Store(&v) }
+
+// ClearOverride restores normal detection.
+func (d *Detector) ClearOverride() { d.override.Store(nil) }
+
+// Health returns the last sampled Main-LSM health.
+func (d *Detector) Health() lsm.Health { return *d.lastHealth.Load() }
+
+// Checks returns how many detection passes have run.
+func (d *Detector) Checks() int64 { return d.checks.Load() }
+
+// Stop halts the runner after its current sleep.
+func (d *Detector) Stop() { d.closed.Store(true) }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// MetadataManager is the in-memory hash table that tracks which keys'
+// newest version lives in the Dev-LSM (§V-C). It answers the membership
+// test on every read and write; Table VI reports its insert/check/delete
+// costs at a fraction of a microsecond, which the sharded design
+// preserves under concurrency.
+//
+// The table lives in volatile host memory: on a crash it is lost, and
+// recovery rebuilds the database state by rolling back every key-value
+// pair in the KV interface (§VI-D).
+type MetadataManager struct {
+	seed   maphash.Seed
+	shards []metaShard
+}
+
+type metaShard struct {
+	mu   sync.RWMutex
+	keys map[string]struct{}
+}
+
+// NewMetadataManager returns a manager with the given shard count
+// (rounded up to at least 1).
+func NewMetadataManager(shards int) *MetadataManager {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &MetadataManager{seed: maphash.MakeSeed(), shards: make([]metaShard, shards)}
+	for i := range m.shards {
+		m.shards[i].keys = make(map[string]struct{})
+	}
+	return m
+}
+
+func (m *MetadataManager) shard(key []byte) *metaShard {
+	h := maphash.Bytes(m.seed, key)
+	return &m.shards[h%uint64(len(m.shards))]
+}
+
+// Insert records that key's newest version is in the Dev-LSM.
+func (m *MetadataManager) Insert(key []byte) {
+	s := m.shard(key)
+	s.mu.Lock()
+	s.keys[string(key)] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Contains reports whether key's newest version is in the Dev-LSM.
+func (m *MetadataManager) Contains(key []byte) bool {
+	s := m.shard(key)
+	s.mu.RLock()
+	_, ok := s.keys[string(key)]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Remove clears key's Dev-LSM record (its newest version is now in the
+// Main-LSM) and reports whether it was present.
+func (m *MetadataManager) Remove(key []byte) bool {
+	s := m.shard(key)
+	s.mu.Lock()
+	_, ok := s.keys[string(key)]
+	if ok {
+		delete(s.keys, string(key))
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// Count returns the number of tracked keys.
+func (m *MetadataManager) Count() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.keys)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Clear drops every record — the simulated crash of §VI-D.
+func (m *MetadataManager) Clear() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.keys = make(map[string]struct{})
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/vclock"
+)
+
+// startRollbackManager launches the Rollback Manager runner (§V-E): it
+// receives the Detector's stall reports and triggers rollback at the
+// moments its scheme allows.
+func (db *DB) startRollbackManager() {
+	db.clk.Go("kvaccel.rollback", func(r *vclock.Runner) {
+		for !db.closed.Load() {
+			r.Sleep(db.opt.DetectorPeriod)
+			if db.closed.Load() {
+				return
+			}
+			if db.shouldRollback(r) {
+				db.RollbackNow(r)
+			}
+		}
+	})
+}
+
+// shouldRollback evaluates the scheduling scheme against the detector's
+// latest report.
+func (db *DB) shouldRollback(r *vclock.Runner) bool {
+	if db.dev.Dev.Empty() || db.det.StallLikely() {
+		return false
+	}
+	switch db.opt.Rollback {
+	case RollbackEager:
+		// Eager: as soon as no write stall is present.
+		return true
+	case RollbackLazy:
+		// Lazy: additionally require the engine to be quiet — no running
+		// compactions and no redirection for a while — so the rollback
+		// interferes with nothing.
+		h := db.det.Health()
+		if h.ActiveCompactions > 0 || h.QueuedFlushes > 0 {
+			return false
+		}
+		quiet := r.Now().Sub(vclock.Time(db.lastRedirect.Load()))
+		return quiet >= db.opt.LazyQuietPeriod
+	default:
+		return false
+	}
+}
+
+// RollbackNow drains the Dev-LSM into the Main-LSM using the in-device
+// iterator-based bulky range scan (§V-E): the device serializes its
+// entire contents, DMAs them in 512 KiB chunks, and the host merges each
+// chunk into the Main-LSM; a device Reset completes the operation.
+func (db *DB) RollbackNow(r *vclock.Runner) {
+	if db.rollingBack.Swap(true) {
+		return // already in progress
+	}
+	defer db.rollingBack.Store(false)
+
+	start := r.Now()
+	var pairs int64
+	db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
+		// Each chunk merges under the write gate, serializing against
+		// foreground writes so a concurrent overwrite cannot be clobbered
+		// by an older rolled-back version.
+		db.gate.Acquire(r, gateUnits)
+		for i := range entries {
+			e := &entries[i]
+			if e.Kind == memtable.KindSupersede || !db.meta.Contains(e.Key) {
+				// A normal-path write superseded this pair after it was
+				// redirected; the Main-LSM already holds the newest
+				// version.
+				db.meta.Remove(e.Key)
+				continue
+			}
+			if e.Kind == memtable.KindDelete {
+				_ = db.main.Delete(r, e.Key)
+			} else {
+				_ = db.main.Put(r, e.Key, e.Value)
+			}
+			db.meta.Remove(e.Key)
+			pairs++
+		}
+		db.gate.Release(gateUnits)
+	})
+	// §V-E step 8: reset the Dev-LSM so the next rollback sees only fresh
+	// redirected data.
+	db.dev.KVReset(r)
+	db.rollbacks.Add(1)
+	db.rollbackPairs.Add(pairs)
+	db.rollbackNS.Add(int64(r.Now().Sub(start)))
+}
+
+// SimulateCrash models the §VI-D failure: the volatile metadata manager's
+// hash table is lost. Dev-LSM contents (non-volatile NAND) survive.
+func (db *DB) SimulateCrash() {
+	db.meta.Clear()
+}
+
+// Recover rebuilds a consistent single-database view after a crash by
+// rolling back every KV pair stored in the Dev-LSM to the Main-LSM
+// (§VI-D). Because the metadata hash table is empty, the merge applies
+// every buffered pair unconditionally.
+func (db *DB) Recover(r *vclock.Runner) {
+	start := r.Now()
+	if db.rollingBack.Swap(true) {
+		return
+	}
+	defer db.rollingBack.Store(false)
+	var pairs int64
+	db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
+		db.gate.Acquire(r, gateUnits)
+		for i := range entries {
+			e := &entries[i]
+			switch e.Kind {
+			case memtable.KindSupersede:
+				// The Main-LSM already holds a newer version (written
+				// through the normal path before the crash): skip.
+			case memtable.KindDelete:
+				_ = db.main.Delete(r, e.Key)
+				pairs++
+			default:
+				_ = db.main.Put(r, e.Key, e.Value)
+				pairs++
+			}
+			db.meta.Remove(e.Key)
+		}
+		db.gate.Release(gateUnits)
+	})
+	db.dev.KVReset(r)
+	db.recoveries.Add(1)
+	db.rollbackPairs.Add(pairs)
+	db.recoveryNS.Add(int64(r.Now().Sub(start)))
+}

@@ -1,0 +1,505 @@
+// Package devlsm implements the Dev-LSM: the lightweight LSM-tree that
+// runs inside the SSD controller on the key-value region of the
+// disaggregated NAND space (§V-B, §V-D). It is the paper's temporary
+// write buffer: during host write stalls the KVACCEL controller redirects
+// PUTs here over the KV interface, and the rollback mechanism later
+// drains it back into the Main-LSM with an iterator-based bulky range
+// scan (§V-E).
+//
+// Design follows PinK/iLSM-style KV-SSDs: a device-DRAM memtable, sorted
+// runs flushed page-aligned onto the KV region (each record never spans a
+// flash page, so a point read costs exactly one page), an optional
+// in-device merge when runs pile up, and — deliberately — no read cache,
+// which is why Dev-LSM range scans lag Main-LSM's (Table V).
+package devlsm
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/encoding"
+	"kvaccel/internal/ftl"
+	"kvaccel/internal/iterkit"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/vclock"
+)
+
+// Config tunes the Dev-LSM.
+type Config struct {
+	// MemtableBytes is the device-DRAM write buffer budget.
+	MemtableBytes int64
+	// MaxRuns triggers an in-device merge when exceeded (if
+	// CompactionEnabled).
+	MaxRuns int
+	// CompactionEnabled turns the in-device merge on. The paper disables
+	// Dev-LSM compaction for the write-only workload A (§VI-C).
+	CompactionEnabled bool
+
+	// ReadCacheBytes sizes an optional controller-DRAM read cache in
+	// front of NAND page reads. The paper's prototype has none — that is
+	// exactly why its range queries trail Main-LSM's (Table V) — and
+	// names adding one as the fix; 0 reproduces the paper, >0 implements
+	// the extension (see BenchmarkAblationDevReadCache).
+	ReadCacheBytes int64
+
+	// ARM CPU costs per operation on the controller core.
+	PutCPU       time.Duration
+	GetCPU       time.Duration
+	ScanCPUPerKB time.Duration
+}
+
+// DefaultConfig models the Cosmos+ single ARM Cortex-A9 controller core:
+// tens of microseconds per KV command, which bounds redirected-put
+// throughput at the ~30 Kops/s the paper observes.
+func DefaultConfig() Config {
+	return Config{
+		MemtableBytes:     4 << 20,
+		MaxRuns:           8,
+		CompactionEnabled: false,
+		PutCPU:            12 * time.Microsecond,
+		GetCPU:            15 * time.Microsecond,
+		ScanCPUPerKB:      2 * time.Microsecond,
+	}
+}
+
+// Stats are cumulative Dev-LSM counters.
+type Stats struct {
+	Puts        int64
+	Gets        int64
+	Flushes     int64
+	Compactions int64
+	Resets      int64
+	Scans       int64
+	BytesIn     int64
+}
+
+// pageMeta describes one page-aligned slab of encoded records.
+type pageMeta struct {
+	firstKey []byte
+	off      int // into run.data
+	length   int
+	lpns     []int // usually one; oversized records span several
+}
+
+// run is one immutable sorted run on the KV region.
+type run struct {
+	pages    []pageMeta
+	data     []byte
+	smallest []byte
+	largest  []byte
+	count    int
+}
+
+// DevLSM is the in-device key-value store.
+type DevLSM struct {
+	cfg Config
+	f   *ftl.FTL
+	arm *cpu.Pool
+
+	mu       sync.Mutex
+	mem      *memtable.Table
+	runs     []*run // oldest first
+	seq      uint64
+	freeLPNs []int
+	entries  int64
+	bytes    int64
+	stats    Stats
+
+	// Optional read cache over KV-region pages (Config.ReadCacheBytes).
+	cacheCap int // pages; 0 disables
+	cached   map[int]*list.Element
+	cacheLRU *list.List
+}
+
+// New builds a Dev-LSM over the FTL's KV region, running on the given
+// controller core pool.
+func New(f *ftl.FTL, arm *cpu.Pool, cfg Config) *DevLSM {
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = 4 << 20
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 8
+	}
+	d := &DevLSM{cfg: cfg, f: f, arm: arm, mem: memtable.New()}
+	if cfg.ReadCacheBytes > 0 {
+		d.cacheCap = int(cfg.ReadCacheBytes / int64(f.PageSize()))
+		if d.cacheCap < 1 {
+			d.cacheCap = 1
+		}
+		d.cached = make(map[int]*list.Element)
+		d.cacheLRU = list.New()
+	}
+	n := f.RegionPages(ftl.KVRegion)
+	d.freeLPNs = make([]int, n)
+	for i := range d.freeLPNs {
+		d.freeLPNs[i] = n - 1 - i
+	}
+	return d
+}
+
+// Stats returns a snapshot of the counters.
+func (d *DevLSM) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Count returns the number of buffered entries (including overwrites and
+// tombstones).
+func (d *DevLSM) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.entries
+}
+
+// Bytes returns the logical bytes buffered.
+func (d *DevLSM) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// Empty reports whether the Dev-LSM holds no data.
+func (d *DevLSM) Empty() bool { return d.Count() == 0 }
+
+func (d *DevLSM) allocLocked(n int) []int {
+	if n > len(d.freeLPNs) {
+		panic(fmt.Sprintf("devlsm: KV region out of space: need %d pages, have %d", n, len(d.freeLPNs)))
+	}
+	lpns := make([]int, n)
+	copy(lpns, d.freeLPNs[len(d.freeLPNs)-n:])
+	d.freeLPNs = d.freeLPNs[:len(d.freeLPNs)-n]
+	return lpns
+}
+
+// Put buffers one record (value may be nil with kind KindDelete for
+// redirected tombstones), flushing the device memtable when full.
+func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
+	d.arm.Run(r, d.cfg.PutCPU)
+	d.mu.Lock()
+	d.seq++
+	d.mem.Add(d.seq, kind, key, value)
+	d.entries++
+	d.bytes += int64(len(key) + len(value))
+	d.stats.Puts++
+	d.stats.BytesIn += int64(len(key) + len(value))
+	needFlush := d.mem.ApproximateSize() >= d.cfg.MemtableBytes
+	d.mu.Unlock()
+	if needFlush {
+		d.Flush(r)
+	}
+}
+
+// Get returns the newest buffered record for key. Each run probe costs
+// one NAND page read; there is no read cache.
+func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+	d.arm.Run(r, d.cfg.GetCPU)
+	d.mu.Lock()
+	d.stats.Gets++
+	mem := d.mem
+	runs := append([]*run(nil), d.runs...)
+	d.mu.Unlock()
+
+	if v, k, ok := mem.Get(key); ok {
+		return v, k, true
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		ru := runs[i]
+		if bytes.Compare(key, ru.smallest) < 0 || bytes.Compare(key, ru.largest) > 0 {
+			continue
+		}
+	scan:
+		for pi := ru.pageFor(key); pi < len(ru.pages); pi++ {
+			if pi > 0 && bytes.Compare(ru.pages[pi].firstKey, key) > 0 {
+				break
+			}
+			pm := &ru.pages[pi]
+			d.readPages(r, pm.lpns)
+			// Scan the page payload; records within a key are newest-first.
+			payload := ru.data[pm.off : pm.off+pm.length]
+			for len(payload) > 0 {
+				e, rest, err := decodeRecord(payload)
+				if err != nil {
+					panic("devlsm: corrupt run page: " + err.Error())
+				}
+				if c := bytes.Compare(e.Key, key); c == 0 {
+					return e.Value, e.Kind, true
+				} else if c > 0 {
+					break scan
+				}
+				payload = rest
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// readPages spends NAND time for the given pages, short-circuiting hits
+// in the optional controller read cache.
+func (d *DevLSM) readPages(r *vclock.Runner, lpns []int) {
+	if d.cacheCap == 0 {
+		d.f.ReadMany(r, ftl.KVRegion, lpns)
+		return
+	}
+	d.mu.Lock()
+	var misses []int
+	for _, lpn := range lpns {
+		if el, ok := d.cached[lpn]; ok {
+			d.cacheLRU.MoveToFront(el)
+			continue
+		}
+		misses = append(misses, lpn)
+		d.cached[lpn] = d.cacheLRU.PushFront(lpn)
+	}
+	for len(d.cached) > d.cacheCap {
+		back := d.cacheLRU.Back()
+		delete(d.cached, back.Value.(int))
+		d.cacheLRU.Remove(back)
+	}
+	d.mu.Unlock()
+	d.f.ReadMany(r, ftl.KVRegion, misses)
+}
+
+// pageFor returns the page where a forward scan for key must start: the
+// rightmost page whose first key is strictly less than key. Versions of
+// one key can straddle page boundaries, and the newest lives earliest.
+func (ru *run) pageFor(key []byte) int {
+	lo, hi := 0, len(ru.pages)-1
+	res := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(ru.pages[mid].firstKey, key) < 0 {
+			res = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return res
+}
+
+// Flush persists the device memtable as a new sorted run.
+func (d *DevLSM) Flush(r *vclock.Runner) {
+	d.mu.Lock()
+	if d.mem.Count() == 0 {
+		d.mu.Unlock()
+		return
+	}
+	mem := d.mem
+	d.mem = memtable.New()
+	d.mu.Unlock()
+
+	ru, lpns := d.buildRun(r, mem.NewIterator())
+	if ru == nil {
+		return
+	}
+	d.f.WriteMany(r, ftl.KVRegion, lpns)
+
+	d.mu.Lock()
+	d.runs = append(d.runs, ru)
+	d.stats.Flushes++
+	needMerge := d.cfg.CompactionEnabled && len(d.runs) > d.cfg.MaxRuns
+	d.mu.Unlock()
+	if needMerge {
+		d.compact(r)
+	}
+}
+
+// buildRun packs an iterator's records into page-aligned slabs, returning
+// the run and the LPNs it occupies (already allocated).
+func (d *DevLSM) buildRun(r *vclock.Runner, it iterkit.Iterator) (*run, []int) {
+	pageSize := d.f.PageSize()
+	ru := &run{}
+	var all []int
+	var page []byte
+	var pageFirst []byte
+	var pageLPNs int
+
+	flushPage := func() {
+		if len(page) == 0 {
+			return
+		}
+		n := (len(page) + pageSize - 1) / pageSize
+		d.mu.Lock()
+		lpns := d.allocLocked(n)
+		d.mu.Unlock()
+		ru.pages = append(ru.pages, pageMeta{
+			firstKey: append([]byte(nil), pageFirst...),
+			off:      len(ru.data),
+			length:   len(page),
+			lpns:     lpns,
+		})
+		ru.data = append(ru.data, page...)
+		all = append(all, lpns...)
+		page = page[:0]
+		pageLPNs = 0
+	}
+	_ = pageLPNs
+
+	cpuPending := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		e := it.Entry()
+		recLen := encoding.RecordSize(len(e.Key), len(e.Value)) + 9
+		if len(page) > 0 && len(page)+recLen > pageSize {
+			flushPage()
+		}
+		if len(page) == 0 {
+			pageFirst = append(pageFirst[:0], e.Key...)
+		}
+		page = appendRecord(page, e)
+		if ru.count == 0 {
+			ru.smallest = append([]byte(nil), e.Key...)
+		}
+		ru.largest = append(ru.largest[:0], e.Key...)
+		ru.count++
+		cpuPending += recLen
+		if cpuPending >= 64<<10 {
+			d.chargeScanCPU(r, cpuPending)
+			cpuPending = 0
+		}
+	}
+	d.chargeScanCPU(r, cpuPending)
+	flushPage()
+	if ru.count == 0 {
+		return nil, nil
+	}
+	return ru, all
+}
+
+func (d *DevLSM) chargeScanCPU(r *vclock.Runner, n int) {
+	if n <= 0 {
+		return
+	}
+	d.arm.Run(r, d.cfg.ScanCPUPerKB*time.Duration(n)/1024)
+}
+
+func appendRecord(dst []byte, e memtable.Entry) []byte {
+	dst = encoding.PutUvarint(dst, uint64(len(e.Key)))
+	dst = encoding.PutUvarint(dst, uint64(len(e.Value)))
+	dst = append(dst, byte(e.Kind))
+	dst = encoding.PutU64(dst, e.Seq)
+	dst = append(dst, e.Key...)
+	dst = append(dst, e.Value...)
+	return dst
+}
+
+func decodeRecord(b []byte) (e memtable.Entry, rest []byte, err error) {
+	klen, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	vlen, b, err := encoding.Uvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	if len(b) < 9 {
+		return e, nil, encoding.ErrCorrupt
+	}
+	e.Kind = memtable.Kind(b[0])
+	seq, b, err := encoding.U64(b[1:])
+	if err != nil {
+		return e, nil, err
+	}
+	e.Seq = seq
+	if uint64(len(b)) < klen+vlen {
+		return e, nil, encoding.ErrCorrupt
+	}
+	e.Key = b[:klen]
+	e.Value = b[klen : klen+vlen]
+	return e, b[klen+vlen:], nil
+}
+
+// compact merges every run into one, deduplicating versions. The single
+// controller core pays the merge cost; the KV region pays read+write.
+func (d *DevLSM) compact(r *vclock.Runner) {
+	d.mu.Lock()
+	runs := append([]*run(nil), d.runs...)
+	d.mu.Unlock()
+	if len(runs) <= 1 {
+		return
+	}
+	// Bulk-read every page of every input run.
+	var lpns []int
+	for _, ru := range runs {
+		for _, pm := range ru.pages {
+			lpns = append(lpns, pm.lpns...)
+		}
+	}
+	d.f.ReadMany(r, ftl.KVRegion, lpns)
+
+	children := make([]iterkit.Iterator, 0, len(runs))
+	for i := len(runs) - 1; i >= 0; i-- { // newest run first for tie-break
+		children = append(children, newRunIter(d, r, runs[i], false))
+	}
+	merged := iterkit.NewMerge(children)
+	dedup := &dedupIter{in: merged}
+	ru, newLPNs := d.buildRun(r, dedup)
+
+	d.mu.Lock()
+	// Free old pages.
+	for _, ru := range runs {
+		for _, pm := range ru.pages {
+			for _, lpn := range pm.lpns {
+				d.f.Trim(ftl.KVRegion, lpn)
+			}
+			d.freeLPNs = append(d.freeLPNs, pm.lpns...)
+		}
+	}
+	if ru != nil {
+		d.runs = []*run{ru}
+	} else {
+		d.runs = nil
+	}
+	d.stats.Compactions++
+	d.mu.Unlock()
+	if ru != nil {
+		d.f.WriteMany(r, ftl.KVRegion, newLPNs)
+	}
+}
+
+// dedupIter keeps only the newest version of each user key.
+type dedupIter struct {
+	in      iterkit.Iterator
+	started bool
+	prev    []byte
+}
+
+func (d *dedupIter) SeekToFirst()          { d.in.SeekToFirst(); d.prev = nil; d.started = true }
+func (d *dedupIter) Seek(k []byte)         { d.in.Seek(k); d.prev = nil; d.started = true }
+func (d *dedupIter) Valid() bool           { return d.in.Valid() }
+func (d *dedupIter) Entry() memtable.Entry { return d.in.Entry() }
+func (d *dedupIter) Next() {
+	cur := append([]byte(nil), d.in.Entry().Key...)
+	for {
+		d.in.Next()
+		if !d.in.Valid() || !bytes.Equal(d.in.Entry().Key, cur) {
+			return
+		}
+	}
+}
+
+// Reset wipes the Dev-LSM after a completed rollback (§V-E step 8): the
+// memtable, every run, and the KV region mapping.
+func (d *DevLSM) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mem = memtable.New()
+	d.runs = nil
+	d.entries = 0
+	d.bytes = 0
+	if d.cacheCap > 0 {
+		d.cached = make(map[int]*list.Element)
+		d.cacheLRU = list.New()
+	}
+	d.stats.Resets++
+	n := d.f.RegionPages(ftl.KVRegion)
+	d.freeLPNs = d.freeLPNs[:0]
+	for i := n - 1; i >= 0; i-- {
+		d.freeLPNs = append(d.freeLPNs, i)
+	}
+	d.f.TrimRegion(ftl.KVRegion)
+}

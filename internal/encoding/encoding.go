@@ -1,0 +1,122 @@
+// Package encoding provides the byte-level coding shared by the WAL, SST,
+// and device KV layers: length-prefixed key/value records, fixed-width
+// integer coding, CRC32C checksums, and the db_bench-style key formatter.
+package encoding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorrupt is returned when a record fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("encoding: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data, the checksum RocksDB uses for
+// blocks and WAL records.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// PutUvarint appends x to dst in unsigned varint form.
+func PutUvarint(dst []byte, x uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	return append(dst, buf[:n]...)
+}
+
+// Uvarint decodes a uvarint from b, returning the value and the remaining
+// bytes, or ErrCorrupt.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return v, b[n:], nil
+}
+
+// PutU32 appends x little-endian.
+func PutU32(dst []byte, x uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], x)
+	return append(dst, buf[:]...)
+}
+
+// U32 reads a little-endian uint32 from the front of b.
+func U32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+// PutU64 appends x little-endian.
+func PutU64(dst []byte, x uint64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	return append(dst, buf[:]...)
+}
+
+// U64 reads a little-endian uint64 from the front of b.
+func U64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// AppendRecord appends a length-prefixed (key, value) record:
+//
+//	uvarint(len(key)) uvarint(len(value)) key value
+func AppendRecord(dst, key, value []byte) []byte {
+	dst = PutUvarint(dst, uint64(len(key)))
+	dst = PutUvarint(dst, uint64(len(value)))
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	return dst
+}
+
+// DecodeRecord reads one record from the front of b, returning key, value
+// and the remaining bytes. The returned slices alias b.
+func DecodeRecord(b []byte) (key, value, rest []byte, err error) {
+	klen, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vlen, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if uint64(len(b)) < klen+vlen {
+		return nil, nil, nil, ErrCorrupt
+	}
+	return b[:klen], b[klen : klen+vlen], b[klen+vlen:], nil
+}
+
+// RecordSize returns the encoded size of a (key, value) record without
+// materializing it.
+func RecordSize(keyLen, valueLen int) int {
+	return uvarintLen(uint64(keyLen)) + uvarintLen(uint64(valueLen)) + keyLen + valueLen
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// FormatKey renders a db_bench-style fixed-width decimal key. width must
+// be at least the number of digits in n.
+func FormatKey(dst []byte, n uint64, width int) []byte {
+	s := fmt.Sprintf("%0*d", width, n)
+	return append(dst, s...)
+}
+
+// Key16 returns a 16-byte db_bench key for n (db_bench's default key
+// format: zero-padded decimal).
+func Key16(n uint64) []byte { return FormatKey(nil, n, 16) }

@@ -1,0 +1,336 @@
+// Package fs is the host-side file layer KVACCEL's Main-LSM runs on — the
+// stand-in for ext4 on the block interface of the dual-interface SSD.
+//
+// Files are page-granular extents over a BlockDevice. The fs holds the
+// authoritative file bytes (the device layers below spend virtual time but
+// do not duplicate payload storage), so reads return real data while every
+// I/O is charged to the simulated block path: PCIe transfer + FTL + NAND.
+package fs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"kvaccel/internal/vclock"
+)
+
+// BlockDevice is the block-interface contract the SSD exposes: page-sized
+// logical reads and writes that spend virtual time.
+type BlockDevice interface {
+	// WritePages spends the time to write the given logical pages.
+	WritePages(r *vclock.Runner, lpns []int)
+	// ReadPages spends the time to read the given logical pages.
+	ReadPages(r *vclock.Runner, lpns []int)
+	// TrimPages invalidates pages without spending media time.
+	TrimPages(lpns []int)
+	// PageSize returns the logical page size in bytes.
+	PageSize() int
+	// Pages returns the number of addressable logical pages.
+	Pages() int
+}
+
+// FileSystem allocates device pages to named files.
+//
+// Reads go through an OS-page-cache model: pages the host has written or
+// previously read are served from memory with no device time, exactly as
+// on the paper's 384 GB host where the whole working set stays resident.
+// A finite cache (SetPageCacheBytes) evicts LRU pages and makes cold
+// reads pay the block path again.
+type FileSystem struct {
+	dev BlockDevice
+
+	mu    sync.Mutex
+	files map[string]*file
+	free  []int // free page LPNs, LIFO
+
+	// Page cache state. cacheCap <= 0 means unbounded (the default).
+	cacheCap int // pages
+	cached   map[int]*list.Element
+	lru      *list.List // of int lpn; front = most recent
+}
+
+type file struct {
+	name  string
+	pages []int
+	data  []byte
+	size  int
+}
+
+// New formats a file system over dev with an unbounded page cache.
+func New(dev BlockDevice) *FileSystem {
+	fs := &FileSystem{
+		dev:    dev,
+		files:  make(map[string]*file),
+		cached: make(map[int]*list.Element),
+		lru:    list.New(),
+	}
+	n := dev.Pages()
+	fs.free = make([]int, n)
+	for i := range fs.free {
+		fs.free[i] = n - 1 - i
+	}
+	return fs
+}
+
+// SetPageCacheBytes bounds the page cache; 0 or negative restores the
+// unbounded default. Shrinking evicts LRU pages immediately.
+func (fs *FileSystem) SetPageCacheBytes(bytes int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if bytes <= 0 {
+		fs.cacheCap = 0
+		return
+	}
+	fs.cacheCap = int(bytes / int64(fs.dev.PageSize()))
+	if fs.cacheCap < 1 {
+		fs.cacheCap = 1
+	}
+	fs.evictLocked()
+}
+
+// cacheInsertLocked marks lpns resident, evicting LRU pages over capacity.
+func (fs *FileSystem) cacheInsertLocked(lpns []int) {
+	for _, lpn := range lpns {
+		if el, ok := fs.cached[lpn]; ok {
+			fs.lru.MoveToFront(el)
+			continue
+		}
+		fs.cached[lpn] = fs.lru.PushFront(lpn)
+	}
+	fs.evictLocked()
+}
+
+func (fs *FileSystem) evictLocked() {
+	if fs.cacheCap <= 0 {
+		return
+	}
+	for len(fs.cached) > fs.cacheCap {
+		back := fs.lru.Back()
+		if back == nil {
+			return
+		}
+		delete(fs.cached, back.Value.(int))
+		fs.lru.Remove(back)
+	}
+}
+
+// cacheDropLocked forgets pages (on file deletion).
+func (fs *FileSystem) cacheDropLocked(lpns []int) {
+	for _, lpn := range lpns {
+		if el, ok := fs.cached[lpn]; ok {
+			delete(fs.cached, lpn)
+			fs.lru.Remove(el)
+		}
+	}
+}
+
+// splitCachedLocked partitions lpns into (hits kept out) and misses that
+// must pay device time, touching hit pages' recency.
+func (fs *FileSystem) splitCachedLocked(lpns []int) (misses []int) {
+	for _, lpn := range lpns {
+		if el, ok := fs.cached[lpn]; ok {
+			fs.lru.MoveToFront(el)
+			continue
+		}
+		misses = append(misses, lpn)
+	}
+	return misses
+}
+
+// CachedPages returns the number of resident pages (diagnostics).
+func (fs *FileSystem) CachedPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.cached)
+}
+
+// PageSize returns the device page size.
+func (fs *FileSystem) PageSize() int { return fs.dev.PageSize() }
+
+// FreeBytes returns the unallocated capacity.
+func (fs *FileSystem) FreeBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int64(len(fs.free)) * int64(fs.dev.PageSize())
+}
+
+// UsedBytes returns the total size of all files.
+func (fs *FileSystem) UsedBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var n int64
+	for _, f := range fs.files {
+		n += int64(f.size)
+	}
+	return n
+}
+
+func (fs *FileSystem) allocLocked(n int) ([]int, error) {
+	if n > len(fs.free) {
+		return nil, fmt.Errorf("fs: out of space: need %d pages, have %d", n, len(fs.free))
+	}
+	pages := make([]int, n)
+	copy(pages, fs.free[len(fs.free)-n:])
+	fs.free = fs.free[:len(fs.free)-n]
+	return pages, nil
+}
+
+// WriteFile creates (or replaces) a file with the given contents, spending
+// the block-path write time for every page it covers.
+func (fs *FileSystem) WriteFile(r *vclock.Runner, name string, data []byte) error {
+	ps := fs.dev.PageSize()
+	nPages := (len(data) + ps - 1) / ps
+	if nPages == 0 {
+		nPages = 1 // empty files still occupy a metadata page
+	}
+	fs.mu.Lock()
+	if old, ok := fs.files[name]; ok {
+		fs.freeFileLocked(old)
+	}
+	pages, err := fs.allocLocked(nPages)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	f := &file{name: name, pages: pages, data: append([]byte(nil), data...), size: len(data)}
+	fs.files[name] = f
+	fs.cacheInsertLocked(pages)
+	fs.mu.Unlock()
+	fs.dev.WritePages(r, pages)
+	return nil
+}
+
+// Append extends a file (creating it if absent) and writes the covered
+// pages. Partial trailing pages are rewritten, as a page-granular device
+// requires.
+func (fs *FileSystem) Append(r *vclock.Runner, name string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	ps := fs.dev.PageSize()
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{name: name}
+		fs.files[name] = f
+	}
+	oldSize := f.size
+	f.data = append(f.data, data...)
+	f.size = len(f.data)
+	needPages := (f.size + ps - 1) / ps
+	var newPages []int
+	for len(f.pages) < needPages {
+		pg, err := fs.allocLocked(1)
+		if err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		f.pages = append(f.pages, pg[0])
+		newPages = append(newPages, pg[0])
+	}
+	// The page holding the previous tail is rewritten too if it was partial.
+	var touch []int
+	if oldSize%ps != 0 && oldSize > 0 {
+		touch = append(touch, f.pages[(oldSize-1)/ps])
+	}
+	touch = append(touch, newPages...)
+	fs.cacheInsertLocked(touch)
+	fs.mu.Unlock()
+	fs.dev.WritePages(r, touch)
+	return nil
+}
+
+// ReadAt reads length bytes at offset off, spending read time for each
+// covered page. It returns a copy.
+func (fs *FileSystem) ReadAt(r *vclock.Runner, name string, off, length int) ([]byte, error) {
+	ps := fs.dev.PageSize()
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if !ok {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	if off < 0 || length < 0 || off+length > f.size {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("fs: %s: read [%d,%d) out of bounds (size %d)", name, off, off+length, f.size)
+	}
+	var misses []int
+	if length > 0 {
+		first, last := off/ps, (off+length-1)/ps
+		misses = fs.splitCachedLocked(f.pages[first : last+1])
+		fs.cacheInsertLocked(misses)
+	}
+	out := make([]byte, length)
+	copy(out, f.data[off:off+length])
+	fs.mu.Unlock()
+	fs.dev.ReadPages(r, misses)
+	return out, nil
+}
+
+// ReadFile reads a whole file.
+func (fs *FileSystem) ReadFile(r *vclock.Runner, name string) ([]byte, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	var size int
+	if ok {
+		size = f.size
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	return fs.ReadAt(r, name, 0, size)
+}
+
+// Size returns a file's length in bytes.
+func (fs *FileSystem) Size(name string) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("fs: %s: no such file", name)
+	}
+	return f.size, nil
+}
+
+// Exists reports whether the file is present.
+func (fs *FileSystem) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Remove deletes a file, trimming its pages on the device.
+func (fs *FileSystem) Remove(name string) error {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	if !ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("fs: %s: no such file", name)
+	}
+	pages := fs.freeFileLocked(f)
+	fs.cacheDropLocked(pages)
+	fs.mu.Unlock()
+	fs.dev.TrimPages(pages)
+	return nil
+}
+
+// freeFileLocked detaches f and returns its pages to the pool.
+func (fs *FileSystem) freeFileLocked(f *file) []int {
+	delete(fs.files, f.name)
+	fs.free = append(fs.free, f.pages...)
+	return f.pages
+}
+
+// List returns the names of all files (unordered).
+func (fs *FileSystem) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	return names
+}

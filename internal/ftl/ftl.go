@@ -1,0 +1,462 @@
+// Package ftl implements the SSD's Flash Translation Layer with the
+// paper's hybrid space allocation (§V-D): the logical NAND address space
+// is disaggregated at a configurable point into a block region (backing
+// the host file system / Main-LSM) and a key-value region (backing the
+// in-device Dev-LSM). Each region has its own page-mapped logical space;
+// physical blocks come from a shared pool, so the two interfaces never
+// overlap physical pages, exactly as the paper's FTL guarantees.
+//
+// The FTL is page-mapped with a round-robin-striped write frontier (one
+// active block per die) so large writes reach the array's full parallel
+// bandwidth, and greedy cost-based garbage collection with valid-page
+// migration when the free pool runs low.
+package ftl
+
+import (
+	"fmt"
+	"sync"
+
+	"kvaccel/internal/nand"
+	"kvaccel/internal/vclock"
+)
+
+// Region selects one side of the disaggregation point.
+type Region int
+
+const (
+	// BlockRegion backs the traditional block interface (Main-LSM).
+	BlockRegion Region = iota
+	// KVRegion backs the key-value interface (Dev-LSM).
+	KVRegion
+	numRegions
+)
+
+func (rg Region) String() string {
+	switch rg {
+	case BlockRegion:
+		return "block"
+	case KVRegion:
+		return "kv"
+	}
+	return fmt.Sprintf("region(%d)", int(rg))
+}
+
+const unmapped = int32(-1)
+
+// Config sizes the two logical regions, in pages. The sum plus
+// over-provisioning must fit the physical array.
+type Config struct {
+	BlockRegionPages int
+	KVRegionPages    int
+	// GCFreeBlockLow triggers GC when the shared free pool drops to this
+	// many blocks; GC reclaims until GCFreeBlockHigh.
+	GCFreeBlockLow  int
+	GCFreeBlockHigh int
+	// MaxFanout bounds the number of concurrent per-page NAND operations
+	// a single multi-page request spawns (models controller queue depth).
+	MaxFanout int
+}
+
+// Stats are cumulative FTL counters.
+type Stats struct {
+	HostPagesWritten int64 // pages written on behalf of callers
+	GCPagesMigrated  int64 // extra pages written by GC
+	GCRuns           int64
+	BlocksErased     int64
+}
+
+// WriteAmplification returns (host+GC)/host page writes, or 1 when idle.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostPagesWritten == 0 {
+		return 1
+	}
+	return float64(s.HostPagesWritten+s.GCPagesMigrated) / float64(s.HostPagesWritten)
+}
+
+type blockInfo struct {
+	owner      Region
+	allocated  bool
+	validCount int
+	nextPage   int     // write frontier within the block
+	lpns       []int32 // reverse map page -> region LPN (-1 invalid)
+}
+
+type regionState struct {
+	mapping  []int32 // LPN -> PPN
+	frontier []int   // per-die active block id, -1 if none
+}
+
+// FTL is the translation layer over one NAND array.
+type FTL struct {
+	arr *nand.Array
+	geo nand.Geometry
+	cfg Config
+
+	mu      sync.Mutex
+	blocks  []blockInfo
+	free    []int // free block ids (LIFO)
+	regions [numRegions]*regionState
+	nextDie int // round-robin die cursor for frontier allocation
+
+	stats Stats
+}
+
+// New builds an FTL over arr. It panics if the configured regions plus a
+// minimal GC reserve exceed the physical capacity.
+func New(arr *nand.Array, cfg Config) *FTL {
+	geo := arr.Geometry()
+	totalBlocks := geo.Dies() * geo.BlocksPerDie
+	needPages := cfg.BlockRegionPages + cfg.KVRegionPages
+	if cfg.GCFreeBlockLow < 2 {
+		cfg.GCFreeBlockLow = 2
+	}
+	if cfg.GCFreeBlockHigh <= cfg.GCFreeBlockLow {
+		cfg.GCFreeBlockHigh = cfg.GCFreeBlockLow + 2
+	}
+	if cfg.MaxFanout < 1 {
+		cfg.MaxFanout = geo.Dies() * 2
+	}
+	reserve := cfg.GCFreeBlockHigh + geo.Dies()
+	if needPages > (totalBlocks-reserve)*geo.PagesPerBlock {
+		panic(fmt.Sprintf("ftl: regions need %d pages but device has %d usable",
+			needPages, (totalBlocks-reserve)*geo.PagesPerBlock))
+	}
+	f := &FTL{arr: arr, geo: geo, cfg: cfg}
+	f.blocks = make([]blockInfo, totalBlocks)
+	for i := range f.blocks {
+		f.blocks[i].lpns = make([]int32, geo.PagesPerBlock)
+	}
+	f.free = make([]int, totalBlocks)
+	for i := range f.free {
+		f.free[i] = totalBlocks - 1 - i
+	}
+	mk := func(pages int) *regionState {
+		rs := &regionState{mapping: make([]int32, pages), frontier: make([]int, geo.Dies())}
+		for i := range rs.mapping {
+			rs.mapping[i] = unmapped
+		}
+		for i := range rs.frontier {
+			rs.frontier[i] = -1
+		}
+		return rs
+	}
+	f.regions[BlockRegion] = mk(cfg.BlockRegionPages)
+	f.regions[KVRegion] = mk(cfg.KVRegionPages)
+	return f
+}
+
+// RegionPages returns the logical size of a region in pages.
+func (f *FTL) RegionPages(rg Region) int { return len(f.regions[rg].mapping) }
+
+// PageSize returns the underlying NAND page size.
+func (f *FTL) PageSize() int { return f.geo.PageSize }
+
+// Stats returns a snapshot of the cumulative counters.
+func (f *FTL) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// FreeBlocks returns the size of the shared free-block pool.
+func (f *FTL) FreeBlocks() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.free)
+}
+
+func (f *FTL) addrOf(ppn int32) nand.Addr {
+	blockID := int(ppn) / f.geo.PagesPerBlock
+	page := int(ppn) % f.geo.PagesPerBlock
+	die := blockID / f.geo.BlocksPerDie
+	return nand.Addr{
+		Channel: die / f.geo.Ways,
+		Way:     die % f.geo.Ways,
+		Block:   blockID % f.geo.BlocksPerDie,
+		Page:    page,
+	}
+}
+
+func ppnOf(blockID, page, pagesPerBlock int) int32 {
+	return int32(blockID*pagesPerBlock + page)
+}
+
+// allocPageLocked reserves one physical page for (rg, lpn) on the
+// round-robin write frontier and updates mappings. Returns the PPN and
+// whether the caller must run GC afterwards.
+func (f *FTL) allocPageLocked(rg Region, lpn int) (ppn int32, needGC bool) {
+	rs := f.regions[rg]
+	if lpn < 0 || lpn >= len(rs.mapping) {
+		panic(fmt.Sprintf("ftl: lpn %d out of range for %v region (%d pages)", lpn, rg, len(rs.mapping)))
+	}
+	// Invalidate any prior mapping.
+	if old := rs.mapping[lpn]; old != unmapped {
+		f.invalidateLocked(old)
+	}
+	// Find a frontier block with space, cycling dies for parallelism.
+	dies := f.geo.Dies()
+	for try := 0; try < dies; try++ {
+		die := f.nextDie
+		f.nextDie = (f.nextDie + 1) % dies
+		bid := rs.frontier[die]
+		if bid == -1 || f.blocks[bid].nextPage >= f.geo.PagesPerBlock {
+			nb, ok := f.takeFreeBlockLocked(die)
+			if !ok {
+				continue // this die has no free block; try next die
+			}
+			f.blocks[nb].owner = rg
+			f.blocks[nb].allocated = true
+			rs.frontier[die] = nb
+			bid = nb
+		}
+		b := &f.blocks[bid]
+		page := b.nextPage
+		b.nextPage++
+		b.validCount++
+		b.lpns[page] = int32(lpn)
+		ppn = ppnOf(bid, page, f.geo.PagesPerBlock)
+		rs.mapping[lpn] = ppn
+		return ppn, len(f.free) <= f.cfg.GCFreeBlockLow
+	}
+	panic("ftl: device out of space (no free block on any die); regions oversized for physical capacity")
+}
+
+// takeFreeBlockLocked pops a free block belonging to the given die.
+func (f *FTL) takeFreeBlockLocked(die int) (int, bool) {
+	for i := len(f.free) - 1; i >= 0; i-- {
+		bid := f.free[i]
+		if bid/f.geo.BlocksPerDie == die {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			return bid, true
+		}
+	}
+	return 0, false
+}
+
+func (f *FTL) invalidateLocked(ppn int32) {
+	bid := int(ppn) / f.geo.PagesPerBlock
+	page := int(ppn) % f.geo.PagesPerBlock
+	b := &f.blocks[bid]
+	if b.lpns[page] != unmapped {
+		b.lpns[page] = unmapped
+		b.validCount--
+	}
+}
+
+// Write maps one logical page of region rg and spends the NAND program
+// time. It runs GC inline if the free pool is low — charging the
+// reclamation cost to the writer, as real FTLs do under pressure.
+func (f *FTL) Write(r *vclock.Runner, rg Region, lpn int) {
+	f.mu.Lock()
+	ppn, needGC := f.allocPageLocked(rg, lpn)
+	f.stats.HostPagesWritten++
+	f.mu.Unlock()
+	f.arr.ProgramPage(r, f.addrOf(ppn))
+	if needGC {
+		f.collect(r)
+	}
+}
+
+// WriteMany writes a batch of logical pages, fanning the NAND programs out
+// across dies up to MaxFanout in flight, which is how the controller
+// reaches the array's aggregate program bandwidth.
+func (f *FTL) WriteMany(r *vclock.Runner, rg Region, lpns []int) {
+	if len(lpns) == 0 {
+		return
+	}
+	if len(lpns) == 1 {
+		f.Write(r, rg, lpns[0])
+		return
+	}
+	f.mu.Lock()
+	ppns := make([]int32, len(lpns))
+	needGC := false
+	for i, lpn := range lpns {
+		ppn, gc := f.allocPageLocked(rg, lpn)
+		ppns[i] = ppn
+		needGC = needGC || gc
+	}
+	f.stats.HostPagesWritten += int64(len(lpns))
+	f.mu.Unlock()
+	f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) {
+		f.arr.ProgramPage(w, f.addrOf(ppn))
+	})
+	if needGC {
+		f.collect(r)
+	}
+}
+
+// Read spends the NAND read time for one logical page. Reading an
+// unmapped page is an error.
+func (f *FTL) Read(r *vclock.Runner, rg Region, lpn int) error {
+	f.mu.Lock()
+	rs := f.regions[rg]
+	if lpn < 0 || lpn >= len(rs.mapping) {
+		f.mu.Unlock()
+		return fmt.Errorf("ftl: read lpn %d out of range for %v region", lpn, rg)
+	}
+	ppn := rs.mapping[lpn]
+	f.mu.Unlock()
+	if ppn == unmapped {
+		return fmt.Errorf("ftl: read of unmapped lpn %d in %v region", lpn, rg)
+	}
+	f.arr.ReadPage(r, f.addrOf(ppn))
+	return nil
+}
+
+// ReadMany reads a batch of logical pages with die-parallel fanout.
+// Unmapped pages are skipped (callers validate separately).
+func (f *FTL) ReadMany(r *vclock.Runner, rg Region, lpns []int) {
+	f.mu.Lock()
+	rs := f.regions[rg]
+	ppns := make([]int32, 0, len(lpns))
+	for _, lpn := range lpns {
+		if lpn >= 0 && lpn < len(rs.mapping) && rs.mapping[lpn] != unmapped {
+			ppns = append(ppns, rs.mapping[lpn])
+		}
+	}
+	f.mu.Unlock()
+	f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) {
+		f.arr.ReadPage(w, f.addrOf(ppn))
+	})
+}
+
+// Trim invalidates a logical page without touching NAND.
+func (f *FTL) Trim(rg Region, lpn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rs := f.regions[rg]
+	if lpn < 0 || lpn >= len(rs.mapping) {
+		return
+	}
+	if ppn := rs.mapping[lpn]; ppn != unmapped {
+		f.invalidateLocked(ppn)
+		rs.mapping[lpn] = unmapped
+	}
+}
+
+// TrimRegion invalidates every mapped page in a region — the Dev-LSM
+// reset (§V-E step 8) uses this to wipe the KV region in O(mapping).
+func (f *FTL) TrimRegion(rg Region) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rs := f.regions[rg]
+	for lpn, ppn := range rs.mapping {
+		if ppn != unmapped {
+			f.invalidateLocked(ppn)
+			rs.mapping[lpn] = unmapped
+		}
+	}
+}
+
+// fanout runs op over each ppn with at most MaxFanout concurrent workers.
+func (f *FTL) fanout(r *vclock.Runner, ppns []int32, op func(*vclock.Runner, int32)) {
+	if len(ppns) == 0 {
+		return
+	}
+	workers := f.cfg.MaxFanout
+	if workers > len(ppns) {
+		workers = len(ppns)
+	}
+	if workers <= 1 {
+		for _, ppn := range ppns {
+			op(r, ppn)
+		}
+		return
+	}
+	var wg vclock.WaitGroup
+	wg.Add(workers)
+	clk := r.Clock()
+	for w := 0; w < workers; w++ {
+		w := w
+		clk.Go("ftl.fanout", func(worker *vclock.Runner) {
+			defer wg.Done()
+			for i := w; i < len(ppns); i += workers {
+				op(worker, ppns[i])
+			}
+		})
+	}
+	wg.Wait(r)
+}
+
+// collect runs greedy GC until the free pool recovers. The caller's
+// runner pays the migration time.
+func (f *FTL) collect(r *vclock.Runner) {
+	for {
+		f.mu.Lock()
+		if len(f.free) >= f.cfg.GCFreeBlockHigh {
+			f.mu.Unlock()
+			return
+		}
+		victim := f.pickVictimLocked()
+		if victim < 0 {
+			f.mu.Unlock()
+			return // nothing reclaimable
+		}
+		b := &f.blocks[victim]
+		rg := b.owner
+		// Collect surviving LPNs, then remap them while still holding the
+		// lock so no concurrent write races the migration.
+		var moveLPNs []int
+		for page, lpn := range b.lpns[:b.nextPage] {
+			if lpn != unmapped {
+				moveLPNs = append(moveLPNs, int(lpn))
+				b.lpns[page] = unmapped
+			}
+		}
+		b.validCount = 0
+		var newPPNs []int32
+		for _, lpn := range moveLPNs {
+			// The victim's mapping entries were just detached; allocate
+			// fresh pages on the frontier.
+			ppn, _ := f.allocPageLocked(rg, lpn)
+			newPPNs = append(newPPNs, ppn)
+		}
+		f.stats.GCRuns++
+		f.stats.GCPagesMigrated += int64(len(moveLPNs))
+		f.stats.BlocksErased++
+		f.mu.Unlock()
+
+		// Spend the media time: read survivors, program them, erase.
+		f.fanout(r, newPPNs, func(w *vclock.Runner, ppn int32) {
+			f.arr.ReadPage(w, f.addrOf(ppn)) // read old copy (modeled at new addr's size)
+			f.arr.ProgramPage(w, f.addrOf(ppn))
+		})
+		eraseAddr := f.addrOf(ppnOf(victim, 0, f.geo.PagesPerBlock))
+		f.arr.EraseBlock(r, eraseAddr)
+
+		f.mu.Lock()
+		f.blocks[victim].allocated = false
+		f.blocks[victim].owner = 0
+		f.blocks[victim].nextPage = 0
+		f.free = append(f.free, victim)
+		f.mu.Unlock()
+	}
+}
+
+// pickVictimLocked chooses the allocated, full, non-frontier block with
+// the fewest valid pages (greedy), or -1 if none qualifies.
+func (f *FTL) pickVictimLocked() int {
+	frontier := make(map[int]bool, f.geo.Dies()*2)
+	for _, rs := range f.regions {
+		for _, bid := range rs.frontier {
+			if bid >= 0 {
+				frontier[bid] = true
+			}
+		}
+	}
+	best, bestValid := -1, 1<<30
+	for bid := range f.blocks {
+		b := &f.blocks[bid]
+		if !b.allocated || frontier[bid] || b.nextPage < f.geo.PagesPerBlock {
+			continue
+		}
+		if b.validCount < bestValid {
+			best, bestValid = bid, b.validCount
+		}
+	}
+	if best >= 0 && bestValid >= f.geo.PagesPerBlock {
+		return -1 // nothing to gain: every candidate is fully valid
+	}
+	return best
+}

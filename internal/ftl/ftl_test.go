@@ -1,0 +1,220 @@
+package ftl
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/nand"
+	"kvaccel/internal/vclock"
+)
+
+func testArray() *nand.Array {
+	geo := nand.Geometry{Channels: 2, Ways: 2, BlocksPerDie: 16, PagesPerBlock: 8, PageSize: 4096}
+	timing := nand.Timing{ReadPage: 10 * time.Microsecond, ProgramPage: 100 * time.Microsecond, EraseBlock: time.Millisecond, ChannelMBps: 0}
+	return nand.New(geo, timing)
+}
+
+func testCfg() Config {
+	// 64 blocks total * 8 pages = 512 pages; leave room for GC reserve.
+	return Config{BlockRegionPages: 128, KVRegionPages: 64, GCFreeBlockLow: 4, GCFreeBlockHigh: 8}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		f.Write(r, BlockRegion, 5)
+		if err := f.Read(r, BlockRegion, 5); err != nil {
+			t.Errorf("read mapped page: %v", err)
+		}
+	})
+	c.Wait()
+	if got := f.Stats().HostPagesWritten; got != 1 {
+		t.Fatalf("pages written = %d, want 1", got)
+	}
+}
+
+func TestReadUnmappedErrors(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		if err := f.Read(r, BlockRegion, 7); err == nil {
+			t.Error("read of unmapped lpn succeeded")
+		}
+		if err := f.Read(r, BlockRegion, 9999); err == nil {
+			t.Error("read of out-of-range lpn succeeded")
+		}
+	})
+	c.Wait()
+}
+
+func TestRegionsAreIsolated(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		f.Write(r, BlockRegion, 3)
+		// Same LPN number in the KV region must be independent.
+		if err := f.Read(r, KVRegion, 3); err == nil {
+			t.Error("KV region lpn 3 mapped by a block-region write (regions overlap!)")
+		}
+		f.Write(r, KVRegion, 3)
+		if err := f.Read(r, KVRegion, 3); err != nil {
+			t.Errorf("KV region read after write: %v", err)
+		}
+		if err := f.Read(r, BlockRegion, 3); err != nil {
+			t.Errorf("block region mapping disturbed by KV write: %v", err)
+		}
+	})
+	c.Wait()
+}
+
+func TestOverwriteInvalidatesOldPage(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		for i := 0; i < 10; i++ {
+			f.Write(r, BlockRegion, 0) // overwrite the same lpn
+		}
+		if err := f.Read(r, BlockRegion, 0); err != nil {
+			t.Errorf("read after overwrites: %v", err)
+		}
+	})
+	c.Wait()
+	if got := f.Stats().HostPagesWritten; got != 10 {
+		t.Fatalf("pages written = %d, want 10", got)
+	}
+}
+
+func TestWriteManyParallelFasterThanSerial(t *testing.T) {
+	mk := func(fanout int) vclock.Time {
+		c := vclock.New()
+		cfg := testCfg()
+		cfg.MaxFanout = fanout
+		f := New(testArray(), cfg)
+		c.Go("io", func(r *vclock.Runner) {
+			lpns := make([]int, 16)
+			for i := range lpns {
+				lpns[i] = i
+			}
+			f.WriteMany(r, BlockRegion, lpns)
+		})
+		c.Wait()
+		return c.Now()
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	if parallel >= serial {
+		t.Fatalf("fanout did not help: parallel=%v serial=%v", parallel, serial)
+	}
+	// 16 pages, 4 dies, 100us program: ideal parallel = 4 rounds = 400us.
+	if parallel > vclock.Time(800*time.Microsecond) {
+		t.Fatalf("parallel WriteMany = %v, want <= 800us", parallel)
+	}
+}
+
+func TestTrimFreesMapping(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		f.Write(r, KVRegion, 1)
+		f.Trim(KVRegion, 1)
+		if err := f.Read(r, KVRegion, 1); err == nil {
+			t.Error("read after trim succeeded")
+		}
+		f.Trim(KVRegion, 1)    // double trim is a no-op
+		f.Trim(KVRegion, 9999) // out of range is a no-op
+	})
+	c.Wait()
+}
+
+func TestTrimRegionWipesOnlyThatRegion(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		for i := 0; i < 10; i++ {
+			f.Write(r, KVRegion, i)
+			f.Write(r, BlockRegion, i)
+		}
+		f.TrimRegion(KVRegion)
+		for i := 0; i < 10; i++ {
+			if err := f.Read(r, KVRegion, i); err == nil {
+				t.Errorf("KV lpn %d still mapped after TrimRegion", i)
+			}
+			if err := f.Read(r, BlockRegion, i); err != nil {
+				t.Errorf("block lpn %d lost by KV TrimRegion: %v", i, err)
+			}
+		}
+	})
+	c.Wait()
+}
+
+func TestGCReclaimsInvalidatedBlocks(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		// Hammer a small working set so most written pages are stale;
+		// this must force GC rather than running out of space.
+		for round := 0; round < 40; round++ {
+			lpns := make([]int, 16)
+			for i := range lpns {
+				lpns[i] = i
+			}
+			f.WriteMany(r, BlockRegion, lpns)
+		}
+	})
+	c.Wait()
+	s := f.Stats()
+	if s.GCRuns == 0 {
+		t.Fatal("GC never ran despite heavy overwrite traffic")
+	}
+	if s.HostPagesWritten != 640 {
+		t.Fatalf("host pages = %d, want 640", s.HostPagesWritten)
+	}
+	if wa := s.WriteAmplification(); wa < 1.0 {
+		t.Fatalf("write amplification = %.2f, want >= 1", wa)
+	}
+	if f.FreeBlocks() < testCfg().GCFreeBlockLow {
+		t.Fatalf("free pool = %d below low watermark after GC", f.FreeBlocks())
+	}
+}
+
+func TestGCPreservesLiveData(t *testing.T) {
+	c := vclock.New()
+	f := New(testArray(), testCfg())
+	c.Go("io", func(r *vclock.Runner) {
+		// Live set: lpns 0..31 written once; churn: lpn 100 overwritten many times.
+		live := make([]int, 32)
+		for i := range live {
+			live[i] = i
+		}
+		f.WriteMany(r, BlockRegion, live)
+		for i := 0; i < 800; i++ {
+			f.Write(r, BlockRegion, 100)
+		}
+		for _, lpn := range live {
+			if err := f.Read(r, BlockRegion, lpn); err != nil {
+				t.Errorf("live lpn %d lost after GC churn: %v", lpn, err)
+			}
+		}
+	})
+	c.Wait()
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("test did not exercise GC")
+	}
+}
+
+func TestOversizedRegionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized region config did not panic")
+		}
+	}()
+	New(testArray(), Config{BlockRegionPages: 100000, KVRegionPages: 0})
+}
+
+func TestWriteAmplificationIdle(t *testing.T) {
+	var s Stats
+	if s.WriteAmplification() != 1 {
+		t.Fatal("idle WAF should be 1")
+	}
+}

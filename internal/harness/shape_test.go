@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/core"
+)
+
+// TestHeadlineShape is the reproduction's self-check: the orderings the
+// paper's evaluation rests on must hold on a mid-length run. It asserts
+// ranks, not absolute numbers, with deliberate slack — the goal is to
+// catch regressions that invert a conclusion, not run-to-run noise.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape check")
+	}
+	p := DefaultParams()
+	p.Duration = 40 * time.Second
+
+	rocks := p.Run(EngineSpec{Kind: KindRocksDB, Threads: 1, Slowdown: true}, WorkloadA)
+	adoc := p.Run(EngineSpec{Kind: KindADOC, Threads: 1, Slowdown: true}, WorkloadA)
+	kva := p.Run(EngineSpec{Kind: KindKVAccel, Threads: 1, Rollback: core.RollbackDisabled}, WorkloadA)
+
+	t.Logf("workload A: rocksdb=%.2f adoc=%.2f kvaccel=%.2f Kops/s (redirects=%d)",
+		rocks.WriteKops(), adoc.WriteKops(), kva.WriteKops(), kva.Redirects)
+
+	// Claim 1 (Fig 11/12): KVACCEL(1) beats RocksDB(1) clearly.
+	if kva.WriteKops() < rocks.WriteKops()*1.05 {
+		t.Errorf("KVACCEL (%.2f) does not clearly beat RocksDB (%.2f)", kva.WriteKops(), rocks.WriteKops())
+	}
+	// Claim 2 (Fig 11/12): KVACCEL >= ADOC (paper: +17%; allow ties).
+	if kva.WriteKops() < adoc.WriteKops()*0.97 {
+		t.Errorf("KVACCEL (%.2f) fell below ADOC (%.2f)", kva.WriteKops(), adoc.WriteKops())
+	}
+	// Claim 3: redirection actually happened at meaningful volume.
+	if kva.Redirects < 1000 {
+		t.Errorf("only %d redirected puts; the accelerator barely engaged", kva.Redirects)
+	}
+	// Claim 4 (Fig 12b): KVACCEL's P99 is far below the slowdown-inflated
+	// baseline's.
+	if kva.Rec.WriteLatency.P99() > rocks.Rec.WriteLatency.P99()/2 {
+		t.Errorf("KVACCEL p99 %v not clearly below RocksDB p99 %v",
+			kva.Rec.WriteLatency.P99(), rocks.Rec.WriteLatency.P99())
+	}
+	// Claim 5 (Fig 12c): KVACCEL(1) has the best efficiency.
+	if kva.Efficiency() < rocks.Efficiency() || kva.Efficiency() < adoc.Efficiency() {
+		t.Errorf("efficiency not best: kva=%.2f rocks=%.2f adoc=%.2f",
+			kva.Efficiency(), rocks.Efficiency(), adoc.Efficiency())
+	}
+	// Claim 6 (Fig 2): the slowdown floor replaces zero valleys — the
+	// with-slowdown baseline must stall for less time than a no-slowdown
+	// run of the same engine.
+	noSD := p.Run(EngineSpec{Kind: KindRocksDB, Threads: 1, Slowdown: false}, WorkloadA)
+	if rocks.MainStats.StallTime >= noSD.MainStats.StallTime {
+		t.Errorf("slowdown did not reduce hard-stall time: %v vs %v",
+			rocks.MainStats.StallTime, noSD.MainStats.StallTime)
+	}
+	if rocks.MainStats.Slowdowns == 0 {
+		t.Error("slowdown mechanism never engaged")
+	}
+}

@@ -1,0 +1,262 @@
+// Package harness assembles full KVACCEL testbeds and regenerates every
+// table and figure of the paper's evaluation (§VI). Each experiment
+// builds a fresh simulated machine — host CPU pool, dual-interface SSD,
+// file system, engine — runs a Table IV workload under the virtual
+// clock, and prints the same rows or series the paper plots.
+//
+// Scaling: Params.Scale divides device bandwidth and all engine buffer
+// sizes by N and multiplies per-op CPU costs by N, so a Duration of
+// 600s/N reproduces the paper's 600-second dynamics with N² fewer
+// simulated operations. Scale=10, Duration=60s is the default; absolute
+// throughputs read as paper-values/10 while every ratio and crossover is
+// preserved.
+package harness
+
+import (
+	"time"
+
+	"kvaccel/internal/adoc"
+	"kvaccel/internal/core"
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/devlsm"
+	"kvaccel/internal/fs"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/ssd"
+	"kvaccel/internal/vclock"
+	"kvaccel/internal/workload"
+)
+
+// Params scopes one experiment run.
+type Params struct {
+	// Scale divides device bandwidth and buffer sizes, and multiplies
+	// CPU costs (see package comment). 10 reproduces the paper's
+	// 600-second figures in 60 virtual seconds.
+	Scale int
+	// Duration is the workload's virtual run time.
+	Duration time.Duration
+	// ValueSize and KeySpace shape the key-value traffic (Table IV:
+	// 4 KiB values).
+	ValueSize int
+	KeySpace  int
+	// Seed feeds the workload generators.
+	Seed int64
+	// HostCores bounds the host CPU (the paper limits the Xeon to 8).
+	HostCores int
+
+	// DMAChunkBytes overrides the bulk-scan DMA unit (512 KiB default) —
+	// the §V-E design-choice ablation.
+	DMAChunkBytes int
+	// DevReadCacheBytes enables the Dev-LSM read cache the paper names
+	// as future work (Table V ablation); 0 reproduces the paper.
+	DevReadCacheBytes int64
+	// TuneCore, if set, adjusts KVACCEL's module options before Open —
+	// used by the detector-period and rollback ablations.
+	TuneCore func(*core.Options)
+}
+
+// DefaultParams is the scale-10 setup used by cmd/experiments.
+func DefaultParams() Params {
+	return Params{
+		Scale:     10,
+		Duration:  60 * time.Second,
+		ValueSize: 4096,
+		KeySpace:  300_000,
+		Seed:      1,
+		HostCores: 8,
+	}
+}
+
+// workloadConfig renders the Table IV workload config.
+func (p Params) workloadConfig() workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.ValueSize = p.ValueSize
+	cfg.KeySpace = p.KeySpace
+	cfg.Duration = p.Duration
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// Testbed is one assembled simulated machine.
+type Testbed struct {
+	Clk  *vclock.Clock
+	CPU  *cpu.Pool
+	Dev  *ssd.Device
+	Fsys *fs.FileSystem
+}
+
+// NewTestbed builds the machine: an 8-core host and a Cosmos+-derived
+// dual-interface SSD at the configured scale.
+func (p Params) NewTestbed() *Testbed {
+	clk := vclock.New()
+	hostCores := p.HostCores
+	if hostCores <= 0 {
+		hostCores = 8
+	}
+	scale := p.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	cfg := ssd.CosmosConfig(scale)
+	cfg.DevLSM = p.devLSMConfig()
+	cfg.KVCommandOverhead = 3 * time.Microsecond * time.Duration(scale)
+	if p.DMAChunkBytes > 0 {
+		cfg.DMAChunkSize = p.DMAChunkBytes
+	}
+	dev := ssd.New(cfg)
+	return &Testbed{
+		Clk:  clk,
+		CPU:  cpu.NewPool(hostCores, "host-cpu"),
+		Dev:  dev,
+		Fsys: fs.New(dev.BlockNamespace(0, 0)),
+	}
+}
+
+func (p Params) devLSMConfig() devlsm.Config {
+	scale := time.Duration(p.Scale)
+	if scale < 1 {
+		scale = 1
+	}
+	c := devlsm.DefaultConfig()
+	c.MemtableBytes = 4 << 20 // device DRAM is not scaled
+	c.ReadCacheBytes = p.DevReadCacheBytes
+	c.PutCPU = 4 * time.Microsecond * scale
+	c.GetCPU *= scale
+	c.ScanCPUPerKB *= scale
+	return c
+}
+
+// lsmOptions renders the Table III engine configuration at scale.
+func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options {
+	scale := int64(p.Scale)
+	if scale < 1 {
+		scale = 1
+	}
+	opt := lsm.DefaultOptions(tb.CPU)
+	opt.MemtableSize = (128 << 20) / scale // Table III: 128 MB memtables
+	// RocksDB default L0 triggers (4 compaction / 20 slowdown / 36 stop).
+	opt.L0CompactionTrigger = 4
+	opt.L0SlowdownTrigger = 20
+	opt.L0StopTrigger = 36
+	opt.BaseLevelBytes = (256 << 20) / scale
+	opt.MaxFileSize = (64 << 20) / scale
+	// RocksDB defaults: soft/hard pending-compaction limits of 64/256 GB;
+	// at data-set scale they act as backstops, not steady-state throttles.
+	opt.PendingCompactionSlowdownBytes = (64 << 30) / scale
+	opt.PendingCompactionStopBytes = (256 << 30) / scale
+	opt.BlockCacheBytes = (512 << 20) / scale
+	opt.CompactionThreads = threads
+	opt.MaxCompactionThreads = 8
+	opt.EnableSlowdown = slowdown
+	opt.DelayedWriteBytesPerSec = (8 << 20) / scale
+	// The OS page cache absorbs WAL appends; writers only feel the device
+	// through stall conditions, not through synchronous log writes.
+	opt.WALChunkSize = 256 << 10
+	opt.WALQueueDepth = 512
+	sd := time.Duration(scale)
+	opt.Cost.WriteCPU *= sd
+	opt.Cost.ReadCPU *= sd
+	opt.Cost.IterCPU *= sd
+	// Merge runs at ~their Xeon's native speed against a slow interconnect
+	// (§VI-A's CPU/PCIe mismatch): one compaction thread already comes
+	// close to the device ceiling, so extra threads mostly burn host CPU —
+	// the regime ADOC is evaluated in. ~160 MB/s per thread at scale 1.
+	opt.Cost.MergeCPUPerKB = opt.Cost.MergeCPUPerKB * sd * 4 / 10
+	opt.Cost.FlushCPUPerKB *= sd
+	return opt
+}
+
+// EngineKind names the systems under test.
+type EngineKind int
+
+const (
+	// KindRocksDB is the stock engine (slowdown per run config).
+	KindRocksDB EngineKind = iota
+	// KindADOC is RocksDB plus the ADOC auto-tuner.
+	KindADOC
+	// KindKVAccel is the paper's system: redirection + rollback, no
+	// slowdown.
+	KindKVAccel
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case KindRocksDB:
+		return "RocksDB"
+	case KindADOC:
+		return "ADOC"
+	case KindKVAccel:
+		return "KVAccel"
+	}
+	return "?"
+}
+
+// EngineSpec configures one system under test.
+type EngineSpec struct {
+	Kind     EngineKind
+	Threads  int
+	Slowdown bool // RocksDB/ADOC only; KVACCEL never slows down
+	Rollback core.RollbackScheme
+}
+
+// Name renders the figure-legend label, e.g. "KVAccel-E(4)".
+func (s EngineSpec) Name() string {
+	n := s.Kind.String()
+	if s.Kind == KindKVAccel {
+		switch s.Rollback {
+		case core.RollbackLazy:
+			n += "-L"
+		case core.RollbackEager:
+			n += "-E"
+		}
+	}
+	if !s.Slowdown && s.Kind != KindKVAccel {
+		n += "-noSD"
+	}
+	return n + "(" + string(rune('0'+s.Threads)) + ")"
+}
+
+// Engine bundles a running system under test with its teardown handles.
+type Engine struct {
+	Spec  EngineSpec
+	Eng   workload.Engine
+	Main  *lsm.DB
+	KV    *core.DB    // nil for baselines
+	Tuner *adoc.Tuner // nil unless ADOC
+}
+
+// Close shuts the engine down so the simulation can drain.
+func (e *Engine) Close() {
+	if e.Tuner != nil {
+		e.Tuner.Stop()
+	}
+	if e.KV != nil {
+		e.KV.Close() // closes Main too
+	} else {
+		e.Main.Close()
+	}
+}
+
+// BuildEngine assembles the system under test on tb.
+func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
+	switch spec.Kind {
+	case KindADOC:
+		opt := p.lsmOptions(tb, spec.Threads, spec.Slowdown)
+		main := lsm.Open(tb.Clk, tb.Fsys, opt)
+		tuner := adoc.Attach(tb.Clk, main, adoc.DefaultOptions(spec.Threads, opt.MemtableSize))
+		return &Engine{Spec: spec, Eng: workload.LSMEngine{DB: main}, Main: main, Tuner: tuner}
+	case KindKVAccel:
+		opt := p.lsmOptions(tb, spec.Threads, false) // KVACCEL never slows down
+		main := lsm.Open(tb.Clk, tb.Fsys, opt)
+		copt := core.DefaultOptions()
+		copt.Rollback = spec.Rollback
+		if p.TuneCore != nil {
+			p.TuneCore(&copt)
+		}
+		kv := core.Open(tb.Clk, main, tb.Dev, copt)
+		return &Engine{Spec: spec, Eng: workload.KVAccelEngine{DB: kv}, Main: main, KV: kv}
+	default:
+		opt := p.lsmOptions(tb, spec.Threads, spec.Slowdown)
+		main := lsm.Open(tb.Clk, tb.Fsys, opt)
+		return &Engine{Spec: spec, Eng: workload.LSMEngine{DB: main}, Main: main}
+	}
+}

@@ -1,0 +1,115 @@
+// Package iterkit provides the internal-key iterator contract and the
+// heap-based merge iterator shared by the host Main-LSM and the in-device
+// Dev-LSM.
+package iterkit
+
+import (
+	"bytes"
+	"container/heap"
+
+	"kvaccel/internal/memtable"
+)
+
+// Iterator is a cursor over internal-key records (user key ascending,
+// sequence descending within a key).
+type Iterator interface {
+	SeekToFirst()
+	Seek(key []byte)
+	Next()
+	Valid() bool
+	Entry() memtable.Entry
+}
+
+// Compare orders internal keys: user key ascending, seq descending.
+func Compare(a, b memtable.Entry) int {
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.Seq > b.Seq:
+		return -1
+	case a.Seq < b.Seq:
+		return 1
+	}
+	return 0
+}
+
+// Merge merges children in internal-key order. Ties between children
+// break toward the lower child index, so callers should order children
+// newest-source-first.
+type Merge struct {
+	children []Iterator
+	h        mergeHeap
+}
+
+// NewMerge returns a merge iterator over children.
+func NewMerge(children []Iterator) *Merge { return &Merge{children: children} }
+
+type mergeItem struct {
+	it  Iterator
+	e   memtable.Entry
+	idx int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := Compare(h[i].e, h[j].e); c != 0 {
+		return c < 0
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (m *Merge) rebuild() {
+	m.h = m.h[:0]
+	for i, it := range m.children {
+		if it.Valid() {
+			m.h = append(m.h, mergeItem{it: it, e: it.Entry(), idx: i})
+		}
+	}
+	heap.Init(&m.h)
+}
+
+// SeekToFirst positions every child at its start.
+func (m *Merge) SeekToFirst() {
+	for _, it := range m.children {
+		it.SeekToFirst()
+	}
+	m.rebuild()
+}
+
+// Seek positions every child at the first record >= key.
+func (m *Merge) Seek(key []byte) {
+	for _, it := range m.children {
+		it.Seek(key)
+	}
+	m.rebuild()
+}
+
+// Valid reports whether a current record exists.
+func (m *Merge) Valid() bool { return len(m.h) > 0 }
+
+// Entry returns the smallest current record.
+func (m *Merge) Entry() memtable.Entry { return m.h[0].e }
+
+// Next advances the child owning the current record.
+func (m *Merge) Next() {
+	top := &m.h[0]
+	top.it.Next()
+	if top.it.Valid() {
+		top.e = top.it.Entry()
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}

@@ -1,0 +1,147 @@
+package iterkit
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kvaccel/internal/memtable"
+)
+
+// sliceIter iterates a pre-sorted entry slice.
+type sliceIter struct {
+	entries []memtable.Entry
+	pos     int
+}
+
+func (it *sliceIter) SeekToFirst() { it.pos = 0 }
+func (it *sliceIter) Seek(key []byte) {
+	it.pos = sort.Search(len(it.entries), func(i int) bool {
+		return bytes.Compare(it.entries[i].Key, key) >= 0
+	})
+}
+func (it *sliceIter) Next()                 { it.pos++ }
+func (it *sliceIter) Valid() bool           { return it.pos < len(it.entries) }
+func (it *sliceIter) Entry() memtable.Entry { return it.entries[it.pos] }
+
+func entries(seq uint64, keys ...string) []memtable.Entry {
+	out := make([]memtable.Entry, len(keys))
+	for i, k := range keys {
+		out[i] = memtable.Entry{Key: []byte(k), Seq: seq, Kind: memtable.KindPut}
+	}
+	return out
+}
+
+func TestCompare(t *testing.T) {
+	a := memtable.Entry{Key: []byte("a"), Seq: 5}
+	b := memtable.Entry{Key: []byte("b"), Seq: 1}
+	if Compare(a, b) >= 0 {
+		t.Fatal("key order wrong")
+	}
+	// Same key: higher seq (newer) sorts first.
+	c := memtable.Entry{Key: []byte("a"), Seq: 9}
+	if Compare(c, a) >= 0 {
+		t.Fatal("newer version should sort before older")
+	}
+	if Compare(a, a) != 0 {
+		t.Fatal("identical entries should compare equal")
+	}
+}
+
+func TestMergeInterleavesSources(t *testing.T) {
+	m := NewMerge([]Iterator{
+		&sliceIter{entries: entries(1, "a", "c", "e")},
+		&sliceIter{entries: entries(2, "b", "d", "f")},
+	})
+	var got []string
+	for m.SeekToFirst(); m.Valid(); m.Next() {
+		got = append(got, string(m.Entry().Key))
+	}
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeNewestVersionFirstOnTies(t *testing.T) {
+	m := NewMerge([]Iterator{
+		&sliceIter{entries: []memtable.Entry{{Key: []byte("k"), Seq: 9, Value: []byte("new")}}},
+		&sliceIter{entries: []memtable.Entry{{Key: []byte("k"), Seq: 2, Value: []byte("old")}}},
+	})
+	m.SeekToFirst()
+	if string(m.Entry().Value) != "new" {
+		t.Fatalf("first version = %q, want new", m.Entry().Value)
+	}
+	m.Next()
+	if !m.Valid() || string(m.Entry().Value) != "old" {
+		t.Fatal("older version not surfaced second")
+	}
+}
+
+func TestMergeSeek(t *testing.T) {
+	m := NewMerge([]Iterator{
+		&sliceIter{entries: entries(1, "apple", "cherry")},
+		&sliceIter{entries: entries(2, "banana", "date")},
+	})
+	m.Seek([]byte("b"))
+	if !m.Valid() || string(m.Entry().Key) != "banana" {
+		t.Fatalf("Seek(b) landed on %q", m.Entry().Key)
+	}
+	m.Seek([]byte("zzz"))
+	if m.Valid() {
+		t.Fatal("Seek past end valid")
+	}
+}
+
+func TestMergeEmptyChildren(t *testing.T) {
+	m := NewMerge([]Iterator{
+		&sliceIter{},
+		&sliceIter{entries: entries(1, "only")},
+		&sliceIter{},
+	})
+	m.SeekToFirst()
+	if !m.Valid() || string(m.Entry().Key) != "only" {
+		t.Fatal("merge with empty children broken")
+	}
+	m.Next()
+	if m.Valid() {
+		t.Fatal("exhausted merge still valid")
+	}
+	empty := NewMerge(nil)
+	empty.SeekToFirst()
+	if empty.Valid() {
+		t.Fatal("empty merge valid")
+	}
+}
+
+func TestMergeMatchesSortProperty(t *testing.T) {
+	f := func(a, b, c []uint16) bool {
+		mk := func(vals []uint16, seq uint64) *sliceIter {
+			keys := make([]string, len(vals))
+			for i, v := range vals {
+				keys[i] = fmt.Sprintf("%05d", v)
+			}
+			sort.Strings(keys)
+			return &sliceIter{entries: entries(seq, keys...)}
+		}
+		m := NewMerge([]Iterator{mk(a, 3), mk(b, 2), mk(c, 1)})
+		var got []string
+		for m.SeekToFirst(); m.Valid(); m.Next() {
+			got = append(got, string(m.Entry().Key))
+		}
+		if len(got) != len(a)+len(b)+len(c) {
+			return false
+		}
+		return sort.StringsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

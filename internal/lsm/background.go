@@ -1,0 +1,506 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+
+	"kvaccel/internal/iterkit"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/sstable"
+	"kvaccel/internal/vclock"
+)
+
+// cpuChunk is the granularity at which merge CPU time is charged, so core
+// occupancy interleaves realistically with other work.
+const cpuChunk = 256 << 10 // bytes of merge work per CPU charge
+
+// chargeMergeCPU charges the compaction merge cost for n bytes.
+func (db *DB) chargeMergeCPU(r *vclock.Runner, n int) {
+	if n <= 0 {
+		return
+	}
+	db.opt.CPU.Run(r, db.opt.Cost.MergeCPUPerKB*vclock.Duration(n)/1024)
+}
+
+// chargeFlushCPU charges the memtable-dump cost for n bytes.
+func (db *DB) chargeFlushCPU(r *vclock.Runner, n int) {
+	if n <= 0 {
+		return
+	}
+	db.opt.CPU.Run(r, db.opt.Cost.FlushCPUPerKB*vclock.Duration(n)/1024)
+}
+
+// flushWorker drains the immutable-memtable queue.
+func (db *DB) flushWorker(r *vclock.Runner) {
+	db.mu.Lock()
+	for {
+		for !db.closed && len(db.imm) == 0 {
+			db.bgCond.Wait(r)
+		}
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		job := db.imm[0]
+		db.flushing = true
+		db.mu.Unlock()
+
+		// The OS would have written these dirty WAL pages back by now;
+		// charge that device traffic before the memtable becomes an SST.
+		if job.log != nil {
+			job.log.Sync(r)
+		}
+		meta, err := db.buildSST(r, job.mt, 0)
+		if err != nil {
+			// Device full mid-flush: go read-only. The immutable memtable
+			// stays queued so reads keep serving it; this worker parks
+			// until shutdown instead of retrying a doomed flush.
+			db.setBackgroundError(err)
+			db.mu.Lock()
+			db.flushing = false
+			for !db.closed {
+				db.bgCond.Wait(r)
+			}
+			db.mu.Unlock()
+			return
+		}
+
+		db.mu.Lock()
+		if meta != nil {
+			db.vers.addFile(meta)
+			db.stats.Flushes++
+			db.stats.FlushBytes += meta.Size
+		}
+		db.imm = db.imm[1:]
+		db.flushing = false
+		if job.log != nil {
+			db.stats.WALBytesWritten += job.log.BytesWritten()
+		}
+		db.pending = db.vers.pendingCompactionBytes(&db.opt)
+		snap := db.snapshotManifestLocked()
+		db.mu.Unlock()
+
+		db.persistManifest(r, snap)
+		if job.log != nil {
+			job.log.Close()
+			job.log.Delete()
+		}
+		db.writeCond.Broadcast()
+		db.bgCond.Broadcast()
+		db.mu.Lock()
+	}
+}
+
+// buildSST encodes one memtable as an SST at the given level, spending
+// merge CPU and device write time. It returns nil for an empty memtable.
+func (db *DB) buildSST(r *vclock.Runner, mt *memtable.Table, level int) (*FileMeta, error) {
+	it := mt.NewIterator()
+	b := sstable.NewBuilder(db.opt.builderOptions())
+	pendingCPU := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		e := it.Entry()
+		if err := b.Add(e.Key, e.Seq, e.Kind, e.Value); err != nil {
+			panic("lsm: memtable iteration out of order: " + err.Error())
+		}
+		pendingCPU += len(e.Key) + len(e.Value) + 16
+		if pendingCPU >= cpuChunk {
+			db.chargeFlushCPU(r, pendingCPU)
+			pendingCPU = 0
+		}
+	}
+	db.chargeFlushCPU(r, pendingCPU)
+	if b.Entries() == 0 {
+		return nil, nil
+	}
+	data, meta, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return db.writeTable(r, data, meta, level)
+}
+
+// writeTable persists encoded table bytes and opens its reader. A write
+// failure (device full) surfaces as a sticky background error.
+func (db *DB) writeTable(r *vclock.Runner, data []byte, meta sstable.Meta, level int) (*FileMeta, error) {
+	db.mu.Lock()
+	num := db.nextFileNum
+	db.nextFileNum++
+	db.mu.Unlock()
+
+	name := SSTName(num)
+	if err := db.fsys.WriteFile(r, name, data); err != nil {
+		return nil, err
+	}
+	rd, err := sstable.Open(r, &fileSource{db: db, name: name, size: len(data)}, num, db.cache)
+	if err != nil {
+		return nil, err
+	}
+	return &FileMeta{
+		Num:      num,
+		Level:    level,
+		Smallest: meta.Smallest,
+		Largest:  meta.Largest,
+		Size:     int64(meta.Size),
+		Entries:  meta.Entries,
+		reader:   rd,
+	}, nil
+}
+
+// fileSource adapts an fs file to sstable.Source.
+type fileSource struct {
+	db   *DB
+	name string
+	size int
+}
+
+func (s *fileSource) ReadAt(r *vclock.Runner, off, length int) ([]byte, error) {
+	return s.db.fsys.ReadAt(r, s.name, off, length)
+}
+func (s *fileSource) Size() int { return s.size }
+
+// compactionReadahead is the sequential-read window compaction inputs use
+// (RocksDB's compaction_readahead_size, 2 MiB): one large device read per
+// window instead of one per block, reaching the array's die parallelism.
+const compactionReadahead = 2 << 20
+
+// readaheadSource serves sequential reads from a sliding prefetched
+// window over an inner source.
+type readaheadSource struct {
+	inner sstable.Source
+	buf   []byte
+	off   int
+}
+
+func (s *readaheadSource) ReadAt(r *vclock.Runner, off, length int) ([]byte, error) {
+	if off >= s.off && off+length <= s.off+len(s.buf) {
+		return s.buf[off-s.off : off-s.off+length], nil
+	}
+	want := compactionReadahead
+	if want < length {
+		want = length
+	}
+	if off+want > s.inner.Size() {
+		want = s.inner.Size() - off
+	}
+	buf, err := s.inner.ReadAt(r, off, want)
+	if err != nil {
+		return nil, err
+	}
+	s.buf, s.off = buf, off
+	return s.buf[:length], nil
+}
+
+func (s *readaheadSource) Size() int { return s.inner.Size() }
+
+// compactionIterator opens a cache-bypassing, readahead iterator over f.
+func (db *DB) compactionIterator(r *vclock.Runner, f *FileMeta) iterkit.Iterator {
+	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size)}}
+	rd, err := sstable.Open(r, src, f.Num, nil)
+	if err != nil {
+		panic("lsm: compaction input reopen failed: " + err.Error())
+	}
+	return rd.NewIterator(r)
+}
+
+// compaction describes one picked compaction job.
+type compaction struct {
+	level   int // input level (0 for L0→L1)
+	target  int
+	inputs  []*FileMeta // files at level
+	overlap []*FileMeta // files at target
+	// dropTombstones is true when the output level is the bottom-most
+	// level holding data, so deletions can be elided.
+	dropTombstones bool
+}
+
+func (c *compaction) allFiles() []*FileMeta {
+	all := make([]*FileMeta, 0, len(c.inputs)+len(c.overlap))
+	all = append(all, c.inputs...)
+	all = append(all, c.overlap...)
+	return all
+}
+
+// compactionWorker is one background compaction thread. Workers with
+// id >= compactionThreads idle, which is how SetCompactionThreads scales
+// parallelism up and down at runtime.
+func (db *DB) compactionWorker(r *vclock.Runner, id int) {
+	db.mu.Lock()
+	for {
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		var c *compaction
+		if id < db.compactionThreads {
+			c = db.pickCompactionLocked(false)
+		}
+		if c == nil {
+			db.bgCond.Wait(r)
+			continue
+		}
+		db.activeCompactions++
+		db.mu.Unlock()
+
+		db.doCompaction(r, c)
+
+		db.mu.Lock()
+		db.activeCompactions--
+		db.pending = db.vers.pendingCompactionBytes(&db.opt)
+		db.mu.Unlock()
+		db.writeCond.Broadcast()
+		db.bgCond.Broadcast()
+		db.mu.Lock()
+	}
+}
+
+// pickCompactionLocked selects the next compaction, or nil. With dryRun
+// it only reports whether work exists, without marking files.
+//
+// Level choice follows RocksDB's score model: L0 scores by file count
+// over its trigger, deeper levels by bytes over target, and the highest
+// feasible score wins. That ordering is what lets additional compaction
+// threads drain L1→L2 (and deeper) debt in parallel with the serialized
+// L0→L1 compaction instead of starving behind it.
+func (db *DB) pickCompactionLocked(dryRun bool) *compaction {
+	if db.bgErr != nil {
+		return nil
+	}
+	type candidate struct {
+		level int
+		score float64
+	}
+	var cands []candidate
+	if n := len(db.vers.levels[0]); n >= db.opt.L0CompactionTrigger {
+		cands = append(cands, candidate{0, float64(n) / float64(db.opt.L0CompactionTrigger)})
+	}
+	for l := 1; l < db.opt.MaxLevels-1; l++ {
+		t := targetBytes(&db.opt, l)
+		if t == 0 {
+			continue
+		}
+		if score := float64(db.vers.levelBytes(l)) / float64(t); score > 1 {
+			cands = append(cands, candidate{l, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+
+	for _, cand := range cands {
+		if cand.level == 0 {
+			// L0→L1 is serialized: all L0 files merge with overlapping L1.
+			if db.compactingL0 || anyBeingCompacted(db.vers.levels[0]) {
+				continue
+			}
+			c := &compaction{level: 0, target: 1}
+			c.inputs = append(c.inputs, db.vers.levels[0]...)
+			smallest, largest := keyRange(c.inputs)
+			c.overlap = db.vers.overlapping(1, smallest, largest)
+			if anyBeingCompacted(c.overlap) {
+				continue
+			}
+			if dryRun {
+				return c
+			}
+			db.compactingL0 = true
+			markCompacting(c.allFiles(), true)
+			c.dropTombstones = db.bottomMostLocked(c.target)
+			return c
+		}
+		if c := db.pickLevelFileLocked(cand.level, dryRun); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// pickLevelFileLocked picks one file at level l (round-robin cursor) plus
+// its next-level overlap.
+func (db *DB) pickLevelFileLocked(l int, dryRun bool) *compaction {
+	files := db.vers.levels[l]
+	start := 0
+	if cur := db.cursor[l]; cur != nil {
+		for i, f := range files {
+			if bytes.Compare(f.Smallest, cur) > 0 {
+				start = i
+				break
+			}
+		}
+	}
+	for n := 0; n < len(files); n++ {
+		f := files[(start+n)%len(files)]
+		if f.beingCompacted {
+			continue
+		}
+		overlap := db.vers.overlapping(l+1, f.Smallest, f.Largest)
+		if anyBeingCompacted(overlap) {
+			continue
+		}
+		c := &compaction{level: l, target: l + 1, inputs: []*FileMeta{f}, overlap: overlap}
+		if dryRun {
+			return c
+		}
+		db.cursor[l] = append([]byte(nil), f.Largest...)
+		markCompacting(c.allFiles(), true)
+		c.dropTombstones = db.bottomMostLocked(c.target)
+		return c
+	}
+	return nil
+}
+
+// bottomMostLocked reports whether no level deeper than l holds data.
+func (db *DB) bottomMostLocked(l int) bool {
+	for i := l + 1; i < db.opt.MaxLevels; i++ {
+		if len(db.vers.levels[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func anyBeingCompacted(files []*FileMeta) bool {
+	for _, f := range files {
+		if f.beingCompacted {
+			return true
+		}
+	}
+	return false
+}
+
+func markCompacting(files []*FileMeta, v bool) {
+	for _, f := range files {
+		f.beingCompacted = v
+	}
+}
+
+func keyRange(files []*FileMeta) (smallest, largest []byte) {
+	for _, f := range files {
+		if smallest == nil || bytes.Compare(f.Smallest, smallest) < 0 {
+			smallest = f.Smallest
+		}
+		if largest == nil || bytes.Compare(f.Largest, largest) > 0 {
+			largest = f.Largest
+		}
+	}
+	return smallest, largest
+}
+
+// doCompaction merges c's inputs into new files at the target level: the
+// phase structure the paper's PCIe analysis depends on — timed block
+// reads interleaved with CPU merge work, then a burst of device writes.
+// Versions still visible to a live snapshot are retained.
+func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
+	db.mu.Lock()
+	snaps := db.activeSnapshotsLocked()
+	db.mu.Unlock()
+	iters := make([]iterkit.Iterator, 0, len(c.inputs)+len(c.overlap))
+	var readBytes int64
+	for _, f := range c.allFiles() {
+		iters = append(iters, db.compactionIterator(r, f))
+		readBytes += f.Size
+	}
+	merged := iterkit.NewMerge(iters)
+
+	var outputs []*FileMeta
+	var writeBytes int64
+	b := sstable.NewBuilder(db.opt.builderOptions())
+	pendingCPU := 0
+	var lastUserKey []byte
+	haveUser := false
+	var lastKeptSeq uint64
+
+	var emitErr error
+	emit := func() {
+		if b.Entries() == 0 || emitErr != nil {
+			return
+		}
+		data, meta, err := b.Finish()
+		if err != nil {
+			emitErr = err
+			return
+		}
+		out, err := db.writeTable(r, data, meta, c.target)
+		if err != nil {
+			emitErr = err
+			return
+		}
+		outputs = append(outputs, out)
+		writeBytes += int64(meta.Size)
+		b = sstable.NewBuilder(db.opt.builderOptions())
+	}
+
+	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
+		e := merged.Entry()
+		pendingCPU += len(e.Key) + len(e.Value) + 16
+		if pendingCPU >= cpuChunk {
+			db.chargeMergeCPU(r, pendingCPU)
+			pendingCPU = 0
+		}
+		// Keep the newest version of each user key, plus any older
+		// version that is the newest one visible to a live snapshot; the
+		// merge iterator yields newest-first within a key.
+		if haveUser && bytes.Equal(e.Key, lastUserKey) {
+			if !keepForSnapshot(snaps, e.Seq, lastKeptSeq) {
+				continue
+			}
+		} else if e.Kind == memtable.KindDelete && c.dropTombstones && !keepForSnapshot(snaps, e.Seq, ^uint64(0)) {
+			// A bottom-level tombstone shadowing nothing deeper can be
+			// elided — unless a snapshot still observes the deletion.
+			lastUserKey = append(lastUserKey[:0], e.Key...)
+			haveUser = true
+			lastKeptSeq = e.Seq
+			continue
+		}
+		lastUserKey = append(lastUserKey[:0], e.Key...)
+		haveUser = true
+		lastKeptSeq = e.Seq
+		if err := b.Add(e.Key, e.Seq, e.Kind, e.Value); err != nil {
+			panic("lsm: compaction merge out of order: " + err.Error())
+		}
+		if int64(b.EstimatedSize()) >= db.opt.MaxFileSize {
+			emit()
+		}
+	}
+	db.chargeMergeCPU(r, pendingCPU)
+	emit()
+	if emitErr != nil {
+		// Abort: delete partial outputs, unmark inputs, go read-only.
+		for _, f := range outputs {
+			db.deleteFile(f)
+		}
+		db.mu.Lock()
+		markCompacting(c.allFiles(), false)
+		if c.level == 0 {
+			db.compactingL0 = false
+		}
+		db.mu.Unlock()
+		db.setBackgroundError(emitErr)
+		return
+	}
+
+	// Install: swap inputs for outputs atomically.
+	db.mu.Lock()
+	var dead []*FileMeta
+	for _, f := range c.allFiles() {
+		db.vers.removeFile(f)
+		f.beingCompacted = false
+		f.obsolete = true
+		if f.refs == 0 {
+			dead = append(dead, f)
+		}
+	}
+	for _, f := range outputs {
+		db.vers.addFile(f)
+	}
+	if c.level == 0 {
+		db.compactingL0 = false
+	}
+	db.stats.Compactions++
+	db.stats.CompactionReadBytes += readBytes
+	db.stats.CompactionWriteBytes += writeBytes
+	snap := db.snapshotManifestLocked()
+	db.mu.Unlock()
+
+	db.persistManifest(r, snap)
+	for _, f := range dead {
+		db.deleteFile(f)
+	}
+}

@@ -1,0 +1,519 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"kvaccel/internal/fs"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/sstable"
+	"kvaccel/internal/vclock"
+	"kvaccel/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: database closed")
+
+// flushJob pairs an immutable memtable with the WAL that covers it.
+type flushJob struct {
+	mt  *memtable.Table
+	log *wal.Log
+}
+
+// DB is the Main-LSM engine.
+type DB struct {
+	clk   *vclock.Clock
+	fsys  *fs.FileSystem
+	opt   Options
+	cache *sstable.BlockCache
+
+	mu        sync.Mutex
+	writeCond *vclock.Cond // stalled writers wait here
+	bgCond    *vclock.Cond // background workers and WaitIdle wait here
+
+	seq     uint64
+	memSize int64 // runtime-adjustable memtable threshold
+	mem     *memtable.Table
+	log     *wal.Log
+	imm     []flushJob
+	vers    *version
+	pending int64 // cached pendingCompactionBytes
+
+	nextFileNum       uint64
+	compactingL0      bool
+	compactionThreads int
+	activeCompactions int
+	flushing          bool
+	stalledWriters    int
+	cursor            [][]byte // per-level round-robin compaction cursor
+	closed            bool
+
+	manifest  manifestState
+	snapshots map[uint64]int // live snapshot seq -> refcount
+	bgErr     error          // sticky background failure (device full): DB goes read-only
+
+	stats Stats
+}
+
+// Open creates a DB on fsys and starts its background runners on clk.
+func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
+	opt.sanitize()
+	db := &DB{
+		clk:               clk,
+		fsys:              fsys,
+		opt:               opt,
+		cache:             sstable.NewBlockCache(opt.BlockCacheBytes),
+		memSize:           opt.MemtableSize,
+		mem:               memtable.New(),
+		vers:              newVersion(opt.MaxLevels),
+		nextFileNum:       1,
+		compactionThreads: opt.CompactionThreads,
+		cursor:            make([][]byte, opt.MaxLevels),
+	}
+	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
+	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	if !opt.DisableWAL {
+		db.log = db.newWAL()
+	}
+	clk.Go("lsm.flush", db.flushWorker)
+	for i := 0; i < opt.MaxCompactionThreads; i++ {
+		i := i
+		clk.Go(fmt.Sprintf("lsm.compact%d", i), func(r *vclock.Runner) { db.compactionWorker(r, i) })
+	}
+	return db
+}
+
+func (db *DB) newWAL() *wal.Log {
+	name := fmt.Sprintf("%06d.log", db.nextFileNum)
+	db.nextFileNum++
+	return wal.Open(db.clk, db.fsys, name, wal.Options{
+		ChunkSize:  db.opt.WALChunkSize,
+		QueueDepth: db.opt.WALQueueDepth,
+	})
+}
+
+// Close stops background work. Unflushed memtables are discarded (call
+// Flush first for durability); in-flight compactions finish.
+func (db *DB) Close() {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	db.closed = true
+	lg := db.log
+	logs := make([]*wal.Log, 0, len(db.imm)+1)
+	if lg != nil {
+		logs = append(logs, lg)
+	}
+	for _, j := range db.imm {
+		if j.log != nil {
+			logs = append(logs, j.log)
+		}
+	}
+	db.mu.Unlock()
+	for _, l := range logs {
+		l.Close()
+	}
+	db.bgCond.Broadcast()
+	db.writeCond.Broadcast()
+}
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(r *vclock.Runner, key, value []byte) error {
+	return db.write(r, memtable.KindPut, key, value)
+}
+
+// Delete writes a tombstone for a key.
+func (db *DB) Delete(r *vclock.Runner, key []byte) error {
+	return db.write(r, memtable.KindDelete, key, nil)
+}
+
+func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU)
+	recBytes := len(key) + len(value) + 16
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(r, recBytes); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.seq++
+	seq := db.seq
+	mt, lg := db.mem, db.log
+	if kind == memtable.KindDelete {
+		db.stats.Deletes++
+	} else {
+		db.stats.Puts++
+	}
+	db.mu.Unlock()
+
+	if lg != nil {
+		rec := make([]byte, 0, recBytes)
+		rec = append(rec, byte(kind))
+		rec = appendKV(rec, key, value)
+		if err := lg.Append(r, rec); err != nil && !db.isClosed() {
+			return err
+		}
+	}
+	mt.Add(seq, kind, key, value)
+	return nil
+}
+
+func appendKV(dst, key, value []byte) []byte {
+	dst = append(dst, byte(len(key)>>8), byte(len(key)))
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	return dst
+}
+
+func (db *DB) isClosed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.closed
+}
+
+// makeRoomForWrite implements RocksDB's write controller: slowdown first
+// (if enabled), then hard stops for the three stall classes, rotating the
+// memtable when it fills. Called and returns with db.mu held.
+func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int) error {
+	allowDelay := db.opt.EnableSlowdown
+	stallCounted := [numStallReasons]bool{}
+	for {
+		if db.closed {
+			return ErrClosed
+		}
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		l0 := len(db.vers.levels[0])
+		switch {
+		case allowDelay && db.slowdownConditionLocked():
+			allowDelay = false
+			db.stats.Slowdowns++
+			delay := db.opt.SlowdownSleep
+			if rate := db.opt.DelayedWriteBytesPerSec; rate > 0 {
+				d := time.Duration(float64(recBytes) / float64(rate) * float64(time.Second))
+				if d > delay {
+					delay = d
+				}
+			}
+			db.mu.Unlock()
+			r.Sleep(delay)
+			db.mu.Lock()
+
+		case db.mem.ApproximateSize() <= db.memSize:
+			return nil
+
+		case len(db.imm) >= db.opt.MaxImmutableMemtables:
+			db.stallWait(r, StallMemtable, &stallCounted)
+
+		case l0 >= db.opt.L0StopTrigger:
+			db.stallWait(r, StallL0, &stallCounted)
+
+		case db.pending >= db.opt.PendingCompactionStopBytes:
+			db.stallWait(r, StallPending, &stallCounted)
+
+		default:
+			db.rotateMemtableLocked()
+		}
+	}
+}
+
+func (db *DB) slowdownConditionLocked() bool {
+	if len(db.vers.levels[0]) >= db.opt.L0SlowdownTrigger {
+		return true
+	}
+	if db.pending >= db.opt.PendingCompactionSlowdownBytes {
+		return true
+	}
+	// Memtable pressure: the active table is full and the flush backlog
+	// is at its limit.
+	if db.mem.ApproximateSize() > db.memSize && len(db.imm) >= db.opt.MaxImmutableMemtables {
+		return true
+	}
+	return false
+}
+
+// stallWait blocks the writer until background work signals progress.
+func (db *DB) stallWait(r *vclock.Runner, reason StallReason, counted *[numStallReasons]bool) {
+	if !counted[reason] {
+		counted[reason] = true
+		db.stats.StallEvents[reason]++
+	}
+	db.stalledWriters++
+	start := r.Now()
+	db.writeCond.Wait(r)
+	db.stats.StallTime += r.Now().Sub(start)
+	db.stalledWriters--
+}
+
+// rotateMemtableLocked moves the full active memtable to the flush queue.
+func (db *DB) rotateMemtableLocked() {
+	db.imm = append(db.imm, flushJob{mt: db.mem, log: db.log})
+	db.mem = memtable.New()
+	if !db.opt.DisableWAL {
+		db.log = db.newWAL()
+	} else {
+		db.log = nil
+	}
+	db.bgCond.Broadcast()
+}
+
+// Get returns the newest value for key; ok is false if absent or deleted.
+func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err error) {
+	return db.get(r, key, ^uint64(0))
+}
+
+// get reads the newest version of key with seq <= maxSeq.
+func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok bool, err error) {
+	db.opt.CPU.Run(r, db.opt.Cost.ReadCPU)
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	db.stats.Gets++
+	mem := db.mem
+	imms := make([]*memtable.Table, len(db.imm))
+	for i, j := range db.imm {
+		imms[i] = j.mt
+	}
+	snap := db.snapshotFilesLocked()
+	db.mu.Unlock()
+	defer db.releaseFiles(snap)
+
+	// Memtable, then immutables newest-first.
+	if v, kind, found := memtableGetAt(mem, key, maxSeq); found {
+		return liveValue(v, kind)
+	}
+	for i := len(imms) - 1; i >= 0; i-- {
+		if v, kind, found := memtableGetAt(imms[i], key, maxSeq); found {
+			return liveValue(v, kind)
+		}
+	}
+	// L0 newest-first, then one candidate per deeper level.
+	for _, f := range snap.byKey(0, key) {
+		v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return liveValue(v, kind)
+		}
+	}
+	for l := 1; l < len(snap.levels); l++ {
+		for _, f := range snap.byKey(l, key) {
+			v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
+			if err != nil {
+				return nil, false, err
+			}
+			if found {
+				return liveValue(v, kind)
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+func liveValue(v []byte, kind memtable.Kind) ([]byte, bool, error) {
+	if kind == memtable.KindDelete {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// fileSnapshot pins a consistent set of SST files for a read.
+type fileSnapshot struct {
+	levels [][]*FileMeta
+}
+
+// byKey returns the level-l candidate files for key, newest-first for L0.
+func (s *fileSnapshot) byKey(l int, key []byte) []*FileMeta {
+	v := version{levels: s.levels}
+	return v.filesForKey(l, key)
+}
+
+// snapshotFilesLocked copies the level lists and refs every file.
+func (db *DB) snapshotFilesLocked() *fileSnapshot {
+	s := &fileSnapshot{levels: make([][]*FileMeta, len(db.vers.levels))}
+	for l, files := range db.vers.levels {
+		s.levels[l] = append([]*FileMeta(nil), files...)
+		for _, f := range files {
+			f.refs++
+		}
+	}
+	return s
+}
+
+// releaseFiles unrefs a snapshot, deleting files that became obsolete
+// while pinned.
+func (db *DB) releaseFiles(s *fileSnapshot) {
+	db.mu.Lock()
+	var dead []*FileMeta
+	for _, files := range s.levels {
+		for _, f := range files {
+			f.refs--
+			if f.refs == 0 && f.obsolete {
+				dead = append(dead, f)
+			}
+		}
+	}
+	db.mu.Unlock()
+	for _, f := range dead {
+		db.deleteFile(f)
+	}
+}
+
+// deleteFile removes an obsolete file's bytes and cached blocks.
+func (db *DB) deleteFile(f *FileMeta) {
+	_ = db.fsys.Remove(f.Name())
+	db.cache.EvictFile(f.Num)
+}
+
+// Flush forces the active memtable to L0 and parks r until the flush
+// queue drains.
+func (db *DB) Flush(r *vclock.Runner) {
+	db.mu.Lock()
+	if db.mem.Count() > 0 {
+		db.rotateMemtableLocked()
+	}
+	for !db.closed && len(db.imm) > 0 {
+		db.bgCond.Wait(r)
+	}
+	db.mu.Unlock()
+}
+
+// WaitIdle parks r until no flush or compaction work remains.
+func (db *DB) WaitIdle(r *vclock.Runner) {
+	db.mu.Lock()
+	for !db.closed &&
+		(len(db.imm) > 0 || db.activeCompactions > 0 || db.flushing || db.pickCompactionLocked(true) != nil) {
+		db.bgCond.Wait(r)
+	}
+	db.mu.Unlock()
+}
+
+// SetCompactionThreads adjusts the number of active compaction workers at
+// runtime (ADOC's main knob). n is clamped to [1, MaxCompactionThreads].
+func (db *DB) SetCompactionThreads(n int) {
+	db.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	if n > db.opt.MaxCompactionThreads {
+		n = db.opt.MaxCompactionThreads
+	}
+	db.compactionThreads = n
+	db.mu.Unlock()
+	db.bgCond.Broadcast()
+}
+
+// CompactionThreads returns the current worker allowance.
+func (db *DB) CompactionThreads() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.compactionThreads
+}
+
+// SetMemtableSize adjusts the rotation threshold at runtime (ADOC's
+// batch-size knob).
+func (db *DB) SetMemtableSize(bytes int64) {
+	db.mu.Lock()
+	if bytes > 0 {
+		db.memSize = bytes
+	}
+	db.mu.Unlock()
+}
+
+// MemtableSize returns the current rotation threshold.
+func (db *DB) MemtableSize() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.memSize
+}
+
+// Stats returns a snapshot of cumulative counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// BackgroundError returns the sticky background failure, if any; once
+// set (e.g. the device filled during a flush) the DB rejects writes but
+// keeps serving reads, as RocksDB does.
+func (db *DB) BackgroundError() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bgErr
+}
+
+func (db *DB) setBackgroundError(err error) {
+	db.mu.Lock()
+	if db.bgErr == nil {
+		db.bgErr = err
+	}
+	db.mu.Unlock()
+	db.writeCond.Broadcast()
+	db.bgCond.Broadcast()
+}
+
+// Health returns the instantaneous stall signals the KVACCEL Detector
+// polls.
+func (db *DB) Health() Health {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Health{
+		L0Files:                len(db.vers.levels[0]),
+		ImmutableMemtables:     len(db.imm),
+		MemtableBytes:          db.mem.ApproximateSize(),
+		MemtableCapacity:       db.memSize,
+		PendingCompactionBytes: db.pending,
+		Stalled:                db.stalledWriters > 0,
+		SlowdownLikely:         db.slowdownConditionLocked() || db.stalledWriters > 0,
+		ActiveCompactions:      db.activeCompactions,
+		QueuedFlushes:          len(db.imm),
+	}
+}
+
+// LevelsString renders the tree shape ("L0:3(38MB) L1:4(25MB) ...") for
+// diagnostics and kvbench output.
+func (db *DB) LevelsString() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var b strings.Builder
+	for l, files := range db.vers.levels {
+		if len(files) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "L%d:%d(%dMB)", l, len(files), db.vers.levelBytes(l)>>20)
+	}
+	if b.Len() == 0 {
+		return "(empty tree)"
+	}
+	return b.String()
+}
+
+// LevelFileCounts returns the number of files at each level (diagnostics
+// and tests).
+func (db *DB) LevelFileCounts() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]int, len(db.vers.levels))
+	for l, files := range db.vers.levels {
+		out[l] = len(files)
+	}
+	return out
+}

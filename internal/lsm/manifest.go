@@ -1,0 +1,316 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"kvaccel/internal/encoding"
+	"kvaccel/internal/fs"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/sstable"
+	"kvaccel/internal/vclock"
+	"kvaccel/internal/wal"
+)
+
+// The manifest machinery mirrors Figure 1's MANIFEST/CURRENT files: every
+// version change (flush or compaction install) persists a snapshot of the
+// live file set as MANIFEST-<n>, then atomically points CURRENT at it.
+// OpenExisting rebuilds the tree from CURRENT and replays any surviving
+// WAL files, which is how the host side of the system restarts.
+
+const currentName = "CURRENT"
+
+const manifestMagic uint32 = 0x4d414e49 // "MANI"
+
+type manifestState struct {
+	mu      sync.Mutex
+	counter uint64 // last written manifest number
+}
+
+// manifestSnapshot is what gets encoded.
+type manifestSnapshot struct {
+	nextFileNum uint64
+	seq         uint64
+	files       []manifestFile
+}
+
+type manifestFile struct {
+	num      uint64
+	level    int
+	smallest []byte
+	largest  []byte
+	size     int64
+	entries  int
+}
+
+// snapshotManifestLocked captures the live file set. Caller holds db.mu.
+func (db *DB) snapshotManifestLocked() manifestSnapshot {
+	snap := manifestSnapshot{nextFileNum: db.nextFileNum, seq: db.seq}
+	for l, files := range db.vers.levels {
+		for _, f := range files {
+			snap.files = append(snap.files, manifestFile{
+				num: f.Num, level: l,
+				smallest: f.Smallest, largest: f.Largest,
+				size: f.Size, entries: f.Entries,
+			})
+		}
+	}
+	return snap
+}
+
+func encodeManifest(s manifestSnapshot) []byte {
+	var b []byte
+	b = encoding.PutU32(b, manifestMagic)
+	b = encoding.PutU64(b, s.nextFileNum)
+	b = encoding.PutU64(b, s.seq)
+	b = encoding.PutU32(b, uint32(len(s.files)))
+	for _, f := range s.files {
+		b = encoding.PutU64(b, f.num)
+		b = encoding.PutU32(b, uint32(f.level))
+		b = encoding.PutUvarint(b, uint64(len(f.smallest)))
+		b = append(b, f.smallest...)
+		b = encoding.PutUvarint(b, uint64(len(f.largest)))
+		b = append(b, f.largest...)
+		b = encoding.PutU64(b, uint64(f.size))
+		b = encoding.PutU32(b, uint32(f.entries))
+	}
+	b = encoding.PutU32(b, encoding.Checksum(b))
+	return b
+}
+
+func decodeManifest(b []byte) (manifestSnapshot, error) {
+	var s manifestSnapshot
+	if len(b) < 4 {
+		return s, encoding.ErrCorrupt
+	}
+	body, sumBytes := b[:len(b)-4], b[len(b)-4:]
+	sum, _, _ := encoding.U32(sumBytes)
+	if encoding.Checksum(body) != sum {
+		return s, fmt.Errorf("lsm: manifest checksum mismatch")
+	}
+	magic, rest, err := encoding.U32(body)
+	if err != nil || magic != manifestMagic {
+		return s, encoding.ErrCorrupt
+	}
+	if s.nextFileNum, rest, err = encoding.U64(rest); err != nil {
+		return s, err
+	}
+	if s.seq, rest, err = encoding.U64(rest); err != nil {
+		return s, err
+	}
+	n, rest, err := encoding.U32(rest)
+	if err != nil {
+		return s, err
+	}
+	for i := uint32(0); i < n; i++ {
+		var f manifestFile
+		if f.num, rest, err = encoding.U64(rest); err != nil {
+			return s, err
+		}
+		var lvl uint32
+		if lvl, rest, err = encoding.U32(rest); err != nil {
+			return s, err
+		}
+		f.level = int(lvl)
+		var klen uint64
+		if klen, rest, err = encoding.Uvarint(rest); err != nil {
+			return s, err
+		}
+		if uint64(len(rest)) < klen {
+			return s, encoding.ErrCorrupt
+		}
+		f.smallest = append([]byte(nil), rest[:klen]...)
+		rest = rest[klen:]
+		if klen, rest, err = encoding.Uvarint(rest); err != nil {
+			return s, err
+		}
+		if uint64(len(rest)) < klen {
+			return s, encoding.ErrCorrupt
+		}
+		f.largest = append([]byte(nil), rest[:klen]...)
+		rest = rest[klen:]
+		var sz uint64
+		if sz, rest, err = encoding.U64(rest); err != nil {
+			return s, err
+		}
+		f.size = int64(sz)
+		var ent uint32
+		if ent, rest, err = encoding.U32(rest); err != nil {
+			return s, err
+		}
+		f.entries = int(ent)
+		s.files = append(s.files, f)
+	}
+	return s, nil
+}
+
+// persistManifest writes a new MANIFEST-<n> and repoints CURRENT.
+// Called after every install, outside db.mu.
+func (db *DB) persistManifest(r *vclock.Runner, snap manifestSnapshot) {
+	db.manifest.mu.Lock()
+	db.manifest.counter++
+	n := db.manifest.counter
+	db.manifest.mu.Unlock()
+
+	name := fmt.Sprintf("MANIFEST-%06d", n)
+	if err := db.fsys.WriteFile(r, name, encodeManifest(snap)); err != nil {
+		return // out of space: run degraded, restart recovery unavailable
+	}
+	_ = db.fsys.WriteFile(r, currentName, []byte(name))
+	if n > 1 {
+		old := fmt.Sprintf("MANIFEST-%06d", n-1)
+		if db.fsys.Exists(old) {
+			_ = db.fsys.Remove(old)
+		}
+	}
+}
+
+// Reopen restores a DB from fsys's CURRENT manifest and WAL files —
+// the restart path of Figure 1's MANIFEST/CURRENT machinery. The
+// caller's runner pays the recovery read time, exactly as a restarting
+// process would. If no CURRENT exists this is an error; use Open for a
+// fresh database.
+func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Options) (*DB, error) {
+	if !fsys.Exists(currentName) {
+		return nil, fmt.Errorf("lsm: no CURRENT file; nothing to recover")
+	}
+	cur, err := fsys.ReadFile(r, currentName)
+	if err != nil {
+		return nil, err
+	}
+	data, err := fsys.ReadFile(r, strings.TrimSpace(string(cur)))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: reading manifest: %w", err)
+	}
+	snap, err := decodeManifest(data)
+	if err != nil {
+		return nil, err
+	}
+
+	opt.sanitize()
+	db := &DB{
+		clk:               clk,
+		fsys:              fsys,
+		opt:               opt,
+		cache:             sstable.NewBlockCache(opt.BlockCacheBytes),
+		memSize:           opt.MemtableSize,
+		mem:               memtable.New(),
+		vers:              newVersion(opt.MaxLevels),
+		nextFileNum:       snap.nextFileNum,
+		seq:               snap.seq,
+		compactionThreads: opt.CompactionThreads,
+		cursor:            make([][]byte, opt.MaxLevels),
+	}
+	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
+	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	db.manifest.counter = manifestCounterFrom(string(cur))
+
+	// Reopen every live table.
+	for _, mf := range snap.files {
+		name := SSTName(mf.num)
+		size, err := fsys.Size(name)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: manifest references missing table %s: %w", name, err)
+		}
+		rd, err := sstable.Open(r, &fileSource{db: db, name: name, size: size}, mf.num, db.cache)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: reopening %s: %w", name, err)
+		}
+		if mf.level >= opt.MaxLevels {
+			return nil, fmt.Errorf("lsm: manifest level %d out of range", mf.level)
+		}
+		db.vers.addFile(&FileMeta{
+			Num: mf.num, Level: mf.level,
+			Smallest: mf.smallest, Largest: mf.largest,
+			Size: mf.size, Entries: mf.entries,
+			reader: rd,
+		})
+	}
+	db.pending = db.vers.pendingCompactionBytes(&db.opt)
+
+	// Remove orphan tables (written by an install that never reached the
+	// manifest before the crash).
+	live := make(map[string]bool, len(snap.files))
+	for _, mf := range snap.files {
+		live[SSTName(mf.num)] = true
+	}
+	for _, name := range fsys.List() {
+		if strings.HasSuffix(name, ".sst") && !live[name] {
+			_ = fsys.Remove(name)
+		}
+	}
+
+	// Replay surviving WAL files in file-number order; records beyond the
+	// last write-back are gone, as on a real crash.
+	var logs []string
+	for _, name := range fsys.List() {
+		if strings.HasSuffix(name, ".log") {
+			logs = append(logs, name)
+		}
+	}
+	sort.Strings(logs)
+	for _, name := range logs {
+		err := wal.Replay(r, fsys, name, func(payload []byte) error {
+			if len(payload) > 0 && payload[0] == walBatchMarker {
+				// Atomic batch: replay all ops or none.
+				return decodeBatch(payload, func(kind memtable.Kind, key, value []byte) error {
+					db.seq++
+					db.mem.Add(db.seq, kind, key, value)
+					return nil
+				})
+			}
+			kind, key, value, perr := parseWALRecord(payload)
+			if perr != nil {
+				return nil // stop-at-corruption is handled by wal.Replay
+			}
+			db.seq++
+			db.mem.Add(db.seq, kind, key, value)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		_ = fsys.Remove(name)
+	}
+
+	if !opt.DisableWAL {
+		db.log = db.newWAL()
+	}
+	clk.Go("lsm.flush", db.flushWorker)
+	for i := 0; i < opt.MaxCompactionThreads; i++ {
+		i := i
+		clk.Go(fmt.Sprintf("lsm.compact%d", i), func(w *vclock.Runner) { db.compactionWorker(w, i) })
+	}
+	return db, nil
+}
+
+func manifestCounterFrom(current string) uint64 {
+	parts := strings.SplitN(strings.TrimSpace(current), "-", 2)
+	if len(parts) != 2 {
+		return 0
+	}
+	n, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// parseWALRecord decodes the write path's record format:
+// [kind][klen_hi][klen_lo][key][value].
+func parseWALRecord(p []byte) (memtable.Kind, []byte, []byte, error) {
+	if len(p) < 3 {
+		return 0, nil, nil, encoding.ErrCorrupt
+	}
+	kind := memtable.Kind(p[0])
+	klen := int(p[1])<<8 | int(p[2])
+	if len(p) < 3+klen {
+		return 0, nil, nil, encoding.ErrCorrupt
+	}
+	key := p[3 : 3+klen]
+	value := p[3+klen:]
+	return kind, key, value, nil
+}

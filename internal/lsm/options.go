@@ -1,0 +1,225 @@
+// Package lsm implements the host-side Main-LSM engine: a leveled
+// LSM-tree with WAL, immutable-memtable flushes, L0→L1 serialized
+// compaction, background compaction threads, and — crucially for this
+// paper — RocksDB's write-stall state machine: slowdown triggers that
+// throttle writers and stop triggers that block them outright. The three
+// stall classes the paper catalogues (§II-A) all emerge from this module:
+// flush-based stalls (immutable memtable backlog), L0→L1 stalls (L0 file
+// count), and pending-compaction-bytes stalls.
+package lsm
+
+import (
+	"time"
+
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/sstable"
+)
+
+// Options configures a DB. The defaults are the paper's RocksDB v8.x
+// configuration scaled by 10 (Table III uses 128 MB memtables on a
+// 630 MB/s device; the default simulation runs 12.8 MB memtables on a
+// 63 MB/s device so a 60-second run reproduces a 600-second figure).
+type Options struct {
+	// MemtableSize rotates the active memtable when it exceeds this many
+	// bytes (RocksDB write_buffer_size).
+	MemtableSize int64
+	// MaxImmutableMemtables bounds the flush backlog; one active plus
+	// this many immutables (RocksDB max_write_buffer_number - 1).
+	MaxImmutableMemtables int
+
+	// L0CompactionTrigger starts L0→L1 compaction at this many L0 files.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger engages the write slowdown at this many L0 files.
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writes at this many L0 files.
+	L0StopTrigger int
+
+	// PendingCompactionSlowdownBytes / PendingCompactionStopBytes are the
+	// soft and hard pending-compaction-bytes limits.
+	PendingCompactionSlowdownBytes int64
+	PendingCompactionStopBytes     int64
+
+	// BaseLevelBytes is L1's target size; each deeper level is
+	// LevelMultiplier times larger. MaxLevels bounds the tree.
+	BaseLevelBytes  int64
+	LevelMultiplier int64
+	MaxLevels       int
+
+	// MaxFileSize splits compaction outputs.
+	MaxFileSize int64
+
+	// CompactionThreads is the number of background compaction workers
+	// (the paper's per-figure knob). Adjustable at runtime via
+	// SetCompactionThreads up to MaxCompactionThreads.
+	CompactionThreads    int
+	MaxCompactionThreads int
+
+	// EnableSlowdown selects the RocksDB slowdown behaviour the paper
+	// ablates in Figures 2/3: when false, writers run full speed into
+	// hard stalls; when true, slowdown triggers throttle them first.
+	EnableSlowdown bool
+	// DelayedWriteBytesPerSec is the throttled write rate while a
+	// slowdown condition holds (RocksDB delayed_write_rate).
+	DelayedWriteBytesPerSec int64
+	// SlowdownSleep is the minimum per-write sleep once a slowdown
+	// engages — the "1 ms" the paper quotes from RocksDB's wiki.
+	SlowdownSleep time.Duration
+
+	// BlockCacheBytes sizes the shared data-block cache.
+	BlockCacheBytes int64
+	// BlockSize and BloomBitsPerKey shape SST files.
+	BlockSize       int
+	BloomBitsPerKey int
+
+	// WALChunkSize and WALQueueDepth tune write-ahead-log write-back.
+	WALChunkSize  int
+	WALQueueDepth int
+	// DisableWAL skips the log entirely (db_bench --disable_wal).
+	DisableWAL bool
+
+	// CPU is the host core pool all engine work is charged to; required.
+	CPU *cpu.Pool
+	// Cost models the per-operation host CPU time.
+	Cost CostModel
+}
+
+// CostModel holds the host CPU charges for engine work. Values are
+// calibrated so a single core sustains roughly RocksDB-like rates
+// (memtable inserts at a few hundred Kops/s, compaction merge at a few
+// hundred MB/s per thread).
+type CostModel struct {
+	// WriteCPU is charged per Put/Delete (WAL encode + memtable insert).
+	WriteCPU time.Duration
+	// ReadCPU is charged per Get before any device time.
+	ReadCPU time.Duration
+	// IterCPU is charged per iterator Seek or Next.
+	IterCPU time.Duration
+	// MergeCPUPerKB is charged per KiB passing through a compaction
+	// merge.
+	MergeCPUPerKB time.Duration
+	// FlushCPUPerKB is charged per KiB of a memtable flush; flushes are
+	// sequential dumps, far cheaper than merges.
+	FlushCPUPerKB time.Duration
+}
+
+// DefaultCostModel reflects a ~3 GHz Xeon core.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WriteCPU:      3 * time.Microsecond,
+		ReadCPU:       4 * time.Microsecond,
+		IterCPU:       2 * time.Microsecond,
+		MergeCPUPerKB: 4 * time.Microsecond, // ~250 MB/s merge per thread
+		FlushCPUPerKB: 1 * time.Microsecond, // ~1 GB/s memtable dump
+	}
+}
+
+// DefaultOptions returns the scaled paper configuration. cpuPool is the
+// host core pool (nil allocates a private 8-core pool).
+func DefaultOptions(cpuPool *cpu.Pool) Options {
+	if cpuPool == nil {
+		cpuPool = cpu.NewPool(8, "host-cpu")
+	}
+	return Options{
+		MemtableSize:          12800 << 10, // 12.8 MB (128 MB / 10)
+		MaxImmutableMemtables: 1,
+
+		L0CompactionTrigger: 4,
+		L0SlowdownTrigger:   8,
+		L0StopTrigger:       12,
+
+		PendingCompactionSlowdownBytes: 64 << 20,
+		PendingCompactionStopBytes:     256 << 20,
+
+		BaseLevelBytes:  64 << 20, // ~5x memtable
+		LevelMultiplier: 10,
+		MaxLevels:       7,
+		MaxFileSize:     8 << 20,
+
+		CompactionThreads:    1,
+		MaxCompactionThreads: 8,
+
+		EnableSlowdown:          false,
+		DelayedWriteBytesPerSec: 8 << 20, // ~2 Kops/s at 4 KiB values
+		SlowdownSleep:           time.Millisecond,
+
+		BlockCacheBytes: 64 << 20,
+		BlockSize:       4096,
+		BloomBitsPerKey: 10,
+
+		WALChunkSize:  64 << 10,
+		WALQueueDepth: 32,
+
+		CPU:  cpuPool,
+		Cost: DefaultCostModel(),
+	}
+}
+
+func (o *Options) sanitize() {
+	if o.MemtableSize <= 0 {
+		o.MemtableSize = 4 << 20
+	}
+	if o.MaxImmutableMemtables < 1 {
+		o.MaxImmutableMemtables = 1
+	}
+	if o.L0CompactionTrigger < 1 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0SlowdownTrigger < o.L0CompactionTrigger {
+		o.L0SlowdownTrigger = o.L0CompactionTrigger * 2
+	}
+	if o.L0StopTrigger < o.L0SlowdownTrigger {
+		o.L0StopTrigger = o.L0SlowdownTrigger + 4
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 4 * o.MemtableSize
+	}
+	if o.LevelMultiplier < 2 {
+		o.LevelMultiplier = 10
+	}
+	if o.MaxLevels < 2 {
+		o.MaxLevels = 7
+	}
+	if o.MaxFileSize <= 0 {
+		o.MaxFileSize = o.MemtableSize
+	}
+	if o.CompactionThreads < 1 {
+		o.CompactionThreads = 1
+	}
+	if o.MaxCompactionThreads < o.CompactionThreads {
+		o.MaxCompactionThreads = o.CompactionThreads
+	}
+	if o.PendingCompactionSlowdownBytes <= 0 {
+		o.PendingCompactionSlowdownBytes = 64 << 20
+	}
+	if o.PendingCompactionStopBytes < o.PendingCompactionSlowdownBytes {
+		o.PendingCompactionStopBytes = 4 * o.PendingCompactionSlowdownBytes
+	}
+	if o.DelayedWriteBytesPerSec <= 0 {
+		o.DelayedWriteBytesPerSec = 8 << 20
+	}
+	if o.SlowdownSleep <= 0 {
+		o.SlowdownSleep = time.Millisecond
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.WALChunkSize <= 0 {
+		o.WALChunkSize = 64 << 10
+	}
+	if o.WALQueueDepth <= 0 {
+		o.WALQueueDepth = 32
+	}
+	if o.CPU == nil {
+		o.CPU = cpu.NewPool(8, "host-cpu")
+	}
+	if o.Cost == (CostModel{}) {
+		o.Cost = DefaultCostModel()
+	}
+	if o.Cost.FlushCPUPerKB <= 0 {
+		o.Cost.FlushCPUPerKB = o.Cost.MergeCPUPerKB / 4
+	}
+}
+
+func (o *Options) builderOptions() sstable.BuilderOptions {
+	return sstable.BuilderOptions{BlockSize: o.BlockSize, BloomBits: o.BloomBitsPerKey}
+}

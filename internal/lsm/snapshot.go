@@ -1,0 +1,97 @@
+package lsm
+
+import (
+	"sort"
+
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/vclock"
+)
+
+// Snapshot pins a point-in-time view of the database: reads through it
+// see exactly the versions visible at its sequence number, regardless of
+// later writes — the isolation property §V-G claims for range queries.
+// Compactions retain any version some live snapshot still needs.
+type Snapshot struct {
+	db  *DB
+	seq uint64
+}
+
+// GetSnapshot pins the current sequence number (RocksDB's GetSnapshot).
+// Callers must Release it, or compaction will keep old versions forever.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.snapshots == nil {
+		db.snapshots = make(map[uint64]int)
+	}
+	db.snapshots[db.seq]++
+	return &Snapshot{db: db, seq: db.seq}
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() {
+	db := s.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n, ok := db.snapshots[s.seq]; ok {
+		if n <= 1 {
+			delete(db.snapshots, s.seq)
+		} else {
+			db.snapshots[s.seq] = n - 1
+		}
+	}
+}
+
+// activeSnapshotsLocked returns the live snapshot seqs, ascending.
+// Caller holds db.mu.
+func (db *DB) activeSnapshotsLocked() []uint64 {
+	if len(db.snapshots) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(db.snapshots))
+	for seq := range db.snapshots {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// keepForSnapshot reports whether a version with seq v must survive
+// compaction given the previously kept (newer) version's seq and the
+// ascending live snapshot list: true iff some snapshot sees v as its
+// newest visible version.
+func keepForSnapshot(snaps []uint64, v, newerKept uint64) bool {
+	// Smallest snapshot >= v.
+	i := sort.Search(len(snaps), func(i int) bool { return snaps[i] >= v })
+	return i < len(snaps) && snaps[i] < newerKept
+}
+
+// GetAt reads key as of snapshot s.
+func (db *DB) GetAt(r *vclock.Runner, s *Snapshot, key []byte) (value []byte, ok bool, err error) {
+	return db.get(r, key, s.seq)
+}
+
+// NewIteratorAt opens a range cursor over snapshot s's view.
+func (db *DB) NewIteratorAt(r *vclock.Runner, s *Snapshot) *Iterator {
+	it := db.NewIterator(r)
+	it.maxSeq = s.seq
+	return it
+}
+
+// getAtSeq searches one memtable for the newest version of key with
+// seq <= maxSeq.
+func memtableGetAt(mt *memtable.Table, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool) {
+	it := mt.NewIterator()
+	it.SeekVersion(key, maxSeq)
+	if !it.Valid() {
+		return nil, 0, false
+	}
+	e := it.Entry()
+	if string(e.Key) != string(key) {
+		return nil, 0, false
+	}
+	return e.Value, e.Kind, true
+}

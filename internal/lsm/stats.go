@@ -1,0 +1,99 @@
+package lsm
+
+import (
+	"fmt"
+	"time"
+)
+
+// StallReason classifies a write stall, matching the paper's taxonomy
+// (§II-A): flush backlog, L0 file count, pending compaction bytes.
+type StallReason int
+
+const (
+	// StallMemtable is a flush-based stall: every memtable is full and
+	// the flusher has not caught up.
+	StallMemtable StallReason = iota
+	// StallL0 is an L0→L1 compaction-based stall: too many L0 files.
+	StallL0
+	// StallPending is a pending-compaction-bytes stall.
+	StallPending
+	numStallReasons
+)
+
+func (s StallReason) String() string {
+	switch s {
+	case StallMemtable:
+		return "memtable"
+	case StallL0:
+		return "l0"
+	case StallPending:
+		return "pending-bytes"
+	}
+	return "unknown"
+}
+
+// Stats is a snapshot of a DB's cumulative counters.
+type Stats struct {
+	Puts    int64
+	Gets    int64
+	Deletes int64
+
+	// Slowdowns counts writes that were throttled by the slowdown
+	// mechanism; StallEvents counts writes that hit a hard stop, by
+	// reason; StallTime is total writer time spent blocked in stalls.
+	Slowdowns   int64
+	StallEvents [numStallReasons]int64
+	StallTime   time.Duration
+
+	Flushes              int64
+	FlushBytes           int64
+	Compactions          int64
+	CompactionReadBytes  int64
+	CompactionWriteBytes int64
+	WALBytesWritten      int64
+}
+
+// TotalStalls sums stall events across reasons.
+func (s Stats) TotalStalls() int64 {
+	var n int64
+	for _, v := range s.StallEvents {
+		n += v
+	}
+	return n
+}
+
+// WriteAmplification estimates device-write bytes per user byte: WAL +
+// flush + compaction writes over flushed (user) bytes.
+func (s Stats) WriteAmplification() float64 {
+	if s.FlushBytes == 0 {
+		return 1
+	}
+	return float64(s.WALBytesWritten+s.FlushBytes+s.CompactionWriteBytes) / float64(s.FlushBytes)
+}
+
+// Health is the instantaneous state the KVACCEL Detector polls (§V-C):
+// the three write-stall signals plus whether writers are blocked right
+// now.
+type Health struct {
+	L0Files                int
+	ImmutableMemtables     int
+	MemtableBytes          int64
+	MemtableCapacity       int64
+	PendingCompactionBytes int64
+	// Stalled is true while at least one writer is blocked in a hard
+	// stall.
+	Stalled bool
+	// SlowdownLikely is true when any slowdown trigger currently holds —
+	// the Detector's "write stall is imminent" signal.
+	SlowdownLikely bool
+	// ActiveCompactions and QueuedFlushes describe background load.
+	ActiveCompactions int
+	QueuedFlushes     int
+}
+
+// String renders the stats as a compact db_bench-style summary line.
+func (s Stats) String() string {
+	return fmt.Sprintf("puts=%d gets=%d dels=%d slowdowns=%d stalls=%d stallTime=%v flushes=%d compactions=%d WA=%.2f",
+		s.Puts, s.Gets, s.Deletes, s.Slowdowns, s.TotalStalls(), s.StallTime,
+		s.Flushes, s.Compactions, s.WriteAmplification())
+}

@@ -1,0 +1,154 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"kvaccel/internal/sstable"
+)
+
+// FileMeta describes one live SST file.
+type FileMeta struct {
+	Num      uint64
+	Level    int
+	Smallest []byte
+	Largest  []byte
+	Size     int64
+	Entries  int
+
+	reader         *sstable.Reader
+	beingCompacted bool
+	refs           int  // readers currently pinning the file
+	obsolete       bool // removed from the version; delete when refs==0
+}
+
+// Name returns the file's name on the block-interface file system.
+func (f *FileMeta) Name() string { return SSTName(f.Num) }
+
+// SSTName formats the file name for table number n.
+func SSTName(n uint64) string { return fmt.Sprintf("%06d.sst", n) }
+
+// overlaps reports whether f's key range intersects [smallest, largest].
+func (f *FileMeta) overlaps(smallest, largest []byte) bool {
+	if largest != nil && bytes.Compare(f.Smallest, largest) > 0 {
+		return false
+	}
+	if smallest != nil && bytes.Compare(f.Largest, smallest) < 0 {
+		return false
+	}
+	return true
+}
+
+// version is the mutable levels state. Level 0 is ordered oldest-first
+// (append order, i.e. ascending file number); levels 1+ are sorted by
+// smallest key with disjoint ranges.
+type version struct {
+	levels [][]*FileMeta
+}
+
+func newVersion(maxLevels int) *version {
+	return &version{levels: make([][]*FileMeta, maxLevels)}
+}
+
+// addFile inserts f into its level, preserving that level's invariant.
+func (v *version) addFile(f *FileMeta) {
+	l := f.Level
+	if l == 0 {
+		v.levels[0] = append(v.levels[0], f)
+		return
+	}
+	files := v.levels[l]
+	i := sort.Search(len(files), func(i int) bool {
+		return bytes.Compare(files[i].Smallest, f.Smallest) >= 0
+	})
+	files = append(files, nil)
+	copy(files[i+1:], files[i:])
+	files[i] = f
+	v.levels[l] = files
+}
+
+// removeFile detaches f from its level; it reports whether it was found.
+func (v *version) removeFile(f *FileMeta) bool {
+	files := v.levels[f.Level]
+	for i, g := range files {
+		if g == f {
+			v.levels[f.Level] = append(files[:i:i], files[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// levelBytes sums the file sizes at level l.
+func (v *version) levelBytes(l int) int64 {
+	var n int64
+	for _, f := range v.levels[l] {
+		n += f.Size
+	}
+	return n
+}
+
+// overlapping returns the files at level l intersecting [smallest, largest].
+func (v *version) overlapping(l int, smallest, largest []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.levels[l] {
+		if f.overlaps(smallest, largest) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// filesForKey returns the files that might hold key at level l. For L0
+// they are returned newest-first; for deeper levels at most one file
+// matches (ranges are disjoint).
+func (v *version) filesForKey(l int, key []byte) []*FileMeta {
+	if l == 0 {
+		var out []*FileMeta
+		files := v.levels[0]
+		for i := len(files) - 1; i >= 0; i-- {
+			if files[i].overlaps(key, key) {
+				out = append(out, files[i])
+			}
+		}
+		return out
+	}
+	files := v.levels[l]
+	// First file whose largest >= key.
+	i := sort.Search(len(files), func(i int) bool {
+		return bytes.Compare(files[i].Largest, key) >= 0
+	})
+	if i < len(files) && files[i].overlaps(key, key) {
+		return []*FileMeta{files[i]}
+	}
+	return nil
+}
+
+// targetBytes returns level l's size target.
+func targetBytes(opt *Options, l int) int64 {
+	if l <= 0 {
+		return 0
+	}
+	t := opt.BaseLevelBytes
+	for i := 1; i < l; i++ {
+		t *= opt.LevelMultiplier
+	}
+	return t
+}
+
+// pendingCompactionBytes estimates RocksDB's
+// estimated_pending_compaction_bytes: the debt that compaction must move
+// to bring every level under target.
+func (v *version) pendingCompactionBytes(opt *Options) int64 {
+	var pending int64
+	if n := len(v.levels[0]); n >= opt.L0CompactionTrigger {
+		pending += v.levelBytes(0)
+	}
+	for l := 1; l < len(v.levels)-1; l++ {
+		if over := v.levelBytes(l) - targetBytes(opt, l); over > 0 {
+			pending += over
+		}
+	}
+	return pending
+}

@@ -1,0 +1,219 @@
+// Package memtable implements the in-memory write buffer of an LSM tree as
+// a skiplist ordered by (user key ascending, sequence number descending),
+// the same internal-key ordering RocksDB uses so that the newest version
+// of a key is encountered first.
+package memtable
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+// Kind tags an entry as a value or a tombstone.
+type Kind uint8
+
+const (
+	// KindPut is a live value.
+	KindPut Kind = iota
+	// KindDelete is a tombstone.
+	KindDelete
+	// KindSupersede marks a Dev-LSM key whose newest version has since
+	// been written to the Main-LSM through the normal path. Crash
+	// recovery must not restore the stale buffered value; the marker,
+	// being newer than it, shadows it. (KVACCEL-specific; never appears
+	// in the Main-LSM.)
+	KindSupersede
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+type node struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	kind  Kind
+	next  []*node
+}
+
+// Table is a concurrent skiplist memtable. A Table is safe for one writer
+// and many readers at a time (callers serialize writers, as the LSM write
+// path does).
+type Table struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rnd    *rand.Rand
+	size   int64
+	count  int
+}
+
+// New returns an empty memtable.
+func New() *Table {
+	return &Table{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(0xdecaf)),
+	}
+}
+
+// compare orders internal keys: user key ascending, then seq descending.
+func compare(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1
+	case aSeq < bSeq:
+		return 1
+	}
+	return 0
+}
+
+func (t *Table) randomHeight() int {
+	h := 1
+	for h < maxHeight && t.rnd.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with internal key >= (key, seq), filling
+// prev with the rightmost node before it at every level when prev != nil.
+func (t *Table) findGE(key []byte, seq uint64, prev []*node) *node {
+	x := t.head
+	level := t.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && compare(next.key, next.seq, key, seq) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Add inserts an entry. Duplicate (key, seq) pairs must not be inserted.
+func (t *Table) Add(seq uint64, kind Kind, key, value []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := make([]*node, maxHeight)
+	t.findGE(key, seq, prev)
+	h := t.randomHeight()
+	if h > t.height {
+		for i := t.height; i < h; i++ {
+			prev[i] = t.head
+		}
+		t.height = h
+	}
+	n := &node{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		seq:   seq,
+		kind:  kind,
+		next:  make([]*node, h),
+	}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	t.size += int64(len(key) + len(value) + 32) // 32 ~ node overhead
+	t.count++
+}
+
+// Get returns the newest entry for key. ok is false if the key has no
+// entry at all; a tombstone returns ok=true with kind KindDelete.
+func (t *Table) Get(key []byte) (value []byte, kind Kind, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Seek to (key, maxSeq): the first entry for key is the newest.
+	n := t.findGE(key, ^uint64(0), nil)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return nil, 0, false
+	}
+	return n.value, n.kind, true
+}
+
+// ApproximateSize returns the memtable's memory footprint in bytes.
+func (t *Table) ApproximateSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Count returns the number of entries.
+func (t *Table) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Entry is one internal-key record surfaced by an Iterator.
+type Entry struct {
+	Key   []byte
+	Value []byte
+	Seq   uint64
+	Kind  Kind
+}
+
+// Iterator walks the memtable in internal-key order. It is valid as long
+// as the Table exists; inserted nodes' forward pointers are only ever
+// extended, so iteration under the read lock is consistent.
+type Iterator struct {
+	t *Table
+	n *node
+}
+
+// NewIterator returns an iterator positioned before the first entry; call
+// SeekToFirst or Seek before use.
+func (t *Table) NewIterator() *Iterator { return &Iterator{t: t} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// SeekToFirst positions at the smallest internal key.
+func (it *Iterator) SeekToFirst() {
+	it.t.mu.RLock()
+	it.n = it.t.head.next[0]
+	it.t.mu.RUnlock()
+}
+
+// Seek positions at the first entry with user key >= key (its newest
+// version first).
+func (it *Iterator) Seek(key []byte) {
+	it.t.mu.RLock()
+	it.n = it.t.findGE(key, ^uint64(0), nil)
+	it.t.mu.RUnlock()
+}
+
+// SeekVersion positions at the first entry >= (key, maxSeq) in internal
+// order: for user key `key`, that is its newest version with
+// seq <= maxSeq (snapshot reads).
+func (it *Iterator) SeekVersion(key []byte, maxSeq uint64) {
+	it.t.mu.RLock()
+	it.n = it.t.findGE(key, maxSeq, nil)
+	it.t.mu.RUnlock()
+}
+
+// Next advances to the following internal key.
+func (it *Iterator) Next() {
+	it.t.mu.RLock()
+	it.n = it.n.next[0]
+	it.t.mu.RUnlock()
+}
+
+// Entry returns the current record. The returned slices must not be
+// modified.
+func (it *Iterator) Entry() Entry {
+	return Entry{Key: it.n.key, Value: it.n.value, Seq: it.n.seq, Kind: it.n.kind}
+}

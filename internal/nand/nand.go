@@ -1,0 +1,191 @@
+// Package nand is a discrete-event model of the Cosmos+ OpenSSD NAND
+// subsystem: 4 channels × 8 ways of flash dies, with per-die program/read/
+// erase latencies and a per-channel bus. The model reproduces the board's
+// sustained-bandwidth envelope (~630 MB/s program-limited peak) that drives
+// every write-stall phenomenon in the paper; it stores no payload bytes —
+// data lives in the layers above, the NAND layer spends only time.
+package nand
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+// Geometry describes the flash array's shape.
+type Geometry struct {
+	Channels      int // independent channel buses
+	Ways          int // dies per channel
+	BlocksPerDie  int
+	PagesPerBlock int
+	PageSize      int // bytes
+}
+
+// CosmosGeometry mirrors the 1 TB, 4-channel, 8-way Cosmos+ module at the
+// paper's scale.
+func CosmosGeometry() Geometry {
+	return Geometry{Channels: 4, Ways: 8, BlocksPerDie: 512, PagesPerBlock: 256, PageSize: 16 * 1024}
+}
+
+// Dies returns the total die count.
+func (g Geometry) Dies() int { return g.Channels * g.Ways }
+
+// PagesPerDie returns pages per die.
+func (g Geometry) PagesPerDie() int { return g.BlocksPerDie * g.PagesPerBlock }
+
+// TotalPages returns the device's physical page count.
+func (g Geometry) TotalPages() int { return g.Dies() * g.PagesPerDie() }
+
+// TotalBytes returns the raw capacity in bytes.
+func (g Geometry) TotalBytes() int64 { return int64(g.TotalPages()) * int64(g.PageSize) }
+
+// Timing holds the flash operation latencies.
+type Timing struct {
+	ReadPage    time.Duration
+	ProgramPage time.Duration
+	EraseBlock  time.Duration
+	// ChannelMBps is the per-channel bus transfer rate in MB/s.
+	ChannelMBps float64
+}
+
+// CosmosTiming yields ~630 MB/s sustained program bandwidth with the
+// Cosmos geometry (16 KiB / 800 µs ≈ 20 MB/s per die × 32 dies).
+func CosmosTiming() Timing {
+	return Timing{
+		ReadPage:    60 * time.Microsecond,
+		ProgramPage: 800 * time.Microsecond,
+		EraseBlock:  3 * time.Millisecond,
+		ChannelMBps: 400,
+	}
+}
+
+// Addr names one physical page (or, for erase, its containing block).
+type Addr struct {
+	Channel, Way, Block, Page int
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d/w%d/b%d/p%d", a.Channel, a.Way, a.Block, a.Page)
+}
+
+// Stats are cumulative operation counters.
+type Stats struct {
+	PagesRead       int64
+	PagesProgrammed int64
+	BlocksErased    int64
+	BytesRead       int64
+	BytesProgrammed int64
+}
+
+// Array is the simulated flash array.
+type Array struct {
+	geo    Geometry
+	timing Timing
+
+	channels []*vclock.Resource // per-channel bus
+	dies     []*vclock.Resource // per-die plane
+
+	pagesRead  atomic.Int64
+	pagesProg  atomic.Int64
+	blocksErsd atomic.Int64
+
+	eraseCounts []atomic.Int64 // per (die, block) wear
+}
+
+// New builds an Array with the given geometry and timing.
+func New(geo Geometry, timing Timing) *Array {
+	a := &Array{geo: geo, timing: timing}
+	a.channels = make([]*vclock.Resource, geo.Channels)
+	for i := range a.channels {
+		a.channels[i] = vclock.NewResource(1, fmt.Sprintf("nand.ch%d", i))
+	}
+	a.dies = make([]*vclock.Resource, geo.Dies())
+	for i := range a.dies {
+		a.dies[i] = vclock.NewResource(1, fmt.Sprintf("nand.die%d", i))
+	}
+	a.eraseCounts = make([]atomic.Int64, geo.Dies()*geo.BlocksPerDie)
+	return a
+}
+
+// Geometry returns the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Timing returns the array's latency parameters.
+func (a *Array) Timing() Timing { return a.timing }
+
+func (a *Array) dieIndex(addr Addr) int { return addr.Channel*a.geo.Ways + addr.Way }
+
+func (a *Array) busTime(bytes int) time.Duration {
+	if a.timing.ChannelMBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / (a.timing.ChannelMBps * 1e6) * float64(time.Second))
+}
+
+func (a *Array) check(addr Addr) {
+	if addr.Channel < 0 || addr.Channel >= a.geo.Channels ||
+		addr.Way < 0 || addr.Way >= a.geo.Ways ||
+		addr.Block < 0 || addr.Block >= a.geo.BlocksPerDie ||
+		addr.Page < 0 || addr.Page >= a.geo.PagesPerBlock {
+		panic("nand: address out of range: " + addr.String())
+	}
+}
+
+// ReadPage spends the time to sense one page on its die and move it over
+// the channel bus.
+func (a *Array) ReadPage(r *vclock.Runner, addr Addr) {
+	a.check(addr)
+	a.dies[a.dieIndex(addr)].Use(r, a.timing.ReadPage)
+	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
+	a.pagesRead.Add(1)
+}
+
+// ProgramPage spends the time to move one page over the channel bus and
+// program it on its die.
+func (a *Array) ProgramPage(r *vclock.Runner, addr Addr) {
+	a.check(addr)
+	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
+	a.dies[a.dieIndex(addr)].Use(r, a.timing.ProgramPage)
+	a.pagesProg.Add(1)
+}
+
+// EraseBlock spends the erase time on the block's die and bumps its wear
+// counter.
+func (a *Array) EraseBlock(r *vclock.Runner, addr Addr) {
+	a.check(addr)
+	a.dies[a.dieIndex(addr)].Use(r, a.timing.EraseBlock)
+	a.blocksErsd.Add(1)
+	a.eraseCounts[a.dieIndex(addr)*a.geo.BlocksPerDie+addr.Block].Add(1)
+}
+
+// EraseCount returns the wear count of the block containing addr.
+func (a *Array) EraseCount(addr Addr) int64 {
+	a.check(addr)
+	return a.eraseCounts[a.dieIndex(addr)*a.geo.BlocksPerDie+addr.Block].Load()
+}
+
+// Stats returns cumulative counters.
+func (a *Array) Stats() Stats {
+	pr, pp := a.pagesRead.Load(), a.pagesProg.Load()
+	return Stats{
+		PagesRead:       pr,
+		PagesProgrammed: pp,
+		BlocksErased:    a.blocksErsd.Load(),
+		BytesRead:       pr * int64(a.geo.PageSize),
+		BytesProgrammed: pp * int64(a.geo.PageSize),
+	}
+}
+
+// SustainedProgramMBps estimates the array's program-limited peak
+// bandwidth in MB/s — the paper's "~630 MB/s" device ceiling.
+func (a *Array) SustainedProgramMBps() float64 {
+	perDie := float64(a.geo.PageSize) / a.timing.ProgramPage.Seconds() / 1e6
+	dieBound := perDie * float64(a.geo.Dies())
+	busBound := a.timing.ChannelMBps * float64(a.geo.Channels)
+	if busBound < dieBound {
+		return busBound
+	}
+	return dieBound
+}

@@ -1,0 +1,93 @@
+package pcie
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+func TestTransferAccounting(t *testing.T) {
+	c := vclock.New()
+	l := NewLink(Config{BandwidthMBps: 1000, Lanes: 1})
+	c.Go("dma", func(r *vclock.Runner) {
+		l.Transfer(r, HostToDevice, 1_000_000) // 1 MB at 1000 MB/s = 1ms
+		l.Transfer(r, DeviceToHost, 500_000)
+	})
+	c.Wait()
+	if got := l.BytesTransferred(HostToDevice); got != 1_000_000 {
+		t.Fatalf("h2d bytes = %d", got)
+	}
+	if got := l.BytesTransferred(DeviceToHost); got != 500_000 {
+		t.Fatalf("d2h bytes = %d", got)
+	}
+	if got := l.TotalBytes(); got != 1_500_000 {
+		t.Fatalf("total bytes = %d", got)
+	}
+	if c.Now() != vclock.Time(1500*time.Microsecond) {
+		t.Fatalf("elapsed = %v, want 1.5ms", c.Now())
+	}
+}
+
+func TestTransferLatencyOnly(t *testing.T) {
+	c := vclock.New()
+	l := NewLink(Config{BandwidthMBps: 0, Latency: 10 * time.Microsecond, Lanes: 1})
+	c.Go("cmd", func(r *vclock.Runner) {
+		l.Transfer(r, HostToDevice, 0)
+	})
+	c.Wait()
+	if c.Now() != vclock.Time(10*time.Microsecond) {
+		t.Fatalf("elapsed = %v, want 10us", c.Now())
+	}
+}
+
+func TestSampleMBps(t *testing.T) {
+	c := vclock.New()
+	l := NewLink(Config{BandwidthMBps: 10000, Lanes: 1})
+	var s1, s2 float64
+	c.Go("dma", func(r *vclock.Runner) {
+		l.Transfer(r, HostToDevice, 5_000_000)
+		r.SleepUntil(vclock.Time(time.Second))
+	})
+	c.Go("sampler", func(r *vclock.Runner) {
+		r.Sleep(time.Second)
+		s1 = l.SampleMBps(time.Second)
+		r.Sleep(time.Second)
+		s2 = l.SampleMBps(time.Second)
+	})
+	c.Wait()
+	if s1 != 5 {
+		t.Fatalf("first sample = %v MB/s, want 5", s1)
+	}
+	if s2 != 0 {
+		t.Fatalf("second (idle) sample = %v MB/s, want 0", s2)
+	}
+}
+
+func TestAggregateBandwidthSharedAcrossLanes(t *testing.T) {
+	c := vclock.New()
+	l := NewLink(Config{BandwidthMBps: 1000, Lanes: 4})
+	// 4 concurrent 1 MB transfers at an aggregate 1000 MB/s: each lane
+	// runs at 250 MB/s, so all finish at 4ms — same total as serial.
+	for i := 0; i < 4; i++ {
+		c.Go("dma", func(r *vclock.Runner) {
+			l.Transfer(r, HostToDevice, 1_000_000)
+		})
+	}
+	c.Wait()
+	if c.Now() != vclock.Time(4*time.Millisecond) {
+		t.Fatalf("elapsed = %v, want 4ms", c.Now())
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	c := vclock.New()
+	l := NewLink(Gen2x8())
+	c.Go("dma", func(r *vclock.Runner) {
+		l.Transfer(r, DeviceToHost, -5)
+	})
+	c.Wait()
+	if l.TotalBytes() != 0 {
+		t.Fatalf("negative transfer counted bytes: %d", l.TotalBytes())
+	}
+}

@@ -1,0 +1,297 @@
+// Package ssd assembles the hybrid dual-interface SSD (§V-D): one NAND
+// array and FTL whose logical space is disaggregated at a configurable
+// point into a block region — served over the traditional block command
+// set to the host file system — and a key-value region served over the
+// NVMe KV command set by the in-device Dev-LSM. Both interfaces share the
+// same PCIe link, the same FTL, and the same physical dies, exactly the
+// single-device property the paper's cost argument rests on.
+package ssd
+
+import (
+	"time"
+
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/devlsm"
+	"kvaccel/internal/ftl"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/nand"
+	"kvaccel/internal/pcie"
+	"kvaccel/internal/vclock"
+)
+
+// Config describes the device.
+type Config struct {
+	Geometry nand.Geometry
+	Timing   nand.Timing
+	PCIe     pcie.Config
+
+	// BlockRegionBytes and KVRegionBytes place the disaggregation point:
+	// the split of the logical NAND address space between interfaces.
+	BlockRegionBytes int64
+	KVRegionBytes    int64
+
+	// FTLConfig tunes GC; region page counts are derived from the byte
+	// splits above.
+	GCFreeBlockLow  int
+	GCFreeBlockHigh int
+
+	DevLSM devlsm.Config
+
+	// KVCommandOverhead is the NVMe command-processing cost per KV
+	// command beyond the ARM work devlsm itself charges.
+	KVCommandOverhead time.Duration
+	// DMAChunkSize is the bulk-scan DMA unit (512 KiB on the paper's
+	// platform — the largest transfer their DMA engine supports).
+	DMAChunkSize int
+}
+
+// CosmosConfig mirrors the paper's Cosmos+ OpenSSD at 1/scale size and
+// bandwidth. scale=1 is the real board (630 MB/s, PCIe Gen2 ×8); the
+// experiments default to scale=10 so 60 simulated seconds reproduce a
+// 600-second figure.
+func CosmosConfig(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	geo := nand.CosmosGeometry()
+	timing := nand.CosmosTiming()
+	// Scale bandwidth down by scaling per-die program/read rates.
+	timing.ProgramPage *= time.Duration(scale)
+	timing.ReadPage *= time.Duration(scale)
+	timing.ChannelMBps /= float64(scale)
+	link := pcie.Gen2x8()
+	link.BandwidthMBps /= float64(scale)
+	return Config{
+		Geometry:          geo,
+		Timing:            timing,
+		PCIe:              link,
+		BlockRegionBytes:  int64(6) << 30, // 6 GiB block region at scale=10
+		KVRegionBytes:     int64(2) << 30,
+		DevLSM:            devlsm.DefaultConfig(),
+		KVCommandOverhead: 8 * time.Microsecond,
+		DMAChunkSize:      512 << 10,
+	}
+}
+
+// Device is the assembled dual-interface SSD.
+type Device struct {
+	cfg   Config
+	Array *nand.Array
+	FTL   *ftl.FTL
+	Link  *pcie.Link
+	ARM   *cpu.Pool
+	Dev   *devlsm.DevLSM
+}
+
+// New builds the device. The ARM pool models the single Cortex-A9 core
+// that runs Dev-LSM I/O, flush, and compaction (§VI-A).
+func New(cfg Config) *Device {
+	arr := nand.New(cfg.Geometry, cfg.Timing)
+	pageSize := int64(cfg.Geometry.PageSize)
+	fcfg := ftl.Config{
+		BlockRegionPages: int(cfg.BlockRegionBytes / pageSize),
+		KVRegionPages:    int(cfg.KVRegionBytes / pageSize),
+		GCFreeBlockLow:   cfg.GCFreeBlockLow,
+		GCFreeBlockHigh:  cfg.GCFreeBlockHigh,
+	}
+	f := ftl.New(arr, fcfg)
+	arm := cpu.NewPool(1, "ssd-arm")
+	if cfg.DMAChunkSize <= 0 {
+		cfg.DMAChunkSize = 512 << 10
+	}
+	return &Device{
+		cfg:   cfg,
+		Array: arr,
+		FTL:   f,
+		Link:  pcie.NewLink(cfg.PCIe),
+		ARM:   arm,
+		Dev:   devlsm.New(f, arm, cfg.DevLSM),
+	}
+}
+
+// Config returns the device's configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// DMAChunkSize returns the bulk-scan DMA unit.
+func (d *Device) DMAChunkSize() int { return d.cfg.DMAChunkSize }
+
+// ---- Block interface (fs.BlockDevice) ----
+
+// BlockNS is the block-interface namespace over the block region; it
+// satisfies fs.BlockDevice. Multiple namespaces may partition the region
+// for multi-tenancy.
+type BlockNS struct {
+	dev    *Device
+	offset int // first region LPN of this namespace
+	pages  int
+}
+
+// BlockNamespace returns a namespace covering [offsetPages,
+// offsetPages+pages) of the block region. Pass 0, 0 for the full region.
+func (d *Device) BlockNamespace(offsetPages, pages int) *BlockNS {
+	total := d.FTL.RegionPages(ftl.BlockRegion)
+	if pages <= 0 {
+		pages = total - offsetPages
+	}
+	if offsetPages < 0 || offsetPages+pages > total {
+		panic("ssd: block namespace out of region bounds")
+	}
+	return &BlockNS{dev: d, offset: offsetPages, pages: pages}
+}
+
+// PageSize returns the logical page size.
+func (ns *BlockNS) PageSize() int { return ns.dev.cfg.Geometry.PageSize }
+
+// Pages returns the namespace's capacity in pages.
+func (ns *BlockNS) Pages() int { return ns.pages }
+
+func (ns *BlockNS) translate(lpns []int) []int {
+	out := make([]int, len(lpns))
+	for i, l := range lpns {
+		if l < 0 || l >= ns.pages {
+			panic("ssd: block I/O outside namespace")
+		}
+		out[i] = l + ns.offset
+	}
+	return out
+}
+
+// WritePages DMAs the pages over PCIe and programs them via the FTL.
+func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) {
+	if len(lpns) == 0 {
+		return
+	}
+	ns.dev.Link.Transfer(r, pcie.HostToDevice, len(lpns)*ns.PageSize())
+	ns.dev.FTL.WriteMany(r, ftl.BlockRegion, ns.translate(lpns))
+}
+
+// ReadPages reads via the FTL and DMAs the pages back to the host.
+func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) {
+	if len(lpns) == 0 {
+		return
+	}
+	ns.dev.FTL.ReadMany(r, ftl.BlockRegion, ns.translate(lpns))
+	ns.dev.Link.Transfer(r, pcie.DeviceToHost, len(lpns)*ns.PageSize())
+}
+
+// TrimPages invalidates pages without media time.
+func (ns *BlockNS) TrimPages(lpns []int) {
+	for _, l := range ns.translate(lpns) {
+		ns.dev.FTL.Trim(ftl.BlockRegion, l)
+	}
+}
+
+// ---- Key-value interface (NVMe KV command set) ----
+
+const kvHeader = 64 // command header bytes per KV command
+
+func (d *Device) kvCommand(r *vclock.Runner, payload int, dir pcie.Direction) {
+	d.Link.Transfer(r, dir, kvHeader+payload)
+	if d.cfg.KVCommandOverhead > 0 {
+		d.ARM.Run(r, d.cfg.KVCommandOverhead)
+	}
+}
+
+// KVPut issues a PUT (or a redirected tombstone) over the KV interface.
+func (d *Device) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
+	d.kvCommand(r, len(key)+len(value), pcie.HostToDevice)
+	d.Dev.Put(r, kind, key, value)
+}
+
+// KVPutCompound issues one compound command carrying several records
+// (the buffered-I/O capability of the NVMe KV extensions [33]): a single
+// command header and parse amortize over the whole batch, which is the
+// device-side half of atomic write batches.
+func (d *Device) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	payload := 0
+	for _, e := range entries {
+		payload += len(e.Key) + len(e.Value) + 8
+	}
+	d.kvCommand(r, payload, pcie.HostToDevice)
+	for _, e := range entries {
+		d.Dev.Put(r, e.Kind, e.Key, e.Value)
+	}
+}
+
+// KVGet issues a GET; the value (if any) is DMA'd back.
+func (d *Device) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+	d.kvCommand(r, len(key), pcie.HostToDevice)
+	value, kind, found = d.Dev.Get(r, key)
+	ret := 16
+	if found {
+		ret += len(value)
+	}
+	d.Link.Transfer(r, pcie.DeviceToHost, ret)
+	return value, kind, found
+}
+
+// KVReset clears the Dev-LSM (§V-E step 8).
+func (d *Device) KVReset(r *vclock.Runner) {
+	d.kvCommand(r, 0, pcie.HostToDevice)
+	d.Dev.Reset()
+}
+
+// KVBulkScan performs the iterator-based bulky range scan used by the
+// rollback: the device merges its entire contents and DMAs them to the
+// host in DMAChunkSize units (§V-E steps 3-6).
+func (d *Device) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
+	d.kvCommand(r, 0, pcie.HostToDevice)
+	d.Dev.BulkScan(r, d.cfg.DMAChunkSize, func(c devlsm.ScanChunk) {
+		d.Link.Transfer(r, pcie.DeviceToHost, c.Bytes)
+		emit(c.Entries)
+	})
+}
+
+// KVIterator is the host-visible iterator over the KV interface (SEEK /
+// NEXT commands per the iterator-extended KVSSD design [24]). Records
+// stream back over PCIe as the cursor advances.
+type KVIterator struct {
+	d  *Device
+	r  *vclock.Runner
+	it *devlsm.Iterator
+}
+
+// NewKVIterator opens a device-side iterator (CreateIterator command).
+func (d *Device) NewKVIterator(r *vclock.Runner) *KVIterator {
+	d.kvCommand(r, 0, pcie.HostToDevice)
+	return &KVIterator{d: d, r: r, it: d.Dev.NewIterator(r)}
+}
+
+// Seek issues a SEEK command.
+func (it *KVIterator) Seek(key []byte) {
+	it.d.kvCommand(it.r, len(key), pcie.HostToDevice)
+	it.it.Seek(key)
+	it.transferCurrent()
+}
+
+// SeekToFirst positions at the smallest buffered key.
+func (it *KVIterator) SeekToFirst() {
+	it.d.kvCommand(it.r, 0, pcie.HostToDevice)
+	it.it.SeekToFirst()
+	it.transferCurrent()
+}
+
+// Next issues a NEXT command.
+func (it *KVIterator) Next() {
+	if d := it.d.cfg.KVCommandOverhead; d > 0 {
+		it.d.ARM.Run(it.r, d/4) // NEXT is lighter than a full command parse
+	}
+	it.it.Next()
+	it.transferCurrent()
+}
+
+func (it *KVIterator) transferCurrent() {
+	if it.it.Valid() {
+		e := it.it.Entry()
+		it.d.Link.Transfer(it.r, pcie.DeviceToHost, 16+len(e.Key)+len(e.Value))
+	}
+}
+
+// Valid reports whether the cursor is on an entry.
+func (it *KVIterator) Valid() bool { return it.it.Valid() }
+
+// Entry returns the current record.
+func (it *KVIterator) Entry() memtable.Entry { return it.it.Entry() }

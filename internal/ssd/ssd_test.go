@@ -1,0 +1,261 @@
+package ssd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"kvaccel/internal/devlsm"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/nand"
+	"kvaccel/internal/pcie"
+	"kvaccel/internal/vclock"
+)
+
+func testConfig() Config {
+	return Config{
+		Geometry:          nand.Geometry{Channels: 2, Ways: 2, BlocksPerDie: 128, PagesPerBlock: 32, PageSize: 4096},
+		Timing:            nand.Timing{ReadPage: 50 * time.Microsecond, ProgramPage: 400 * time.Microsecond, ChannelMBps: 200},
+		PCIe:              pcie.Config{BandwidthMBps: 1000, Latency: 2 * time.Microsecond, Lanes: 2},
+		BlockRegionBytes:  16 << 20,
+		KVRegionBytes:     8 << 20,
+		DevLSM:            devlsm.DefaultConfig(),
+		KVCommandOverhead: 5 * time.Microsecond,
+		DMAChunkSize:      64 << 10,
+	}
+}
+
+func runSim(t *testing.T, fn func(r *vclock.Runner)) {
+	t.Helper()
+	clk := vclock.New()
+	clk.Go("test", fn)
+	clk.Wait()
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%06d", i)) }
+
+func TestBlockNamespaceIO(t *testing.T) {
+	d := New(testConfig())
+	ns := d.BlockNamespace(0, 0)
+	if ns.Pages() != int((16<<20)/4096) {
+		t.Fatalf("pages = %d", ns.Pages())
+	}
+	runSim(t, func(r *vclock.Runner) {
+		ns.WritePages(r, []int{0, 1, 2})
+		ns.ReadPages(r, []int{1})
+		ns.TrimPages([]int{2})
+	})
+}
+
+func TestPCIeTrafficCountedForBlockIO(t *testing.T) {
+	d := New(testConfig())
+	ns := d.BlockNamespace(0, 0)
+	runSim(t, func(r *vclock.Runner) {
+		ns.WritePages(r, []int{0, 1})
+	})
+	if got := d.Link.BytesTransferred(pcie.HostToDevice); got != 2*4096 {
+		t.Fatalf("h2d bytes = %d, want 8192", got)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	d := New(testConfig())
+	nsA := d.BlockNamespace(0, 1024)
+	nsB := d.BlockNamespace(1024, 1024)
+	if nsA.Pages() != 1024 || nsB.Pages() != 1024 {
+		t.Fatal("namespace sizing wrong")
+	}
+	runSim(t, func(r *vclock.Runner) {
+		nsA.WritePages(r, []int{0})
+		nsB.WritePages(r, []int{0}) // same namespace-relative LPN, distinct physical mapping
+	})
+	runSim(t, func(r *vclock.Runner) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-namespace I/O did not panic")
+			}
+		}()
+		nsA.WritePages(r, []int{5000})
+	})
+}
+
+func TestKVPutGetThroughInterface(t *testing.T) {
+	d := New(testConfig())
+	runSim(t, func(r *vclock.Runner) {
+		d.KVPut(r, memtable.KindPut, key(1), []byte("hello"))
+		v, kind, ok := d.KVGet(r, key(1))
+		if !ok || kind != memtable.KindPut || !bytes.Equal(v, []byte("hello")) {
+			t.Fatalf("kv get: ok=%v", ok)
+		}
+		if _, _, ok := d.KVGet(r, key(2)); ok {
+			t.Fatal("absent KV key found")
+		}
+	})
+	if d.Link.TotalBytes() == 0 {
+		t.Fatal("KV commands moved no PCIe bytes")
+	}
+}
+
+func TestKVBulkScanStreamsChunks(t *testing.T) {
+	d := New(testConfig())
+	runSim(t, func(r *vclock.Runner) {
+		val := bytes.Repeat([]byte("v"), 1024)
+		for i := 0; i < 200; i++ {
+			d.KVPut(r, memtable.KindPut, key(i), val)
+		}
+		before := d.Link.BytesTransferred(pcie.DeviceToHost)
+		n := 0
+		d.KVBulkScan(r, func(entries []memtable.Entry) { n += len(entries) })
+		if n != 200 {
+			t.Fatalf("bulk scan returned %d entries, want 200", n)
+		}
+		moved := d.Link.BytesTransferred(pcie.DeviceToHost) - before
+		if moved < 200*1024 {
+			t.Fatalf("bulk scan DMA'd %d bytes, want >= 204800", moved)
+		}
+	})
+}
+
+func TestKVIteratorSeekNext(t *testing.T) {
+	d := New(testConfig())
+	runSim(t, func(r *vclock.Runner) {
+		for i := 0; i < 100; i++ {
+			d.KVPut(r, memtable.KindPut, key(i), []byte("v"))
+		}
+		it := d.NewKVIterator(r)
+		it.Seek(key(50))
+		for i := 50; i < 60; i++ {
+			if !it.Valid() || !bytes.Equal(it.Entry().Key, key(i)) {
+				t.Fatalf("at %d: valid=%v key=%q", i, it.Valid(), it.Entry().Key)
+			}
+			it.Next()
+		}
+	})
+}
+
+func TestKVResetClearsDevLSM(t *testing.T) {
+	d := New(testConfig())
+	runSim(t, func(r *vclock.Runner) {
+		for i := 0; i < 50; i++ {
+			d.KVPut(r, memtable.KindPut, key(i), []byte("v"))
+		}
+		d.KVReset(r)
+		if !d.Dev.Empty() {
+			t.Fatal("Dev-LSM not empty after KVReset")
+		}
+	})
+}
+
+func TestDualInterfaceSharesDevice(t *testing.T) {
+	// Block and KV traffic on the same device must both appear in the
+	// same NAND stats — the single-device property.
+	d := New(testConfig())
+	ns := d.BlockNamespace(0, 0)
+	runSim(t, func(r *vclock.Runner) {
+		ns.WritePages(r, []int{0, 1, 2, 3})
+		val := bytes.Repeat([]byte("v"), 4096)
+		for i := 0; i < 20; i++ {
+			d.KVPut(r, memtable.KindPut, key(i), val)
+		}
+		d.Dev.Flush(r)
+	})
+	s := d.Array.Stats()
+	if s.PagesProgrammed < 4+20 {
+		t.Fatalf("NAND pages programmed = %d; both interfaces should hit the same array", s.PagesProgrammed)
+	}
+}
+
+func TestCosmosConfigScaling(t *testing.T) {
+	c1 := CosmosConfig(1)
+	c10 := CosmosConfig(10)
+	a1 := New(c1)
+	a10 := New(c10)
+	b1 := a1.Array.SustainedProgramMBps()
+	b10 := a10.Array.SustainedProgramMBps()
+	if b1 < 600 || b1 > 700 {
+		t.Fatalf("scale 1 bandwidth = %.0f, want ~630", b1)
+	}
+	ratio := b1 / b10
+	if ratio < 9 || ratio > 11 {
+		t.Fatalf("scale 10 bandwidth ratio = %.1f, want ~10", ratio)
+	}
+}
+
+func TestKVNamespaceIsolation(t *testing.T) {
+	d := New(testConfig())
+	tenantA := d.KVNamespace(1)
+	tenantB := d.KVNamespace(2)
+	runSim(t, func(r *vclock.Runner) {
+		tenantA.Put(r, memtable.KindPut, []byte("k"), []byte("from-A"))
+		tenantB.Put(r, memtable.KindPut, []byte("k"), []byte("from-B"))
+		v, _, ok := tenantA.Get(r, []byte("k"))
+		if !ok || string(v) != "from-A" {
+			t.Fatalf("tenant A sees %q ok=%v", v, ok)
+		}
+		v, _, ok = tenantB.Get(r, []byte("k"))
+		if !ok || string(v) != "from-B" {
+			t.Fatalf("tenant B sees %q ok=%v", v, ok)
+		}
+		if _, _, ok := tenantA.Get(r, []byte("only-b")); ok {
+			t.Fatal("cross-tenant read leak")
+		}
+	})
+}
+
+func TestKVNamespaceBulkScanFiltered(t *testing.T) {
+	d := New(testConfig())
+	tenantA := d.KVNamespace(1)
+	tenantB := d.KVNamespace(2)
+	runSim(t, func(r *vclock.Runner) {
+		for i := 0; i < 20; i++ {
+			tenantA.Put(r, memtable.KindPut, key(i), []byte("a"))
+		}
+		for i := 0; i < 30; i++ {
+			tenantB.Put(r, memtable.KindPut, key(i), []byte("b"))
+		}
+		n := 0
+		tenantA.BulkScan(r, func(entries []memtable.Entry) {
+			for _, e := range entries {
+				if string(e.Value) != "a" {
+					t.Fatalf("tenant A scan surfaced %q", e.Value)
+				}
+				if len(e.Key) != len(key(0)) {
+					t.Fatalf("prefix not stripped: %q", e.Key)
+				}
+				n++
+			}
+		})
+		if n != 20 {
+			t.Fatalf("tenant A scan saw %d entries, want 20", n)
+		}
+	})
+}
+
+func TestKVNamespaceIterator(t *testing.T) {
+	d := New(testConfig())
+	tenantA := d.KVNamespace(1)
+	tenantB := d.KVNamespace(2)
+	runSim(t, func(r *vclock.Runner) {
+		for i := 0; i < 10; i++ {
+			tenantA.Put(r, memtable.KindPut, key(i), []byte("a"))
+			tenantB.Put(r, memtable.KindPut, key(i), []byte("b"))
+		}
+		it := tenantA.NewIterator(r)
+		n := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if !bytes.Equal(it.Entry().Key, key(n)) {
+				t.Fatalf("entry %d = %q", n, it.Entry().Key)
+			}
+			n++
+		}
+		// The iterator must stop at the tenant boundary, not bleed into B.
+		if n != 10 {
+			t.Fatalf("tenant A iterated %d entries, want 10", n)
+		}
+		it.Seek(key(7))
+		if !it.Valid() || !bytes.Equal(it.Entry().Key, key(7)) {
+			t.Fatal("namespace Seek broken")
+		}
+	})
+}

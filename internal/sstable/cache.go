@@ -1,0 +1,104 @@
+package sstable
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BlockCache is a byte-capacity LRU over decoded data blocks, shared by
+// all Main-LSM tables. Its presence is why Main-LSM iterators beat the
+// Dev-LSM iterator in Table V: the Dev-LSM has no such cache in front of
+// its NAND reads.
+type BlockCache struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	lru   *list.List // front = most recent; values are *cacheEntry
+	items map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	file uint64
+	off  uint32
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// NewBlockCache returns a cache bounded to capacity bytes; capacity <= 0
+// yields a cache that stores nothing.
+func NewBlockCache(capacity int64) *BlockCache {
+	return &BlockCache{cap: capacity, lru: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns the cached block for (file, off) if present.
+func (c *BlockCache) Get(file uint64, off uint32) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{file, off}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Put inserts a block, evicting LRU entries to stay within capacity.
+func (c *BlockCache) Put(file uint64, off uint32, data []byte) {
+	if c.cap <= 0 || int64(len(data)) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{file, off}
+	if el, ok := c.items[k]; ok {
+		c.lru.MoveToFront(el)
+		old := el.Value.(*cacheEntry)
+		c.used += int64(len(data)) - int64(len(old.data))
+		old.data = data
+	} else {
+		el := c.lru.PushFront(&cacheEntry{key: k, data: data})
+		c.items[k] = el
+		c.used += int64(len(data))
+	}
+	for c.used > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.data))
+	}
+}
+
+// EvictFile drops every cached block of one file (called when a
+// compaction deletes it).
+func (c *BlockCache) EvictFile(file uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.file == file {
+			c.lru.Remove(el)
+			delete(c.items, e.key)
+			c.used -= int64(len(e.data))
+		}
+		el = next
+	}
+}
+
+// Stats returns hit/miss counters and current byte usage.
+func (c *BlockCache) Stats() (hits, misses, used int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

@@ -1,0 +1,263 @@
+// Package vclock implements a conservative virtual-time kernel for
+// discrete-event simulation with real goroutines.
+//
+// Simulation actors ("runners") are ordinary goroutines registered with a
+// Clock. Virtual time advances only when every registered runner is parked
+// in a clock-aware primitive (Sleep, Cond.Wait, Semaphore.Acquire,
+// Queue.Pop, ...). When the last runner parks, the clock jumps to the
+// earliest pending timer deadline and wakes the runners due at that instant.
+// This lets engine code (flush threads, compaction workers, device channel
+// servers) be written as natural blocking goroutine code while a simulated
+// 600-second experiment completes in real milliseconds, deterministically
+// enough for reproducible experiment shapes.
+//
+// The one contract runners must obey: never block indefinitely on a raw Go
+// primitive (channel receive, sync.Mutex held across a park, ...). Short
+// critical sections under plain mutexes are fine — the clock simply does not
+// advance while any runner is runnable. Indefinite waits must go through the
+// clock-aware primitives in this package, so the kernel can observe them and
+// either advance time or report a deadlock.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration aliases time.Duration; virtual durations use the same unit.
+type Duration = time.Duration
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Clock is the virtual-time kernel. The zero value is not usable; create
+// one with New.
+type Clock struct {
+	mu      sync.Mutex
+	now     Time
+	seq     uint64 // tie-break for deterministic wake ordering
+	active  int    // registered runners currently runnable
+	total   int    // registered runners alive
+	timers  timerHeap
+	parked  map[*Runner]string // runners parked on conditions (not timers), with a state label
+	done    chan struct{}      // closed when the last runner exits
+	stopped bool
+
+	// OnDeadlock, if non-nil, is invoked instead of panicking when every
+	// runner is parked on a condition and no timer is pending. Tests use it.
+	OnDeadlock func(report string)
+}
+
+// New returns a Clock at virtual time zero.
+func New() *Clock {
+	return &Clock{
+		parked: make(map[*Runner]string),
+		done:   make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Runner is the handle a simulation goroutine uses to interact with its
+// Clock. Each Runner belongs to exactly one goroutine.
+type Runner struct {
+	clock *Clock
+	name  string
+	wake  chan struct{}
+}
+
+// Name returns the label the runner was created with.
+func (r *Runner) Name() string { return r.name }
+
+// Clock returns the clock this runner is registered with.
+func (r *Runner) Clock() *Clock { return r.clock }
+
+// Now returns the current virtual time.
+func (r *Runner) Now() Time { return r.clock.Now() }
+
+// Go starts fn as a registered runner goroutine. The runner is
+// automatically unregistered when fn returns.
+func (c *Clock) Go(name string, fn func(r *Runner)) {
+	r := c.register(name)
+	go func() {
+		defer c.unregister(r)
+		fn(r)
+	}()
+}
+
+// register adds a runnable runner.
+func (c *Clock) register(name string) *Runner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	c.active++
+	return &Runner{clock: c, name: name, wake: make(chan struct{}, 1)}
+}
+
+func (c *Clock) unregister(r *Runner) {
+	c.mu.Lock()
+	c.total--
+	c.active--
+	last := c.total == 0
+	if !last {
+		c.maybeAdvanceLocked()
+	}
+	c.mu.Unlock()
+	if last {
+		close(c.done)
+	}
+}
+
+// Wait blocks the calling (non-runner) goroutine until every runner started
+// with Go has returned. It is the idiomatic way for a test or main to join
+// the simulation.
+func (c *Clock) Wait() { <-c.done }
+
+// Sleep parks r for virtual duration d. A non-positive d still yields a
+// full park/wake cycle at the current instant, which serializes with other
+// same-instant events deterministically.
+func (r *Runner) Sleep(d Duration) {
+	c := r.clock
+	c.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	c.seq++
+	heap.Push(&c.timers, timer{at: c.now.Add(d), seq: c.seq, r: r})
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	<-r.wake
+}
+
+// SleepUntil parks r until virtual time t (or returns immediately at/after t
+// in the sense of a zero-length sleep).
+func (r *Runner) SleepUntil(t Time) {
+	c := r.clock
+	c.mu.Lock()
+	at := t
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.timers, timer{at: at, seq: c.seq, r: r})
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+	<-r.wake
+}
+
+// parkOn marks r parked on a condition described by label. The caller must
+// arrange for wakeParked(r) to be called eventually. Must not hold c.mu.
+func (c *Clock) parkOn(r *Runner, label string) {
+	c.mu.Lock()
+	c.parked[r] = label
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// wakeParked makes a condition-parked runner runnable again. It is safe to
+// call from any goroutine, runner or not. The target must currently be
+// parked via parkOn.
+func (c *Clock) wakeParked(r *Runner) {
+	c.mu.Lock()
+	if _, ok := c.parked[r]; !ok {
+		c.mu.Unlock()
+		panic("vclock: wakeParked on runner that is not condition-parked: " + r.name)
+	}
+	delete(c.parked, r)
+	c.active++
+	c.mu.Unlock()
+	r.wake <- struct{}{}
+}
+
+// maybeAdvanceLocked advances virtual time if no runner is runnable.
+// Called with c.mu held.
+func (c *Clock) maybeAdvanceLocked() {
+	if c.active > 0 || c.stopped {
+		return
+	}
+	if c.timers.Len() == 0 {
+		if c.total == 0 {
+			return // simulation drained
+		}
+		report := c.deadlockReportLocked()
+		if h := c.OnDeadlock; h != nil {
+			c.stopped = true
+			// Release the lock for the handler? Keep it simple: call
+			// without the lock to let the handler inspect the clock.
+			c.mu.Unlock()
+			h(report)
+			c.mu.Lock()
+			return
+		}
+		panic(report)
+	}
+	// Jump to the earliest deadline and wake every timer due at it, in
+	// seq order for determinism.
+	at := c.timers[0].at
+	c.now = at
+	for c.timers.Len() > 0 && c.timers[0].at == at {
+		t := heap.Pop(&c.timers).(timer)
+		c.active++
+		t.r.wake <- struct{}{}
+	}
+}
+
+func (c *Clock) deadlockReportLocked() string {
+	s := fmt.Sprintf("vclock: deadlock at t=%v: all %d runners parked with no pending timer; parked on:", c.now, c.total)
+	labels := make([]string, 0, len(c.parked))
+	for r, l := range c.parked {
+		labels = append(labels, fmt.Sprintf("\n  %s: %s", r.name, l))
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		s += l
+	}
+	return s
+}
+
+type timer struct {
+	at  Time
+	seq uint64
+	r   *Runner
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,275 @@
+package vclock
+
+import "sync"
+
+// Cond is a clock-aware condition variable. Unlike sync.Cond, waiting
+// runners are invisible to the Go scheduler but visible to the virtual
+// clock, so time can advance past them.
+//
+// The usage pattern mirrors sync.Cond: L protects the condition state, and
+// Wait atomically releases L, parks, and re-acquires L on wake.
+type Cond struct {
+	L     sync.Locker
+	label string
+
+	mu      sync.Mutex // protects waiters; ordered before Clock.mu nowhere (never held together)
+	waiters []*Runner
+}
+
+// NewCond returns a Cond using locker l. label appears in deadlock reports.
+func NewCond(l sync.Locker, label string) *Cond {
+	return &Cond{L: l, label: label}
+}
+
+// Wait atomically releases c.L and parks r until Signal or Broadcast wakes
+// it, then re-acquires c.L before returning. As with sync.Cond, callers
+// must re-check the condition in a loop.
+func (c *Cond) Wait(r *Runner) {
+	// Joining the waiter list and parking with the clock must be atomic
+	// under c.mu, or a Signal between the two could pop a runner that the
+	// clock does not yet consider parked. Lock order everywhere in this
+	// file: Cond.mu, then Clock.mu.
+	c.mu.Lock()
+	c.waiters = append(c.waiters, r)
+	r.clock.parkOn(r, c.label)
+	c.mu.Unlock()
+	// The wake channel is buffered, so a signal arriving before we block
+	// on it is not lost, and we may still briefly hold L here.
+	c.L.Unlock()
+	<-r.wake
+	c.L.Lock()
+}
+
+// Signal wakes the longest-waiting runner, if any.
+func (c *Cond) Signal() {
+	c.mu.Lock()
+	var r *Runner
+	if len(c.waiters) > 0 {
+		r = c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:len(c.waiters)-1]
+	}
+	c.mu.Unlock()
+	if r != nil {
+		r.clock.wakeParked(r)
+	}
+}
+
+// Broadcast wakes all waiting runners.
+func (c *Cond) Broadcast() {
+	c.mu.Lock()
+	ws := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, r := range ws {
+		r.clock.wakeParked(r)
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO admission, usable as a
+// resource pool (CPU cores, device dies, queue slots).
+type Semaphore struct {
+	mu    sync.Mutex
+	avail int
+	cap   int
+	cond  *Cond
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(capacity int, label string) *Semaphore {
+	s := &Semaphore{avail: capacity, cap: capacity}
+	s.cond = NewCond(&s.mu, label)
+	return s
+}
+
+// Cap returns the semaphore's capacity.
+func (s *Semaphore) Cap() int { return s.cap }
+
+// Acquire takes n units, parking r until they are available.
+func (s *Semaphore) Acquire(r *Runner, n int) {
+	s.mu.Lock()
+	for s.avail < n {
+		s.cond.Wait(r)
+	}
+	s.avail -= n
+	s.mu.Unlock()
+}
+
+// TryAcquire takes n units without blocking and reports whether it did.
+func (s *Semaphore) TryAcquire(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.avail < n {
+		return false
+	}
+	s.avail -= n
+	return true
+}
+
+// Release returns n units and wakes waiters.
+func (s *Semaphore) Release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	if s.avail > s.cap {
+		s.mu.Unlock()
+		panic("vclock: semaphore over-release")
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// InUse returns the number of units currently held.
+func (s *Semaphore) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap - s.avail
+}
+
+// Queue is a clock-aware bounded FIFO channel between runners. A capacity
+// of 0 is rendezvous-free: it is promoted to 1 (true rendezvous semantics
+// are not needed by the simulator and complicate the kernel).
+type Queue[T any] struct {
+	mu       sync.Mutex
+	items    []T
+	capacity int
+	closed   bool
+	notEmpty *Cond
+	notFull  *Cond
+}
+
+// NewQueue returns a bounded queue with the given capacity.
+func NewQueue[T any](capacity int, label string) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{capacity: capacity}
+	q.notEmpty = NewCond(&q.mu, label+".pop")
+	q.notFull = NewCond(&q.mu, label+".push")
+	return q
+}
+
+// Push enqueues v, parking r while the queue is full. It panics if the
+// queue is closed.
+func (q *Queue[T]) Push(r *Runner, v T) {
+	q.mu.Lock()
+	for len(q.items) >= q.capacity && !q.closed {
+		q.notFull.Wait(r)
+	}
+	if q.closed {
+		q.mu.Unlock()
+		panic("vclock: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+}
+
+// TryPush enqueues v if there is room, without blocking.
+func (q *Queue[T]) TryPush(v T) bool {
+	q.mu.Lock()
+	if q.closed || len(q.items) >= q.capacity {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return true
+}
+
+// TryPop dequeues the oldest item without blocking; ok is false when the
+// queue is empty.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return v, false
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = *new(T)
+	q.items = q.items[:len(q.items)-1]
+	q.mu.Unlock()
+	q.notFull.Signal()
+	return v, true
+}
+
+// Pop dequeues the oldest item, parking r while the queue is empty. ok is
+// false when the queue is closed and drained.
+func (q *Queue[T]) Pop(r *Runner) (v T, ok bool) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait(r)
+	}
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return v, false
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = *new(T)
+	q.items = q.items[:len(q.items)-1]
+	q.mu.Unlock()
+	q.notFull.Signal()
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed; blocked Pops drain remaining items and then
+// return ok=false, and blocked Pushes panic.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Resource models a shared service center (a PCIe link, a NAND channel bus,
+// a CPU core pool): capacity units served FIFO, with busy-time accounting
+// for utilization measurements.
+type Resource struct {
+	sem *Semaphore
+
+	mu     sync.Mutex
+	busyNS int64 // cumulative unit-nanoseconds of service
+}
+
+// NewResource returns a resource with the given parallel capacity.
+func NewResource(capacity int, label string) *Resource {
+	return &Resource{sem: NewSemaphore(capacity, label)}
+}
+
+// Use occupies one unit for duration d of virtual time: it queues for
+// admission, holds the unit while sleeping d, then releases it.
+func (res *Resource) Use(r *Runner, d Duration) {
+	if d <= 0 {
+		return
+	}
+	res.sem.Acquire(r, 1)
+	r.Sleep(d)
+	res.sem.Release(1)
+	res.mu.Lock()
+	res.busyNS += int64(d)
+	res.mu.Unlock()
+}
+
+// Cap returns the resource's parallel capacity.
+func (res *Resource) Cap() int { return res.sem.Cap() }
+
+// InUse returns the number of units currently occupied.
+func (res *Resource) InUse() int { return res.sem.InUse() }
+
+// BusyNS returns cumulative busy unit-nanoseconds; sampling it at intervals
+// yields utilization: delta / (interval * capacity).
+func (res *Resource) BusyNS() int64 {
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	return res.busyNS
+}

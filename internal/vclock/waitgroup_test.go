@@ -1,0 +1,56 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitGroupJoinsChildren(t *testing.T) {
+	c := New()
+	var done atomic.Int32
+	var joinedAt Time
+	c.Go("parent", func(r *Runner) {
+		var wg WaitGroup
+		wg.Add(3)
+		for i := 1; i <= 3; i++ {
+			d := time.Duration(i) * time.Second
+			c.Go("child", func(cr *Runner) {
+				defer wg.Done()
+				cr.Sleep(d)
+				done.Add(1)
+			})
+		}
+		wg.Wait(r)
+		joinedAt = r.Now()
+	})
+	c.Wait()
+	if done.Load() != 3 {
+		t.Fatalf("children done = %d, want 3", done.Load())
+	}
+	if joinedAt != Time(3*time.Second) {
+		t.Fatalf("parent joined at %v, want 3s (slowest child)", joinedAt)
+	}
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	c := New()
+	c.Go("r", func(r *Runner) {
+		var wg WaitGroup
+		wg.Wait(r)
+		if r.Now() != 0 {
+			t.Errorf("empty Wait advanced time to %v", r.Now())
+		}
+	})
+	c.Wait()
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter did not panic")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}

@@ -1,0 +1,206 @@
+// Package wal implements the Main-LSM's write-ahead log on the block-
+// interface file system.
+//
+// db_bench's fillrandom runs with WAL enabled but unsynced, so records
+// land in the OS page cache and reach the device in large write-backs.
+// The model reproduces that: Append is a memory append plus checksummed
+// encoding; a dedicated writeback runner drains full chunks to the file
+// system asynchronously. Backpressure appears exactly where it does in
+// production — when the device cannot absorb write-back as fast as the
+// writer produces it, the bounded queue parks the writer.
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"kvaccel/internal/encoding"
+	"kvaccel/internal/fs"
+	"kvaccel/internal/vclock"
+)
+
+// Options tunes the log.
+type Options struct {
+	// ChunkSize is the write-back granularity (bytes buffered before the
+	// writeback runner is handed a chunk).
+	ChunkSize int
+	// QueueDepth bounds the number of un-written chunks before Append
+	// blocks (page-cache dirty limit).
+	QueueDepth int
+}
+
+// DefaultOptions buffers 64 KiB chunks, 32 deep.
+func DefaultOptions() Options { return Options{ChunkSize: 64 << 10, QueueDepth: 32} }
+
+// Log is one write-ahead log file.
+type Log struct {
+	fsys *fs.FileSystem
+	name string
+	opt  Options
+
+	mu      sync.Mutex
+	buf     []byte
+	pending int // chunks queued but not yet written
+	closed  bool
+	drained *vclock.Cond
+
+	queue *vclock.Queue[[]byte]
+
+	bytesAppended int64
+	bytesWritten  int64
+}
+
+// Open creates a log file and starts its writeback runner on clk.
+func Open(clk *vclock.Clock, fsys *fs.FileSystem, name string, opt Options) *Log {
+	if opt.ChunkSize <= 0 {
+		opt.ChunkSize = 64 << 10
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 32
+	}
+	l := &Log{fsys: fsys, name: name, opt: opt}
+	l.drained = vclock.NewCond(&l.mu, "wal.drained:"+name)
+	l.queue = vclock.NewQueue[[]byte](opt.QueueDepth, "wal.queue:"+name)
+	clk.Go("wal.writeback:"+name, l.writeback)
+	return l
+}
+
+// Name returns the log's file name.
+func (l *Log) Name() string { return l.name }
+
+// Append encodes one record (u32 length, u32 crc, payload) into the log
+// buffer, handing full chunks to the writeback runner. It blocks only when
+// the writeback queue is full.
+func (l *Log) Append(r *vclock.Runner, payload []byte) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: %s: append on closed log", l.name)
+	}
+	l.buf = encoding.PutU32(l.buf, uint32(len(payload)))
+	l.buf = encoding.PutU32(l.buf, encoding.Checksum(payload))
+	l.buf = append(l.buf, payload...)
+	l.bytesAppended += int64(len(payload) + 8)
+	var chunk []byte
+	if len(l.buf) >= l.opt.ChunkSize {
+		chunk = l.buf
+		l.buf = nil
+		l.pending++
+	}
+	l.mu.Unlock()
+	if chunk != nil {
+		l.queue.Push(r, chunk)
+	}
+	return nil
+}
+
+// Sync flushes the partial buffer and parks r until every queued chunk is
+// on the device.
+func (l *Log) Sync(r *vclock.Runner) {
+	l.mu.Lock()
+	if len(l.buf) > 0 && !l.closed {
+		chunk := l.buf
+		l.buf = nil
+		l.pending++
+		l.mu.Unlock()
+		l.queue.Push(r, chunk)
+		l.mu.Lock()
+	}
+	for l.pending > 0 {
+		l.drained.Wait(r)
+	}
+	l.mu.Unlock()
+}
+
+// Close stops the writeback runner after draining queued chunks. The
+// final partial buffer is discarded (callers Sync first if they need it).
+func (l *Log) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.queue.Close()
+}
+
+// Delete removes the log's backing file (after a successful memtable
+// flush makes it obsolete).
+func (l *Log) Delete() {
+	if l.fsys.Exists(l.name) {
+		_ = l.fsys.Remove(l.name)
+	}
+}
+
+// BytesAppended returns the logical bytes appended so far.
+func (l *Log) BytesAppended() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesAppended
+}
+
+// BytesWritten returns the bytes actually written back to the device.
+func (l *Log) BytesWritten() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesWritten
+}
+
+func (l *Log) writeback(r *vclock.Runner) {
+	for {
+		chunk, ok := l.queue.Pop(r)
+		if !ok {
+			return
+		}
+		// Coalesce everything already queued into one large append, the
+		// way the kernel's writeback path batches dirty pages; large
+		// appends reach the device's full die parallelism.
+		batch := chunk
+		n := 1
+		for {
+			more, ok := l.queue.TryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, more...)
+			n++
+		}
+		// fs.Append spends the block-path device time.
+		_ = l.fsys.Append(r, l.name, batch)
+		l.mu.Lock()
+		l.bytesWritten += int64(len(batch))
+		l.pending -= n
+		l.mu.Unlock()
+		l.drained.Broadcast()
+	}
+}
+
+// Replay decodes every complete record in the log file, calling fn for
+// each payload. It stops at the first corrupt or truncated record, which
+// is the crash-recovery contract of a WAL.
+func Replay(r *vclock.Runner, fsys *fs.FileSystem, name string, fn func(payload []byte) error) error {
+	if !fsys.Exists(name) {
+		return nil
+	}
+	data, err := fsys.ReadFile(r, name)
+	if err != nil {
+		return err
+	}
+	for len(data) >= 8 {
+		length, rest, _ := encoding.U32(data)
+		crc, rest, _ := encoding.U32(rest)
+		if uint64(len(rest)) < uint64(length) {
+			return nil // truncated tail: normal after a crash
+		}
+		payload := rest[:length]
+		if encoding.Checksum(payload) != crc {
+			return nil // torn write: stop replay here
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		data = rest[length:]
+	}
+	return nil
+}

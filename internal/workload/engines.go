@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"kvaccel/internal/core"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/vclock"
+)
+
+// LSMEngine adapts lsm.DB (the RocksDB and ADOC baselines) to Engine.
+type LSMEngine struct{ DB *lsm.DB }
+
+// Put forwards to the Main-LSM.
+func (e LSMEngine) Put(r *vclock.Runner, key, value []byte) error { return e.DB.Put(r, key, value) }
+
+// Delete forwards to the Main-LSM.
+func (e LSMEngine) Delete(r *vclock.Runner, key []byte) error { return e.DB.Delete(r, key) }
+
+// Get forwards to the Main-LSM.
+func (e LSMEngine) Get(r *vclock.Runner, key []byte) ([]byte, bool, error) {
+	return e.DB.Get(r, key)
+}
+
+// NewIterator opens a Main-LSM range cursor.
+func (e LSMEngine) NewIterator(r *vclock.Runner) Iterator { return e.DB.NewIterator(r) }
+
+// Flush drains the memtable.
+func (e LSMEngine) Flush(r *vclock.Runner) { e.DB.Flush(r) }
+
+// KVAccelEngine adapts core.DB to Engine.
+type KVAccelEngine struct{ DB *core.DB }
+
+// Put writes through the KVACCEL controller.
+func (e KVAccelEngine) Put(r *vclock.Runner, key, value []byte) error {
+	return e.DB.Put(r, key, value)
+}
+
+// Delete writes a tombstone through the controller.
+func (e KVAccelEngine) Delete(r *vclock.Runner, key []byte) error { return e.DB.Delete(r, key) }
+
+// Get reads through the controller's metadata-directed path.
+func (e KVAccelEngine) Get(r *vclock.Runner, key []byte) ([]byte, bool, error) {
+	return e.DB.Get(r, key)
+}
+
+// NewIterator opens the dual-LSM merged cursor.
+func (e KVAccelEngine) NewIterator(r *vclock.Runner) Iterator { return e.DB.NewIterator(r) }
+
+// Flush drains the Main-LSM memtable.
+func (e KVAccelEngine) Flush(r *vclock.Runner) { e.DB.Flush(r) }

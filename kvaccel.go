@@ -1,0 +1,229 @@
+// Package kvaccel is the public API of the KVACCEL reproduction: a
+// write-accelerated LSM key-value store that bypasses write stalls with
+// host-SSD collaboration (Kim et al., IPDPS 2025).
+//
+// A kvaccel.DB bundles a complete simulated machine — virtual-time
+// kernel, host CPU pool, dual-interface SSD (NAND array + FTL + PCIe
+// link + in-device Dev-LSM), block-interface file system, and the
+// Main-LSM engine — behind a RocksDB-like interface. All I/O and compute
+// spend *virtual* time: a 600-second experiment completes in real
+// seconds, deterministically enough to reproduce the paper's figures.
+//
+// Quick start:
+//
+//	db := kvaccel.Open(kvaccel.DefaultOptions())
+//	db.Run("main", func(r *kvaccel.Runner) {
+//		_ = db.Put(r, []byte("k"), []byte("v"))
+//		v, ok, _ := db.Get(r, []byte("k"))
+//		fmt.Println(ok, string(v))
+//	})
+//	db.Wait()  // join the simulation
+//	db.Close() // optional once Wait has returned
+//
+// Every operation takes a *Runner: the handle of a simulated thread.
+// Create additional concurrent actors (writers, readers, monitors) with
+// db.Run; they interleave in virtual time exactly as OS threads would.
+package kvaccel
+
+import (
+	"time"
+
+	"kvaccel/internal/core"
+	"kvaccel/internal/cpu"
+	"kvaccel/internal/fs"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/ssd"
+	"kvaccel/internal/vclock"
+)
+
+// Runner is the handle of one simulated thread; every DB operation is
+// performed on behalf of a Runner.
+type Runner = vclock.Runner
+
+// RollbackScheme selects when buffered writes drain back to the
+// Main-LSM.
+type RollbackScheme = core.RollbackScheme
+
+// Rollback scheme aliases (§V-E "Rollback Scheduling").
+const (
+	// RollbackDisabled defers draining to explicit Rollback calls.
+	RollbackDisabled = core.RollbackDisabled
+	// RollbackLazy drains only when the engine is quiet (best for
+	// write-heavy workloads).
+	RollbackLazy = core.RollbackLazy
+	// RollbackEager drains as soon as no stall is present (best for
+	// mixed read/write workloads).
+	RollbackEager = core.RollbackEager
+)
+
+// Options configures a DB.
+type Options struct {
+	// Scale divides device bandwidth and engine buffer sizes and
+	// multiplies per-op CPU costs; 1 models the paper's Cosmos+ board,
+	// 10 (the default) runs 10x-compressed experiments.
+	Scale int
+	// CompactionThreads is the Main-LSM background compaction
+	// parallelism.
+	CompactionThreads int
+	// Rollback selects the drain scheduling scheme.
+	Rollback RollbackScheme
+	// EnableRedirection turns the write accelerator on (true is
+	// KVACCEL; false degrades to plain RocksDB-like behaviour — the
+	// ablation baseline).
+	EnableRedirection bool
+	// DetectorPeriod is the stall-detector refresh interval.
+	DetectorPeriod time.Duration
+	// HostCores bounds the host CPU pool.
+	HostCores int
+	// KVRegionBytes sizes the key-value region of the dual-interface
+	// SSD (the disaggregation point); 0 keeps the default split.
+	KVRegionBytes int64
+	// DevReadCacheBytes enables a controller-DRAM read cache in front of
+	// Dev-LSM NAND reads — the extension the paper names as the fix for
+	// its Table V range-query deficit. 0 (default) reproduces the paper.
+	DevReadCacheBytes int64
+}
+
+// DefaultOptions mirrors the paper's setup at scale 10.
+func DefaultOptions() Options {
+	return Options{
+		Scale:             10,
+		CompactionThreads: 1,
+		Rollback:          RollbackLazy,
+		EnableRedirection: true,
+		DetectorPeriod:    100 * time.Millisecond,
+		HostCores:         8,
+	}
+}
+
+// DB is a KVACCEL database plus the simulated machine it runs on.
+type DB struct {
+	clk    *vclock.Clock
+	kv     *core.DB
+	device *ssd.Device
+	opt    Options
+}
+
+// Open builds the full stack and starts its background runners.
+func Open(opt Options) *DB {
+	if opt.Scale < 1 {
+		opt.Scale = 10
+	}
+	if opt.CompactionThreads < 1 {
+		opt.CompactionThreads = 1
+	}
+	if opt.HostCores < 1 {
+		opt.HostCores = 8
+	}
+	clk := vclock.New()
+	cfg := ssd.CosmosConfig(opt.Scale)
+	if opt.KVRegionBytes > 0 {
+		cfg.KVRegionBytes = opt.KVRegionBytes
+	}
+	scale := time.Duration(opt.Scale)
+	cfg.DevLSM.ReadCacheBytes = opt.DevReadCacheBytes
+	cfg.DevLSM.PutCPU *= scale
+	cfg.DevLSM.GetCPU *= scale
+	cfg.DevLSM.ScanCPUPerKB *= scale
+	cfg.KVCommandOverhead *= scale
+	dev := ssd.New(cfg)
+	fsys := fs.New(dev.BlockNamespace(0, 0))
+
+	pool := cpu.NewPool(opt.HostCores, "host-cpu")
+	lopt := lsm.DefaultOptions(pool)
+	s := int64(opt.Scale)
+	lopt.MemtableSize = (128 << 20) / s
+	lopt.BaseLevelBytes = (256 << 20) / s
+	lopt.MaxFileSize = (64 << 20) / s
+	lopt.BlockCacheBytes = (512 << 20) / s
+	lopt.L0CompactionTrigger = 4
+	lopt.L0SlowdownTrigger = 20
+	lopt.L0StopTrigger = 36
+	lopt.CompactionThreads = opt.CompactionThreads
+	lopt.EnableSlowdown = false // KVACCEL redirects instead of throttling
+	lopt.WALChunkSize = 256 << 10
+	lopt.WALQueueDepth = 512
+	lopt.Cost.WriteCPU *= scale
+	lopt.Cost.ReadCPU *= scale
+	lopt.Cost.IterCPU *= scale
+	lopt.Cost.MergeCPUPerKB = lopt.Cost.MergeCPUPerKB * scale * 4 / 10
+	lopt.Cost.FlushCPUPerKB *= scale
+	main := lsm.Open(clk, fsys, lopt)
+
+	copt := core.DefaultOptions()
+	copt.Rollback = opt.Rollback
+	if opt.DetectorPeriod > 0 {
+		copt.DetectorPeriod = opt.DetectorPeriod
+	}
+	kv := core.Open(clk, main, dev, copt)
+	if !opt.EnableRedirection {
+		kv.Detector().SetOverride(false) // pin the normal path
+	}
+	return &DB{clk: clk, kv: kv, device: dev, opt: opt}
+}
+
+// Run starts fn as a simulated thread named name.
+func (db *DB) Run(name string, fn func(r *Runner)) { db.clk.Go(name, fn) }
+
+// Wait blocks the calling OS goroutine until every simulated thread has
+// exited (call Close from inside the simulation first, or make sure all
+// runners return).
+func (db *DB) Wait() { db.clk.Wait() }
+
+// Close stops background runners; in-flight work completes first.
+func (db *DB) Close() { db.kv.Close() }
+
+// Put stores a key-value pair, transparently redirecting through the
+// SSD's KV interface during Main-LSM write stalls.
+func (db *DB) Put(r *Runner, key, value []byte) error { return db.kv.Put(r, key, value) }
+
+// Delete removes a key.
+func (db *DB) Delete(r *Runner, key []byte) error { return db.kv.Delete(r, key) }
+
+// Get returns the newest value for key; ok is false if absent.
+func (db *DB) Get(r *Runner, key []byte) (value []byte, ok bool, err error) {
+	return db.kv.Get(r, key)
+}
+
+// Iterator is the dual-LSM range cursor.
+type Iterator = core.Iterator
+
+// Batch stages writes that commit atomically (one WAL record on the
+// normal path, one compound KV command on the stall path).
+type Batch = lsm.Batch
+
+// WriteBatch commits a batch atomically through the controller.
+func (db *DB) WriteBatch(r *Runner, b *Batch) error { return db.kv.WriteBatch(r, b) }
+
+// NewIterator opens a merged range cursor over both LSMs.
+func (db *DB) NewIterator(r *Runner) *Iterator { return db.kv.NewIterator(r) }
+
+// Flush forces the Main-LSM memtable to disk.
+func (db *DB) Flush(r *Runner) { db.kv.Flush(r) }
+
+// Rollback drains the Dev-LSM into the Main-LSM immediately (§V-E).
+func (db *DB) Rollback(r *Runner) { db.kv.RollbackNow(r) }
+
+// SimulateCrash drops the volatile metadata table (§VI-D).
+func (db *DB) SimulateCrash() { db.kv.SimulateCrash() }
+
+// Recover restores a consistent single-database view after a crash.
+func (db *DB) Recover(r *Runner) { db.kv.Recover(r) }
+
+// Stats aggregates the interesting counters across layers.
+type Stats struct {
+	KVAccel core.Stats
+	Main    lsm.Stats
+}
+
+// Stats returns a snapshot of the system's counters.
+func (db *DB) Stats() Stats {
+	return Stats{KVAccel: db.kv.Stats(), Main: db.kv.Main().Stats()}
+}
+
+// Now returns the current virtual time.
+func (db *DB) Now() vclock.Time { return db.clk.Now() }
+
+// Internals exposes the assembled components for advanced use
+// (experiments, monitoring, ablations).
+func (db *DB) Internals() (*core.DB, *ssd.Device) { return db.kv, db.device }
