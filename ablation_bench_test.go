@@ -1,7 +1,7 @@
 // Ablation benchmarks for the design choices DESIGN.md calls out, beyond
 // the paper's own evaluation: redirection on/off, detector period, DMA
 // chunk size, rollback scheduling, and metadata-manager shard count.
-package kvaccel
+package kvaccel_test
 
 import (
 	"fmt"

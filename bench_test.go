@@ -4,7 +4,7 @@
 // figure's headline numbers as custom metrics (Kops/s, µs, ratios).
 // go test -bench=. -benchmem regenerates every row; cmd/experiments runs
 // the full-length versions.
-package kvaccel
+package kvaccel_test
 
 import (
 	"io"

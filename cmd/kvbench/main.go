@@ -1,13 +1,14 @@
 // Command kvbench is the repo's db_bench: it runs a Table IV workload
-// against one engine (rocksdb, adoc, or kvaccel) on a fresh simulated
-// testbed and prints db_bench-style summary lines plus optional
-// per-second series.
+// against one engine (rocksdb, adoc, kvaccel, or kvaccel-sharded) on a
+// fresh simulated testbed and prints db_bench-style summary lines plus
+// optional per-second series.
 //
 // Examples:
 //
 //	kvbench -engine rocksdb -workload fillrandom -threads 1 -slowdown=false
 //	kvbench -engine kvaccel -workload readwhilewriting -readfraction 0.2 -rollback eager
 //	kvbench -engine adoc -workload seekrandom
+//	kvbench -engine kvaccel-sharded -shards 4 -workload fillrandom
 package main
 
 import (
@@ -17,13 +18,12 @@ import (
 	"strings"
 	"time"
 
-	"kvaccel/internal/core"
 	"kvaccel/internal/harness"
 )
 
 func main() {
 	var (
-		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel")
+		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel, kvaccel-sharded")
 		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom")
 		threads  = flag.Int("threads", 1, "compaction threads")
 		slowdown = flag.Bool("slowdown", true, "enable the RocksDB slowdown mechanism (rocksdb/adoc)")
@@ -34,8 +34,33 @@ func main() {
 		keyspace = flag.Int("keyspace", 300_000, "key domain size")
 		value    = flag.Int("value", 4096, "value size in bytes")
 		series   = flag.Bool("series", false, "print per-second throughput TSV")
+		shards   = flag.Int("shards", 1, "shard count for kvaccel-sharded")
+		writers  = flag.Int("writers", 0, "writer threads for kvaccel-sharded (default: one per shard)")
 	)
 	flag.Parse()
+
+	rb, ok := parseRollback(*rollback)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown rollback scheme %q\n", *rollback)
+		os.Exit(2)
+	}
+
+	if strings.ToLower(*engine) == "kvaccel-sharded" {
+		runSharded(shardedRunParams{
+			shards:   *shards,
+			writers:  *writers,
+			threads:  *threads,
+			rollback: rb,
+			workload: strings.ToLower(*wl),
+			readFrac: *readFrac,
+			scale:    *scale,
+			duration: *duration,
+			keyspace: *keyspace,
+			value:    *value,
+			series:   *series,
+		})
+		return
+	}
 
 	p := harness.DefaultParams()
 	p.Scale = *scale
@@ -51,17 +76,7 @@ func main() {
 		spec.Kind = harness.KindADOC
 	case "kvaccel":
 		spec.Kind = harness.KindKVAccel
-		switch strings.ToLower(*rollback) {
-		case "disabled":
-			spec.Rollback = core.RollbackDisabled
-		case "lazy":
-			spec.Rollback = core.RollbackLazy
-		case "eager":
-			spec.Rollback = core.RollbackEager
-		default:
-			fmt.Fprintf(os.Stderr, "unknown rollback scheme %q\n", *rollback)
-			os.Exit(2)
-		}
+		spec.Rollback = rb
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
 		os.Exit(2)

@@ -60,7 +60,7 @@ func TestRandomizedConsistency(t *testing.T) {
 					if len(want) > 0 {
 						wantB = want[0]
 					}
-					db.main.DebugDumpKey(t.Logf, r, k, step)
+					db.main.(*lsm.DB).DebugDumpKey(t.Logf, r, k, step)
 					t.Fatalf("step %d: Get(%q) ok=%v want-exists=%v got[0]=%c want[0]=%c meta=%v",
 						step, k, ok, exists, gotB, wantB, db.meta.Contains(k))
 				}
@@ -129,7 +129,7 @@ func TestMultiDeviceSetup(t *testing.T) {
 	main := lsm.Open(clk, fsys, lopt)
 	opt := DefaultOptions()
 	opt.Rollback = RollbackDisabled
-	db := Open(clk, main, kvDev, opt)
+	db := Open(clk, main, kvDev.KVRegionFull(), opt)
 
 	clk.Go("test", func(r *vclock.Runner) {
 		defer db.Close()
@@ -182,7 +182,7 @@ func TestHostRestartEndToEnd(t *testing.T) {
 	main := lsm.Open(clk, fsys, lopt)
 	opt := DefaultOptions()
 	opt.Rollback = RollbackDisabled
-	db := Open(clk, main, dev, opt)
+	db := Open(clk, main, dev.KVRegionFull(), opt)
 	clk.Go("phase1", func(r *vclock.Runner) {
 		for i := 0; i < 300; i++ {
 			_ = db.Put(r, key(i), value(i))
@@ -206,7 +206,7 @@ func TestHostRestartEndToEnd(t *testing.T) {
 			t.Errorf("host LSM reopen: %v", err)
 			return
 		}
-		db2 := Open(clk2, main2, dev, opt)
+		db2 := Open(clk2, main2, dev.KVRegionFull(), opt)
 		defer db2.Close()
 
 		if dev.Dev.Count() == 0 {

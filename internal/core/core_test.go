@@ -42,7 +42,7 @@ func newStack(opt Options, tune func(*lsm.Options)) (*vclock.Clock, *DB) {
 		tune(&lopt)
 	}
 	main := lsm.Open(clk, fsys, lopt)
-	return clk, Open(clk, main, dev, opt)
+	return clk, Open(clk, main, dev.KVRegionFull(), opt)
 }
 
 func key(i int) []byte   { return []byte(fmt.Sprintf("key%07d", i)) }
@@ -131,7 +131,7 @@ func TestRollbackDrainsDevLSMIntoMain(t *testing.T) {
 			t.Fatalf("metadata count = %d, want 500", db.meta.Count())
 		}
 		db.RollbackNow(r)
-		if !db.dev.Dev.Empty() {
+		if !db.dev.KVEmpty() {
 			t.Error("Dev-LSM not empty after rollback")
 		}
 		if db.meta.Count() != 0 {
@@ -205,10 +205,10 @@ func TestEagerRollbackFiresAutomatically(t *testing.T) {
 		db.det.SetOverride(false)
 		// The detector refreshes the stall signal itself; give the
 		// rollback manager a few periods of virtual time.
-		for w := 0; w < 100 && !db.dev.Dev.Empty(); w++ {
+		for w := 0; w < 100 && !db.dev.KVEmpty(); w++ {
 			r.Sleep(20 * time.Millisecond)
 		}
-		if !db.dev.Dev.Empty() {
+		if !db.dev.KVEmpty() {
 			t.Fatal("eager rollback never drained the Dev-LSM")
 		}
 	})
@@ -234,11 +234,11 @@ func TestLazyRollbackWaitsForQuiet(t *testing.T) {
 		}
 		db.det.SetOverride(false)
 		lastWrite = r.Now()
-		for w := 0; w < 500 && !db.dev.Dev.Empty(); w++ {
+		for w := 0; w < 500 && !db.dev.KVEmpty(); w++ {
 			r.Sleep(20 * time.Millisecond)
 		}
 		drainedAt = r.Now()
-		if !db.dev.Dev.Empty() {
+		if !db.dev.KVEmpty() {
 			t.Fatal("lazy rollback never fired")
 		}
 	})

@@ -16,7 +16,6 @@ import (
 
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
-	"kvaccel/internal/ssd"
 	"kvaccel/internal/vclock"
 )
 
@@ -94,13 +93,28 @@ type Stats struct {
 	RecoveryTime   time.Duration
 }
 
+// Add returns the field-wise sum of s and o. The sharded front-end uses
+// it to aggregate per-shard counters into one system-wide view.
+func (s Stats) Add(o Stats) Stats {
+	s.NormalPuts += o.NormalPuts
+	s.RedirectedPuts += o.RedirectedPuts
+	s.MainGets += o.MainGets
+	s.DevGets += o.DevGets
+	s.Rollbacks += o.Rollbacks
+	s.RollbackPairs += o.RollbackPairs
+	s.RollbackTime += o.RollbackTime
+	s.Recoveries += o.Recoveries
+	s.RecoveryTime += o.RecoveryTime
+	return s
+}
+
 // DB is a KVACCEL instance: a Main-LSM on the block interface plus a
 // Dev-LSM on the KV interface of the same dual-interface SSD.
 type DB struct {
 	clk  *vclock.Clock
 	opt  Options
-	main *lsm.DB
-	dev  *ssd.Device
+	main MainEngine
+	dev  KVDevice
 	meta *MetadataManager
 	det  *Detector
 
@@ -127,9 +141,11 @@ type DB struct {
 
 const gateUnits = 1 << 20 // effectively "all writers"
 
-// Open assembles KVACCEL over an already-open Main-LSM and device, and
-// starts the Detector and Rollback Manager runners.
-func Open(clk *vclock.Clock, main *lsm.DB, dev *ssd.Device, opt Options) *DB {
+// Open assembles KVACCEL over an already-open main engine and KV device
+// view, and starts the Detector and Rollback Manager runners. The
+// concrete stack (lsm.Open, ssd.New) is the caller's business — this
+// package only sees the MainEngine and KVDevice contracts.
+func Open(clk *vclock.Clock, main MainEngine, dev KVDevice, opt Options) *DB {
 	if opt.DetectorPeriod <= 0 {
 		opt.DetectorPeriod = 100 * time.Millisecond
 	}
@@ -153,11 +169,11 @@ func Open(clk *vclock.Clock, main *lsm.DB, dev *ssd.Device, opt Options) *DB {
 	return db
 }
 
-// Main exposes the underlying Main-LSM (stats, health).
-func (db *DB) Main() *lsm.DB { return db.main }
+// Main exposes the underlying main engine (stats, health).
+func (db *DB) Main() MainEngine { return db.main }
 
-// Device exposes the dual-interface SSD.
-func (db *DB) Device() *ssd.Device { return db.dev }
+// Device exposes the KV-interface view KVACCEL buffers into.
+func (db *DB) Device() KVDevice { return db.dev }
 
 // Metadata exposes the metadata manager (tests, Table VI bench).
 func (db *DB) Metadata() *MetadataManager { return db.meta }

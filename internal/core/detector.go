@@ -8,13 +8,13 @@ import (
 	"kvaccel/internal/vclock"
 )
 
-// Detector periodically samples the Main-LSM's stall signals — L0 file
-// count, memtable fill, and pending compaction bytes (§V-C) — and
+// Detector periodically samples the main engine's stall signals — L0
+// file count, memtable fill, and pending compaction bytes (§V-C) — and
 // publishes a redirect decision the Controller reads on every write. It
 // runs detached from the write path, refreshing every Period (0.1 s in
 // the paper's implementation).
 type Detector struct {
-	main   *lsm.DB
+	main   MainEngine
 	period time.Duration
 	cost   time.Duration // host CPU charged per check (Table VI: 1.37 us)
 
@@ -27,7 +27,7 @@ type Detector struct {
 }
 
 // NewDetector creates a detector over main; Start launches its runner.
-func NewDetector(main *lsm.DB, period, checkCost time.Duration) *Detector {
+func NewDetector(main MainEngine, period, checkCost time.Duration) *Detector {
 	if period <= 0 {
 		period = 100 * time.Millisecond
 	}
@@ -52,13 +52,10 @@ func (d *Detector) Start(clk *vclock.Clock, cpuRun func(*vclock.Runner, time.Dur
 func (d *Detector) Check(r *vclock.Runner, cpuRun func(*vclock.Runner, time.Duration)) {
 	h := d.main.Health()
 	d.lastHealth.Store(&h)
-	// The write-stall prediction (§V-C): a stop condition already
-	// holding, a slowdown trigger, or — the anticipatory signal — the
-	// active memtable filling up while the flush backlog is at its
-	// limit, which means the next rotation would block the writer.
-	memPressure := h.ImmutableMemtables > 0 &&
-		h.MemtableCapacity > 0 && h.MemtableBytes*10 >= h.MemtableCapacity*6
-	d.stall.Store(h.Stalled || h.SlowdownLikely || memPressure)
+	// The write-stall prediction (§V-C) is the engine's exported stall
+	// signal: a stop condition already holding, a slowdown trigger, or
+	// the anticipatory memtable-pressure signal.
+	d.stall.Store(h.StallSignal())
 	d.checks.Add(1)
 	if cpuRun != nil && d.cost > 0 {
 		cpuRun(r, d.cost)

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"kvaccel/internal/iterkit"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/vclock"
+)
+
+// MainEngine is the narrow contract KVACCEL's software modules require
+// of the host-side engine: the write/read/scan surface the Controller
+// drives, the batch commit the WriteBatch path uses, and the
+// stall-signal/stats surface the Detector polls. *lsm.DB satisfies it;
+// the controller, detector, rollback, and metadata layers compile only
+// against this interface, so an alternative host engine can be swapped
+// in without touching this package.
+type MainEngine interface {
+	// Put, Delete, and Get are the normal-path point operations.
+	Put(r *vclock.Runner, key, value []byte) error
+	Delete(r *vclock.Runner, key []byte) error
+	Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err error)
+	// Write commits a batch atomically (one WAL record).
+	Write(r *vclock.Runner, b *lsm.Batch) error
+	// NewIterator opens a range cursor over the engine's contents.
+	NewIterator(r *vclock.Runner) *lsm.Iterator
+	// Flush forces the active memtable to disk; WaitIdle parks until
+	// background work drains.
+	Flush(r *vclock.Runner)
+	WaitIdle(r *vclock.Runner)
+	// Health is the stall signal the Detector samples every period.
+	Health() lsm.Health
+	// Stats exposes the engine's cumulative counters.
+	Stats() lsm.Stats
+	// Close stops background work; in-flight operations complete first.
+	Close()
+}
+
+// KVDevice is the key-value command surface KVACCEL requires of the
+// dual-interface SSD: PUT/GET/DELETE, the compound and bulk-scan
+// commands the batch and rollback paths use, reset, iteration, and a
+// usage report. *ssd.KVRegion satisfies it — either the full KV region
+// (single write domain) or one per-shard slice of it — as does any
+// second device's KV view in the multi-device mode of §V-D.
+type KVDevice interface {
+	// KVPut stores one record; kind distinguishes values, tombstones,
+	// and supersede markers.
+	KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte)
+	// KVDelete stores a tombstone (equivalent to KVPut with KindDelete).
+	KVDelete(r *vclock.Runner, key []byte)
+	// KVPutCompound commits several records under one command header —
+	// the device-side half of atomic write batches.
+	KVPutCompound(r *vclock.Runner, entries []memtable.Entry)
+	// KVGet returns the newest buffered record for key.
+	KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool)
+	// KVReset wipes the device's buffered pairs (§V-E step 8).
+	KVReset(r *vclock.Runner)
+	// KVBulkScan streams every buffered pair in key order, in DMA-sized
+	// chunks (§V-E steps 3-6).
+	KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry))
+	// NewKVIterator opens a host-visible cursor (SEEK/NEXT commands).
+	NewKVIterator(r *vclock.Runner) iterkit.Iterator
+	// KVEmpty reports whether no pairs are buffered.
+	KVEmpty() bool
+	// KVUsage reports buffered pair count and logical bytes.
+	KVUsage() (entries, bytes int64)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/ssd"
+)
+
+// Compile-time interface conformance: the concrete engine and device
+// types must keep satisfying the narrow interfaces core depends on.
+var (
+	_ MainEngine = (*lsm.DB)(nil)
+	_ KVDevice   = (*ssd.KVRegion)(nil)
+)
+
+// TestCoreDependsOnInterfacesOnly asserts the refactor's core property:
+// internal/core never constructs concrete engines — it receives
+// MainEngine and KVDevice from the caller. Production sources must not
+// reference lsm.Open/lsm.Reopen or ssd.New.
+func TestCoreDependsOnInterfacesOnly(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	banned := []string{"lsm.Open(", "lsm.Reopen(", "ssd.New(", "devlsm.New("}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range banned {
+			if strings.Contains(string(src), b) {
+				t.Errorf("%s references concrete constructor %q; core must depend on interfaces only", name, b)
+			}
+		}
+	}
+}

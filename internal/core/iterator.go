@@ -3,9 +3,9 @@ package core
 import (
 	"bytes"
 
+	"kvaccel/internal/iterkit"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
-	"kvaccel/internal/ssd"
 	"kvaccel/internal/vclock"
 )
 
@@ -17,7 +17,7 @@ type Iterator struct {
 	db   *DB
 	r    *vclock.Runner
 	main *lsm.Iterator
-	dev  *ssd.KVIterator
+	dev  iterkit.Iterator
 
 	key     []byte
 	value   []byte

@@ -8,8 +8,10 @@ import (
 // MetadataManager is the in-memory hash table that tracks which keys'
 // newest version lives in the Dev-LSM (§V-C). It answers the membership
 // test on every read and write; Table VI reports its insert/check/delete
-// costs at a fraction of a microsecond, which the sharded design
-// preserves under concurrency.
+// costs at a fraction of a microsecond, which the lock-striped design
+// preserves under concurrency. Each core.DB owns one manager, so the
+// sharded front-end runs N independent tables — one per write domain —
+// with no cross-shard synchronization on the hot path.
 //
 // The table lives in volatile host memory: on a crash it is lost, and
 // recovery rebuilds the database state by rolling back every key-value

@@ -25,7 +25,7 @@ func (db *DB) startRollbackManager() {
 // shouldRollback evaluates the scheduling scheme against the detector's
 // latest report.
 func (db *DB) shouldRollback(r *vclock.Runner) bool {
-	if db.dev.Dev.Empty() || db.det.StallLikely() {
+	if db.dev.KVEmpty() || db.det.StallLikely() {
 		return false
 	}
 	switch db.opt.Rollback {

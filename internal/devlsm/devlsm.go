@@ -100,6 +100,11 @@ type DevLSM struct {
 	f   *ftl.FTL
 	arm *cpu.Pool
 
+	// lpnOff/lpnCount bound the slice of the KV region this instance
+	// owns; a full-region Dev-LSM owns [0, RegionPages).
+	lpnOff   int
+	lpnCount int
+
 	mu       sync.Mutex
 	mem      *memtable.Table
 	runs     []*run // oldest first
@@ -115,16 +120,33 @@ type DevLSM struct {
 	cacheLRU *list.List
 }
 
-// New builds a Dev-LSM over the FTL's KV region, running on the given
-// controller core pool.
+// New builds a Dev-LSM over the FTL's whole KV region, running on the
+// given controller core pool.
 func New(f *ftl.FTL, arm *cpu.Pool, cfg Config) *DevLSM {
+	return NewRegion(f, arm, cfg, 0, f.RegionPages(ftl.KVRegion))
+}
+
+// NewRegion builds a Dev-LSM over pages [offsetPages, offsetPages+pages)
+// of the FTL's KV region. Several instances over disjoint slices can
+// coexist on one device — the per-shard write domains of the sharded
+// front-end — sharing the controller core and NAND while keeping their
+// runs, memtables, and resets independent.
+func NewRegion(f *ftl.FTL, arm *cpu.Pool, cfg Config, offsetPages, pages int) *DevLSM {
 	if cfg.MemtableBytes <= 0 {
 		cfg.MemtableBytes = 4 << 20
 	}
 	if cfg.MaxRuns <= 0 {
 		cfg.MaxRuns = 8
 	}
-	d := &DevLSM{cfg: cfg, f: f, arm: arm, mem: memtable.New()}
+	total := f.RegionPages(ftl.KVRegion)
+	if pages <= 0 {
+		pages = total - offsetPages
+	}
+	if offsetPages < 0 || pages < 1 || offsetPages+pages > total {
+		panic(fmt.Sprintf("devlsm: region slice [%d,%d) outside KV region of %d pages",
+			offsetPages, offsetPages+pages, total))
+	}
+	d := &DevLSM{cfg: cfg, f: f, arm: arm, mem: memtable.New(), lpnOff: offsetPages, lpnCount: pages}
 	if cfg.ReadCacheBytes > 0 {
 		d.cacheCap = int(cfg.ReadCacheBytes / int64(f.PageSize()))
 		if d.cacheCap < 1 {
@@ -133,13 +155,15 @@ func New(f *ftl.FTL, arm *cpu.Pool, cfg Config) *DevLSM {
 		d.cached = make(map[int]*list.Element)
 		d.cacheLRU = list.New()
 	}
-	n := f.RegionPages(ftl.KVRegion)
-	d.freeLPNs = make([]int, n)
+	d.freeLPNs = make([]int, pages)
 	for i := range d.freeLPNs {
-		d.freeLPNs[i] = n - 1 - i
+		d.freeLPNs[i] = offsetPages + pages - 1 - i
 	}
 	return d
 }
+
+// Region returns the slice of KV-region pages this instance owns.
+func (d *DevLSM) Region() (offsetPages, pages int) { return d.lpnOff, d.lpnCount }
 
 // Stats returns a snapshot of the counters.
 func (d *DevLSM) Stats() Stats {
@@ -483,7 +507,8 @@ func (d *dedupIter) Next() {
 }
 
 // Reset wipes the Dev-LSM after a completed rollback (§V-E step 8): the
-// memtable, every run, and the KV region mapping.
+// memtable, every run, and this instance's slice of the KV region
+// mapping (other slices of the same device are untouched).
 func (d *DevLSM) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -496,10 +521,15 @@ func (d *DevLSM) Reset() {
 		d.cacheLRU = list.New()
 	}
 	d.stats.Resets++
-	n := d.f.RegionPages(ftl.KVRegion)
 	d.freeLPNs = d.freeLPNs[:0]
-	for i := n - 1; i >= 0; i-- {
+	for i := d.lpnOff + d.lpnCount - 1; i >= d.lpnOff; i-- {
 		d.freeLPNs = append(d.freeLPNs, i)
 	}
-	d.f.TrimRegion(ftl.KVRegion)
+	if d.lpnOff == 0 && d.lpnCount == d.f.RegionPages(ftl.KVRegion) {
+		d.f.TrimRegion(ftl.KVRegion)
+		return
+	}
+	for lpn := d.lpnOff; lpn < d.lpnOff+d.lpnCount; lpn++ {
+		d.f.Trim(ftl.KVRegion, lpn)
+	}
 }

@@ -252,7 +252,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}
-		kv := core.Open(tb.Clk, main, tb.Dev, copt)
+		kv := core.Open(tb.Clk, main, tb.Dev.KVRegionFull(), copt)
 		return &Engine{Spec: spec, Eng: workload.KVAccelEngine{DB: kv}, Main: main, KV: kv}
 	default:
 		opt := p.lsmOptions(tb, spec.Threads, spec.Slowdown)

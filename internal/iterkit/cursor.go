@@ -1,0 +1,110 @@
+package iterkit
+
+import "bytes"
+
+// Cursor is a user-key range cursor: resolved key-value pairs with
+// tombstones and shadowed versions already applied. core.Iterator and
+// lsm.Iterator both satisfy it, which lets the sharded front-end merge
+// per-shard dual-LSM cursors without knowing their construction.
+type Cursor interface {
+	SeekToFirst()
+	Seek(key []byte)
+	Next()
+	Valid() bool
+	Key() []byte
+	Value() []byte
+	Close()
+}
+
+// MergedCursor yields the union of its children in ascending user-key
+// order. Children must individually be in ascending user-key order with
+// no duplicate keys inside one child (true of resolved shard cursors).
+// If several children sit on the same key, the lowest-index child wins
+// and all tied children advance together — with hash-disjoint shards the
+// tie case cannot arise, but the cursor stays correct if it does.
+type MergedCursor struct {
+	children []Cursor
+	cur      int // index of the winning child, -1 when exhausted
+	closed   bool
+}
+
+// NewMergedCursor merges children; it takes ownership and closes them.
+func NewMergedCursor(children []Cursor) *MergedCursor {
+	return &MergedCursor{children: children, cur: -1}
+}
+
+// SeekToFirst positions every child at its start.
+func (m *MergedCursor) SeekToFirst() {
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.settle()
+}
+
+// Seek positions every child at the first key >= key.
+func (m *MergedCursor) Seek(key []byte) {
+	for _, c := range m.children {
+		c.Seek(key)
+	}
+	m.settle()
+}
+
+// Next advances past the current key: the winning child and any child
+// tied with it move forward.
+func (m *MergedCursor) Next() {
+	if m.cur < 0 {
+		return
+	}
+	key := m.children[m.cur].Key()
+	for _, c := range m.children {
+		if c.Valid() && bytes.Equal(c.Key(), key) {
+			c.Next()
+		}
+	}
+	m.settle()
+}
+
+// settle picks the child with the smallest current key (lowest index on
+// ties). Linear scan: shard counts are small (typically <= 16), so this
+// beats heap bookkeeping.
+func (m *MergedCursor) settle() {
+	m.cur = -1
+	for i, c := range m.children {
+		if !c.Valid() {
+			continue
+		}
+		if m.cur < 0 || bytes.Compare(c.Key(), m.children[m.cur].Key()) < 0 {
+			m.cur = i
+		}
+	}
+}
+
+// Valid reports whether the cursor is on a live key.
+func (m *MergedCursor) Valid() bool { return m.cur >= 0 }
+
+// Key returns the current user key.
+func (m *MergedCursor) Key() []byte {
+	if m.cur < 0 {
+		return nil
+	}
+	return m.children[m.cur].Key()
+}
+
+// Value returns the current value.
+func (m *MergedCursor) Value() []byte {
+	if m.cur < 0 {
+		return nil
+	}
+	return m.children[m.cur].Value()
+}
+
+// Close closes every child cursor.
+func (m *MergedCursor) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, c := range m.children {
+		c.Close()
+	}
+}

@@ -1,0 +1,136 @@
+package iterkit
+
+import (
+	"sort"
+	"testing"
+)
+
+// sliceCursor is a Cursor over an in-memory sorted key set.
+type sliceCursor struct {
+	keys   []string
+	values []string
+	pos    int
+	closed bool
+}
+
+func newSliceCursor(pairs map[string]string) *sliceCursor {
+	c := &sliceCursor{}
+	for k := range pairs {
+		c.keys = append(c.keys, k)
+	}
+	sort.Strings(c.keys)
+	for _, k := range c.keys {
+		c.values = append(c.values, pairs[k])
+	}
+	c.pos = len(c.keys)
+	return c
+}
+
+func (c *sliceCursor) SeekToFirst() { c.pos = 0 }
+func (c *sliceCursor) Seek(key []byte) {
+	c.pos = sort.SearchStrings(c.keys, string(key))
+}
+func (c *sliceCursor) Next()         { c.pos++ }
+func (c *sliceCursor) Valid() bool   { return c.pos >= 0 && c.pos < len(c.keys) }
+func (c *sliceCursor) Key() []byte   { return []byte(c.keys[c.pos]) }
+func (c *sliceCursor) Value() []byte { return []byte(c.values[c.pos]) }
+func (c *sliceCursor) Close()        { c.closed = true }
+
+func collect(m *MergedCursor) (keys, values []string) {
+	for m.SeekToFirst(); m.Valid(); m.Next() {
+		keys = append(keys, string(m.Key()))
+		values = append(values, string(m.Value()))
+	}
+	return
+}
+
+func TestMergedCursorOrdering(t *testing.T) {
+	a := newSliceCursor(map[string]string{"a": "1", "d": "4", "g": "7"})
+	b := newSliceCursor(map[string]string{"b": "2", "e": "5"})
+	c := newSliceCursor(map[string]string{"c": "3", "f": "6"})
+	m := NewMergedCursor([]Cursor{a, b, c})
+
+	keys, values := collect(m)
+	wantK := []string{"a", "b", "c", "d", "e", "f", "g"}
+	wantV := []string{"1", "2", "3", "4", "5", "6", "7"}
+	if len(keys) != len(wantK) {
+		t.Fatalf("got %v, want %v", keys, wantK)
+	}
+	for i := range wantK {
+		if keys[i] != wantK[i] || values[i] != wantV[i] {
+			t.Fatalf("position %d: got %s=%s, want %s=%s", i, keys[i], values[i], wantK[i], wantV[i])
+		}
+	}
+}
+
+func TestMergedCursorDuplicateKeysLowestChildWins(t *testing.T) {
+	// Same key in two children: the lower-index child's value surfaces
+	// once, and both children advance past it.
+	a := newSliceCursor(map[string]string{"k": "newer", "z": "za"})
+	b := newSliceCursor(map[string]string{"k": "older", "m": "mb"})
+	m := NewMergedCursor([]Cursor{a, b})
+
+	keys, values := collect(m)
+	wantK := []string{"k", "m", "z"}
+	wantV := []string{"newer", "mb", "za"}
+	for i := range wantK {
+		if i >= len(keys) || keys[i] != wantK[i] || values[i] != wantV[i] {
+			t.Fatalf("got %v/%v, want %v/%v", keys, values, wantK, wantV)
+		}
+	}
+}
+
+func TestMergedCursorEmptyChildren(t *testing.T) {
+	// All-empty children and a mix of empty and non-empty both behave.
+	empty := NewMergedCursor([]Cursor{newSliceCursor(nil), newSliceCursor(nil)})
+	empty.SeekToFirst()
+	if empty.Valid() {
+		t.Fatal("all-empty merge reports Valid")
+	}
+	if empty.Key() != nil || empty.Value() != nil {
+		t.Fatal("invalid cursor yields non-nil key/value")
+	}
+	empty.Next() // must not panic
+
+	mixed := NewMergedCursor([]Cursor{
+		newSliceCursor(nil),
+		newSliceCursor(map[string]string{"x": "1"}),
+		newSliceCursor(nil),
+	})
+	keys, _ := collect(mixed)
+	if len(keys) != 1 || keys[0] != "x" {
+		t.Fatalf("mixed-empty merge yielded %v, want [x]", keys)
+	}
+}
+
+func TestMergedCursorSeek(t *testing.T) {
+	a := newSliceCursor(map[string]string{"a": "1", "m": "2", "z": "3"})
+	b := newSliceCursor(map[string]string{"c": "4", "p": "5"})
+	m := NewMergedCursor([]Cursor{a, b})
+
+	m.Seek([]byte("n"))
+	var got []string
+	for ; m.Valid(); m.Next() {
+		got = append(got, string(m.Key()))
+	}
+	want := []string{"p", "z"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Seek(n) walked %v, want %v", got, want)
+	}
+
+	m.Seek([]byte("zz"))
+	if m.Valid() {
+		t.Fatal("Seek past the end still Valid")
+	}
+}
+
+func TestMergedCursorCloseClosesChildren(t *testing.T) {
+	a := newSliceCursor(map[string]string{"a": "1"})
+	b := newSliceCursor(map[string]string{"b": "2"})
+	m := NewMergedCursor([]Cursor{a, b})
+	m.Close()
+	m.Close() // idempotent
+	if !a.closed || !b.closed {
+		t.Fatal("Close did not reach every child")
+	}
+}

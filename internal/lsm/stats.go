@@ -91,6 +91,43 @@ type Health struct {
 	QueuedFlushes     int
 }
 
+// Add returns the field-wise sum of two stats snapshots — the
+// aggregation the sharded front-end uses to report one engine-shaped
+// counter set across N independent shards.
+func (s Stats) Add(o Stats) Stats {
+	s.Puts += o.Puts
+	s.Gets += o.Gets
+	s.Deletes += o.Deletes
+	s.Slowdowns += o.Slowdowns
+	for i := range s.StallEvents {
+		s.StallEvents[i] += o.StallEvents[i]
+	}
+	s.StallTime += o.StallTime
+	s.Flushes += o.Flushes
+	s.FlushBytes += o.FlushBytes
+	s.Compactions += o.Compactions
+	s.CompactionReadBytes += o.CompactionReadBytes
+	s.CompactionWriteBytes += o.CompactionWriteBytes
+	s.WALBytesWritten += o.WALBytesWritten
+	return s
+}
+
+// MemtablePressure reports the anticipatory stall signal: the active
+// memtable is filling (>= 60%) while the flush backlog is at its limit,
+// so the next rotation would block the writer.
+func (h Health) MemtablePressure() bool {
+	return h.ImmutableMemtables > 0 &&
+		h.MemtableCapacity > 0 && h.MemtableBytes*10 >= h.MemtableCapacity*6
+}
+
+// StallSignal is the engine's exported write-stall prediction (§V-C): a
+// stop condition already holding, a slowdown trigger, or the
+// anticipatory memtable-pressure signal. The KVACCEL Detector redirects
+// writes while this is true.
+func (h Health) StallSignal() bool {
+	return h.Stalled || h.SlowdownLikely || h.MemtablePressure()
+}
+
 // String renders the stats as a compact db_bench-style summary line.
 func (s Stats) String() string {
 	return fmt.Sprintf("puts=%d gets=%d dels=%d slowdowns=%d stalls=%d stallTime=%v flushes=%d compactions=%d WA=%.2f",

@@ -168,6 +168,35 @@ func (h *Histogram) P50() time.Duration  { return h.Quantile(0.50) }
 func (h *Histogram) P99() time.Duration  { return h.Quantile(0.99) }
 func (h *Histogram) P999() time.Duration { return h.Quantile(0.999) }
 
+// Merge folds o's observations into h. Both histograms share the fixed
+// global bucket layout, so counts add exactly; mean and quantiles of the
+// merged histogram equal those of observing both streams directly.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	counts := append([]uint64(nil), o.counts...)
+	total, sum, lo, hi := o.total, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if total == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if lo < h.min {
+		h.min = lo
+	}
+	if hi > h.max {
+		h.max = hi
+	}
+	h.mu.Unlock()
+}
+
 // Reset clears all observations.
 func (h *Histogram) Reset() {
 	h.mu.Lock()

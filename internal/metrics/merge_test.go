@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramMergeMatchesDirectObservation(t *testing.T) {
+	a, b, direct := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		direct.Observe(d)
+	}
+	a.Merge(b)
+	if a.Count() != direct.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), direct.Count())
+	}
+	if a.Mean() != direct.Mean() {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), direct.Mean())
+	}
+	if a.Min() != direct.Min() || a.Max() != direct.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), direct.Min(), direct.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), direct.Quantile(q); got != want {
+			t.Errorf("merged q%.3f = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndSelf(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+
+	// Merging an empty histogram must not disturb min/max.
+	h.Merge(NewHistogram())
+	if h.Count() != 1 || h.Min() != time.Millisecond || h.Max() != time.Millisecond {
+		t.Fatalf("merge(empty) disturbed state: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+
+	// Empty.Merge(populated) adopts the source's stats.
+	e := NewHistogram()
+	e.Merge(h)
+	if e.Count() != 1 || e.P50() == 0 {
+		t.Fatalf("empty.Merge(populated): count=%d p50=%v", e.Count(), e.P50())
+	}
+
+	// Self-merge and nil-merge are no-ops, not deadlocks or double counts.
+	h.Merge(h)
+	h.Merge(nil)
+	if h.Count() != 1 {
+		t.Fatalf("self/nil merge changed count to %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+	h.Observe(42 * time.Microsecond)
+	// With one sample every quantile is that sample (clamped to min/max).
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 42*time.Microsecond {
+			t.Errorf("single-sample q%.1f = %v, want 42µs", q, got)
+		}
+	}
+}
+
+func TestASCIIChartEdgeCases(t *testing.T) {
+	// Zero samples: a labelled placeholder, not a panic or empty string.
+	s := NewSeries("empty")
+	if got := s.ASCIIChart(40, 5); !strings.Contains(got, "(no samples)") {
+		t.Errorf("empty chart = %q, want a (no samples) marker", got)
+	}
+
+	// One sample still renders a full-width chart.
+	one := NewSeries("one")
+	one.Append(1, 3.5)
+	got := one.ASCIIChart(40, 5)
+	if !strings.Contains(got, "#") {
+		t.Errorf("single-sample chart has no bar:\n%s", got)
+	}
+	if !strings.Contains(got, "max 3.50") {
+		t.Errorf("single-sample chart lost its max label:\n%s", got)
+	}
+
+	// Width and height below the clamp floors (8 and 2) must clamp, not
+	// crash or emit a degenerate chart.
+	tiny := NewSeries("tiny")
+	for i := 0; i < 20; i++ {
+		tiny.Append(float64(i), float64(i))
+	}
+	got = tiny.ASCIIChart(1, 0)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	var axis string
+	for _, l := range lines {
+		if strings.Contains(l, "+") {
+			axis = l
+		}
+	}
+	if axis == "" || strings.Count(axis, "-") != 8 {
+		t.Errorf("width clamp: axis = %q, want 8 dashes", axis)
+	}
+	bars := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			bars++
+		}
+	}
+	if bars != 2 {
+		t.Errorf("height clamp: %d value rows, want 2", bars)
+	}
+}

@@ -1,0 +1,137 @@
+package ssd
+
+import (
+	"kvaccel/internal/devlsm"
+	"kvaccel/internal/ftl"
+	"kvaccel/internal/iterkit"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/pcie"
+	"kvaccel/internal/vclock"
+)
+
+// KVRegion is a region-scoped view of the KV interface: its own Dev-LSM
+// over a slice of the KV region's pages, sharing the device's PCIe link,
+// NVMe command processor, and ARM controller core with every other
+// slice. A full-region view (KVRegionFull) behaves exactly like the
+// device-level KV commands; per-shard slices (KVRegionSlices) are the
+// independent write domains of the sharded front-end — each can buffer,
+// scan, and reset without touching its neighbours' pairs.
+type KVRegion struct {
+	dev *Device
+	lsm *devlsm.DevLSM
+}
+
+// KVRegionFull returns the view covering the whole KV region (the
+// device's default Dev-LSM).
+func (d *Device) KVRegionFull() *KVRegion { return d.full }
+
+// KVRegionSlices partitions the KV region into n near-equal page slices,
+// each backed by its own Dev-LSM instance. The device DRAM budget for
+// write buffering (DevLSM.MemtableBytes) is split evenly so total
+// controller memory matches the unsharded configuration. The slices
+// share the single ARM core and NAND dies, preserving the paper's
+// device-resource model; callers must not mix slice views with the
+// full-region view on the same device.
+func (d *Device) KVRegionSlices(n int) []*KVRegion {
+	if n < 1 {
+		n = 1
+	}
+	total := d.FTL.RegionPages(ftl.KVRegion)
+	per := total / n
+	if per < 1 {
+		panic("ssd: KV region too small to slice")
+	}
+	cfg := d.cfg.DevLSM
+	cfg.MemtableBytes /= int64(n)
+	if cfg.MemtableBytes < 64<<10 {
+		cfg.MemtableBytes = 64 << 10
+	}
+	out := make([]*KVRegion, n)
+	for i := range out {
+		pages := per
+		if i == n-1 {
+			pages = total - per*(n-1) // last slice absorbs the remainder
+		}
+		out[i] = &KVRegion{dev: d, lsm: devlsm.NewRegion(d.FTL, d.ARM, cfg, i*per, pages)}
+	}
+	return out
+}
+
+// DevLSM exposes the slice's backing store (stats, tests).
+func (s *KVRegion) DevLSM() *devlsm.DevLSM { return s.lsm }
+
+// KVPut issues a PUT (or a redirected tombstone) over the KV interface.
+func (s *KVRegion) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
+	s.dev.kvCommand(r, len(key)+len(value), pcie.HostToDevice)
+	s.lsm.Put(r, kind, key, value)
+}
+
+// KVDelete issues a DELETE: a tombstone PUT over the KV interface.
+func (s *KVRegion) KVDelete(r *vclock.Runner, key []byte) {
+	s.KVPut(r, memtable.KindDelete, key, nil)
+}
+
+// KVPutCompound issues one compound command carrying several records
+// (the buffered-I/O capability of the NVMe KV extensions [33]): a single
+// command header and parse amortize over the whole batch, which is the
+// device-side half of atomic write batches.
+func (s *KVRegion) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	payload := 0
+	for _, e := range entries {
+		payload += len(e.Key) + len(e.Value) + 8
+	}
+	s.dev.kvCommand(r, payload, pcie.HostToDevice)
+	for _, e := range entries {
+		s.lsm.Put(r, e.Kind, e.Key, e.Value)
+	}
+}
+
+// KVGet issues a GET; the value (if any) is DMA'd back.
+func (s *KVRegion) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+	s.dev.kvCommand(r, len(key), pcie.HostToDevice)
+	value, kind, found = s.lsm.Get(r, key)
+	ret := 16
+	if found {
+		ret += len(value)
+	}
+	s.dev.Link.Transfer(r, pcie.DeviceToHost, ret)
+	return value, kind, found
+}
+
+// KVReset clears this slice's Dev-LSM (§V-E step 8). Other slices of the
+// same device keep their pairs.
+func (s *KVRegion) KVReset(r *vclock.Runner) {
+	s.dev.kvCommand(r, 0, pcie.HostToDevice)
+	s.lsm.Reset()
+}
+
+// KVBulkScan performs the iterator-based bulky range scan used by the
+// rollback: the device merges this slice's contents and DMAs them to the
+// host in DMAChunkSize units (§V-E steps 3-6).
+func (s *KVRegion) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
+	s.dev.kvCommand(r, 0, pcie.HostToDevice)
+	s.lsm.BulkScan(r, s.dev.cfg.DMAChunkSize, func(c devlsm.ScanChunk) {
+		s.dev.Link.Transfer(r, pcie.DeviceToHost, c.Bytes)
+		emit(c.Entries)
+	})
+}
+
+// NewKVIterator opens a device-side iterator over this slice
+// (CreateIterator command); records stream back over PCIe as the cursor
+// advances.
+func (s *KVRegion) NewKVIterator(r *vclock.Runner) iterkit.Iterator {
+	s.dev.kvCommand(r, 0, pcie.HostToDevice)
+	return &KVIterator{d: s.dev, r: r, it: s.lsm.NewIterator(r)}
+}
+
+// KVEmpty reports whether this slice buffers no data.
+func (s *KVRegion) KVEmpty() bool { return s.lsm.Empty() }
+
+// KVUsage returns the buffered pair count and logical bytes — the KV
+// interface's usage report (EXIST/LIST-style accounting).
+func (s *KVRegion) KVUsage() (entries, bytes int64) {
+	return s.lsm.Count(), s.lsm.Bytes()
+}

@@ -81,6 +81,7 @@ type Device struct {
 	Link  *pcie.Link
 	ARM   *cpu.Pool
 	Dev   *devlsm.DevLSM
+	full  *KVRegion // full-region KV view wrapping Dev
 }
 
 // New builds the device. The ARM pool models the single Cortex-A9 core
@@ -99,7 +100,7 @@ func New(cfg Config) *Device {
 	if cfg.DMAChunkSize <= 0 {
 		cfg.DMAChunkSize = 512 << 10
 	}
-	return &Device{
+	d := &Device{
 		cfg:   cfg,
 		Array: arr,
 		FTL:   f,
@@ -107,6 +108,8 @@ func New(cfg Config) *Device {
 		ARM:   arm,
 		Dev:   devlsm.New(f, arm, cfg.DevLSM),
 	}
+	d.full = &KVRegion{dev: d, lsm: d.Dev}
+	return d
 }
 
 // Config returns the device's configuration.
@@ -114,6 +117,11 @@ func (d *Device) Config() Config { return d.cfg }
 
 // DMAChunkSize returns the bulk-scan DMA unit.
 func (d *Device) DMAChunkSize() int { return d.cfg.DMAChunkSize }
+
+// BlockRegionPages returns the block region's size in logical pages —
+// the quantity callers partition when handing each tenant or shard its
+// own BlockNamespace.
+func (d *Device) BlockRegionPages() int { return d.FTL.RegionPages(ftl.BlockRegion) }
 
 // ---- Block interface (fs.BlockDevice) ----
 
@@ -194,55 +202,28 @@ func (d *Device) kvCommand(r *vclock.Runner, payload int, dir pcie.Direction) {
 
 // KVPut issues a PUT (or a redirected tombstone) over the KV interface.
 func (d *Device) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
-	d.kvCommand(r, len(key)+len(value), pcie.HostToDevice)
-	d.Dev.Put(r, kind, key, value)
+	d.full.KVPut(r, kind, key, value)
 }
 
 // KVPutCompound issues one compound command carrying several records
-// (the buffered-I/O capability of the NVMe KV extensions [33]): a single
-// command header and parse amortize over the whole batch, which is the
-// device-side half of atomic write batches.
+// (the buffered-I/O capability of the NVMe KV extensions [33]).
 func (d *Device) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
-	if len(entries) == 0 {
-		return
-	}
-	payload := 0
-	for _, e := range entries {
-		payload += len(e.Key) + len(e.Value) + 8
-	}
-	d.kvCommand(r, payload, pcie.HostToDevice)
-	for _, e := range entries {
-		d.Dev.Put(r, e.Kind, e.Key, e.Value)
-	}
+	d.full.KVPutCompound(r, entries)
 }
 
 // KVGet issues a GET; the value (if any) is DMA'd back.
 func (d *Device) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
-	d.kvCommand(r, len(key), pcie.HostToDevice)
-	value, kind, found = d.Dev.Get(r, key)
-	ret := 16
-	if found {
-		ret += len(value)
-	}
-	d.Link.Transfer(r, pcie.DeviceToHost, ret)
-	return value, kind, found
+	return d.full.KVGet(r, key)
 }
 
 // KVReset clears the Dev-LSM (§V-E step 8).
-func (d *Device) KVReset(r *vclock.Runner) {
-	d.kvCommand(r, 0, pcie.HostToDevice)
-	d.Dev.Reset()
-}
+func (d *Device) KVReset(r *vclock.Runner) { d.full.KVReset(r) }
 
 // KVBulkScan performs the iterator-based bulky range scan used by the
 // rollback: the device merges its entire contents and DMAs them to the
 // host in DMAChunkSize units (§V-E steps 3-6).
 func (d *Device) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
-	d.kvCommand(r, 0, pcie.HostToDevice)
-	d.Dev.BulkScan(r, d.cfg.DMAChunkSize, func(c devlsm.ScanChunk) {
-		d.Link.Transfer(r, pcie.DeviceToHost, c.Bytes)
-		emit(c.Entries)
-	})
+	d.full.KVBulkScan(r, emit)
 }
 
 // KVIterator is the host-visible iterator over the KV interface (SEEK /

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"kvaccel"
 	"kvaccel/internal/core"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/vclock"
@@ -47,3 +48,26 @@ func (e KVAccelEngine) NewIterator(r *vclock.Runner) Iterator { return e.DB.NewI
 
 // Flush drains the Main-LSM memtable.
 func (e KVAccelEngine) Flush(r *vclock.Runner) { e.DB.Flush(r) }
+
+// ShardedEngine adapts kvaccel.ShardedDB (the hash-partitioned
+// front-end) to Engine.
+type ShardedEngine struct{ DB *kvaccel.ShardedDB }
+
+// Put routes to the owning shard's controller.
+func (e ShardedEngine) Put(r *vclock.Runner, key, value []byte) error {
+	return e.DB.Put(r, key, value)
+}
+
+// Delete routes a tombstone to the owning shard.
+func (e ShardedEngine) Delete(r *vclock.Runner, key []byte) error { return e.DB.Delete(r, key) }
+
+// Get routes to the owning shard's metadata-directed read path.
+func (e ShardedEngine) Get(r *vclock.Runner, key []byte) ([]byte, bool, error) {
+	return e.DB.Get(r, key)
+}
+
+// NewIterator opens the cross-shard merged cursor.
+func (e ShardedEngine) NewIterator(r *vclock.Runner) Iterator { return e.DB.NewIterator(r) }
+
+// Flush drains every shard's memtable.
+func (e ShardedEngine) Flush(r *vclock.Runner) { e.DB.Flush(r) }

@@ -60,7 +60,10 @@ const (
 type Options struct {
 	// Scale divides device bandwidth and engine buffer sizes and
 	// multiplies per-op CPU costs; 1 models the paper's Cosmos+ board,
-	// 10 (the default) runs 10x-compressed experiments.
+	// 10 (the default from DefaultOptions) runs 10x-compressed
+	// experiments. Values below 1 are clamped to 1 (full-fidelity), not
+	// rewritten to the default: a caller who set Scale explicitly asked
+	// for the least-compressed run, never a silently slower one.
 	Scale int
 	// CompactionThreads is the Main-LSM background compaction
 	// parallelism.
@@ -104,10 +107,12 @@ type DB struct {
 	opt    Options
 }
 
-// Open builds the full stack and starts its background runners.
-func Open(opt Options) *DB {
+// normalize clamps option fields to their legal floors. Scale < 1 means
+// "as real as it gets", so it clamps to 1 rather than snapping back to
+// the scale-10 default.
+func (opt Options) normalize() Options {
 	if opt.Scale < 1 {
-		opt.Scale = 10
+		opt.Scale = 1
 	}
 	if opt.CompactionThreads < 1 {
 		opt.CompactionThreads = 1
@@ -115,7 +120,11 @@ func Open(opt Options) *DB {
 	if opt.HostCores < 1 {
 		opt.HostCores = 8
 	}
-	clk := vclock.New()
+	return opt
+}
+
+// deviceConfig renders the dual-interface SSD configuration opt implies.
+func (opt Options) deviceConfig() ssd.Config {
 	cfg := ssd.CosmosConfig(opt.Scale)
 	if opt.KVRegionBytes > 0 {
 		cfg.KVRegionBytes = opt.KVRegionBytes
@@ -126,12 +135,19 @@ func Open(opt Options) *DB {
 	cfg.DevLSM.GetCPU *= scale
 	cfg.DevLSM.ScanCPUPerKB *= scale
 	cfg.KVCommandOverhead *= scale
-	dev := ssd.New(cfg)
-	fsys := fs.New(dev.BlockNamespace(0, 0))
+	return cfg
+}
 
-	pool := cpu.NewPool(opt.HostCores, "host-cpu")
+// engineOptions renders the Main-LSM configuration opt implies, with
+// buffer budgets divided by shards so N shards together spend the same
+// host memory as one unsharded engine.
+func (opt Options) engineOptions(pool *cpu.Pool, shards int64) lsm.Options {
+	if shards < 1 {
+		shards = 1
+	}
 	lopt := lsm.DefaultOptions(pool)
-	s := int64(opt.Scale)
+	s := int64(opt.Scale) * shards
+	scale := time.Duration(opt.Scale)
 	lopt.MemtableSize = (128 << 20) / s
 	lopt.BaseLevelBytes = (256 << 20) / s
 	lopt.MaxFileSize = (64 << 20) / s
@@ -148,14 +164,30 @@ func Open(opt Options) *DB {
 	lopt.Cost.IterCPU *= scale
 	lopt.Cost.MergeCPUPerKB = lopt.Cost.MergeCPUPerKB * scale * 4 / 10
 	lopt.Cost.FlushCPUPerKB *= scale
-	main := lsm.Open(clk, fsys, lopt)
+	return lopt
+}
 
+// coreOptions renders the KVACCEL module configuration opt implies.
+func (opt Options) coreOptions() core.Options {
 	copt := core.DefaultOptions()
 	copt.Rollback = opt.Rollback
 	if opt.DetectorPeriod > 0 {
 		copt.DetectorPeriod = opt.DetectorPeriod
 	}
-	kv := core.Open(clk, main, dev, copt)
+	return copt
+}
+
+// Open builds the full stack and starts its background runners.
+func Open(opt Options) *DB {
+	opt = opt.normalize()
+	clk := vclock.New()
+	dev := ssd.New(opt.deviceConfig())
+	fsys := fs.New(dev.BlockNamespace(0, 0))
+
+	pool := cpu.NewPool(opt.HostCores, "host-cpu")
+	main := lsm.Open(clk, fsys, opt.engineOptions(pool, 1))
+
+	kv := core.Open(clk, main, dev.KVRegionFull(), opt.coreOptions())
 	if !opt.EnableRedirection {
 		kv.Detector().SetOverride(false) // pin the normal path
 	}
