@@ -36,6 +36,10 @@ func main() {
 		series   = flag.Bool("series", false, "print per-second throughput TSV")
 		shards   = flag.Int("shards", 1, "shard count for kvaccel-sharded")
 		writers  = flag.Int("writers", 0, "writer threads for kvaccel-sharded (default: one per shard)")
+		qd       = flag.Int("qd", 0, "NVMe submission-queue depth per queue pair (0 = device default, 32)")
+		ioqueues = flag.Int("ioqueues", 0, "block-interface I/O queue pairs to stripe over (0 = default, 1)")
+		qdSweep  = flag.String("qdsweep", "", "comma-separated queue depths to sweep, e.g. 1,2,4,8,32 (overrides -qd)")
+		queues   = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
 	)
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 			keyspace: *keyspace,
 			value:    *value,
 			series:   *series,
+			qd:       *qd,
+			ioqueues: *ioqueues,
+			queues:   *queues,
 		})
 		return
 	}
@@ -67,6 +74,8 @@ func main() {
 	p.Duration = *duration
 	p.KeySpace = *keyspace
 	p.ValueSize = *value
+	p.QueueDepth = *qd
+	p.IOQueues = *ioqueues
 
 	spec := harness.EngineSpec{Threads: *threads, Slowdown: *slowdown}
 	switch strings.ToLower(*engine) {
@@ -99,6 +108,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *qdSweep != "" {
+		runQDSweep(p, spec, kind, *qdSweep)
+		return
+	}
+
 	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB\n",
 		spec.Name(), kind, p.Scale, p.Duration, p.KeySpace, p.ValueSize)
 	res := p.Run(spec, kind)
@@ -117,6 +131,14 @@ func main() {
 	if res.Redirects > 0 || res.Rollbacks > 0 {
 		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
 	}
+	if *queues {
+		for _, q := range res.Queues {
+			if q.Submitted == 0 {
+				continue
+			}
+			fmt.Printf("queue       : %s\n", q)
+		}
+	}
 	if *series {
 		fmt.Println()
 		fmt.Print(res.Rec.WriteSeries.TSV())
@@ -124,5 +146,28 @@ func main() {
 			fmt.Print(res.Rec.ReadSeries.TSV())
 		}
 		fmt.Print(res.PCIeSeries.TSV())
+		fmt.Print(res.PCIeH2D.TSV())
+		fmt.Print(res.PCIeD2H.TSV())
+	}
+}
+
+// runQDSweep reruns the same workload once per requested queue depth and
+// prints one summary row each — the knob the NVMe layer exists for.
+func runQDSweep(p harness.Params, spec harness.EngineSpec, kind harness.WorkloadKind, list string) {
+	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v — queue-depth sweep\n",
+		spec.Name(), kind, p.Scale, p.Duration)
+	fmt.Printf("%6s %12s %10s %14s %14s\n", "qd", "writes", "Kops/s", "write-p99", "stall-time")
+	for _, field := range strings.Split(list, ",") {
+		var depth int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &depth); err != nil || depth < 1 {
+			fmt.Fprintf(os.Stderr, "bad queue depth %q\n", field)
+			os.Exit(2)
+		}
+		q := p
+		q.QueueDepth = depth
+		res := q.Run(spec, kind)
+		fmt.Printf("%6d %12d %10.2f %14v %14v\n",
+			depth, res.Rec.Writes(), res.WriteKops(),
+			res.Rec.WriteLatency.Quantile(0.99), res.MainStats.StallTime)
 	}
 }

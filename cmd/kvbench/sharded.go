@@ -35,6 +35,9 @@ type shardedRunParams struct {
 	keyspace int
 	value    int
 	series   bool
+	qd       int
+	ioqueues int
+	queues   bool
 }
 
 // runSharded drives the ShardedDB front-end: N writer threads over N
@@ -52,6 +55,8 @@ func runSharded(p shardedRunParams) {
 	opt.Scale = p.scale
 	opt.CompactionThreads = p.threads
 	opt.Rollback = p.rollback
+	opt.QueueDepth = p.qd
+	opt.IOQueues = p.ioqueues
 	db := kvaccel.OpenSharded(opt)
 	eng := workload.ShardedEngine{DB: db}
 
@@ -134,6 +139,14 @@ func runSharded(p shardedRunParams) {
 		fmt.Printf("shard %-6d: puts=%d redirected=%d rollbacks=%d stalls=%d stall-time=%v\n",
 			i, s.KVAccel.NormalPuts+s.KVAccel.RedirectedPuts, s.KVAccel.RedirectedPuts,
 			s.KVAccel.Rollbacks, s.Main.TotalStalls(), s.Main.StallTime)
+	}
+	if p.queues {
+		for _, q := range db.QueueStats() {
+			if q.Submitted == 0 {
+				continue
+			}
+			fmt.Printf("queue       : %s\n", q)
+		}
 	}
 	if p.series {
 		fmt.Println()

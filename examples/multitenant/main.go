@@ -20,7 +20,7 @@ import (
 func main() {
 	clk := vclock.New()
 	cfg := ssd.CosmosConfig(10)
-	dev := ssd.New(cfg)
+	dev := ssd.New(clk, cfg)
 
 	// Split the block region in half for two tenants.
 	totalPages := int(cfg.BlockRegionBytes) / cfg.Geometry.PageSize

@@ -109,7 +109,7 @@ func TestRandomizedConsistency(t *testing.T) {
 func TestMultiDeviceSetup(t *testing.T) {
 	clk := vclock.New()
 	mkDev := func() *ssd.Device {
-		return ssd.New(ssd.Config{
+		return ssd.New(clk, ssd.Config{
 			Geometry:          nand.Geometry{Channels: 2, Ways: 2, BlocksPerDie: 256, PagesPerBlock: 64, PageSize: 4096},
 			Timing:            nand.Timing{ReadPage: 40 * time.Microsecond, ProgramPage: 300 * time.Microsecond, ChannelMBps: 300},
 			PCIe:              pcie.Config{BandwidthMBps: 2000, Latency: 2 * time.Microsecond, Lanes: 2},
@@ -162,7 +162,7 @@ func TestMultiDeviceSetup(t *testing.T) {
 // volatile metadata is gone, and Recover() reunifies the database.
 func TestHostRestartEndToEnd(t *testing.T) {
 	clk := vclock.New()
-	dev := ssd.New(ssd.Config{
+	dev := ssd.New(clk, ssd.Config{
 		Geometry:          nand.Geometry{Channels: 2, Ways: 4, BlocksPerDie: 256, PagesPerBlock: 64, PageSize: 4096},
 		Timing:            nand.Timing{ReadPage: 40 * time.Microsecond, ProgramPage: 300 * time.Microsecond, ChannelMBps: 300},
 		PCIe:              pcie.Config{BandwidthMBps: 2000, Latency: 2 * time.Microsecond, Lanes: 2},
@@ -198,8 +198,10 @@ func TestHostRestartEndToEnd(t *testing.T) {
 	})
 	clk.Wait()
 
-	// Phase 2: host restarts on a fresh clock over the SAME device.
+	// Phase 2: host restarts on a fresh clock over the SAME device. The
+	// surviving hardware must be re-attached to the new phase's clock.
 	clk2 := vclock.New()
+	dev.Attach(clk2)
 	clk2.Go("phase2", func(r *vclock.Runner) {
 		main2, err := lsm.Reopen(r, clk2, fsys, lopt)
 		if err != nil {

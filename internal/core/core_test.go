@@ -19,7 +19,7 @@ import (
 // newStack builds clock -> SSD -> fs -> Main-LSM -> KVACCEL.
 func newStack(opt Options, tune func(*lsm.Options)) (*vclock.Clock, *DB) {
 	clk := vclock.New()
-	dev := ssd.New(ssd.Config{
+	dev := ssd.New(clk, ssd.Config{
 		Geometry:          nand.Geometry{Channels: 2, Ways: 4, BlocksPerDie: 256, PagesPerBlock: 64, PageSize: 4096},
 		Timing:            nand.Timing{ReadPage: 40 * time.Microsecond, ProgramPage: 300 * time.Microsecond, ChannelMBps: 300},
 		PCIe:              pcie.Config{BandwidthMBps: 2000, Latency: 2 * time.Microsecond, Lanes: 2},

@@ -127,6 +127,7 @@ type DB struct {
 	rollingBack  atomic.Bool
 	lastRedirect atomic.Int64 // vclock.Time of the last redirected write
 	closed       atomic.Bool
+	closeEv      *vclock.Event // signals the rollback runner to drain and exit
 
 	normalPuts     atomic.Int64
 	redirectedPuts atomic.Int64
@@ -156,12 +157,13 @@ func Open(clk *vclock.Clock, main MainEngine, dev KVDevice, opt Options) *DB {
 		opt.LazyQuietPeriod = time.Second
 	}
 	db := &DB{
-		clk:  clk,
-		opt:  opt,
-		main: main,
-		dev:  dev,
-		meta: NewMetadataManager(opt.MetadataShards),
-		gate: vclock.NewSemaphore(gateUnits, "kvaccel.gate"),
+		clk:     clk,
+		opt:     opt,
+		main:    main,
+		dev:     dev,
+		meta:    NewMetadataManager(opt.MetadataShards),
+		gate:    vclock.NewSemaphore(gateUnits, "kvaccel.gate"),
+		closeEv: vclock.NewEvent("kvaccel.close"),
 	}
 	db.det = NewDetector(main, opt.DetectorPeriod, opt.DetectorCost)
 	db.det.Start(clk, nil)
@@ -196,13 +198,20 @@ func (db *DB) Stats() Stats {
 	}
 }
 
-// Close stops the detector and rollback runners and closes the Main-LSM.
+// Close stops accepting writes and signals the background runners to
+// shut down promptly (no waiting out the current detector period). The
+// rollback runner performs a final drain of any Dev-LSM entries still
+// buffered — so a clean close loses nothing — and then closes the
+// Main-LSM; with RollbackDisabled the drain is skipped and the buffered
+// entries stay in NAND for the next open's Recover, as the restart
+// tests rely on. Close returns immediately; the drain completes before
+// the simulation's Wait returns.
 func (db *DB) Close() {
 	if db.closed.Swap(true) {
 		return
 	}
 	db.det.Stop()
-	db.main.Close()
+	db.closeEv.Set()
 }
 
 // shouldRedirect is the Controller's path decision (§V-C Write Path):

@@ -7,18 +7,24 @@ import (
 
 // startRollbackManager launches the Rollback Manager runner (§V-E): it
 // receives the Detector's stall reports and triggers rollback at the
-// moments its scheme allows.
+// moments its scheme allows. On Close it wakes immediately (not after
+// the current period), drains whatever the Dev-LSM still buffers, and
+// closes the Main-LSM — the shutdown half of the controller's contract.
 func (db *DB) startRollbackManager() {
 	db.clk.Go("kvaccel.rollback", func(r *vclock.Runner) {
-		for !db.closed.Load() {
-			r.Sleep(db.opt.DetectorPeriod)
-			if db.closed.Load() {
-				return
-			}
+		for !db.closeEv.WaitFor(r, db.opt.DetectorPeriod) {
 			if db.shouldRollback(r) {
 				db.RollbackNow(r)
 			}
 		}
+		// Final drain: flush buffered pairs into the Main-LSM so a clean
+		// close loses nothing. RollbackDisabled skips it — those setups
+		// (restart tests, recovery experiments) want the pairs left in
+		// NAND for Recover to find.
+		if db.opt.Rollback != RollbackDisabled && !db.dev.KVEmpty() {
+			db.RollbackNow(r)
+		}
+		db.main.Close()
 	})
 }
 

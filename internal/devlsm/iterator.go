@@ -89,8 +89,9 @@ func (it *runIter) Entry() memtable.Entry { return it.cur }
 // key. Tombstones are surfaced (kind KindDelete) so the host comparator
 // and the rollback can propagate deletes.
 type Iterator struct {
-	d      *DevLSM
-	merged *dedupIter
+	d       *DevLSM
+	merged  *dedupIter
+	cursors []*runIter
 }
 
 // NewIterator snapshots the current memtable and runs. Page loads charge
@@ -104,10 +105,23 @@ func (d *DevLSM) NewIterator(r *vclock.Runner) *Iterator {
 
 	children := make([]iterkit.Iterator, 0, len(runs)+1)
 	children = append(children, mem.NewIterator())
+	cursors := make([]*runIter, 0, len(runs))
 	for i := len(runs) - 1; i >= 0; i-- {
-		children = append(children, newRunIter(d, r, runs[i], true))
+		ri := newRunIter(d, r, runs[i], true)
+		cursors = append(cursors, ri)
+		children = append(children, ri)
 	}
-	return &Iterator{d: d, merged: &dedupIter{in: iterkit.NewMerge(children)}}
+	return &Iterator{d: d, merged: &dedupIter{in: iterkit.NewMerge(children)}, cursors: cursors}
+}
+
+// SetRunner redirects the cursor's NAND-read accounting to r. The NVMe
+// layer executes each SEEK/NEXT as its own queued command, so the runner
+// spending the page-read time is the dispatcher worker serving the
+// current command, not the runner that opened the iterator.
+func (it *Iterator) SetRunner(r *vclock.Runner) {
+	for _, c := range it.cursors {
+		c.r = r
+	}
 }
 
 // SeekToFirst positions at the smallest buffered key.

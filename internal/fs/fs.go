@@ -22,8 +22,10 @@ type BlockDevice interface {
 	WritePages(r *vclock.Runner, lpns []int)
 	// ReadPages spends the time to read the given logical pages.
 	ReadPages(r *vclock.Runner, lpns []int)
-	// TrimPages invalidates pages without spending media time.
-	TrimPages(lpns []int)
+	// TrimPages invalidates pages. TRIM is a real command (NVMe Dataset
+	// Management): it crosses the interconnect and pays command
+	// processing, though no media time.
+	TrimPages(r *vclock.Runner, lpns []int)
 	// PageSize returns the logical page size in bytes.
 	PageSize() int
 	// Pages returns the number of addressable logical pages.
@@ -302,8 +304,9 @@ func (fs *FileSystem) Exists(name string) bool {
 	return ok
 }
 
-// Remove deletes a file, trimming its pages on the device.
-func (fs *FileSystem) Remove(name string) error {
+// Remove deletes a file, trimming its pages on the device; r pays the
+// TRIM command cost.
+func (fs *FileSystem) Remove(r *vclock.Runner, name string) error {
 	fs.mu.Lock()
 	f, ok := fs.files[name]
 	if !ok {
@@ -313,7 +316,7 @@ func (fs *FileSystem) Remove(name string) error {
 	pages := fs.freeFileLocked(f)
 	fs.cacheDropLocked(pages)
 	fs.mu.Unlock()
-	fs.dev.TrimPages(pages)
+	fs.dev.TrimPages(r, pages)
 	return nil
 }
 

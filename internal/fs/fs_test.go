@@ -28,7 +28,7 @@ func (d *fakeDev) ReadPages(r *vclock.Runner, lpns []int) {
 	d.reads += len(lpns)
 	d.mu.Unlock()
 }
-func (d *fakeDev) TrimPages(lpns []int) {
+func (d *fakeDev) TrimPages(r *vclock.Runner, lpns []int) {
 	d.mu.Lock()
 	d.trims += len(lpns)
 	d.mu.Unlock()
@@ -158,19 +158,19 @@ func TestRemoveFreesPages(t *testing.T) {
 		if fsys.FreeBytes() != before-4*4096 {
 			t.Fatal("free space not reduced by write")
 		}
+		if err := fsys.Remove(r, "tmp"); err != nil {
+			t.Fatal(err)
+		}
+		if fsys.FreeBytes() != before {
+			t.Fatal("remove did not reclaim pages")
+		}
+		if dev.trims != 4 {
+			t.Fatalf("trims = %d, want 4", dev.trims)
+		}
+		if err := fsys.Remove(r, "tmp"); err == nil {
+			t.Fatal("double remove succeeded")
+		}
 	})
-	if err := fsys.Remove("tmp"); err != nil {
-		t.Fatal(err)
-	}
-	if fsys.FreeBytes() != before {
-		t.Fatal("remove did not reclaim pages")
-	}
-	if dev.trims != 4 {
-		t.Fatalf("trims = %d, want 4", dev.trims)
-	}
-	if err := fsys.Remove("tmp"); err == nil {
-		t.Fatal("double remove succeeded")
-	}
 }
 
 func TestOverwriteReplacesFile(t *testing.T) {
@@ -260,10 +260,10 @@ func TestPageCacheDropsRemovedFiles(t *testing.T) {
 	fsys, _ := newTestFS()
 	run(t, func(r *vclock.Runner) {
 		_ = fsys.WriteFile(r, "f", make([]byte, 4*4096))
+		if err := fsys.Remove(r, "f"); err != nil {
+			t.Fatal(err)
+		}
 	})
-	if err := fsys.Remove("f"); err != nil {
-		t.Fatal(err)
-	}
 	if fsys.CachedPages() != 0 {
 		t.Fatalf("cached pages after remove = %d, want 0", fsys.CachedPages())
 	}

@@ -6,6 +6,8 @@ import (
 
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/metrics"
+	"kvaccel/internal/nvme"
+	"kvaccel/internal/pcie"
 	"kvaccel/internal/vclock"
 	"kvaccel/internal/workload"
 )
@@ -36,7 +38,9 @@ type RunResult struct {
 	Rec *workload.Recorder
 
 	// Per-second samples.
-	PCIeSeries *metrics.Series // MB/s
+	PCIeSeries *metrics.Series // MB/s, both directions
+	PCIeH2D    *metrics.Series // MB/s host-to-device
+	PCIeD2H    *metrics.Series // MB/s device-to-host
 	CPUSeries  *metrics.Series // percent of host pool
 	StallFlags []bool          // second spent >=20% stalled or stop-stalled
 
@@ -47,6 +51,8 @@ type RunResult struct {
 	Levels    string // final tree shape
 	Redirects int64
 	Rollbacks int64
+	// Queues snapshots every NVMe queue pair at the end of the run.
+	Queues []nvme.QueueStats
 
 	valueSize int
 }
@@ -87,6 +93,10 @@ func (res *RunResult) Efficiency() float64 {
 // Run executes one workload against one engine spec on a fresh testbed.
 func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 	tb := p.NewTestbed()
+	// BuildEngine starts periodic background runners (detector, rollback);
+	// hold the clock so they cannot free-run virtual time before the
+	// sampler and workload below are registered.
+	release := tb.Clk.Hold()
 	eng := p.BuildEngine(tb, spec)
 	cfg := p.workloadConfig()
 	switch kind {
@@ -102,6 +112,8 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 		valueSize:  cfg.ValueSize,
 		Rec:        workload.NewRecorder(spec.Name()),
 		PCIeSeries: metrics.NewSeries(spec.Name() + ".pcie-mbps"),
+		PCIeH2D:    metrics.NewSeries(spec.Name() + ".pcie-h2d-mbps"),
+		PCIeD2H:    metrics.NewSeries(spec.Name() + ".pcie-d2h-mbps"),
 		CPUSeries:  metrics.NewSeries(spec.Name() + ".cpu-pct"),
 	}
 
@@ -126,6 +138,8 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 			t := r.Now().Seconds() * float64(scale)
 			res.Rec.Sample(t, interval)
 			res.PCIeSeries.Append(t, tb.Dev.Link.SampleMBps(interval))
+			res.PCIeH2D.Append(t, tb.Dev.Link.SampleDirMBps(pcie.HostToDevice, interval))
+			res.PCIeD2H.Append(t, tb.Dev.Link.SampleDirMBps(pcie.DeviceToHost, interval))
 			util := tb.CPU.Sample(r.Now())
 			res.CPUSeries.Append(t, util)
 			cpuSum += util
@@ -165,6 +179,7 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 		done.Store(true)
 		eng.Close()
 	})
+	release()
 
 	tb.Clk.Wait()
 
@@ -173,6 +188,7 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 	}
 	res.MainStats = eng.Main.Stats()
 	res.Levels = eng.Main.LevelsString()
+	res.Queues = tb.Dev.QueueStats()
 	if eng.KV != nil {
 		s := eng.KV.Stats()
 		res.Redirects = s.RedirectedPuts

@@ -46,6 +46,12 @@ type Params struct {
 	// DMAChunkBytes overrides the bulk-scan DMA unit (512 KiB default) —
 	// the §V-E design-choice ablation.
 	DMAChunkBytes int
+	// QueueDepth overrides the NVMe per-queue submission depth; 0 keeps
+	// the device default (32). The queue-depth sweep ablation varies it.
+	QueueDepth int
+	// IOQueues is the number of block-interface queue pairs the file
+	// system stripes over; 0 keeps the default (1).
+	IOQueues int
 	// DevReadCacheBytes enables the Dev-LSM read cache the paper names
 	// as future work (Table V ablation); 0 reproduces the paper.
 	DevReadCacheBytes int64
@@ -102,7 +108,13 @@ func (p Params) NewTestbed() *Testbed {
 	if p.DMAChunkBytes > 0 {
 		cfg.DMAChunkSize = p.DMAChunkBytes
 	}
-	dev := ssd.New(cfg)
+	if p.QueueDepth > 0 {
+		cfg.NVMe.QueueDepth = p.QueueDepth
+	}
+	if p.IOQueues > 0 {
+		cfg.IOQueues = p.IOQueues
+	}
+	dev := ssd.New(clk, cfg)
 	return &Testbed{
 		Clk:  clk,
 		CPU:  cpu.NewPool(hostCores, "host-cpu"),

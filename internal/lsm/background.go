@@ -83,7 +83,7 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 		db.persistManifest(r, snap)
 		if job.log != nil {
 			job.log.Close()
-			job.log.Delete()
+			job.log.Delete(r)
 		}
 		db.writeCond.Broadcast()
 		db.bgCond.Broadcast()
@@ -464,7 +464,7 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	if emitErr != nil {
 		// Abort: delete partial outputs, unmark inputs, go read-only.
 		for _, f := range outputs {
-			db.deleteFile(f)
+			db.deleteFile(r, f)
 		}
 		db.mu.Lock()
 		markCompacting(c.allFiles(), false)
@@ -501,6 +501,6 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 
 	db.persistManifest(r, snap)
 	for _, f := range dead {
-		db.deleteFile(f)
+		db.deleteFile(r, f)
 	}
 }

@@ -289,7 +289,7 @@ func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok
 	}
 	snap := db.snapshotFilesLocked()
 	db.mu.Unlock()
-	defer db.releaseFiles(snap)
+	defer db.releaseFiles(r, snap)
 
 	// Memtable, then immutables newest-first.
 	if v, kind, found := memtableGetAt(mem, key, maxSeq); found {
@@ -355,8 +355,8 @@ func (db *DB) snapshotFilesLocked() *fileSnapshot {
 }
 
 // releaseFiles unrefs a snapshot, deleting files that became obsolete
-// while pinned.
-func (db *DB) releaseFiles(s *fileSnapshot) {
+// while pinned; r pays the TRIM command cost of any deletions.
+func (db *DB) releaseFiles(r *vclock.Runner, s *fileSnapshot) {
 	db.mu.Lock()
 	var dead []*FileMeta
 	for _, files := range s.levels {
@@ -369,13 +369,13 @@ func (db *DB) releaseFiles(s *fileSnapshot) {
 	}
 	db.mu.Unlock()
 	for _, f := range dead {
-		db.deleteFile(f)
+		db.deleteFile(r, f)
 	}
 }
 
 // deleteFile removes an obsolete file's bytes and cached blocks.
-func (db *DB) deleteFile(f *FileMeta) {
-	_ = db.fsys.Remove(f.Name())
+func (db *DB) deleteFile(r *vclock.Runner, f *FileMeta) {
+	_ = db.fsys.Remove(r, f.Name())
 	db.cache.EvictFile(f.Num)
 }
 

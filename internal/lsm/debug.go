@@ -21,7 +21,7 @@ func (db *DB) DebugDumpKey(logf func(string, ...interface{}), r *vclock.Runner, 
 	}
 	snap := db.snapshotFilesLocked()
 	db.mu.Unlock()
-	defer db.releaseFiles(snap)
+	defer db.releaseFiles(r, snap)
 
 	first := func(v []byte) byte {
 		if len(v) == 0 {

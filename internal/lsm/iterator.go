@@ -130,7 +130,7 @@ func (it *Iterator) Close() {
 		return
 	}
 	it.closed = true
-	it.db.releaseFiles(it.snap)
+	it.db.releaseFiles(it.r, it.snap)
 }
 
 // Valid reports whether the iterator is on a live user key.

@@ -29,9 +29,9 @@ func (d *testDev) ReadPages(r *vclock.Runner, lpns []int) {
 		r.Sleep(time.Duration(len(lpns)) * d.perPage / 4)
 	}
 }
-func (d *testDev) TrimPages(lpns []int) {}
-func (d *testDev) PageSize() int        { return d.pageSize }
-func (d *testDev) Pages() int           { return d.pages }
+func (d *testDev) TrimPages(r *vclock.Runner, lpns []int) {}
+func (d *testDev) PageSize() int                          { return d.pageSize }
+func (d *testDev) Pages() int                             { return d.pages }
 
 // smallOpts is a tiny configuration that flushes and compacts quickly.
 func smallOpts() Options {

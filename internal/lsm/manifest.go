@@ -163,7 +163,7 @@ func (db *DB) persistManifest(r *vclock.Runner, snap manifestSnapshot) {
 	if n > 1 {
 		old := fmt.Sprintf("MANIFEST-%06d", n-1)
 		if db.fsys.Exists(old) {
-			_ = db.fsys.Remove(old)
+			_ = db.fsys.Remove(r, old)
 		}
 	}
 }
@@ -239,7 +239,7 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	}
 	for _, name := range fsys.List() {
 		if strings.HasSuffix(name, ".sst") && !live[name] {
-			_ = fsys.Remove(name)
+			_ = fsys.Remove(r, name)
 		}
 	}
 
@@ -273,7 +273,7 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		if err != nil {
 			return nil, err
 		}
-		_ = fsys.Remove(name)
+		_ = fsys.Remove(r, name)
 	}
 
 	if !opt.DisableWAL {

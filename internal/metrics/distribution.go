@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Distribution is a Histogram for unitless integer samples — queue
+// depths, batch sizes, fan-out counts — sharing the same log-bucket
+// layout but formatting values as plain numbers rather than durations.
+// It is safe for concurrent use.
+type Distribution struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	return &Distribution{counts: make([]uint64, len(bucketLimits)), min: math.MaxInt64, max: math.MinInt64}
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketFor(v)
+	d.mu.Lock()
+	d.counts[i]++
+	d.total++
+	d.sum += float64(v)
+	if v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// Mean returns the mean sample, or 0 with none.
+func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 0
+	}
+	return d.sum / float64(d.total)
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (d *Distribution) Min() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Max returns the largest sample, or 0 with none.
+func (d *Distribution) Max() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 0
+	}
+	return d.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// inside the containing bucket, clamped to the observed min/max.
+func (d *Distribution) Quantile(q float64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.total)
+	var cum float64
+	for i, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketLimits[i-1]
+			}
+			hi := bucketLimits[i]
+			if hi == math.MaxInt64 {
+				hi = d.max
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			v := float64(lo) + frac*float64(hi-lo)
+			if int64(v) < d.min {
+				v = float64(d.min)
+			}
+			if int64(v) > d.max {
+				v = float64(d.max)
+			}
+			return int64(v)
+		}
+		cum = next
+	}
+	return d.max
+}
+
+// Merge folds o's samples into d; the shared bucket layout makes counts
+// add exactly.
+func (d *Distribution) Merge(o *Distribution) {
+	if o == nil || o == d {
+		return
+	}
+	o.mu.Lock()
+	counts := append([]uint64(nil), o.counts...)
+	total, sum, lo, hi := o.total, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if total == 0 {
+		return
+	}
+	d.mu.Lock()
+	for i, c := range counts {
+		d.counts[i] += c
+	}
+	d.total += total
+	d.sum += sum
+	if lo < d.min {
+		d.min = lo
+	}
+	if hi > d.max {
+		d.max = hi
+	}
+	d.mu.Unlock()
+}
+
+// String formats the same summary row Histogram prints, with plain
+// numeric values.
+func (d *Distribution) String() string {
+	return fmt.Sprintf("count=%d mean=%.1f p50=%d p99=%d max=%d",
+		d.Count(), d.Mean(), d.Quantile(0.50), d.Quantile(0.99), d.Max())
+}

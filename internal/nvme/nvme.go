@@ -1,0 +1,412 @@
+// Package nvme models the NVMe queueing boundary between host and
+// device: paired submission/completion queues with a configurable depth,
+// doorbell and completion-interrupt latencies, weighted round-robin
+// arbitration across queues, and a device-side dispatcher that services
+// commands on a bounded pool of firmware slots.
+//
+// The point of the layer is overlap. A submitter posts a command (paying
+// only the doorbell write), keeps going, and awaits the completion later;
+// the dispatcher executes the command's device-side work — PCIe DMA, FTL
+// lookups, NAND operations, Dev-LSM processing — on its own runner, so
+// commands from one submitter proceed concurrently in virtual time up to
+// the queue depth, and commands from different queues share the device
+// under WRR arbitration. This is the mechanism the paper's host-SSD
+// collaboration exploits: PCIe transfers of one command overlapping NAND
+// programs of another, instead of the strict DMA-then-NAND serialization
+// a synchronous call boundary forces.
+package nvme
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kvaccel/internal/metrics"
+	"kvaccel/internal/vclock"
+)
+
+// Command is one NVMe command. Exec is the device-side body: it runs on a
+// dispatcher worker runner and spends the command's virtual time (DMA,
+// controller CPU, NAND). Bytes is the transfer size, for accounting only.
+type Command struct {
+	Op    string // opcode label (WRITE, READ, KV_PUT, DSM_TRIM, ...)
+	Bytes int
+	Exec  func(r *vclock.Runner)
+
+	qp        *QueuePair
+	submitted vclock.Time
+	done      bool // guarded by Dispatcher.mu
+}
+
+// Config sets the queueing model's constants.
+type Config struct {
+	// QueueDepth is the maximum outstanding commands per queue pair; a
+	// submitter blocks once it has this many in flight.
+	QueueDepth int
+	// Slots is the number of commands the device firmware services
+	// concurrently across all queues (command-processor parallelism).
+	Slots int
+	// DoorbellLatency is the host-side cost of ringing the submission
+	// doorbell (MMIO write + command fetch).
+	DoorbellLatency time.Duration
+	// CompletionLatency is the device-side cost of posting the completion
+	// entry and raising the interrupt.
+	CompletionLatency time.Duration
+}
+
+// DefaultConfig returns the constants used by the Cosmos+ model: QD 32
+// per queue, 64 firmware command contexts, 1µs doorbell and completion
+// costs. Slots caps concurrently-serviced commands, not raw parallelism
+// — a command holds its slot across its whole device-side body, NAND
+// waits included, so the cap must sit well above the channel/way count
+// or short commands (KV puts) queue behind long transfers; the true
+// bandwidth limits are the NAND array and PCIe link models underneath.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:        32,
+		Slots:             64,
+		DoorbellLatency:   time.Microsecond,
+		CompletionLatency: time.Microsecond,
+	}
+}
+
+func (c Config) normalize() Config {
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1
+	}
+	if c.Slots < 1 {
+		c.Slots = 1
+	}
+	return c
+}
+
+// Dispatcher is the device-side command processor: it arbitrates across
+// every registered queue pair (weighted round-robin) and executes
+// commands on up to Slots concurrent worker runners. The dispatcher
+// runner is transient — it is spawned when a command arrives at an idle
+// device and exits when all submission queues drain — so an idle device
+// holds no parked runner and the simulation can drain naturally.
+type Dispatcher struct {
+	clk   *vclock.Clock
+	cfg   Config
+	slots *vclock.Semaphore
+
+	mu      sync.Mutex
+	queues  []*QueuePair
+	rrNext  int // arbitration scan position
+	running bool
+	busyNS  int64 // cumulative per-command service time (Exec only)
+}
+
+// NewDispatcher builds a dispatcher on clk.
+func NewDispatcher(clk *vclock.Clock, cfg Config) *Dispatcher {
+	cfg = cfg.normalize()
+	return &Dispatcher{
+		clk:   clk,
+		cfg:   cfg,
+		slots: vclock.NewSemaphore(cfg.Slots, "nvme.slots"),
+	}
+}
+
+// Config returns the dispatcher's (normalized) configuration.
+func (d *Dispatcher) Config() Config { return d.cfg }
+
+// Attach rebinds the dispatcher to a new clock. The device hardware
+// outlives a host restart, but each simulation phase runs on a fresh
+// clock; a restarted host must re-attach surviving devices before
+// issuing commands. The dispatcher must be idle (no commands in flight).
+func (d *Dispatcher) Attach(clk *vclock.Clock) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		panic("nvme: Attach with commands in flight")
+	}
+	d.clk = clk
+}
+
+// BusyNS returns the cumulative virtual time spent executing command
+// bodies, summed across slots. Against elapsed time × Slots it bounds
+// device utilization — the conservation check the tests assert.
+func (d *Dispatcher) BusyNS() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busyNS
+}
+
+// NewQueuePair registers a new submission/completion queue pair with the
+// given WRR weight (clamped to at least 1). name labels stats output.
+func (d *Dispatcher) NewQueuePair(name string, weight int) *QueuePair {
+	if weight < 1 {
+		weight = 1
+	}
+	q := &QueuePair{
+		name:    name,
+		d:       d,
+		weight:  weight,
+		credit:  weight,
+		depth:   d.cfg.QueueDepth,
+		latency: metrics.NewHistogram(),
+		depths:  metrics.NewDistribution(),
+	}
+	q.notFull = vclock.NewCond(&d.mu, "nvme.sq.full:"+name)
+	q.cq = vclock.NewCond(&d.mu, "nvme.cq:"+name)
+	d.mu.Lock()
+	d.queues = append(d.queues, q)
+	d.mu.Unlock()
+	return q
+}
+
+// ensureRunningLocked spawns the dispatcher runner if it is not active.
+// Called with d.mu held; the running flag and submission queues are both
+// under d.mu, so a command appended here is either seen by the live
+// dispatcher's next pick or serviced by the runner spawned now.
+func (d *Dispatcher) ensureRunningLocked() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.clk.Go("nvme.dispatcher", d.run)
+}
+
+func (d *Dispatcher) run(r *vclock.Runner) {
+	for {
+		// Take a firmware slot first so the pick sees the freshest queue
+		// state; commands posted while we waited are eligible.
+		d.slots.Acquire(r, 1)
+		d.mu.Lock()
+		cmd, q := d.pickLocked()
+		if cmd == nil {
+			d.running = false
+			d.mu.Unlock()
+			d.slots.Release(1)
+			return
+		}
+		d.mu.Unlock()
+		d.clk.Go("nvme.cmd."+cmd.Op, func(w *vclock.Runner) {
+			start := w.Now()
+			if cmd.Exec != nil {
+				cmd.Exec(w)
+			}
+			service := w.Now().Sub(start)
+			d.slots.Release(1)
+			if d.cfg.CompletionLatency > 0 {
+				w.Sleep(d.cfg.CompletionLatency)
+			}
+			d.mu.Lock()
+			d.busyNS += int64(service)
+			d.mu.Unlock()
+			q.complete(cmd, w.Now())
+		})
+	}
+}
+
+// pickLocked implements weighted round-robin: each queue gets up to
+// weight consecutive grants per round; when every backlogged queue has
+// exhausted its credit, all credits replenish and a new round begins.
+func (d *Dispatcher) pickLocked() (*Command, *QueuePair) {
+	n := len(d.queues)
+	if n == 0 {
+		return nil, nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			q := d.queues[(d.rrNext+i)%n]
+			if len(q.sq) == 0 || q.credit <= 0 {
+				continue
+			}
+			q.credit--
+			if q.credit <= 0 {
+				d.rrNext = (d.rrNext + i + 1) % n // burst spent: move on
+			} else {
+				d.rrNext = (d.rrNext + i) % n // stay for the rest of the burst
+			}
+			cmd := q.sq[0]
+			copy(q.sq, q.sq[1:])
+			q.sq[len(q.sq)-1] = nil
+			q.sq = q.sq[:len(q.sq)-1]
+			return cmd, q
+		}
+		// No backlogged queue has credit left: replenish and rescan once.
+		backlogged := false
+		for _, q := range d.queues {
+			q.credit = q.weight
+			if len(q.sq) > 0 {
+				backlogged = true
+			}
+		}
+		if !backlogged {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// QueuePair is one paired submission/completion queue. Submit posts a
+// command (blocking at full depth); Await parks until a specific command
+// completes; Do is the synchronous convenience. All mutable state is
+// guarded by the dispatcher's mutex, which the conds use as L.
+type QueuePair struct {
+	name   string
+	d      *Dispatcher
+	weight int
+	depth  int
+
+	// Guarded by d.mu.
+	credit      int
+	sq          []*Command
+	outstanding int
+	notFull     *vclock.Cond
+	cq          *vclock.Cond
+
+	// Stats, guarded by d.mu except the internally-locked histograms.
+	submitted      int64
+	completed      int64
+	maxOutstanding int
+	occupancyNS    int64 // ∫ outstanding dt
+	lastChange     vclock.Time
+	latency        *metrics.Histogram
+	depths         *metrics.Distribution
+}
+
+// Name returns the queue's label.
+func (q *QueuePair) Name() string { return q.name }
+
+// Depth returns the queue's maximum outstanding commands.
+func (q *QueuePair) Depth() int { return q.depth }
+
+// Weight returns the queue's WRR weight.
+func (q *QueuePair) Weight() int { return q.weight }
+
+// accountLocked folds the time spent at the previous outstanding level
+// into the occupancy integral. Called with d.mu held on every level
+// change.
+func (q *QueuePair) accountLocked(now vclock.Time, prev int) {
+	if now > q.lastChange {
+		q.occupancyNS += int64(now.Sub(q.lastChange)) * int64(prev)
+	}
+	q.lastChange = now
+}
+
+// Submit rings the doorbell and posts cmd, parking r while the queue is
+// at full depth. It returns once the command is queued, not completed;
+// pair with Await (or use Do).
+func (q *QueuePair) Submit(r *vclock.Runner, cmd *Command) {
+	if q.d.cfg.DoorbellLatency > 0 {
+		r.Sleep(q.d.cfg.DoorbellLatency)
+	}
+	now := r.Now()
+	q.d.mu.Lock()
+	for q.outstanding >= q.depth {
+		q.notFull.Wait(r)
+		now = r.Now()
+	}
+	cmd.qp = q
+	cmd.submitted = now
+	cmd.done = false
+	q.accountLocked(now, q.outstanding)
+	q.outstanding++
+	if q.outstanding > q.maxOutstanding {
+		q.maxOutstanding = q.outstanding
+	}
+	q.submitted++
+	q.depths.Observe(int64(q.outstanding))
+	q.sq = append(q.sq, cmd)
+	q.d.ensureRunningLocked()
+	q.d.mu.Unlock()
+}
+
+// Await parks r until cmd (previously Submitted on this queue) completes.
+func (q *QueuePair) Await(r *vclock.Runner, cmd *Command) {
+	q.d.mu.Lock()
+	for !cmd.done {
+		q.cq.Wait(r)
+	}
+	q.d.mu.Unlock()
+}
+
+// Do submits cmd and waits for its completion — the synchronous path for
+// callers with nothing to overlap.
+func (q *QueuePair) Do(r *vclock.Runner, cmd *Command) {
+	q.Submit(r, cmd)
+	q.Await(r, cmd)
+}
+
+// complete posts cmd's completion: it frees a depth unit, records the
+// command latency, and wakes blocked submitters and awaiters.
+func (q *QueuePair) complete(cmd *Command, now vclock.Time) {
+	q.d.mu.Lock()
+	cmd.done = true
+	q.accountLocked(now, q.outstanding)
+	q.outstanding--
+	q.completed++
+	q.d.mu.Unlock()
+	q.latency.Observe(time.Duration(now.Sub(cmd.submitted)))
+	q.notFull.Signal()
+	q.cq.Broadcast()
+}
+
+// QueueStats is a snapshot of one queue pair's counters.
+type QueueStats struct {
+	Name           string
+	Depth          int
+	Weight         int
+	Submitted      int64
+	Completed      int64
+	Outstanding    int
+	MaxOutstanding int
+	// MeanOutstanding is the time-weighted average queue occupancy from
+	// the queue's first submit to now.
+	MeanOutstanding float64
+	// Latency is the submit-to-completion histogram; Depths samples the
+	// instantaneous outstanding count at each submit. Both are snapshots.
+	Latency *metrics.Histogram
+	Depths  *metrics.Distribution
+}
+
+// String formats a one-line summary for Stats output.
+func (s QueueStats) String() string {
+	return fmt.Sprintf("%s: qd=%d w=%d submitted=%d inflight=%d max=%d mean-occ=%.2f lat{%s}",
+		s.Name, s.Depth, s.Weight, s.Submitted, s.Outstanding, s.MaxOutstanding, s.MeanOutstanding, s.Latency)
+}
+
+// Stats snapshots the queue's counters at virtual time now.
+func (q *QueuePair) Stats(now vclock.Time) QueueStats {
+	lat := metrics.NewHistogram()
+	lat.Merge(q.latency)
+	dep := metrics.NewDistribution()
+	dep.Merge(q.depths)
+	q.d.mu.Lock()
+	defer q.d.mu.Unlock()
+	s := QueueStats{
+		Name:           q.name,
+		Depth:          q.depth,
+		Weight:         q.weight,
+		Submitted:      q.submitted,
+		Completed:      q.completed,
+		Outstanding:    q.outstanding,
+		MaxOutstanding: q.maxOutstanding,
+		Latency:        lat,
+		Depths:         dep,
+	}
+	occ := q.occupancyNS
+	if now > q.lastChange {
+		occ += int64(now.Sub(q.lastChange)) * int64(q.outstanding)
+	}
+	if q.submitted > 0 && now > 0 {
+		s.MeanOutstanding = float64(occ) / float64(now)
+	}
+	return s
+}
+
+// Stats snapshots every registered queue pair at virtual time now, in
+// registration order.
+func (d *Dispatcher) Stats(now vclock.Time) []QueueStats {
+	d.mu.Lock()
+	queues := append([]*QueuePair(nil), d.queues...)
+	d.mu.Unlock()
+	out := make([]QueueStats, len(queues))
+	for i, q := range queues {
+		out[i] = q.Stats(now)
+	}
+	return out
+}

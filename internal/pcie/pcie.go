@@ -31,7 +31,8 @@ type Link struct {
 
 	mu      sync.Mutex
 	bytes   [2]int64 // per direction
-	lastTot int64    // for per-interval sampling
+	lastTot int64    // aggregate sampling cursor (SampleMBps)
+	lastDir [2]int64 // per-direction sampling cursors (SampleDirMBps)
 }
 
 // Config holds link parameters.
@@ -107,6 +108,22 @@ func (l *Link) SampleMBps(interval time.Duration) float64 {
 	tot := l.bytes[0] + l.bytes[1]
 	delta := tot - l.lastTot
 	l.lastTot = tot
+	if interval <= 0 {
+		return 0
+	}
+	return float64(delta) / 1e6 / interval.Seconds()
+}
+
+// SampleDirMBps returns one direction's traffic over the interval since
+// the previous SampleDirMBps call for that direction, in MB/s. The
+// per-direction cursors are independent of SampleMBps's aggregate
+// cursor, so a sampler using one never perturbs (or double-counts
+// against) a sampler using the other.
+func (l *Link) SampleDirMBps(dir Direction, interval time.Duration) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delta := l.bytes[dir] - l.lastDir[dir]
+	l.lastDir[dir] = l.bytes[dir]
 	if interval <= 0 {
 		return 0
 	}

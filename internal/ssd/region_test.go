@@ -13,7 +13,7 @@ import (
 // the KV region: each slice sees only its own pairs, and the slice page
 // ranges tile the region without overlap.
 func TestKVRegionSlicesAreDisjoint(t *testing.T) {
-	d := New(testConfig())
+	d, clk := newTestDev()
 	slices := d.KVRegionSlices(3)
 	if len(slices) != 3 {
 		t.Fatalf("got %d slices, want 3", len(slices))
@@ -33,7 +33,7 @@ func TestKVRegionSlicesAreDisjoint(t *testing.T) {
 		t.Errorf("slices cover %d pages, region has %d", covered, total)
 	}
 
-	runSim(t, func(r *vclock.Runner) {
+	runOn(t, clk, func(r *vclock.Runner) {
 		for i, s := range slices {
 			s.KVPut(r, memtable.KindPut, []byte(fmt.Sprintf("slice%d-key", i)), []byte("v"))
 		}
@@ -52,9 +52,9 @@ func TestKVRegionSlicesAreDisjoint(t *testing.T) {
 // TestKVRegionSliceResetIsScoped checks the sharding safety property:
 // KVReset on one slice must not disturb pairs buffered in another.
 func TestKVRegionSliceResetIsScoped(t *testing.T) {
-	d := New(testConfig())
+	d, clk := newTestDev()
 	slices := d.KVRegionSlices(2)
-	runSim(t, func(r *vclock.Runner) {
+	runOn(t, clk, func(r *vclock.Runner) {
 		slices[0].KVPut(r, memtable.KindPut, []byte("a"), []byte("va"))
 		slices[1].KVPut(r, memtable.KindPut, []byte("b"), []byte("vb"))
 
@@ -80,8 +80,8 @@ func TestKVRegionSliceResetIsScoped(t *testing.T) {
 // TestKVRegionFullDelegation checks the device-level KV entry points and
 // the full-region view are the same store.
 func TestKVRegionFullDelegation(t *testing.T) {
-	d := New(testConfig())
-	runSim(t, func(r *vclock.Runner) {
+	d, clk := newTestDev()
+	runOn(t, clk, func(r *vclock.Runner) {
 		d.KVPut(r, memtable.KindPut, []byte("k"), []byte("v"))
 		if v, _, found := d.KVRegionFull().KVGet(r, []byte("k")); !found || string(v) != "v" {
 			t.Fatalf("full-region view missed device put: found=%v v=%q", found, v)

@@ -5,9 +5,19 @@
 // NVMe KV command set by the in-device Dev-LSM. Both interfaces share the
 // same PCIe link, the same FTL, and the same physical dies, exactly the
 // single-device property the paper's cost argument rests on.
+//
+// Every host-visible operation crosses the boundary as an nvme.Command on
+// a queue pair: the submitter pays the doorbell, the device-side
+// dispatcher executes the command body (PCIe DMA, ARM processing, NAND)
+// on its own runner, and the submitter awaits the completion. Large block
+// I/O splits at the MDTS boundary into several commands, so with queue
+// depth > 1 one chunk's DMA overlaps another's NAND program — the overlap
+// the paper's redirected-write throughput rests on.
 package ssd
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"kvaccel/internal/cpu"
@@ -15,6 +25,7 @@ import (
 	"kvaccel/internal/ftl"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/nand"
+	"kvaccel/internal/nvme"
 	"kvaccel/internal/pcie"
 	"kvaccel/internal/vclock"
 )
@@ -24,6 +35,9 @@ type Config struct {
 	Geometry nand.Geometry
 	Timing   nand.Timing
 	PCIe     pcie.Config
+	// NVMe sets the queueing constants of the host interface: per-queue
+	// depth, firmware slots, doorbell and completion latencies.
+	NVMe nvme.Config
 
 	// BlockRegionBytes and KVRegionBytes place the disaggregation point:
 	// the split of the logical NAND address space between interfaces.
@@ -37,12 +51,19 @@ type Config struct {
 
 	DevLSM devlsm.Config
 
-	// KVCommandOverhead is the NVMe command-processing cost per KV
-	// command beyond the ARM work devlsm itself charges.
+	// KVCommandOverhead is the NVMe command-processing cost the ARM core
+	// pays per KV (and DSM) command beyond the work devlsm itself charges.
 	KVCommandOverhead time.Duration
 	// DMAChunkSize is the bulk-scan DMA unit (512 KiB on the paper's
 	// platform — the largest transfer their DMA engine supports).
 	DMAChunkSize int
+	// MaxTransferBytes is the MDTS equivalent: the largest transfer one
+	// block command may carry. Larger I/O splits into multiple commands
+	// that overlap at QD>1. Defaults to DMAChunkSize.
+	MaxTransferBytes int
+	// IOQueues is the number of queue pairs each block namespace stripes
+	// its commands across (multi-queue NVMe). Defaults to 1.
+	IOQueues int
 }
 
 // CosmosConfig mirrors the paper's Cosmos+ OpenSSD at 1/scale size and
@@ -65,6 +86,7 @@ func CosmosConfig(scale int) Config {
 		Geometry:          geo,
 		Timing:            timing,
 		PCIe:              link,
+		NVMe:              nvme.DefaultConfig(),
 		BlockRegionBytes:  int64(6) << 30, // 6 GiB block region at scale=10
 		KVRegionBytes:     int64(2) << 30,
 		DevLSM:            devlsm.DefaultConfig(),
@@ -81,12 +103,15 @@ type Device struct {
 	Link  *pcie.Link
 	ARM   *cpu.Pool
 	Dev   *devlsm.DevLSM
+	NVMe  *nvme.Dispatcher
+	clk   *vclock.Clock
 	full  *KVRegion // full-region KV view wrapping Dev
 }
 
-// New builds the device. The ARM pool models the single Cortex-A9 core
-// that runs Dev-LSM I/O, flush, and compaction (§VI-A).
-func New(cfg Config) *Device {
+// New builds the device on clk. The ARM pool models the single Cortex-A9
+// core that runs Dev-LSM I/O, flush, and compaction (§VI-A); the clock
+// hosts the NVMe dispatcher's transient device-side runners.
+func New(clk *vclock.Clock, cfg Config) *Device {
 	arr := nand.New(cfg.Geometry, cfg.Timing)
 	pageSize := int64(cfg.Geometry.PageSize)
 	fcfg := ftl.Config{
@@ -100,6 +125,12 @@ func New(cfg Config) *Device {
 	if cfg.DMAChunkSize <= 0 {
 		cfg.DMAChunkSize = 512 << 10
 	}
+	if cfg.MaxTransferBytes <= 0 {
+		cfg.MaxTransferBytes = cfg.DMAChunkSize
+	}
+	if cfg.IOQueues < 1 {
+		cfg.IOQueues = 1
+	}
 	d := &Device{
 		cfg:   cfg,
 		Array: arr,
@@ -107,8 +138,10 @@ func New(cfg Config) *Device {
 		Link:  pcie.NewLink(cfg.PCIe),
 		ARM:   arm,
 		Dev:   devlsm.New(f, arm, cfg.DevLSM),
+		NVMe:  nvme.NewDispatcher(clk, cfg.NVMe),
+		clk:   clk,
 	}
-	d.full = &KVRegion{dev: d, lsm: d.Dev}
+	d.full = &KVRegion{dev: d, lsm: d.Dev, qp: d.NVMe.NewQueuePair("kv", 1)}
 	return d
 }
 
@@ -117,6 +150,29 @@ func (d *Device) Config() Config { return d.cfg }
 
 // DMAChunkSize returns the bulk-scan DMA unit.
 func (d *Device) DMAChunkSize() int { return d.cfg.DMAChunkSize }
+
+// maxTransferPages returns the MDTS in logical pages (at least 1).
+func (d *Device) maxTransferPages() int {
+	n := d.cfg.MaxTransferBytes / d.cfg.Geometry.PageSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// QueueStats snapshots every queue pair on the device.
+func (d *Device) QueueStats() []nvme.QueueStats {
+	return d.NVMe.Stats(d.clk.Now())
+}
+
+// Attach rebinds the device to a new clock. The SSD's state (NAND,
+// FTL, Dev-LSM) survives a host restart, but each simulation phase runs
+// on a fresh clock; re-attach before issuing commands from the new
+// phase's runners. All queues must be idle.
+func (d *Device) Attach(clk *vclock.Clock) {
+	d.NVMe.Attach(clk)
+	d.clk = clk
+}
 
 // BlockRegionPages returns the block region's size in logical pages —
 // the quantity callers partition when handing each tenant or shard its
@@ -127,11 +183,16 @@ func (d *Device) BlockRegionPages() int { return d.FTL.RegionPages(ftl.BlockRegi
 
 // BlockNS is the block-interface namespace over the block region; it
 // satisfies fs.BlockDevice. Multiple namespaces may partition the region
-// for multi-tenancy.
+// for multi-tenancy. Each namespace owns IOQueues queue pairs and stripes
+// its commands across them round-robin.
 type BlockNS struct {
 	dev    *Device
 	offset int // first region LPN of this namespace
 	pages  int
+	qps    []*nvme.QueuePair
+
+	mu   sync.Mutex
+	next int // round-robin stripe cursor
 }
 
 // BlockNamespace returns a namespace covering [offsetPages,
@@ -144,7 +205,15 @@ func (d *Device) BlockNamespace(offsetPages, pages int) *BlockNS {
 	if offsetPages < 0 || offsetPages+pages > total {
 		panic("ssd: block namespace out of region bounds")
 	}
-	return &BlockNS{dev: d, offset: offsetPages, pages: pages}
+	ns := &BlockNS{dev: d, offset: offsetPages, pages: pages}
+	for i := 0; i < d.cfg.IOQueues; i++ {
+		name := fmt.Sprintf("blk@%d", offsetPages)
+		if d.cfg.IOQueues > 1 {
+			name = fmt.Sprintf("blk@%d.q%d", offsetPages, i)
+		}
+		ns.qps = append(ns.qps, d.NVMe.NewQueuePair(name, 1))
+	}
+	return ns
 }
 
 // PageSize returns the logical page size.
@@ -152,6 +221,18 @@ func (ns *BlockNS) PageSize() int { return ns.dev.cfg.Geometry.PageSize }
 
 // Pages returns the namespace's capacity in pages.
 func (ns *BlockNS) Pages() int { return ns.pages }
+
+// pick returns the next queue pair in the namespace's round-robin stripe.
+func (ns *BlockNS) pick() *nvme.QueuePair {
+	if len(ns.qps) == 1 {
+		return ns.qps[0]
+	}
+	ns.mu.Lock()
+	q := ns.qps[ns.next%len(ns.qps)]
+	ns.next++
+	ns.mu.Unlock()
+	return q
+}
 
 func (ns *BlockNS) translate(lpns []int) []int {
 	out := make([]int, len(lpns))
@@ -164,37 +245,112 @@ func (ns *BlockNS) translate(lpns []int) []int {
 	return out
 }
 
-// WritePages DMAs the pages over PCIe and programs them via the FTL.
+// submission is one in-flight command awaiting completion.
+type submission struct {
+	q   *nvme.QueuePair
+	cmd *nvme.Command
+}
+
+// awaitAll parks r until every submitted command completes.
+func awaitAll(r *vclock.Runner, subs []submission) {
+	for _, s := range subs {
+		s.q.Await(r, s.cmd)
+	}
+}
+
+// WritePages posts WRITE commands (split at the MDTS boundary) and awaits
+// their completions; each command DMAs its chunk over PCIe and programs
+// it via the FTL on a dispatcher worker, so at QD>1 one chunk's DMA
+// overlaps another's NAND program.
 func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) {
 	if len(lpns) == 0 {
 		return
 	}
-	ns.dev.Link.Transfer(r, pcie.HostToDevice, len(lpns)*ns.PageSize())
-	ns.dev.FTL.WriteMany(r, ftl.BlockRegion, ns.translate(lpns))
+	lpns = ns.translate(lpns)
+	ps := ns.PageSize()
+	maxPages := ns.dev.maxTransferPages()
+	var subs []submission
+	for start := 0; start < len(lpns); start += maxPages {
+		end := start + maxPages
+		if end > len(lpns) {
+			end = len(lpns)
+		}
+		chunk := lpns[start:end]
+		cmd := &nvme.Command{Op: "WRITE", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) {
+			ns.dev.Link.Transfer(w, pcie.HostToDevice, len(chunk)*ps)
+			ns.dev.FTL.WriteMany(w, ftl.BlockRegion, chunk)
+		}}
+		q := ns.pick()
+		q.Submit(r, cmd)
+		subs = append(subs, submission{q, cmd})
+	}
+	awaitAll(r, subs)
 }
 
-// ReadPages reads via the FTL and DMAs the pages back to the host.
+// ReadPages posts READ commands (split at the MDTS boundary) and awaits
+// their completions; each command reads via the FTL and DMAs its chunk
+// back to the host.
 func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) {
 	if len(lpns) == 0 {
 		return
 	}
-	ns.dev.FTL.ReadMany(r, ftl.BlockRegion, ns.translate(lpns))
-	ns.dev.Link.Transfer(r, pcie.DeviceToHost, len(lpns)*ns.PageSize())
+	lpns = ns.translate(lpns)
+	ps := ns.PageSize()
+	maxPages := ns.dev.maxTransferPages()
+	var subs []submission
+	for start := 0; start < len(lpns); start += maxPages {
+		end := start + maxPages
+		if end > len(lpns) {
+			end = len(lpns)
+		}
+		chunk := lpns[start:end]
+		cmd := &nvme.Command{Op: "READ", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) {
+			ns.dev.FTL.ReadMany(w, ftl.BlockRegion, chunk)
+			ns.dev.Link.Transfer(w, pcie.DeviceToHost, len(chunk)*ps)
+		}}
+		q := ns.pick()
+		q.Submit(r, cmd)
+		subs = append(subs, submission{q, cmd})
+	}
+	awaitAll(r, subs)
 }
 
-// TrimPages invalidates pages without media time.
-func (ns *BlockNS) TrimPages(lpns []int) {
-	for _, l := range ns.translate(lpns) {
-		ns.dev.FTL.Trim(ftl.BlockRegion, l)
+// TrimPages invalidates pages as one NVMe Dataset Management (deallocate)
+// command: the range list crosses PCIe and the firmware pays the command
+// processing cost before dropping the mappings. No media time is spent.
+func (ns *BlockNS) TrimPages(r *vclock.Runner, lpns []int) {
+	if len(lpns) == 0 {
+		return
 	}
+	lpns = ns.translate(lpns)
+	// DSM carries up to 256 16-byte range descriptors per command; count
+	// contiguous LPN runs to size the payload.
+	ranges := 1
+	for i := 1; i < len(lpns); i++ {
+		if lpns[i] != lpns[i-1]+1 {
+			ranges++
+		}
+	}
+	payload := kvHeader + 16*ranges
+	cmd := &nvme.Command{Op: "DSM_TRIM", Bytes: payload, Exec: func(w *vclock.Runner) {
+		ns.dev.Link.Transfer(w, pcie.HostToDevice, payload)
+		if d := ns.dev.cfg.KVCommandOverhead; d > 0 {
+			ns.dev.ARM.Run(w, d)
+		}
+		for _, l := range lpns {
+			ns.dev.FTL.Trim(ftl.BlockRegion, l)
+		}
+	}}
+	q := ns.pick()
+	q.Do(r, cmd)
 }
 
 // ---- Key-value interface (NVMe KV command set) ----
 
 const kvHeader = 64 // command header bytes per KV command
 
-func (d *Device) kvCommand(r *vclock.Runner, payload int, dir pcie.Direction) {
-	d.Link.Transfer(r, dir, kvHeader+payload)
+// armOverhead charges the per-command firmware parse cost.
+func (d *Device) armOverhead(r *vclock.Runner) {
 	if d.cfg.KVCommandOverhead > 0 {
 		d.ARM.Run(r, d.cfg.KVCommandOverhead)
 	}
@@ -228,46 +384,66 @@ func (d *Device) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry
 
 // KVIterator is the host-visible iterator over the KV interface (SEEK /
 // NEXT commands per the iterator-extended KVSSD design [24]). Records
-// stream back over PCIe as the cursor advances.
+// stream back over PCIe as the cursor advances. Each cursor operation is
+// one queued command; the cursor itself is single-runner, like a file
+// handle.
 type KVIterator struct {
 	d  *Device
+	qp *nvme.QueuePair
 	r  *vclock.Runner
 	it *devlsm.Iterator
 }
 
 // NewKVIterator opens a device-side iterator (CreateIterator command).
 func (d *Device) NewKVIterator(r *vclock.Runner) *KVIterator {
-	d.kvCommand(r, 0, pcie.HostToDevice)
-	return &KVIterator{d: d, r: r, it: d.Dev.NewIterator(r)}
+	return d.full.newKVIterator(r)
+}
+
+// do runs one iterator command synchronously, pointing the device-side
+// cursor's NAND accounting at the worker executing it.
+func (it *KVIterator) do(op string, payload int, body func(w *vclock.Runner)) {
+	cmd := &nvme.Command{Op: op, Bytes: kvHeader + payload, Exec: func(w *vclock.Runner) {
+		it.it.SetRunner(w)
+		body(w)
+	}}
+	it.qp.Do(it.r, cmd)
 }
 
 // Seek issues a SEEK command.
 func (it *KVIterator) Seek(key []byte) {
-	it.d.kvCommand(it.r, len(key), pcie.HostToDevice)
-	it.it.Seek(key)
-	it.transferCurrent()
+	it.do("KV_SEEK", len(key), func(w *vclock.Runner) {
+		it.d.Link.Transfer(w, pcie.HostToDevice, kvHeader+len(key))
+		it.d.armOverhead(w)
+		it.it.Seek(key)
+		it.transferCurrent(w)
+	})
 }
 
 // SeekToFirst positions at the smallest buffered key.
 func (it *KVIterator) SeekToFirst() {
-	it.d.kvCommand(it.r, 0, pcie.HostToDevice)
-	it.it.SeekToFirst()
-	it.transferCurrent()
+	it.do("KV_SEEK", 0, func(w *vclock.Runner) {
+		it.d.Link.Transfer(w, pcie.HostToDevice, kvHeader)
+		it.d.armOverhead(w)
+		it.it.SeekToFirst()
+		it.transferCurrent(w)
+	})
 }
 
 // Next issues a NEXT command.
 func (it *KVIterator) Next() {
-	if d := it.d.cfg.KVCommandOverhead; d > 0 {
-		it.d.ARM.Run(it.r, d/4) // NEXT is lighter than a full command parse
-	}
-	it.it.Next()
-	it.transferCurrent()
+	it.do("KV_NEXT", 0, func(w *vclock.Runner) {
+		if d := it.d.cfg.KVCommandOverhead; d > 0 {
+			it.d.ARM.Run(w, d/4) // NEXT is lighter than a full command parse
+		}
+		it.it.Next()
+		it.transferCurrent(w)
+	})
 }
 
-func (it *KVIterator) transferCurrent() {
+func (it *KVIterator) transferCurrent(w *vclock.Runner) {
 	if it.it.Valid() {
 		e := it.it.Entry()
-		it.d.Link.Transfer(it.r, pcie.DeviceToHost, 16+len(e.Key)+len(e.Value))
+		it.d.Link.Transfer(w, pcie.DeviceToHost, 16+len(e.Key)+len(e.Value))
 	}
 }
 

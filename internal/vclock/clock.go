@@ -83,6 +83,11 @@ type Runner struct {
 	clock *Clock
 	name  string
 	wake  chan struct{}
+	// gen counts condition parks (guarded by clock.mu). A conditional
+	// timer records the generation it backstops; if the runner has since
+	// been signalled and parked again, the stale timer's generation no
+	// longer matches and it must not fire.
+	gen uint64
 }
 
 // Name returns the label the runner was created with.
@@ -132,6 +137,29 @@ func (c *Clock) unregister(r *Runner) {
 // the simulation.
 func (c *Clock) Wait() { <-c.done }
 
+// Hold pins virtual time until the returned release function is called.
+// Constructors that start housekeeping runners (detectors, rollback
+// managers — all parked on periodic timers) take a hold so the ordinary
+// goroutine finishing setup, which the clock cannot see, gets to register
+// its first real runner before those timers free-run virtual time
+// arbitrarily far ahead. Release is idempotent; call it after the first
+// real runner is registered (Go registers synchronously, so right after
+// Go returns is safe).
+func (c *Clock) Hold() (release func()) {
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.active--
+			c.maybeAdvanceLocked()
+			c.mu.Unlock()
+		})
+	}
+}
+
 // Sleep parks r for virtual duration d. A non-positive d still yields a
 // full park/wake cycle at the current instant, which serializes with other
 // same-instant events deterministically.
@@ -170,6 +198,27 @@ func (r *Runner) SleepUntil(t Time) {
 // arrange for wakeParked(r) to be called eventually. Must not hold c.mu.
 func (c *Clock) parkOn(r *Runner, label string) {
 	c.mu.Lock()
+	r.gen++
+	c.parked[r] = label
+	c.active--
+	c.maybeAdvanceLocked()
+	c.mu.Unlock()
+}
+
+// parkOnTimed is parkOn with a timeout backstop: a conditional timer is
+// pushed alongside the condition park, and whichever fires first wins.
+// The runner is woken exactly once — the timer pop skips runners no
+// longer in the parked map, and wakeParkedIfPresent skips runners the
+// timer already woke. The caller still blocks on <-r.wake itself (so it
+// can interleave its own bookkeeping, as Cond.Wait does with parkOn).
+func (c *Clock) parkOnTimed(r *Runner, label string, d Duration) {
+	c.mu.Lock()
+	if d < 0 {
+		d = 0
+	}
+	r.gen++
+	c.seq++
+	heap.Push(&c.timers, timer{at: c.now.Add(d), seq: c.seq, r: r, cond: true, gen: r.gen})
 	c.parked[r] = label
 	c.active--
 	c.maybeAdvanceLocked()
@@ -191,36 +240,71 @@ func (c *Clock) wakeParked(r *Runner) {
 	r.wake <- struct{}{}
 }
 
+// wakeParkedIfPresent is wakeParked for condition parks that race a
+// timeout: when the runner's conditional timer fired first, the runner is
+// no longer in the parked map and the call is a no-op. It reports whether
+// it woke the runner.
+func (c *Clock) wakeParkedIfPresent(r *Runner) bool {
+	c.mu.Lock()
+	if _, ok := c.parked[r]; !ok {
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.parked, r)
+	c.active++
+	c.mu.Unlock()
+	r.wake <- struct{}{}
+	return true
+}
+
 // maybeAdvanceLocked advances virtual time if no runner is runnable.
 // Called with c.mu held.
 func (c *Clock) maybeAdvanceLocked() {
 	if c.active > 0 || c.stopped {
 		return
 	}
-	if c.timers.Len() == 0 {
-		if c.total == 0 {
-			return // simulation drained
+	for {
+		if c.timers.Len() == 0 {
+			if c.total == 0 {
+				return // simulation drained
+			}
+			report := c.deadlockReportLocked()
+			if h := c.OnDeadlock; h != nil {
+				c.stopped = true
+				// Release the lock for the handler? Keep it simple: call
+				// without the lock to let the handler inspect the clock.
+				c.mu.Unlock()
+				h(report)
+				c.mu.Lock()
+				return
+			}
+			panic(report)
 		}
-		report := c.deadlockReportLocked()
-		if h := c.OnDeadlock; h != nil {
-			c.stopped = true
-			// Release the lock for the handler? Keep it simple: call
-			// without the lock to let the handler inspect the clock.
-			c.mu.Unlock()
-			h(report)
-			c.mu.Lock()
+		// Jump to the earliest deadline and wake every timer due at it, in
+		// seq order for determinism. Conditional timers whose runner was
+		// already woken through its condition are stale: drop them without
+		// waking, and keep advancing if the whole batch was stale.
+		at := c.timers[0].at
+		c.now = at
+		woke := 0
+		for c.timers.Len() > 0 && c.timers[0].at == at {
+			t := heap.Pop(&c.timers).(timer)
+			if t.cond {
+				// Stale if the runner was signalled (left the parked map) or
+				// was signalled and has since parked again (generation moved
+				// on) — either way the timeout lost its race.
+				if _, ok := c.parked[t.r]; !ok || t.r.gen != t.gen {
+					continue
+				}
+				delete(c.parked, t.r)
+			}
+			c.active++
+			woke++
+			t.r.wake <- struct{}{}
+		}
+		if woke > 0 {
 			return
 		}
-		panic(report)
-	}
-	// Jump to the earliest deadline and wake every timer due at it, in
-	// seq order for determinism.
-	at := c.timers[0].at
-	c.now = at
-	for c.timers.Len() > 0 && c.timers[0].at == at {
-		t := heap.Pop(&c.timers).(timer)
-		c.active++
-		t.r.wake <- struct{}{}
 	}
 }
 
@@ -238,9 +322,11 @@ func (c *Clock) deadlockReportLocked() string {
 }
 
 type timer struct {
-	at  Time
-	seq uint64
-	r   *Runner
+	at   Time
+	seq  uint64
+	r    *Runner
+	cond bool   // timeout backstop for a condition park (parkOnTimed)
+	gen  uint64 // park generation the backstop belongs to (cond only)
 }
 
 type timerHeap []timer

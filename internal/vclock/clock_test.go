@@ -409,3 +409,44 @@ func TestQueueTryPushFullAndClosed(t *testing.T) {
 		t.Fatal("drain of closed queue failed")
 	}
 }
+
+// TestHoldPinsTimeDuringSetup reproduces the Open-then-Run constructor
+// pattern: a periodic housekeeping runner starts first, and the ordinary
+// goroutine doing setup — invisible to the clock — registers the real
+// workload runner afterwards. Without a hold the housekeeping timer
+// free-runs virtual time through that gap (by however far the OS delays
+// the setup goroutine); with one, the workload starts at t=0.
+func TestHoldPinsTimeDuringSetup(t *testing.T) {
+	clk := New()
+	release := clk.Hold()
+	stop := NewEvent("stop")
+	clk.Go("housekeeping", func(r *Runner) {
+		for !stop.WaitFor(r, time.Millisecond) {
+		}
+	})
+	// The housekeeping runner is parked on its period timer by the time
+	// this goroutine is scheduled again; only the hold stops it ticking.
+	time.Sleep(10 * time.Millisecond) // real time: let it park
+	var startedAt Time
+	clk.Go("workload", func(r *Runner) {
+		startedAt = r.Now()
+		stop.Set()
+	})
+	release()
+	clk.Wait()
+	if startedAt != 0 {
+		t.Errorf("workload started at t=%v; clock advanced during setup", startedAt)
+	}
+}
+
+func TestHoldReleaseIdempotent(t *testing.T) {
+	clk := New()
+	release := clk.Hold()
+	release()
+	release() // second call must not double-decrement active
+	clk.Go("r", func(r *Runner) { r.Sleep(time.Millisecond) })
+	clk.Wait()
+	if now := clk.Now(); now != Time(time.Millisecond) {
+		t.Errorf("clock at %v, want 1ms", now)
+	}
+}

@@ -126,10 +126,10 @@ func (l *Log) Close() {
 }
 
 // Delete removes the log's backing file (after a successful memtable
-// flush makes it obsolete).
-func (l *Log) Delete() {
+// flush makes it obsolete); r pays the TRIM command cost.
+func (l *Log) Delete(r *vclock.Runner) {
 	if l.fsys.Exists(l.name) {
-		_ = l.fsys.Remove(l.name)
+		_ = l.fsys.Remove(r, l.name)
 	}
 }
 

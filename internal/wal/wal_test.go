@@ -22,9 +22,9 @@ func (d *slowDev) WritePages(r *vclock.Runner, lpns []int) {
 func (d *slowDev) ReadPages(r *vclock.Runner, lpns []int) {
 	r.Sleep(time.Duration(len(lpns)) * d.perPage)
 }
-func (d *slowDev) TrimPages(lpns []int) {}
-func (d *slowDev) PageSize() int        { return d.pageSize }
-func (d *slowDev) Pages() int           { return d.pages }
+func (d *slowDev) TrimPages(r *vclock.Runner, lpns []int) {}
+func (d *slowDev) PageSize() int                          { return d.pageSize }
+func (d *slowDev) Pages() int                             { return d.pages }
 
 func newEnv(perPage time.Duration) (*vclock.Clock, *fs.FileSystem) {
 	clk := vclock.New()
@@ -150,11 +150,11 @@ func TestDeleteRemovesFile(t *testing.T) {
 		_ = log.Append(r, []byte("payload"))
 		log.Sync(r)
 		log.Close()
-		log.Delete()
+		log.Delete(r)
 		if fsys.Exists("wal-6") {
 			t.Error("file still exists after Delete")
 		}
-		log.Delete() // idempotent
+		log.Delete(r) // idempotent
 	})
 	clk.Wait()
 }

@@ -32,6 +32,7 @@ import (
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/lsm"
+	"kvaccel/internal/nvme"
 	"kvaccel/internal/ssd"
 	"kvaccel/internal/vclock"
 )
@@ -85,6 +86,13 @@ type Options struct {
 	// Dev-LSM NAND reads — the extension the paper names as the fix for
 	// its Table V range-query deficit. 0 (default) reproduces the paper.
 	DevReadCacheBytes int64
+	// QueueDepth is the NVMe submission-queue depth per queue pair: how
+	// many commands one submitter may keep in flight before blocking.
+	// 0 keeps the device default (32).
+	QueueDepth int
+	// IOQueues is the number of block-interface I/O queue pairs the file
+	// system stripes its commands across. 0 keeps the default (1).
+	IOQueues int
 }
 
 // DefaultOptions mirrors the paper's setup at scale 10.
@@ -105,6 +113,10 @@ type DB struct {
 	kv     *core.DB
 	device *ssd.Device
 	opt    Options
+	// release drops the clock hold taken in Open; until the first Run
+	// registers a runner, the hold keeps the background runners' periodic
+	// timers from free-running virtual time past the caller's setup code.
+	release func()
 }
 
 // normalize clamps option fields to their legal floors. Scale < 1 means
@@ -135,6 +147,12 @@ func (opt Options) deviceConfig() ssd.Config {
 	cfg.DevLSM.GetCPU *= scale
 	cfg.DevLSM.ScanCPUPerKB *= scale
 	cfg.KVCommandOverhead *= scale
+	if opt.QueueDepth > 0 {
+		cfg.NVMe.QueueDepth = opt.QueueDepth
+	}
+	if opt.IOQueues > 0 {
+		cfg.IOQueues = opt.IOQueues
+	}
 	return cfg
 }
 
@@ -181,7 +199,8 @@ func (opt Options) coreOptions() core.Options {
 func Open(opt Options) *DB {
 	opt = opt.normalize()
 	clk := vclock.New()
-	dev := ssd.New(opt.deviceConfig())
+	release := clk.Hold()
+	dev := ssd.New(clk, opt.deviceConfig())
 	fsys := fs.New(dev.BlockNamespace(0, 0))
 
 	pool := cpu.NewPool(opt.HostCores, "host-cpu")
@@ -191,11 +210,14 @@ func Open(opt Options) *DB {
 	if !opt.EnableRedirection {
 		kv.Detector().SetOverride(false) // pin the normal path
 	}
-	return &DB{clk: clk, kv: kv, device: dev, opt: opt}
+	return &DB{clk: clk, kv: kv, device: dev, opt: opt, release: release}
 }
 
 // Run starts fn as a simulated thread named name.
-func (db *DB) Run(name string, fn func(r *Runner)) { db.clk.Go(name, fn) }
+func (db *DB) Run(name string, fn func(r *Runner)) {
+	db.clk.Go(name, fn)
+	db.release()
+}
 
 // Wait blocks the calling OS goroutine until every simulated thread has
 // exited (call Close from inside the simulation first, or make sure all
@@ -203,7 +225,10 @@ func (db *DB) Run(name string, fn func(r *Runner)) { db.clk.Go(name, fn) }
 func (db *DB) Wait() { db.clk.Wait() }
 
 // Close stops background runners; in-flight work completes first.
-func (db *DB) Close() { db.kv.Close() }
+func (db *DB) Close() {
+	db.kv.Close()
+	db.release() // let the runners drain even if Run was never called
+}
 
 // Put stores a key-value pair, transparently redirecting through the
 // SSD's KV interface during Main-LSM write stalls.
@@ -252,6 +277,10 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	return Stats{KVAccel: db.kv.Stats(), Main: db.kv.Main().Stats()}
 }
+
+// QueueStats snapshots every NVMe queue pair on the device: submission
+// counts, occupancy, and submit-to-completion latency histograms.
+func (db *DB) QueueStats() []nvme.QueueStats { return db.device.QueueStats() }
 
 // Now returns the current virtual time.
 func (db *DB) Now() vclock.Time { return db.clk.Now() }

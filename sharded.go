@@ -7,6 +7,7 @@ import (
 	"kvaccel/internal/iterkit"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/nvme"
 	"kvaccel/internal/ssd"
 	"kvaccel/internal/vclock"
 )
@@ -47,6 +48,8 @@ type ShardedDB struct {
 	pool   *cpu.Pool
 	shards []*core.DB
 	opt    ShardedOptions
+	// release drops the clock hold taken in OpenSharded (see DB.release).
+	release func()
 }
 
 // OpenSharded builds one simulated machine and N KVACCEL shards on it.
@@ -58,7 +61,8 @@ func OpenSharded(opt ShardedOptions) *ShardedDB {
 	n := opt.Shards
 
 	clk := vclock.New()
-	dev := ssd.New(opt.deviceConfig())
+	release := clk.Hold()
+	dev := ssd.New(clk, opt.deviceConfig())
 	pool := cpu.NewPool(opt.HostCores, "host-cpu")
 	lopt := opt.engineOptions(pool, int64(n))
 
@@ -83,7 +87,7 @@ func OpenSharded(opt ShardedOptions) *ShardedDB {
 		}
 		shards[i] = kv
 	}
-	return &ShardedDB{clk: clk, device: dev, pool: pool, shards: shards, opt: opt}
+	return &ShardedDB{clk: clk, device: dev, pool: pool, shards: shards, opt: opt, release: release}
 }
 
 // FNV-1a: deterministic across process restarts, so a reopened sharded
@@ -108,7 +112,10 @@ func (db *ShardedDB) shard(key []byte) *core.DB {
 }
 
 // Run starts fn as a simulated thread named name.
-func (db *ShardedDB) Run(name string, fn func(r *Runner)) { db.clk.Go(name, fn) }
+func (db *ShardedDB) Run(name string, fn func(r *Runner)) {
+	db.clk.Go(name, fn)
+	db.release()
+}
 
 // Wait blocks until every simulated thread has exited.
 func (db *ShardedDB) Wait() { db.clk.Wait() }
@@ -124,6 +131,7 @@ func (db *ShardedDB) Close() {
 	for _, s := range db.shards {
 		s.Close()
 	}
+	db.release() // let the runners drain even if Run was never called
 }
 
 // Put stores a key-value pair on the owning shard.
@@ -222,6 +230,11 @@ func (db *ShardedDB) Shard(i int) *core.DB { return db.shards[i] }
 
 // Device exposes the shared dual-interface SSD.
 func (db *ShardedDB) Device() *ssd.Device { return db.device }
+
+// QueueStats snapshots every NVMe queue pair on the shared device —
+// each shard's block queue(s) and KV-region queue appear as separate
+// entries.
+func (db *ShardedDB) QueueStats() []nvme.QueueStats { return db.device.QueueStats() }
 
 // ShardedStats is the system-wide view plus the per-shard breakdown.
 // The embedded Stats has the same shape DB.Stats returns, with every
