@@ -40,8 +40,15 @@ func main() {
 		ioqueues = flag.Int("ioqueues", 0, "block-interface I/O queue pairs to stripe over (0 = default, 1)")
 		qdSweep  = flag.String("qdsweep", "", "comma-separated queue depths to sweep, e.g. 1,2,4,8,32 (overrides -qd)")
 		queues   = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
+		faultSee = flag.Int64("faults-seed", 0, "seed a deterministic device fault plan (0 = no injection)")
+		cuts     = flag.Int("power-cuts", 0, "run the crash-recovery torture instead of a bench: cut device power N times, recover, verify the oracle")
 	)
 	flag.Parse()
+
+	if *cuts > 0 {
+		runTorture(*faultSee, *cuts)
+		return
+	}
 
 	rb, ok := parseRollback(*rollback)
 	if !ok {
@@ -50,6 +57,10 @@ func main() {
 	}
 
 	if strings.ToLower(*engine) == "kvaccel-sharded" {
+		if *faultSee != 0 {
+			fmt.Fprintln(os.Stderr, "-faults-seed is not supported for kvaccel-sharded")
+			os.Exit(2)
+		}
 		runSharded(shardedRunParams{
 			shards:   *shards,
 			writers:  *writers,
@@ -76,6 +87,7 @@ func main() {
 	p.ValueSize = *value
 	p.QueueDepth = *qd
 	p.IOQueues = *ioqueues
+	p.FaultsSeed = *faultSee
 
 	spec := harness.EngineSpec{Threads: *threads, Slowdown: *slowdown}
 	switch strings.ToLower(*engine) {
@@ -131,6 +143,10 @@ func main() {
 	if res.Redirects > 0 || res.Rollbacks > 0 {
 		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
 	}
+	if *faultSee != 0 {
+		fmt.Printf("faults      : injected=%d retried=%d failed=%d (dev-errors=%d)\n",
+			res.Injected, res.DevRetries, res.DevFailed, res.DevErrors)
+	}
 	if *queues {
 		for _, q := range res.Queues {
 			if q.Submitted == 0 {
@@ -149,6 +165,36 @@ func main() {
 		fmt.Print(res.PCIeH2D.TSV())
 		fmt.Print(res.PCIeD2H.TSV())
 	}
+}
+
+// runTorture runs the §9 crash-recovery torture from the CLI: fillrandom
+// with rollback active, n seeded power cuts, reattach + Recover after
+// each, and the host-side durability oracle. Exits non-zero on any
+// oracle violation.
+func runTorture(seed int64, n int) {
+	if seed == 0 {
+		seed = 1
+	}
+	p := harness.DefaultTortureParams(seed)
+	p.Cuts = n
+	p.Logf = func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	fmt.Printf("kvbench: crash-recovery torture, seed=%d power-cuts=%d\n", seed, n)
+	rep := harness.RunTorture(p)
+	fmt.Printf("\nphases      : %d (%d cuts fired)\n", rep.Phases, rep.CutsFired)
+	fmt.Printf("writes      : %d acked, %d redirected, %d flush barriers\n", rep.Acked, rep.Redirected, rep.Barriers)
+	fmt.Printf("recovery    : %d pairs replayed\n", rep.Recovered)
+	fmt.Printf("faults      : injected=%d retried=%d failed=%d (dev-errors=%d)\n",
+		rep.Injected, rep.DevRetries, rep.DevFailed, rep.DevErrors)
+	if len(rep.Violations) > 0 {
+		fmt.Printf("oracle      : %d VIOLATIONS\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("oracle      : all checks passed")
 }
 
 // runQDSweep reruns the same workload once per requested queue depth and

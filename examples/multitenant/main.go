@@ -55,12 +55,12 @@ func main() {
 			for i := 0; i < 100; i++ {
 				ten.kv.Put(r, memtable.KindPut, []byte(fmt.Sprintf("buf%03d", i)), []byte(ten.name))
 			}
-			v2, _, ok2 := ten.kv.Get(r, []byte("buf007"))
+			v2, _, ok2, _ := ten.kv.Get(r, []byte("buf007"))
 			fmt.Printf("%s kv-interface read   : %q ok=%v\n", ten.name, v2, ok2)
 
 			// Isolation: the other tenant's keys are invisible here.
 			n := 0
-			ten.kv.BulkScan(r, func(entries []memtable.Entry) {
+			_ = ten.kv.BulkScan(r, func(entries []memtable.Entry) {
 				for _, e := range entries {
 					if string(e.Value) != ten.name {
 						panic("cross-tenant leak!")

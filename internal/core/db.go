@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kvaccel/internal/faults"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/vclock"
@@ -67,6 +68,10 @@ type Options struct {
 	LazyQuietPeriod time.Duration
 	// MetadataShards sizes the metadata manager's lock striping.
 	MetadataShards int
+	// Retry is the controller's answer to device command errors:
+	// transient faults (injected media errors, timeouts) are retried
+	// with backoff; a zero policy means a single attempt.
+	Retry faults.RetryPolicy
 }
 
 // DefaultOptions mirrors the paper's implementation constants.
@@ -77,6 +82,7 @@ func DefaultOptions() Options {
 		Rollback:        RollbackLazy,
 		LazyQuietPeriod: time.Second,
 		MetadataShards:  16,
+		Retry:           faults.DefaultRetryPolicy(),
 	}
 }
 
@@ -91,6 +97,12 @@ type Stats struct {
 	RollbackTime   time.Duration
 	Recoveries     int64
 	RecoveryTime   time.Duration
+	// DevErrors counts device command errors observed (before retries),
+	// DevRetries the retries issued, and DevFailed the commands that
+	// failed after exhausting the retry policy.
+	DevErrors  int64
+	DevRetries int64
+	DevFailed  int64
 }
 
 // Add returns the field-wise sum of s and o. The sharded front-end uses
@@ -105,6 +117,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.RollbackTime += o.RollbackTime
 	s.Recoveries += o.Recoveries
 	s.RecoveryTime += o.RecoveryTime
+	s.DevErrors += o.DevErrors
+	s.DevRetries += o.DevRetries
+	s.DevFailed += o.DevFailed
 	return s
 }
 
@@ -138,6 +153,9 @@ type DB struct {
 	rollbackNS     atomic.Int64
 	recoveries     atomic.Int64
 	recoveryNS     atomic.Int64
+	devErrors      atomic.Int64
+	devRetries     atomic.Int64
+	devFailed      atomic.Int64
 }
 
 const gateUnits = 1 << 20 // effectively "all writers"
@@ -195,6 +213,9 @@ func (db *DB) Stats() Stats {
 		RollbackTime:   time.Duration(db.rollbackNS.Load()),
 		Recoveries:     db.recoveries.Load(),
 		RecoveryTime:   time.Duration(db.recoveryNS.Load()),
+		DevErrors:      db.devErrors.Load(),
+		DevRetries:     db.devRetries.Load(),
+		DevFailed:      db.devFailed.Load(),
 	}
 }
 
@@ -224,49 +245,65 @@ func (db *DB) shouldRedirect() bool {
 
 // Put writes a key-value pair through the Controller.
 func (db *DB) Put(r *vclock.Runner, key, value []byte) error {
+	_, err := db.write(r, memtable.KindPut, key, value)
+	return err
+}
+
+// PutEx is Put, additionally reporting whether the write took the
+// redirect path. The crash-torture oracle needs the path: an
+// acknowledged redirected write is durable immediately (the Dev-LSM is
+// power-loss-protected), while a normal-path write is durable only
+// after the next Flush barrier.
+func (db *DB) PutEx(r *vclock.Runner, key, value []byte) (redirected bool, err error) {
 	return db.write(r, memtable.KindPut, key, value)
 }
 
 // Delete writes a tombstone through the Controller; redirected deletes
 // become Dev-LSM tombstones that the rollback later applies.
 func (db *DB) Delete(r *vclock.Runner, key []byte) error {
-	return db.write(r, memtable.KindDelete, key, nil)
+	_, err := db.write(r, memtable.KindDelete, key, nil)
+	return err
 }
 
-func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (redirected bool, err error) {
 	if db.closed.Load() {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	db.gate.Acquire(r, 1)
 	defer db.gate.Release(1)
 
 	if db.shouldRedirect() {
 		// Stall path: buffer in the Dev-LSM, record location metadata.
-		db.dev.KVPut(r, kind, key, value)
-		db.meta.Insert(key)
-		db.redirectedPuts.Add(1)
-		db.lastRedirect.Store(int64(r.Now()))
-		return nil
+		// A device command that fails even after retries falls through
+		// to the normal path — the Main-LSM is stalled, not broken.
+		if db.devPut(r, kind, key, value) == nil {
+			db.meta.Insert(key)
+			db.redirectedPuts.Add(1)
+			db.lastRedirect.Store(int64(r.Now()))
+			return true, nil
+		}
 	}
 	// Normal path.
-	var err error
 	if kind == memtable.KindDelete {
 		err = db.main.Delete(r, key)
 	} else {
 		err = db.main.Put(r, key, value)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	// §V-C Write Path (3-1): the newest version now lives in Main-LSM.
 	// If a buffered copy exists, mark it superseded on the device so a
 	// post-crash recovery (which replays every buffered pair, §VI-D)
-	// cannot resurrect the stale version over this newer one.
+	// cannot resurrect the stale version over this newer one. A marker
+	// that fails to land leaves a stale pair that recovery may replay;
+	// the fault model documents that hazard (DESIGN.md §9) — the
+	// guarantee for this key now follows the normal-path regime.
 	if db.meta.Remove(key) {
-		db.dev.KVPut(r, memtable.KindSupersede, key, nil)
+		_ = db.devPut(r, memtable.KindSupersede, key, nil)
 	}
 	db.normalPuts.Add(1)
-	return nil
+	return false, nil
 }
 
 // WriteBatch commits a batch atomically through the Controller: on the
@@ -287,18 +324,22 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 		b.Ops(func(kind memtable.Kind, key, value []byte) {
 			entries = append(entries, memtable.Entry{Kind: kind, Key: key, Value: value})
 		})
-		db.dev.KVPutCompound(r, entries)
-		b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
-		db.redirectedPuts.Add(int64(b.Len()))
-		db.lastRedirect.Store(int64(r.Now()))
-		return nil
+		// The compound command is atomic device-side: on failure none of
+		// the batch landed, so falling through to the Main-LSM path is a
+		// clean re-commit, not a duplicate.
+		if db.devPutCompound(r, entries) == nil {
+			b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
+			db.redirectedPuts.Add(int64(b.Len()))
+			db.lastRedirect.Store(int64(r.Now()))
+			return nil
+		}
 	}
 	if err := db.main.Write(r, b); err != nil {
 		return err
 	}
 	b.Ops(func(_ memtable.Kind, key, _ []byte) {
 		if db.meta.Remove(key) {
-			db.dev.KVPut(r, memtable.KindSupersede, key, nil)
+			_ = db.devPut(r, memtable.KindSupersede, key, nil)
 		}
 	})
 	db.normalPuts.Add(int64(b.Len()))
@@ -313,23 +354,26 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	}
 	if db.meta.Contains(key) {
 		db.devGets.Add(1)
-		v, kind, found := db.dev.KVGet(r, key)
-		if found && kind != memtable.KindSupersede {
+		v, kind, found, derr := db.devGet(r, key)
+		if derr == nil && found && kind != memtable.KindSupersede {
 			if kind == memtable.KindDelete {
 				return nil, false, nil
 			}
 			return v, true, nil
 		}
 		// Metadata said Dev-LSM but the pair is gone (rolled back between
-		// our check and the device read); fall through to the Main-LSM.
+		// our check and the device read) or the device failed the read
+		// even after retries; fall through to the Main-LSM, which holds
+		// the newest durable version the host can still reach.
 	}
 	db.mainGets.Add(1)
 	return db.main.Get(r, key)
 }
 
 // Flush drains the Main-LSM memtable (delegates; the Dev-LSM is flushed
-// by its own DRAM budget).
-func (db *DB) Flush(r *vclock.Runner) { db.main.Flush(r) }
+// by its own DRAM budget). A nil return is a durability barrier for
+// every previously acknowledged normal-path write.
+func (db *DB) Flush(r *vclock.Runner) error { return db.main.Flush(r) }
 
 // WaitIdle parks until Main-LSM background work is done.
 func (db *DB) WaitIdle(r *vclock.Runner) { db.main.WaitIdle(r) }

@@ -23,9 +23,11 @@ type MainEngine interface {
 	Write(r *vclock.Runner, b *lsm.Batch) error
 	// NewIterator opens a range cursor over the engine's contents.
 	NewIterator(r *vclock.Runner) *lsm.Iterator
-	// Flush forces the active memtable to disk; WaitIdle parks until
-	// background work drains.
-	Flush(r *vclock.Runner)
+	// Flush forces the active memtable to disk and returns the engine's
+	// sticky background error, if any: a nil return is a durability
+	// barrier for every prior write. WaitIdle parks until background
+	// work drains.
+	Flush(r *vclock.Runner) error
 	WaitIdle(r *vclock.Runner)
 	// Health is the stall signal the Detector samples every period.
 	Health() lsm.Health
@@ -41,22 +43,26 @@ type MainEngine interface {
 // usage report. *ssd.KVRegion satisfies it — either the full KV region
 // (single write domain) or one per-shard slice of it — as does any
 // second device's KV view in the multi-device mode of §V-D.
+// Every command can complete with an error status — an injected media
+// error, a timeout, or faults.ErrDeviceGone after a power cut — and the
+// controller's retry policy decides what the host does about it.
 type KVDevice interface {
 	// KVPut stores one record; kind distinguishes values, tombstones,
 	// and supersede markers.
-	KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte)
+	KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) error
 	// KVDelete stores a tombstone (equivalent to KVPut with KindDelete).
-	KVDelete(r *vclock.Runner, key []byte)
+	KVDelete(r *vclock.Runner, key []byte) error
 	// KVPutCompound commits several records under one command header —
 	// the device-side half of atomic write batches.
-	KVPutCompound(r *vclock.Runner, entries []memtable.Entry)
+	KVPutCompound(r *vclock.Runner, entries []memtable.Entry) error
 	// KVGet returns the newest buffered record for key.
-	KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool)
+	KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error)
 	// KVReset wipes the device's buffered pairs (§V-E step 8).
-	KVReset(r *vclock.Runner)
+	KVReset(r *vclock.Runner) error
 	// KVBulkScan streams every buffered pair in key order, in DMA-sized
-	// chunks (§V-E steps 3-6).
-	KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry))
+	// chunks (§V-E steps 3-6). A non-nil error means the emitted chunks
+	// are a prefix of the device's contents, not all of it.
+	KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) error
 	// NewKVIterator opens a host-visible cursor (SEEK/NEXT commands).
 	NewKVIterator(r *vclock.Runner) iterkit.Iterator
 	// KVEmpty reports whether no pairs are buffered.

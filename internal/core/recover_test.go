@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"kvaccel/internal/faults"
+	"kvaccel/internal/vclock"
+)
+
+// These tests pin down Recover's edge cases (§VI-D): a crash landing in
+// the middle of a rollback drain, recovery with nothing buffered, and
+// running Recover twice. The common thread is idempotence — the merge
+// applies newest-version-wins semantics, so replaying pairs that were
+// already drained (or draining them a second time) must never regress
+// the store.
+
+func rkey(i int) []byte { return []byte(fmt.Sprintf("rk%04d", i)) }
+func rval(i int) []byte { return []byte(fmt.Sprintf("rv%04d-payload", i)) }
+
+// TestRecoverAfterFaultedRollbackDrain injects a media error into the
+// bulk-scan transfer so RollbackNow dies mid-drain: some pairs are
+// already merged into the Main-LSM, the Reset never ran, and the device
+// still holds everything. A crash at that instant (metadata lost) must
+// recover completely: Recover replays all pairs — including the ones
+// the dead rollback already merged — and converges to a clean state.
+func TestRecoverAfterFaultedRollbackDrain(t *testing.T) {
+	plan := faults.NewPlan(7)
+	// The scan command itself succeeds; the second DMA transfer fails on
+	// every attempt, killing the drain partway through.
+	plan.AddRule(faults.Rule{Op: "KV_SCAN_XFER", Class: faults.MediaError, Every: 2})
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	clk, db, dev := newFaultStack(opt, plan)
+	// ~4 KiB values so the drain spans several 128 KiB DMA chunks — the
+	// faulted second transfer then lands mid-drain, after real merges.
+	const n = 100
+	bigval := func(i int) []byte {
+		return append(bytes.Repeat([]byte{'v'}, 4096), rval(i)...)
+	}
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		db.Detector().SetOverride(true)
+		for i := 0; i < n; i++ {
+			if red, err := db.PutEx(r, rkey(i), bigval(i)); err != nil || !red {
+				t.Fatalf("redirected put %d: red=%v err=%v", i, red, err)
+			}
+		}
+		db.Detector().SetOverride(false)
+
+		if err := db.RollbackNow(r); err == nil {
+			t.Fatal("RollbackNow succeeded despite the failing transfer")
+		}
+		if dev.KVRegionFull().KVEmpty() {
+			t.Fatal("aborted rollback reset the device")
+		}
+
+		// Crash: the volatile metadata hash table is gone; the Dev-LSM
+		// pairs survive. Clear the injected fault so recovery can run.
+		db.SimulateCrash()
+		plan2 := faults.NewPlan(8)
+		dev.SetFaultPlan(plan2)
+
+		if err := db.Recover(r); err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if !dev.KVRegionFull().KVEmpty() {
+			t.Error("Recover left pairs buffered on the device")
+		}
+		if c := db.Metadata().Count(); c != 0 {
+			t.Errorf("metadata count = %d after Recover, want 0", c)
+		}
+		for i := 0; i < n; i++ {
+			v, ok, err := db.Get(r, rkey(i))
+			if err != nil || !ok || !bytes.Equal(v, bigval(i)) {
+				t.Fatalf("key %d after Recover: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+	if s := db.Stats(); s.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", s.Recoveries)
+	}
+}
+
+// TestRecoverEmptyDevLSM: recovery with nothing buffered must succeed
+// as a no-op — the common case after a clean shutdown.
+func TestRecoverEmptyDevLSM(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	clk, db, dev := newFaultStack(opt, nil)
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		if err := db.Put(r, rkey(1), rval(1)); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		if !dev.KVRegionFull().KVEmpty() {
+			t.Fatal("normal-path put landed on the device")
+		}
+		if err := db.Recover(r); err != nil {
+			t.Fatalf("Recover on empty Dev-LSM: %v", err)
+		}
+		v, ok, err := db.Get(r, rkey(1))
+		if err != nil || !ok || !bytes.Equal(v, rval(1)) {
+			t.Errorf("get after no-op Recover: ok=%v err=%v", ok, err)
+		}
+	})
+	clk.Wait()
+}
+
+// TestDoubleRecoverIdempotent: a second Recover (e.g. a recovery retried
+// by an unsure operator, or re-run after a crash mid-first-recovery)
+// must be a harmless no-op: same values, still-empty device.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	clk, db, dev := newFaultStack(opt, nil)
+	const n = 50
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		db.Detector().SetOverride(true)
+		for i := 0; i < n; i++ {
+			if red, err := db.PutEx(r, rkey(i), rval(i)); err != nil || !red {
+				t.Fatalf("redirected put %d: red=%v err=%v", i, red, err)
+			}
+		}
+		db.Detector().SetOverride(false)
+		db.SimulateCrash()
+		for pass := 1; pass <= 2; pass++ {
+			if err := db.Recover(r); err != nil {
+				t.Fatalf("Recover pass %d: %v", pass, err)
+			}
+			if !dev.KVRegionFull().KVEmpty() {
+				t.Errorf("pass %d left pairs on the device", pass)
+			}
+			for i := 0; i < n; i++ {
+				v, ok, err := db.Get(r, rkey(i))
+				if err != nil || !ok || !bytes.Equal(v, rval(i)) {
+					t.Fatalf("pass %d key %d: ok=%v err=%v val=%q", pass, i, ok, err, v)
+				}
+			}
+		}
+	})
+	clk.Wait()
+	if s := db.Stats(); s.Recoveries != 2 {
+		t.Errorf("recoveries = %d, want 2", s.Recoveries)
+	}
+}

@@ -14,7 +14,7 @@ func (db *DB) startRollbackManager() {
 	db.clk.Go("kvaccel.rollback", func(r *vclock.Runner) {
 		for !db.closeEv.WaitFor(r, db.opt.DetectorPeriod) {
 			if db.shouldRollback(r) {
-				db.RollbackNow(r)
+				_ = db.RollbackNow(r) // transient failure: retried next period
 			}
 		}
 		// Final drain: flush buffered pairs into the Main-LSM so a clean
@@ -22,7 +22,7 @@ func (db *DB) startRollbackManager() {
 		// (restart tests, recovery experiments) want the pairs left in
 		// NAND for Recover to find.
 		if db.opt.Rollback != RollbackDisabled && !db.dev.KVEmpty() {
-			db.RollbackNow(r)
+			_ = db.RollbackNow(r) // on failure the pairs stay for Recover
 		}
 		db.main.Close()
 	})
@@ -57,15 +57,36 @@ func (db *DB) shouldRollback(r *vclock.Runner) bool {
 // iterator-based bulky range scan (§V-E): the device serializes its
 // entire contents, DMAs them in 512 KiB chunks, and the host merges each
 // chunk into the Main-LSM; a device Reset completes the operation.
-func (db *DB) RollbackNow(r *vclock.Runner) {
+//
+// Crash safety hangs on two orderings here. First, the Main-LSM is
+// flushed before the device Reset: redirected pairs are durable on the
+// device, so erasing them while their Main-LSM copies sit in an
+// unsynced WAL would turn a power cut into data loss. Second, metadata
+// entries are cleared only after the Reset commits: until then the
+// device copy is still the one a normal-path overwrite must supersede.
+// A scan or flush error aborts without resetting — the pairs stay on
+// the device and the next rollback (or a post-crash Recover) replays
+// them; the merge is idempotent, so a partial drain costs nothing but
+// repeated work.
+func (db *DB) RollbackNow(r *vclock.Runner) error {
 	if db.rollingBack.Swap(true) {
-		return // already in progress
+		return nil // already in progress
 	}
 	defer db.rollingBack.Store(false)
 
+	// Barrier: a writer that read shouldRedirect() before the flag
+	// flipped may still be mid-devPut; if its pair landed after the
+	// device serialized the scan, the Reset below would erase an
+	// acknowledged write. Draining the gate once waits those writers
+	// out, and every writer arriving later sees rollingBack and takes
+	// the normal path.
+	db.gate.Acquire(r, gateUnits)
+	db.gate.Release(gateUnits)
+
 	start := r.Now()
 	var pairs int64
-	db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
+	var merged [][]byte
+	scanErr := db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		// Each chunk merges under the write gate, serializing against
 		// foreground writes so a concurrent overwrite cannot be clobbered
 		// by an older rolled-back version.
@@ -76,7 +97,6 @@ func (db *DB) RollbackNow(r *vclock.Runner) {
 				// A normal-path write superseded this pair after it was
 				// redirected; the Main-LSM already holds the newest
 				// version.
-				db.meta.Remove(e.Key)
 				continue
 			}
 			if e.Kind == memtable.KindDelete {
@@ -84,17 +104,32 @@ func (db *DB) RollbackNow(r *vclock.Runner) {
 			} else {
 				_ = db.main.Put(r, e.Key, e.Value)
 			}
-			db.meta.Remove(e.Key)
+			merged = append(merged, append([]byte(nil), e.Key...))
 			pairs++
 		}
 		db.gate.Release(gateUnits)
 	})
+	if scanErr != nil {
+		return scanErr
+	}
+	// Durability barrier before the erase: the rolled-back pairs must
+	// survive a power cut from the Main-LSM alone once the device's
+	// copies are gone.
+	if err := db.main.Flush(r); err != nil {
+		return err
+	}
 	// §V-E step 8: reset the Dev-LSM so the next rollback sees only fresh
 	// redirected data.
-	db.dev.KVReset(r)
+	if err := db.devReset(r); err != nil {
+		return err
+	}
+	for _, k := range merged {
+		db.meta.Remove(k)
+	}
 	db.rollbacks.Add(1)
 	db.rollbackPairs.Add(pairs)
 	db.rollbackNS.Add(int64(r.Now().Sub(start)))
+	return nil
 }
 
 // SimulateCrash models the §VI-D failure: the volatile metadata manager's
@@ -107,14 +142,23 @@ func (db *DB) SimulateCrash() {
 // rolling back every KV pair stored in the Dev-LSM to the Main-LSM
 // (§VI-D). Because the metadata hash table is empty, the merge applies
 // every buffered pair unconditionally.
-func (db *DB) Recover(r *vclock.Runner) {
+//
+// Like RollbackNow, Recover flushes the Main-LSM before the device
+// Reset and aborts without resetting on a scan or flush error; a crash
+// (or fault) at any point leaves the pairs on the device, and a second
+// Recover replays them idempotently.
+func (db *DB) Recover(r *vclock.Runner) error {
 	start := r.Now()
 	if db.rollingBack.Swap(true) {
-		return
+		return nil
 	}
 	defer db.rollingBack.Store(false)
+	// Same in-flight-writer barrier as RollbackNow; Recover usually runs
+	// before writers start, but nothing enforces that.
+	db.gate.Acquire(r, gateUnits)
+	db.gate.Release(gateUnits)
 	var pairs int64
-	db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
+	scanErr := db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		db.gate.Acquire(r, gateUnits)
 		for i := range entries {
 			e := &entries[i]
@@ -133,8 +177,17 @@ func (db *DB) Recover(r *vclock.Runner) {
 		}
 		db.gate.Release(gateUnits)
 	})
-	db.dev.KVReset(r)
+	if scanErr != nil {
+		return scanErr
+	}
+	if err := db.main.Flush(r); err != nil {
+		return err
+	}
+	if err := db.devReset(r); err != nil {
+		return err
+	}
 	db.recoveries.Add(1)
 	db.rollbackPairs.Add(pairs)
 	db.recoveryNS.Add(int64(r.Now().Sub(start)))
+	return nil
 }

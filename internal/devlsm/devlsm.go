@@ -202,7 +202,7 @@ func (d *DevLSM) allocLocked(n int) []int {
 
 // Put buffers one record (value may be nil with kind KindDelete for
 // redirected tombstones), flushing the device memtable when full.
-func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
+func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
 	d.arm.Run(r, d.cfg.PutCPU)
 	d.mu.Lock()
 	d.seq++
@@ -214,13 +214,14 @@ func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
 	needFlush := d.mem.ApproximateSize() >= d.cfg.MemtableBytes
 	d.mu.Unlock()
 	if needFlush {
-		d.Flush(r)
+		return d.Flush(r)
 	}
+	return nil
 }
 
 // Get returns the newest buffered record for key. Each run probe costs
 // one NAND page read; there is no read cache.
-func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
 	d.arm.Run(r, d.cfg.GetCPU)
 	d.mu.Lock()
 	d.stats.Gets++
@@ -229,7 +230,7 @@ func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.
 	d.mu.Unlock()
 
 	if v, k, ok := mem.Get(key); ok {
-		return v, k, true
+		return v, k, true, nil
 	}
 	for i := len(runs) - 1; i >= 0; i-- {
 		ru := runs[i]
@@ -242,7 +243,9 @@ func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.
 				break
 			}
 			pm := &ru.pages[pi]
-			d.readPages(r, pm.lpns)
+			if rerr := d.readPages(r, pm.lpns); rerr != nil {
+				return nil, 0, false, rerr
+			}
 			// Scan the page payload; records within a key are newest-first.
 			payload := ru.data[pm.off : pm.off+pm.length]
 			for len(payload) > 0 {
@@ -251,7 +254,7 @@ func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.
 					panic("devlsm: corrupt run page: " + err.Error())
 				}
 				if c := bytes.Compare(e.Key, key); c == 0 {
-					return e.Value, e.Kind, true
+					return e.Value, e.Kind, true, nil
 				} else if c > 0 {
 					break scan
 				}
@@ -259,15 +262,14 @@ func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.
 			}
 		}
 	}
-	return nil, 0, false
+	return nil, 0, false, nil
 }
 
 // readPages spends NAND time for the given pages, short-circuiting hits
 // in the optional controller read cache.
-func (d *DevLSM) readPages(r *vclock.Runner, lpns []int) {
+func (d *DevLSM) readPages(r *vclock.Runner, lpns []int) error {
 	if d.cacheCap == 0 {
-		d.f.ReadMany(r, ftl.KVRegion, lpns)
-		return
+		return d.f.ReadMany(r, ftl.KVRegion, lpns)
 	}
 	d.mu.Lock()
 	var misses []int
@@ -285,7 +287,7 @@ func (d *DevLSM) readPages(r *vclock.Runner, lpns []int) {
 		d.cacheLRU.Remove(back)
 	}
 	d.mu.Unlock()
-	d.f.ReadMany(r, ftl.KVRegion, misses)
+	return d.f.ReadMany(r, ftl.KVRegion, misses)
 }
 
 // pageFor returns the page where a forward scan for key must start: the
@@ -306,12 +308,16 @@ func (ru *run) pageFor(key []byte) int {
 	return res
 }
 
-// Flush persists the device memtable as a new sorted run.
-func (d *DevLSM) Flush(r *vclock.Runner) {
+// Flush persists the device memtable as a new sorted run. The run is
+// installed even when a NAND program reports a fault — the controller's
+// capacitor-backed buffer lets firmware retry the program out of band,
+// so the data is never lost device-side — but the error is surfaced so
+// the host command (KV_PUT) completes with a status.
+func (d *DevLSM) Flush(r *vclock.Runner) error {
 	d.mu.Lock()
 	if d.mem.Count() == 0 {
 		d.mu.Unlock()
-		return
+		return nil
 	}
 	mem := d.mem
 	d.mem = memtable.New()
@@ -319,9 +325,9 @@ func (d *DevLSM) Flush(r *vclock.Runner) {
 
 	ru, lpns := d.buildRun(r, mem.NewIterator())
 	if ru == nil {
-		return
+		return nil
 	}
-	d.f.WriteMany(r, ftl.KVRegion, lpns)
+	err := d.f.WriteMany(r, ftl.KVRegion, lpns)
 
 	d.mu.Lock()
 	d.runs = append(d.runs, ru)
@@ -331,6 +337,7 @@ func (d *DevLSM) Flush(r *vclock.Runner) {
 	if needMerge {
 		d.compact(r)
 	}
+	return err
 }
 
 // buildRun packs an iterator's records into page-aligned slabs, returning
@@ -453,7 +460,7 @@ func (d *DevLSM) compact(r *vclock.Runner) {
 			lpns = append(lpns, pm.lpns...)
 		}
 	}
-	d.f.ReadMany(r, ftl.KVRegion, lpns)
+	_ = d.f.ReadMany(r, ftl.KVRegion, lpns) // firmware-internal: faults retried out of band
 
 	children := make([]iterkit.Iterator, 0, len(runs))
 	for i := len(runs) - 1; i >= 0; i-- { // newest run first for tie-break
@@ -481,7 +488,7 @@ func (d *DevLSM) compact(r *vclock.Runner) {
 	d.stats.Compactions++
 	d.mu.Unlock()
 	if ru != nil {
-		d.f.WriteMany(r, ftl.KVRegion, newLPNs)
+		_ = d.f.WriteMany(r, ftl.KVRegion, newLPNs) // firmware-internal: faults retried out of band
 	}
 }
 

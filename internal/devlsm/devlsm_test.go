@@ -37,11 +37,11 @@ func TestPutGetMemtableOnly(t *testing.T) {
 	d := newDev(DefaultConfig())
 	runSim(t, func(r *vclock.Runner) {
 		d.Put(r, memtable.KindPut, key(1), value(1))
-		v, kind, ok := d.Get(r, key(1))
+		v, kind, ok, _ := d.Get(r, key(1))
 		if !ok || kind != memtable.KindPut || !bytes.Equal(v, value(1)) {
 			t.Fatalf("get: ok=%v kind=%v", ok, kind)
 		}
-		if _, _, ok := d.Get(r, key(99)); ok {
+		if _, _, ok, _ := d.Get(r, key(99)); ok {
 			t.Fatal("absent key found")
 		}
 	})
@@ -61,7 +61,7 @@ func TestFlushAndGetFromRun(t *testing.T) {
 			t.Fatal("flush did not happen")
 		}
 		for i := 0; i < 200; i += 11 {
-			v, _, ok := d.Get(r, key(i))
+			v, _, ok, _ := d.Get(r, key(i))
 			if !ok || !bytes.Equal(v, value(i)) {
 				t.Fatalf("get %d from run: ok=%v", i, ok)
 			}
@@ -91,7 +91,7 @@ func TestNewestVersionWinsAcrossRuns(t *testing.T) {
 		d.Put(r, memtable.KindPut, key(5), []byte("mid"))
 		d.Flush(r)
 		d.Put(r, memtable.KindPut, key(5), []byte("new"))
-		v, _, ok := d.Get(r, key(5))
+		v, _, ok, _ := d.Get(r, key(5))
 		if !ok || string(v) != "new" {
 			t.Fatalf("got %q, want new", v)
 		}
@@ -104,7 +104,7 @@ func TestTombstoneSurfaces(t *testing.T) {
 		d.Put(r, memtable.KindPut, key(1), value(1))
 		d.Flush(r)
 		d.Put(r, memtable.KindDelete, key(1), nil)
-		_, kind, ok := d.Get(r, key(1))
+		_, kind, ok, _ := d.Get(r, key(1))
 		if !ok || kind != memtable.KindDelete {
 			t.Fatalf("tombstone: ok=%v kind=%v", ok, kind)
 		}
@@ -220,13 +220,13 @@ func TestResetClearsEverything(t *testing.T) {
 		if !d.Empty() || d.Bytes() != 0 {
 			t.Fatal("reset left data behind")
 		}
-		if _, _, ok := d.Get(r, key(5)); ok {
+		if _, _, ok, _ := d.Get(r, key(5)); ok {
 			t.Fatal("key readable after reset")
 		}
 		// The device must be reusable after reset.
 		d.Put(r, memtable.KindPut, key(1), value(1))
 		d.Flush(r)
-		if _, _, ok := d.Get(r, key(1)); !ok {
+		if _, _, ok, _ := d.Get(r, key(1)); !ok {
 			t.Fatal("Dev-LSM unusable after reset")
 		}
 	})
@@ -252,7 +252,7 @@ func TestDeviceCompactionMergesRuns(t *testing.T) {
 		}
 		// Data intact and newest version preserved.
 		for i := 0; i < 100; i += 9 {
-			v, _, ok := d.Get(r, key(i))
+			v, _, ok, _ := d.Get(r, key(i))
 			if !ok || string(v) != "round3" {
 				t.Fatalf("key %d after device compaction = %q ok=%v", i, v, ok)
 			}
@@ -279,7 +279,7 @@ func TestRandomMatchesModel(t *testing.T) {
 			}
 		}
 		for k, want := range model {
-			v, kind, ok := d.Get(r, []byte(k))
+			v, kind, ok, _ := d.Get(r, []byte(k))
 			if !ok {
 				t.Fatalf("model key %q missing", k)
 			}
@@ -300,7 +300,7 @@ func TestLargeRecordSpansPages(t *testing.T) {
 		big := bytes.Repeat([]byte("x"), 10_000) // > 4 KiB page
 		d.Put(r, memtable.KindPut, key(1), big)
 		d.Flush(r)
-		v, _, ok := d.Get(r, key(1))
+		v, _, ok, _ := d.Get(r, key(1))
 		if !ok || !bytes.Equal(v, big) {
 			t.Fatal("oversized record lost across page boundary")
 		}
@@ -319,7 +319,7 @@ func TestVersionsStraddlingPageBoundary(t *testing.T) {
 		}
 		d.Put(r, memtable.KindPut, key(9), big)
 		d.Flush(r)
-		v, _, ok := d.Get(r, key(5))
+		v, _, ok, _ := d.Get(r, key(5))
 		if !ok || !bytes.HasPrefix(v, []byte("v11-")) {
 			t.Fatalf("Get returned %.8q ok=%v, want newest v11-", v, ok)
 		}

@@ -1,0 +1,195 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if o := p.Decide("KV_PUT", -1); o.Err != nil || o.Delay != 0 {
+		t.Fatalf("nil plan decided %+v", o)
+	}
+	if _, ok := p.NextPowerCut(); ok {
+		t.Fatal("nil plan has a power cut armed")
+	}
+	if p.TotalInjected() != 0 {
+		t.Fatal("nil plan injected something")
+	}
+	if n := p.TornLength(100); n != 0 {
+		t.Fatalf("nil plan torn length = %d", n)
+	}
+	p.CorruptByte([]byte{1}) // must not panic
+	p.DisarmPowerCut()       // must not panic
+}
+
+func TestEveryCounterIsDeterministic(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Op: "WRITE", Class: MediaError, Every: 3})
+	var errs []int
+	for i := 1; i <= 9; i++ {
+		if p.Decide("WRITE", -1).Err != nil {
+			errs = append(errs, i)
+		}
+	}
+	if len(errs) != 3 || errs[0] != 3 || errs[1] != 6 || errs[2] != 9 {
+		t.Fatalf("Every=3 fired at %v, want [3 6 9]", errs)
+	}
+	// Non-matching op never fires.
+	if p.Decide("READ", -1).Err != nil {
+		t.Fatal("rule fired for non-matching op")
+	}
+}
+
+func TestProbIsSeedReproducible(t *testing.T) {
+	runOnce := func(seed int64) []bool {
+		p := NewPlan(seed)
+		p.AddRule(Rule{Class: MediaError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Decide("X", -1).Err != nil
+		}
+		return out
+	}
+	a, b := runOnce(7), runOnce(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := runOnce(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-decision sequence")
+	}
+}
+
+func TestCountCapsFires(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Class: Timeout, Every: 1, Count: 2, Delay: time.Millisecond})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		o := p.Decide("X", -1)
+		if o.Err != nil {
+			if o.Err != ErrTimeout || o.Delay != time.Millisecond {
+				t.Fatalf("unexpected outcome %+v", o)
+			}
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("Count=2 rule fired %d times", fires)
+	}
+	if p.TotalInjected() != 2 || p.Injected()["X"] != 2 {
+		t.Fatalf("counters: total=%d per-op=%v", p.TotalInjected(), p.Injected())
+	}
+}
+
+func TestScopeRestrictsToExtent(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Op: "NAND_PROG", Class: MediaError, Every: 1, Scope: Extent{Start: 100, End: 200}})
+	if p.Decide("NAND_PROG", 50).Err != nil {
+		t.Fatal("fired below scope")
+	}
+	if p.Decide("NAND_PROG", 100).Err == nil {
+		t.Fatal("did not fire at scope start")
+	}
+	if p.Decide("NAND_PROG", 199).Err == nil {
+		t.Fatal("did not fire at scope end-1")
+	}
+	if p.Decide("NAND_PROG", 200).Err != nil {
+		t.Fatal("fired at scope end (half-open)")
+	}
+	// Address-less consultations never match scoped rules.
+	if p.Decide("NAND_PROG", -1).Err != nil {
+		t.Fatal("scoped rule matched address-less decide")
+	}
+}
+
+func TestLatencySpikeDelaysWithoutError(t *testing.T) {
+	p := NewPlan(1)
+	p.AddRule(Rule{Op: "READ", Class: LatencySpike, Every: 2, Delay: 5 * time.Millisecond})
+	o1 := p.Decide("READ", -1)
+	o2 := p.Decide("READ", -1)
+	if o1.Delay != 0 || o2.Delay != 5*time.Millisecond || o2.Err != nil {
+		t.Fatalf("latency spike outcomes: %+v %+v", o1, o2)
+	}
+}
+
+func TestPowerCutArmDisarm(t *testing.T) {
+	p := NewPlan(1)
+	if _, ok := p.NextPowerCut(); ok {
+		t.Fatal("fresh plan has a cut armed")
+	}
+	p.ArmPowerCut(12345)
+	at, ok := p.NextPowerCut()
+	if !ok || at != 12345 {
+		t.Fatalf("armed cut = %v,%v", at, ok)
+	}
+	p.DisarmPowerCut()
+	if _, ok := p.NextPowerCut(); ok {
+		t.Fatal("cut still armed after disarm")
+	}
+}
+
+func TestTornLengthAndCorruptByte(t *testing.T) {
+	p := NewPlan(42)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		n := p.TornLength(8)
+		if n < 0 || n > 8 {
+			t.Fatalf("torn length %d out of [0,8]", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("torn lengths not spread: %v", seen)
+	}
+	b := []byte{0xAA, 0xBB, 0xCC}
+	orig := append([]byte(nil), b...)
+	p.CorruptByte(b)
+	diff := 0
+	for i := range b {
+		if b[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("CorruptByte changed %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestTransientClassifier(t *testing.T) {
+	if !Transient(ErrMedia) || !Transient(ErrTimeout) {
+		t.Fatal("media/timeout should be transient")
+	}
+	if Transient(ErrDeviceGone) || Transient(nil) {
+		t.Fatal("device-gone/nil should not be transient")
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 4, Backoff: 100 * time.Microsecond, BackoffMax: 300 * time.Microsecond}
+	if rp.Attempts() != 4 {
+		t.Fatalf("attempts = %d", rp.Attempts())
+	}
+	if d := rp.Delay(1); d != 100*time.Microsecond {
+		t.Fatalf("delay(1) = %v", d)
+	}
+	if d := rp.Delay(2); d != 200*time.Microsecond {
+		t.Fatalf("delay(2) = %v", d)
+	}
+	if d := rp.Delay(3); d != 300*time.Microsecond {
+		t.Fatalf("delay(3) = %v (cap)", d)
+	}
+	var zero RetryPolicy
+	if zero.Attempts() != 1 || zero.Delay(1) != 0 {
+		t.Fatal("zero policy should mean one attempt, no backoff")
+	}
+}

@@ -12,20 +12,23 @@ import (
 	"fmt"
 	"sync"
 
+	"kvaccel/internal/faults"
 	"kvaccel/internal/vclock"
 )
 
 // BlockDevice is the block-interface contract the SSD exposes: page-sized
 // logical reads and writes that spend virtual time.
 type BlockDevice interface {
-	// WritePages spends the time to write the given logical pages.
-	WritePages(r *vclock.Runner, lpns []int)
+	// WritePages spends the time to write the given logical pages. A
+	// non-nil error means the pages are not durable (media error, severed
+	// device); the write may have partially reached media.
+	WritePages(r *vclock.Runner, lpns []int) error
 	// ReadPages spends the time to read the given logical pages.
-	ReadPages(r *vclock.Runner, lpns []int)
+	ReadPages(r *vclock.Runner, lpns []int) error
 	// TrimPages invalidates pages. TRIM is a real command (NVMe Dataset
 	// Management): it crosses the interconnect and pays command
 	// processing, though no media time.
-	TrimPages(r *vclock.Runner, lpns []int)
+	TrimPages(r *vclock.Runner, lpns []int) error
 	// PageSize returns the logical page size in bytes.
 	PageSize() int
 	// Pages returns the number of addressable logical pages.
@@ -57,6 +60,15 @@ type file struct {
 	pages []int
 	data  []byte
 	size  int
+
+	// Crash-consistency model. data is the page-cache view; stable is
+	// the prefix (Append) or image (WriteFile) the device has
+	// acknowledged, the only bytes guaranteed to survive a power cut.
+	// torn marks a failed append whose tail may have partially reached
+	// media; durable is false until the first acknowledged write.
+	stable  []byte
+	durable bool
+	torn    bool
 }
 
 // New formats a file system over dev with an unbounded page cache.
@@ -187,7 +199,10 @@ func (fs *FileSystem) WriteFile(r *vclock.Runner, name string, data []byte) erro
 		nPages = 1 // empty files still occupy a metadata page
 	}
 	fs.mu.Lock()
+	var oldStable []byte
+	var oldDurable bool
 	if old, ok := fs.files[name]; ok {
+		oldStable, oldDurable = old.stable, old.durable
 		fs.freeFileLocked(old)
 	}
 	pages, err := fs.allocLocked(nPages)
@@ -195,11 +210,23 @@ func (fs *FileSystem) WriteFile(r *vclock.Runner, name string, data []byte) erro
 		fs.mu.Unlock()
 		return err
 	}
-	f := &file{name: name, pages: pages, data: append([]byte(nil), data...), size: len(data)}
+	// WriteFile models an atomic replace (write + fsync + rename): until
+	// the device acknowledges the new image, a crash reverts to the old.
+	f := &file{name: name, pages: pages, data: append([]byte(nil), data...), size: len(data),
+		stable: oldStable, durable: oldDurable}
 	fs.files[name] = f
 	fs.cacheInsertLocked(pages)
 	fs.mu.Unlock()
-	fs.dev.WritePages(r, pages)
+	if err := fs.dev.WritePages(r, pages); err != nil {
+		// Not durable: a crash reverts to the previous image (if any).
+		fs.mu.Lock()
+		f.torn = false
+		fs.mu.Unlock()
+		return err
+	}
+	fs.mu.Lock()
+	f.stable, f.durable, f.torn = f.data, true, false
+	fs.mu.Unlock()
 	return nil
 }
 
@@ -239,7 +266,17 @@ func (fs *FileSystem) Append(r *vclock.Runner, name string, data []byte) error {
 	touch = append(touch, newPages...)
 	fs.cacheInsertLocked(touch)
 	fs.mu.Unlock()
-	fs.dev.WritePages(r, touch)
+	if err := fs.dev.WritePages(r, touch); err != nil {
+		// The appended tail may be partially on media: a crash keeps a
+		// seeded fragment of it past the last acknowledged prefix.
+		fs.mu.Lock()
+		f.torn = true
+		fs.mu.Unlock()
+		return err
+	}
+	fs.mu.Lock()
+	f.stable, f.durable, f.torn = f.data, true, false
+	fs.mu.Unlock()
 	return nil
 }
 
@@ -266,7 +303,9 @@ func (fs *FileSystem) ReadAt(r *vclock.Runner, name string, off, length int) ([]
 	out := make([]byte, length)
 	copy(out, f.data[off:off+length])
 	fs.mu.Unlock()
-	fs.dev.ReadPages(r, misses)
+	if err := fs.dev.ReadPages(r, misses); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -316,8 +355,7 @@ func (fs *FileSystem) Remove(r *vclock.Runner, name string) error {
 	pages := fs.freeFileLocked(f)
 	fs.cacheDropLocked(pages)
 	fs.mu.Unlock()
-	fs.dev.TrimPages(r, pages)
-	return nil
+	return fs.dev.TrimPages(r, pages)
 }
 
 // freeFileLocked detaches f and returns its pages to the pool.
@@ -336,4 +374,57 @@ func (fs *FileSystem) List() []string {
 		names = append(names, n)
 	}
 	return names
+}
+
+// Crash applies power-cut semantics to the whole file system: the page
+// cache (host DRAM) is lost, never-acknowledged files vanish, every
+// surviving file reverts to its last device-acknowledged image, and a
+// file with a torn append keeps a plan-seeded fragment of the unacked
+// tail — with one corrupted byte, so recovery must trust checksums, not
+// framing. Call it between simulation phases (no runners in flight).
+func (fs *FileSystem) Crash(plan *faults.Plan) {
+	ps := fs.dev.PageSize()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Host DRAM is gone.
+	fs.cached = make(map[int]*list.Element)
+	fs.lru = list.New()
+	for name, f := range fs.files {
+		if !f.durable {
+			fs.freeFileLocked(f)
+			continue
+		}
+		keep := append([]byte(nil), f.stable...)
+		if f.torn && len(f.data) > len(f.stable) {
+			frag := plan.TornLength(len(f.data) - len(f.stable))
+			if frag > 0 {
+				tail := append([]byte(nil), f.data[len(f.stable):len(f.stable)+frag]...)
+				plan.CorruptByte(tail)
+				keep = append(keep, tail...)
+			}
+		}
+		f.data = keep
+		f.size = len(keep)
+		f.stable = f.data
+		f.torn = false
+		need := (f.size + ps - 1) / ps
+		if need == 0 {
+			need = 1 // empty files still occupy a metadata page
+		}
+		if need < len(f.pages) {
+			fs.free = append(fs.free, f.pages[need:]...)
+			f.pages = f.pages[:need]
+		}
+		for len(f.pages) < need {
+			pg, err := fs.allocLocked(1)
+			if err != nil {
+				// Out of space reverting: drop the file entirely rather
+				// than present an image the device cannot hold.
+				fs.freeFileLocked(f)
+				break
+			}
+			f.pages = append(f.pages, pg[0])
+		}
+		_ = name
+	}
 }

@@ -246,27 +246,27 @@ func (f *FTL) invalidateLocked(ppn int32) {
 // Write maps one logical page of region rg and spends the NAND program
 // time. It runs GC inline if the free pool is low — charging the
 // reclamation cost to the writer, as real FTLs do under pressure.
-func (f *FTL) Write(r *vclock.Runner, rg Region, lpn int) {
+func (f *FTL) Write(r *vclock.Runner, rg Region, lpn int) error {
 	f.mu.Lock()
 	ppn, needGC := f.allocPageLocked(rg, lpn)
 	f.stats.HostPagesWritten++
 	f.mu.Unlock()
-	f.arr.ProgramPage(r, f.addrOf(ppn))
+	err := f.arr.ProgramPage(r, f.addrOf(ppn))
 	if needGC {
 		f.collect(r)
 	}
+	return err
 }
 
 // WriteMany writes a batch of logical pages, fanning the NAND programs out
 // across dies up to MaxFanout in flight, which is how the controller
 // reaches the array's aggregate program bandwidth.
-func (f *FTL) WriteMany(r *vclock.Runner, rg Region, lpns []int) {
+func (f *FTL) WriteMany(r *vclock.Runner, rg Region, lpns []int) error {
 	if len(lpns) == 0 {
-		return
+		return nil
 	}
 	if len(lpns) == 1 {
-		f.Write(r, rg, lpns[0])
-		return
+		return f.Write(r, rg, lpns[0])
 	}
 	f.mu.Lock()
 	ppns := make([]int32, len(lpns))
@@ -278,12 +278,13 @@ func (f *FTL) WriteMany(r *vclock.Runner, rg Region, lpns []int) {
 	}
 	f.stats.HostPagesWritten += int64(len(lpns))
 	f.mu.Unlock()
-	f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) {
-		f.arr.ProgramPage(w, f.addrOf(ppn))
+	err := f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) error {
+		return f.arr.ProgramPage(w, f.addrOf(ppn))
 	})
 	if needGC {
 		f.collect(r)
 	}
+	return err
 }
 
 // Read spends the NAND read time for one logical page. Reading an
@@ -300,13 +301,12 @@ func (f *FTL) Read(r *vclock.Runner, rg Region, lpn int) error {
 	if ppn == unmapped {
 		return fmt.Errorf("ftl: read of unmapped lpn %d in %v region", lpn, rg)
 	}
-	f.arr.ReadPage(r, f.addrOf(ppn))
-	return nil
+	return f.arr.ReadPage(r, f.addrOf(ppn))
 }
 
 // ReadMany reads a batch of logical pages with die-parallel fanout.
 // Unmapped pages are skipped (callers validate separately).
-func (f *FTL) ReadMany(r *vclock.Runner, rg Region, lpns []int) {
+func (f *FTL) ReadMany(r *vclock.Runner, rg Region, lpns []int) error {
 	f.mu.Lock()
 	rs := f.regions[rg]
 	ppns := make([]int32, 0, len(lpns))
@@ -316,8 +316,8 @@ func (f *FTL) ReadMany(r *vclock.Runner, rg Region, lpns []int) {
 		}
 	}
 	f.mu.Unlock()
-	f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) {
-		f.arr.ReadPage(w, f.addrOf(ppn))
+	return f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) error {
+		return f.arr.ReadPage(w, f.addrOf(ppn))
 	})
 }
 
@@ -349,34 +349,48 @@ func (f *FTL) TrimRegion(rg Region) {
 	}
 }
 
-// fanout runs op over each ppn with at most MaxFanout concurrent workers.
-func (f *FTL) fanout(r *vclock.Runner, ppns []int32, op func(*vclock.Runner, int32)) {
+// fanout runs op over each ppn with at most MaxFanout concurrent workers
+// and returns the first error any worker hit (every page is still
+// attempted, so the batch's time model stays intact under faults).
+func (f *FTL) fanout(r *vclock.Runner, ppns []int32, op func(*vclock.Runner, int32) error) error {
 	if len(ppns) == 0 {
-		return
+		return nil
 	}
 	workers := f.cfg.MaxFanout
 	if workers > len(ppns) {
 		workers = len(ppns)
 	}
 	if workers <= 1 {
+		var first error
 		for _, ppn := range ppns {
-			op(r, ppn)
+			if err := op(r, ppn); err != nil && first == nil {
+				first = err
+			}
 		}
-		return
+		return first
 	}
 	var wg vclock.WaitGroup
 	wg.Add(workers)
+	var errMu sync.Mutex
+	var first error
 	clk := r.Clock()
 	for w := 0; w < workers; w++ {
 		w := w
 		clk.Go("ftl.fanout", func(worker *vclock.Runner) {
 			defer wg.Done()
 			for i := w; i < len(ppns); i += workers {
-				op(worker, ppns[i])
+				if err := op(worker, ppns[i]); err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+				}
 			}
 		})
 	}
 	wg.Wait(r)
+	return first
 }
 
 // collect runs greedy GC until the free pool recovers. The caller's
@@ -418,12 +432,14 @@ func (f *FTL) collect(r *vclock.Runner) {
 		f.mu.Unlock()
 
 		// Spend the media time: read survivors, program them, erase.
-		f.fanout(r, newPPNs, func(w *vclock.Runner, ppn int32) {
-			f.arr.ReadPage(w, f.addrOf(ppn)) // read old copy (modeled at new addr's size)
-			f.arr.ProgramPage(w, f.addrOf(ppn))
+		// Injected faults during GC model firmware-internal retries: the
+		// migration still completes, so errors are deliberately dropped.
+		_ = f.fanout(r, newPPNs, func(w *vclock.Runner, ppn int32) error {
+			_ = f.arr.ReadPage(w, f.addrOf(ppn)) // read old copy (modeled at new addr's size)
+			return f.arr.ProgramPage(w, f.addrOf(ppn))
 		})
 		eraseAddr := f.addrOf(ppnOf(victim, 0, f.geo.PagesPerBlock))
-		f.arr.EraseBlock(r, eraseAddr)
+		_ = f.arr.EraseBlock(r, eraseAddr)
 
 		f.mu.Lock()
 		f.blocks[victim].allocated = false

@@ -51,6 +51,14 @@ type RunResult struct {
 	Levels    string // final tree shape
 	Redirects int64
 	Rollbacks int64
+	// Fault-injection counters: Injected counts faults the plan fired
+	// (all classes, any layer); the Dev* trio is the KVACCEL
+	// controller's retry-policy view (zero for baselines and for runs
+	// without Params.FaultsSeed).
+	Injected   int64
+	DevErrors  int64
+	DevRetries int64
+	DevFailed  int64
 	// Queues snapshots every NVMe queue pair at the end of the run.
 	Queues []nvme.QueueStats
 
@@ -193,6 +201,12 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 		s := eng.KV.Stats()
 		res.Redirects = s.RedirectedPuts
 		res.Rollbacks = s.Rollbacks
+		res.DevErrors = s.DevErrors
+		res.DevRetries = s.DevRetries
+		res.DevFailed = s.DevFailed
+	}
+	if tb.Faults != nil {
+		res.Injected = tb.Faults.TotalInjected()
 	}
 	return res
 }

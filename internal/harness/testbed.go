@@ -19,6 +19,7 @@ import (
 	"kvaccel/internal/core"
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/devlsm"
+	"kvaccel/internal/faults"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/ssd"
@@ -58,6 +59,11 @@ type Params struct {
 	// TuneCore, if set, adjusts KVACCEL's module options before Open —
 	// used by the detector-period and rollback ablations.
 	TuneCore func(*core.Options)
+	// FaultsSeed, when non-zero, arms a deterministic device fault plan
+	// (DefaultFaultRules) with that seed — kvbench's -faults-seed flag.
+	// The plan is exposed on the Testbed so callers can read its
+	// injection counters after the run.
+	FaultsSeed int64
 }
 
 // DefaultParams is the scale-10 setup used by cmd/experiments.
@@ -84,10 +90,27 @@ func (p Params) workloadConfig() workload.Config {
 
 // Testbed is one assembled simulated machine.
 type Testbed struct {
-	Clk  *vclock.Clock
-	CPU  *cpu.Pool
-	Dev  *ssd.Device
-	Fsys *fs.FileSystem
+	Clk    *vclock.Clock
+	CPU    *cpu.Pool
+	Dev    *ssd.Device
+	Fsys   *fs.FileSystem
+	Faults *faults.Plan // nil unless Params.FaultsSeed is set
+}
+
+// DefaultFaultRules installs the standard deterministic error-injection
+// mix used by both the torture harness and kvbench -faults-seed. Only
+// Every-based rules: a single fire always recovers within the
+// controller's retry budget, so acknowledged writes keep their exact
+// durability guarantees (a Prob-based rule could exhaust retries and
+// silently drop a supersede marker — the documented §9 hazard). KV
+// opcodes and block-WRITE latency only — a block-write *error* wedges
+// the Main-LSM read-only by design, which would end the run early.
+func DefaultFaultRules(plan *faults.Plan) {
+	plan.AddRule(faults.Rule{Op: "KV_PUT", Class: faults.MediaError, Every: 97})
+	plan.AddRule(faults.Rule{Op: "KV_GET", Class: faults.Timeout, Every: 61, Delay: 200 * time.Microsecond})
+	plan.AddRule(faults.Rule{Op: "KV_GET", Class: faults.MediaError, Every: 113})
+	plan.AddRule(faults.Rule{Op: "WRITE", Class: faults.LatencySpike, Every: 31, Delay: 500 * time.Microsecond})
+	plan.AddRule(faults.Rule{Op: "KV_PUT_COMPOUND", Class: faults.MediaError, Every: 53})
 }
 
 // NewTestbed builds the machine: an 8-core host and a Cosmos+-derived
@@ -114,12 +137,19 @@ func (p Params) NewTestbed() *Testbed {
 	if p.IOQueues > 0 {
 		cfg.IOQueues = p.IOQueues
 	}
+	var plan *faults.Plan
+	if p.FaultsSeed != 0 {
+		plan = faults.NewPlan(p.FaultsSeed)
+		DefaultFaultRules(plan)
+		cfg.Faults = plan
+	}
 	dev := ssd.New(clk, cfg)
 	return &Testbed{
-		Clk:  clk,
-		CPU:  cpu.NewPool(hostCores, "host-cpu"),
-		Dev:  dev,
-		Fsys: fs.New(dev.BlockNamespace(0, 0)),
+		Clk:    clk,
+		CPU:    cpu.NewPool(hostCores, "host-cpu"),
+		Dev:    dev,
+		Fsys:   fs.New(dev.BlockNamespace(0, 0)),
+		Faults: plan,
 	}
 }
 

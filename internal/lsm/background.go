@@ -47,8 +47,13 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 
 		// The OS would have written these dirty WAL pages back by now;
 		// charge that device traffic before the memtable becomes an SST.
+		// A failed sync means acked records may not be durable; surface
+		// it, but still attempt the flush — a successful SST supersedes
+		// the broken log.
 		if job.log != nil {
-			job.log.Sync(r)
+			if serr := job.log.Sync(r); serr != nil {
+				db.setBackgroundError(serr)
+			}
 		}
 		meta, err := db.buildSST(r, job.mt, 0)
 		if err != nil {
@@ -77,16 +82,30 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 			db.stats.WALBytesWritten += job.log.BytesWritten()
 		}
 		db.pending = db.vers.pendingCompactionBytes(&db.opt)
-		snap := db.snapshotManifestLocked()
 		db.mu.Unlock()
 
-		db.persistManifest(r, snap)
+		perr := db.persistManifest(r)
 		if job.log != nil {
 			job.log.Close()
-			job.log.Delete(r)
+			if perr == nil {
+				job.log.Delete(r)
+			}
 		}
 		db.writeCond.Broadcast()
 		db.bgCond.Broadcast()
+		if perr != nil {
+			// CURRENT still points at the pre-flush manifest, so the WAL
+			// just kept is the only durable copy of these records. Go
+			// read-only and park: a later install persisting a newer
+			// manifest would make the stale log replay over newer data.
+			db.setBackgroundError(perr)
+			db.mu.Lock()
+			for !db.closed {
+				db.bgCond.Wait(r)
+			}
+			db.mu.Unlock()
+			return
+		}
 		db.mu.Lock()
 	}
 }
@@ -193,13 +212,13 @@ func (s *readaheadSource) ReadAt(r *vclock.Runner, off, length int) ([]byte, err
 func (s *readaheadSource) Size() int { return s.inner.Size() }
 
 // compactionIterator opens a cache-bypassing, readahead iterator over f.
-func (db *DB) compactionIterator(r *vclock.Runner, f *FileMeta) iterkit.Iterator {
+func (db *DB) compactionIterator(r *vclock.Runner, f *FileMeta) (iterkit.Iterator, error) {
 	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size)}}
 	rd, err := sstable.Open(r, src, f.Num, nil)
 	if err != nil {
-		panic("lsm: compaction input reopen failed: " + err.Error())
+		return nil, err
 	}
-	return rd.NewIterator(r)
+	return rd.NewIterator(r), nil
 }
 
 // compaction describes one picked compaction job.
@@ -393,9 +412,27 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	db.mu.Unlock()
 	iters := make([]iterkit.Iterator, 0, len(c.inputs)+len(c.overlap))
 	var readBytes int64
+	var openErr error
 	for _, f := range c.allFiles() {
-		iters = append(iters, db.compactionIterator(r, f))
+		it, err := db.compactionIterator(r, f)
+		if err != nil {
+			openErr = err
+			break
+		}
+		iters = append(iters, it)
 		readBytes += f.Size
+	}
+	if openErr != nil {
+		// An unreadable input aborts before any merging: unmark the
+		// inputs and go read-only.
+		db.mu.Lock()
+		markCompacting(c.allFiles(), false)
+		if c.level == 0 {
+			db.compactingL0 = false
+		}
+		db.mu.Unlock()
+		db.setBackgroundError(openErr)
+		return
 	}
 	merged := iterkit.NewMerge(iters)
 
@@ -496,10 +533,14 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	db.stats.Compactions++
 	db.stats.CompactionReadBytes += readBytes
 	db.stats.CompactionWriteBytes += writeBytes
-	snap := db.snapshotManifestLocked()
 	db.mu.Unlock()
 
-	db.persistManifest(r, snap)
+	if perr := db.persistManifest(r); perr != nil {
+		// The durable manifest still references the compaction inputs:
+		// keep them on disk for restart and go read-only.
+		db.setBackgroundError(perr)
+		return
+	}
 	for _, f := range dead {
 		db.deleteFile(r, f)
 	}

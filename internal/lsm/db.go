@@ -51,9 +51,15 @@ type DB struct {
 	cursor            [][]byte // per-level round-robin compaction cursor
 	closed            bool
 
-	manifest  manifestState
-	snapshots map[uint64]int // live snapshot seq -> refcount
-	bgErr     error          // sticky background failure (device full): DB goes read-only
+	manifest manifestState
+	// persistSem serializes whole manifest persists (MANIFEST write,
+	// CURRENT repoint, predecessor removal). Flush and compaction
+	// workers install concurrently; without the serialization one
+	// worker can remove the manifest another worker's CURRENT is about
+	// to reference, leaving a dangling CURRENT after a crash.
+	persistSem *vclock.Semaphore
+	snapshots  map[uint64]int // live snapshot seq -> refcount
+	bgErr      error          // sticky background failure (device full): DB goes read-only
 
 	stats Stats
 }
@@ -75,6 +81,7 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 	}
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	if !opt.DisableWAL {
 		db.log = db.newWAL()
 	}
@@ -380,22 +387,29 @@ func (db *DB) deleteFile(r *vclock.Runner, f *FileMeta) {
 }
 
 // Flush forces the active memtable to L0 and parks r until the flush
-// queue drains.
-func (db *DB) Flush(r *vclock.Runner) {
+// queue drains. It returns the sticky background error, if any: a nil
+// return is the durability barrier the crash oracle relies on — every
+// record written before this Flush is on the device. The wait escapes
+// on a background error (the flush worker parks after one, so the
+// queue would otherwise never drain).
+func (db *DB) Flush(r *vclock.Runner) error {
 	db.mu.Lock()
 	if db.mem.Count() > 0 {
 		db.rotateMemtableLocked()
 	}
-	for !db.closed && len(db.imm) > 0 {
+	for !db.closed && db.bgErr == nil && len(db.imm) > 0 {
 		db.bgCond.Wait(r)
 	}
+	err := db.bgErr
 	db.mu.Unlock()
+	return err
 }
 
-// WaitIdle parks r until no flush or compaction work remains.
+// WaitIdle parks r until no flush or compaction work remains, or until
+// a background error makes further progress impossible.
 func (db *DB) WaitIdle(r *vclock.Runner) {
 	db.mu.Lock()
-	for !db.closed &&
+	for !db.closed && db.bgErr == nil &&
 		(len(db.imm) > 0 || db.activeCompactions > 0 || db.flushing || db.pickCompactionLocked(true) != nil) {
 		db.bgCond.Wait(r)
 	}

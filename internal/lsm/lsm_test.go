@@ -19,17 +19,19 @@ type testDev struct {
 	perPage  time.Duration
 }
 
-func (d *testDev) WritePages(r *vclock.Runner, lpns []int) {
+func (d *testDev) WritePages(r *vclock.Runner, lpns []int) error {
 	if d.perPage > 0 {
 		r.Sleep(time.Duration(len(lpns)) * d.perPage)
 	}
+	return nil
 }
-func (d *testDev) ReadPages(r *vclock.Runner, lpns []int) {
+func (d *testDev) ReadPages(r *vclock.Runner, lpns []int) error {
 	if d.perPage > 0 {
 		r.Sleep(time.Duration(len(lpns)) * d.perPage / 4)
 	}
+	return nil
 }
-func (d *testDev) TrimPages(r *vclock.Runner, lpns []int) {}
+func (d *testDev) TrimPages(r *vclock.Runner, lpns []int) error { return nil }
 func (d *testDev) PageSize() int                          { return d.pageSize }
 func (d *testDev) Pages() int                             { return d.pages }
 

@@ -148,8 +148,26 @@ func decodeManifest(b []byte) (manifestSnapshot, error) {
 }
 
 // persistManifest writes a new MANIFEST-<n> and repoints CURRENT.
-// Called after every install, outside db.mu.
-func (db *DB) persistManifest(r *vclock.Runner, snap manifestSnapshot) {
+// Called after every install, outside db.mu. A non-nil return means
+// CURRENT still points at the previous manifest: the caller must not
+// delete anything (WAL, input SSTs) that the previous manifest still
+// needs for a restart.
+//
+// The whole persist is serialized under persistSem and snapshots the
+// live file set itself, at its turn. Interleaving two persists is not
+// merely wasteful but unsafe: the later writer could remove the
+// manifest the earlier writer's CURRENT is about to name (dangling
+// CURRENT after a crash), and a caller-captured snapshot could reach
+// the media after a newer one, reverting CURRENT to a file set whose
+// WALs have already been deleted.
+func (db *DB) persistManifest(r *vclock.Runner) error {
+	db.persistSem.Acquire(r, 1)
+	defer db.persistSem.Release(1)
+
+	db.mu.Lock()
+	snap := db.snapshotManifestLocked()
+	db.mu.Unlock()
+
 	db.manifest.mu.Lock()
 	db.manifest.counter++
 	n := db.manifest.counter
@@ -157,15 +175,18 @@ func (db *DB) persistManifest(r *vclock.Runner, snap manifestSnapshot) {
 
 	name := fmt.Sprintf("MANIFEST-%06d", n)
 	if err := db.fsys.WriteFile(r, name, encodeManifest(snap)); err != nil {
-		return // out of space: run degraded, restart recovery unavailable
+		return err
 	}
-	_ = db.fsys.WriteFile(r, currentName, []byte(name))
+	if err := db.fsys.WriteFile(r, currentName, []byte(name)); err != nil {
+		return err
+	}
 	if n > 1 {
 		old := fmt.Sprintf("MANIFEST-%06d", n-1)
 		if db.fsys.Exists(old) {
 			_ = db.fsys.Remove(r, old)
 		}
 	}
+	return nil
 }
 
 // Reopen restores a DB from fsys's CURRENT manifest and WAL files —
@@ -206,6 +227,7 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	}
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	db.manifest.counter = manifestCounterFrom(string(cur))
 
 	// Reopen every live table.
@@ -252,8 +274,24 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		}
 	}
 	sort.Strings(logs)
+	// The manifest's nextFileNum predates the crashed process's active
+	// WAL (log creation doesn't persist a manifest), so a surviving log
+	// may carry a number >= snap.nextFileNum. Bump past them all, or
+	// newWAL() below would hand out a colliding name: the new active log
+	// would append into the surviving file, and the deferred log removal
+	// after the recovery flush would then delete the active WAL's backing
+	// file out from under it.
 	for _, name := range logs {
-		err := wal.Replay(r, fsys, name, func(payload []byte) error {
+		if n, perr := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64); perr == nil && n >= db.nextFileNum {
+			db.nextFileNum = n + 1
+		}
+	}
+	for _, name := range logs {
+		replayFn := wal.Replay
+		if opt.UncheckedWALReplay {
+			replayFn = wal.ReplayUnchecked
+		}
+		err := replayFn(r, fsys, name, func(payload []byte) error {
 			if len(payload) > 0 && payload[0] == walBatchMarker {
 				// Atomic batch: replay all ops or none.
 				return decodeBatch(payload, func(kind memtable.Kind, key, value []byte) error {
@@ -273,7 +311,6 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		if err != nil {
 			return nil, err
 		}
-		_ = fsys.Remove(r, name)
 	}
 
 	if !opt.DisableWAL {
@@ -283,6 +320,22 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	for i := 0; i < opt.MaxCompactionThreads; i++ {
 		i := i
 		clk.Go(fmt.Sprintf("lsm.compact%d", i), func(w *vclock.Runner) { db.compactionWorker(w, i) })
+	}
+
+	// The replayed records live only in the volatile memtable; the old
+	// logs are their sole durable copy. Flush them to an SST before
+	// deleting the logs, or a second crash during the recovery window
+	// would silently lose data that had already survived the first one.
+	if len(logs) > 0 {
+		flushErr := error(nil)
+		if db.mem.Count() > 0 {
+			flushErr = db.Flush(r)
+		}
+		if flushErr == nil {
+			for _, name := range logs {
+				_ = fsys.Remove(r, name)
+			}
+		}
 	}
 	return db, nil
 }

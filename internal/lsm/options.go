@@ -76,6 +76,12 @@ type Options struct {
 	WALQueueDepth int
 	// DisableWAL skips the log entirely (db_bench --disable_wal).
 	DisableWAL bool
+	// UncheckedWALReplay makes Reopen replay WAL records without
+	// verifying checksums or truncating torn tails. It deliberately
+	// breaks the recovery contract; the torture suite uses it to prove
+	// the oracle catches a recovery that skips torn-tail truncation.
+	// Never enable it outside tests.
+	UncheckedWALReplay bool
 
 	// CPU is the host core pool all engine work is charged to; required.
 	CPU *cpu.Pool

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kvaccel/internal/faults"
 	"kvaccel/internal/vclock"
 )
 
@@ -92,6 +93,30 @@ type Array struct {
 	blocksErsd atomic.Int64
 
 	eraseCounts []atomic.Int64 // per (die, block) wear
+
+	plan atomic.Pointer[faults.Plan] // fault plan; nil injects nothing
+}
+
+// SetFaultPlan installs the fault plan every NAND operation consults;
+// rules scoped to a physical-page extent produce region-scoped media
+// faults (the FTL maps logical regions onto physical extents).
+func (a *Array) SetFaultPlan(p *faults.Plan) { a.plan.Store(p) }
+
+// ppn returns addr's physical page number — the address fault-rule
+// scopes match against.
+func (a *Array) ppn(addr Addr) int64 {
+	return int64(a.dieIndex(addr))*int64(a.geo.PagesPerDie()) +
+		int64(addr.Block)*int64(a.geo.PagesPerBlock) + int64(addr.Page)
+}
+
+// consult applies the fault plan to one operation: injected latency is
+// spent on r, injected errors are returned before any media time.
+func (a *Array) consult(r *vclock.Runner, op string, addr Addr) error {
+	out := a.plan.Load().Decide(op, a.ppn(addr))
+	if out.Delay > 0 {
+		r.Sleep(out.Delay)
+	}
+	return out.Err
 }
 
 // New builds an Array with the given geometry and timing.
@@ -134,30 +159,44 @@ func (a *Array) check(addr Addr) {
 }
 
 // ReadPage spends the time to sense one page on its die and move it over
-// the channel bus.
-func (a *Array) ReadPage(r *vclock.Runner, addr Addr) {
+// the channel bus. A plan-injected fault surfaces as an uncorrectable
+// read error.
+func (a *Array) ReadPage(r *vclock.Runner, addr Addr) error {
 	a.check(addr)
+	if err := a.consult(r, "NAND_READ", addr); err != nil {
+		return err
+	}
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.ReadPage)
 	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
 	a.pagesRead.Add(1)
+	return nil
 }
 
 // ProgramPage spends the time to move one page over the channel bus and
-// program it on its die.
-func (a *Array) ProgramPage(r *vclock.Runner, addr Addr) {
+// program it on its die. A plan-injected fault models a program failure
+// (partial page program: time may have been spent, no data landed).
+func (a *Array) ProgramPage(r *vclock.Runner, addr Addr) error {
 	a.check(addr)
+	if err := a.consult(r, "NAND_PROG", addr); err != nil {
+		return err
+	}
 	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.ProgramPage)
 	a.pagesProg.Add(1)
+	return nil
 }
 
 // EraseBlock spends the erase time on the block's die and bumps its wear
 // counter.
-func (a *Array) EraseBlock(r *vclock.Runner, addr Addr) {
+func (a *Array) EraseBlock(r *vclock.Runner, addr Addr) error {
 	a.check(addr)
+	if err := a.consult(r, "NAND_ERASE", addr); err != nil {
+		return err
+	}
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.EraseBlock)
 	a.blocksErsd.Add(1)
 	a.eraseCounts[a.dieIndex(addr)*a.geo.BlocksPerDie+addr.Block].Add(1)
+	return nil
 }
 
 // EraseCount returns the wear count of the block containing addr.

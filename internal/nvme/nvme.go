@@ -21,17 +21,23 @@ import (
 	"sync"
 	"time"
 
+	"kvaccel/internal/faults"
 	"kvaccel/internal/metrics"
 	"kvaccel/internal/vclock"
 )
 
 // Command is one NVMe command. Exec is the device-side body: it runs on a
-// dispatcher worker runner and spends the command's virtual time (DMA,
-// controller CPU, NAND). Bytes is the transfer size, for accounting only.
+// dispatcher worker runner, spends the command's virtual time (DMA,
+// controller CPU, NAND), and returns the command's status — nil for
+// success, an error for a failed completion. Bytes is the transfer size,
+// for accounting only.
 type Command struct {
 	Op    string // opcode label (WRITE, READ, KV_PUT, DSM_TRIM, ...)
 	Bytes int
-	Exec  func(r *vclock.Runner)
+	Exec  func(r *vclock.Runner) error
+
+	// Err is the completion status, valid once Await returns.
+	Err error
 
 	qp        *QueuePair
 	submitted vclock.Time
@@ -96,6 +102,54 @@ type Dispatcher struct {
 	rrNext  int // arbitration scan position
 	running bool
 	busyNS  int64 // cumulative per-command service time (Exec only)
+	plan    *faults.Plan
+	severed bool // power cut: no command survives until re-Attach
+}
+
+// SetFaultPlan installs the fault plan every command consults; nil (the
+// default) injects nothing.
+func (d *Dispatcher) SetFaultPlan(p *faults.Plan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan = p
+}
+
+// Sever models a power cut at the current instant: every queued command
+// completes immediately with faults.ErrDeviceGone, commands already
+// executing complete with ErrDeviceGone when their body returns (their
+// device-side effects may be partial), and every later Submit fails
+// until Attach re-powers the device.
+func (d *Dispatcher) Sever() {
+	d.mu.Lock()
+	d.severed = true
+	now := d.clk.Now()
+	var drained []*QueuePair
+	for _, q := range d.queues {
+		for _, cmd := range q.sq {
+			cmd.done = true
+			cmd.Err = faults.ErrDeviceGone
+			q.accountLocked(now, q.outstanding)
+			q.outstanding--
+			q.completed++
+			q.errors++
+		}
+		if len(q.sq) > 0 {
+			q.sq = q.sq[:0]
+		}
+		drained = append(drained, q)
+	}
+	d.mu.Unlock()
+	for _, q := range drained {
+		q.notFull.Broadcast()
+		q.cq.Broadcast()
+	}
+}
+
+// Severed reports whether the device is currently cut off.
+func (d *Dispatcher) Severed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.severed
 }
 
 // NewDispatcher builds a dispatcher on clk.
@@ -122,6 +176,7 @@ func (d *Dispatcher) Attach(clk *vclock.Clock) {
 		panic("nvme: Attach with commands in flight")
 	}
 	d.clk = clk
+	d.severed = false // re-powered
 }
 
 // BusyNS returns the cumulative virtual time spent executing command
@@ -183,11 +238,36 @@ func (d *Dispatcher) run(r *vclock.Runner) {
 		}
 		d.mu.Unlock()
 		d.clk.Go("nvme.cmd."+cmd.Op, func(w *vclock.Runner) {
-			start := w.Now()
-			if cmd.Exec != nil {
-				cmd.Exec(w)
+			d.mu.Lock()
+			plan, severed := d.plan, d.severed
+			d.mu.Unlock()
+			var err error
+			var service time.Duration
+			// Injected delay (latency spike or timeout) is queueing
+			// pathology, not useful work: it is spent on the worker but
+			// deliberately kept out of the busy/service accounting.
+			outcome := plan.Decide(cmd.Op, -1)
+			if outcome.Delay > 0 {
+				w.Sleep(outcome.Delay)
 			}
-			service := w.Now().Sub(start)
+			switch {
+			case severed:
+				err = faults.ErrDeviceGone
+			case outcome.Err != nil:
+				err = outcome.Err
+			default:
+				if cmd.Exec != nil {
+					start := w.Now()
+					err = cmd.Exec(w)
+					service = w.Now().Sub(start)
+				}
+				// A cut that lands while the body runs drops the
+				// completion: the work may have partially happened, but
+				// the host never hears success.
+				if d.Severed() {
+					err = faults.ErrDeviceGone
+				}
+			}
 			d.slots.Release(1)
 			if d.cfg.CompletionLatency > 0 {
 				w.Sleep(d.cfg.CompletionLatency)
@@ -195,7 +275,7 @@ func (d *Dispatcher) run(r *vclock.Runner) {
 			d.mu.Lock()
 			d.busyNS += int64(service)
 			d.mu.Unlock()
-			q.complete(cmd, w.Now())
+			q.complete(cmd, w.Now(), err)
 		})
 	}
 }
@@ -261,6 +341,7 @@ type QueuePair struct {
 	// Stats, guarded by d.mu except the internally-locked histograms.
 	submitted      int64
 	completed      int64
+	errors         int64
 	maxOutstanding int
 	occupancyNS    int64 // ∫ outstanding dt
 	lastChange     vclock.Time
@@ -296,9 +377,23 @@ func (q *QueuePair) Submit(r *vclock.Runner, cmd *Command) {
 	}
 	now := r.Now()
 	q.d.mu.Lock()
-	for q.outstanding >= q.depth {
+	for q.outstanding >= q.depth && !q.d.severed {
 		q.notFull.Wait(r)
 		now = r.Now()
+	}
+	if q.d.severed {
+		// Severed device: the command never reaches hardware. Complete it
+		// immediately with ErrDeviceGone so submitters cannot deadlock on
+		// a queue nothing will ever drain.
+		cmd.qp = q
+		cmd.submitted = now
+		cmd.done = true
+		cmd.Err = faults.ErrDeviceGone
+		q.submitted++
+		q.completed++
+		q.errors++
+		q.d.mu.Unlock()
+		return
 	}
 	cmd.qp = q
 	cmd.submitted = now
@@ -315,30 +410,37 @@ func (q *QueuePair) Submit(r *vclock.Runner, cmd *Command) {
 	q.d.mu.Unlock()
 }
 
-// Await parks r until cmd (previously Submitted on this queue) completes.
-func (q *QueuePair) Await(r *vclock.Runner, cmd *Command) {
+// Await parks r until cmd (previously Submitted on this queue) completes
+// and returns the command's completion status.
+func (q *QueuePair) Await(r *vclock.Runner, cmd *Command) error {
 	q.d.mu.Lock()
 	for !cmd.done {
 		q.cq.Wait(r)
 	}
+	err := cmd.Err
 	q.d.mu.Unlock()
+	return err
 }
 
 // Do submits cmd and waits for its completion — the synchronous path for
 // callers with nothing to overlap.
-func (q *QueuePair) Do(r *vclock.Runner, cmd *Command) {
+func (q *QueuePair) Do(r *vclock.Runner, cmd *Command) error {
 	q.Submit(r, cmd)
-	q.Await(r, cmd)
+	return q.Await(r, cmd)
 }
 
 // complete posts cmd's completion: it frees a depth unit, records the
-// command latency, and wakes blocked submitters and awaiters.
-func (q *QueuePair) complete(cmd *Command, now vclock.Time) {
+// command latency and status, and wakes blocked submitters and awaiters.
+func (q *QueuePair) complete(cmd *Command, now vclock.Time, err error) {
 	q.d.mu.Lock()
 	cmd.done = true
+	cmd.Err = err
 	q.accountLocked(now, q.outstanding)
 	q.outstanding--
 	q.completed++
+	if err != nil {
+		q.errors++
+	}
 	q.d.mu.Unlock()
 	q.latency.Observe(time.Duration(now.Sub(cmd.submitted)))
 	q.notFull.Signal()
@@ -352,6 +454,9 @@ type QueueStats struct {
 	Weight         int
 	Submitted      int64
 	Completed      int64
+	// Errors counts completions with a non-nil status (injected faults,
+	// severed-device drops).
+	Errors         int64
 	Outstanding    int
 	MaxOutstanding int
 	// MeanOutstanding is the time-weighted average queue occupancy from
@@ -365,8 +470,8 @@ type QueueStats struct {
 
 // String formats a one-line summary for Stats output.
 func (s QueueStats) String() string {
-	return fmt.Sprintf("%s: qd=%d w=%d submitted=%d inflight=%d max=%d mean-occ=%.2f lat{%s}",
-		s.Name, s.Depth, s.Weight, s.Submitted, s.Outstanding, s.MaxOutstanding, s.MeanOutstanding, s.Latency)
+	return fmt.Sprintf("%s: qd=%d w=%d submitted=%d errors=%d inflight=%d max=%d mean-occ=%.2f lat{%s}",
+		s.Name, s.Depth, s.Weight, s.Submitted, s.Errors, s.Outstanding, s.MaxOutstanding, s.MeanOutstanding, s.Latency)
 }
 
 // Stats snapshots the queue's counters at virtual time now.
@@ -383,6 +488,7 @@ func (q *QueuePair) Stats(now vclock.Time) QueueStats {
 		Weight:         q.weight,
 		Submitted:      q.submitted,
 		Completed:      q.completed,
+		Errors:         q.errors,
 		Outstanding:    q.outstanding,
 		MaxOutstanding: q.maxOutstanding,
 		Latency:        lat,

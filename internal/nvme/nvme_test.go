@@ -10,7 +10,7 @@ import (
 
 // sleeper returns a command whose device-side body just spends d.
 func sleeper(op string, d time.Duration) *Command {
-	return &Command{Op: op, Exec: func(r *vclock.Runner) { r.Sleep(d) }}
+	return &Command{Op: op, Exec: func(r *vclock.Runner) error { r.Sleep(d); return nil }}
 }
 
 func TestDepthLimitBlocksSubmitter(t *testing.T) {
@@ -54,11 +54,12 @@ func TestWRRFairness(t *testing.T) {
 	var mu sync.Mutex
 	var order []string
 	mark := func(name string) *Command {
-		return &Command{Op: name, Exec: func(r *vclock.Runner) {
+		return &Command{Op: name, Exec: func(r *vclock.Runner) error {
 			mu.Lock()
 			order = append(order, name)
 			mu.Unlock()
 			r.Sleep(100 * time.Microsecond)
+			return nil
 		}}
 	}
 

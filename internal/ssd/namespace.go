@@ -32,18 +32,18 @@ func (ns *KVNamespace) wrap(key []byte) []byte {
 }
 
 // Put stores a pair under this namespace.
-func (ns *KVNamespace) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
-	ns.dev.KVPut(r, kind, ns.wrap(key), value)
+func (ns *KVNamespace) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	return ns.dev.KVPut(r, kind, ns.wrap(key), value)
 }
 
 // Get reads a pair from this namespace.
-func (ns *KVNamespace) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+func (ns *KVNamespace) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
 	return ns.dev.KVGet(r, ns.wrap(key))
 }
 
 // BulkScan streams this namespace's pairs (keys unprefixed) in order.
-func (ns *KVNamespace) BulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
-	ns.dev.KVBulkScan(r, func(entries []memtable.Entry) {
+func (ns *KVNamespace) BulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) error {
+	return ns.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		var mine []memtable.Entry
 		for _, e := range entries {
 			if bytes.HasPrefix(e.Key, ns.prefix) {

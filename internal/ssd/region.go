@@ -75,19 +75,19 @@ func (s *KVRegion) QueuePair() *nvme.QueuePair { return s.qp }
 // KVPut issues a PUT (or a redirected tombstone) over the KV interface:
 // one queued command whose body DMAs header+record and runs the Dev-LSM
 // insert on the controller.
-func (s *KVRegion) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
+func (s *KVRegion) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
 	payload := kvHeader + len(key) + len(value)
-	cmd := &nvme.Command{Op: "KV_PUT", Bytes: payload, Exec: func(w *vclock.Runner) {
+	cmd := &nvme.Command{Op: "KV_PUT", Bytes: payload, Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, payload)
 		s.dev.armOverhead(w)
-		s.lsm.Put(w, kind, key, value)
+		return s.lsm.Put(w, kind, key, value)
 	}}
-	s.qp.Do(r, cmd)
+	return s.qp.Do(r, cmd)
 }
 
 // KVDelete issues a DELETE: a tombstone PUT over the KV interface.
-func (s *KVRegion) KVDelete(r *vclock.Runner, key []byte) {
-	s.KVPut(r, memtable.KindDelete, key, nil)
+func (s *KVRegion) KVDelete(r *vclock.Runner, key []byte) error {
+	return s.KVPut(r, memtable.KindDelete, key, nil)
 }
 
 // KVPutCompound issues a compound command carrying several records (the
@@ -98,9 +98,9 @@ func (s *KVRegion) KVDelete(r *vclock.Runner, key []byte) {
 // Entries are partitioned by key hash, which keeps every occurrence of a
 // key inside one command and so preserves per-key ordering regardless of
 // completion order.
-func (s *KVRegion) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
+func (s *KVRegion) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) error {
 	if len(entries) == 0 {
-		return
+		return nil
 	}
 	payload := 0
 	for _, e := range entries {
@@ -112,8 +112,7 @@ func (s *KVRegion) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
 	}
 	nChunks := (payload + chunkBudget - 1) / chunkBudget
 	if nChunks <= 1 {
-		s.qp.Do(r, s.compoundCmd(entries, payload))
-		return
+		return s.qp.Do(r, s.compoundCmd(entries, payload))
 	}
 	parts := make([][]memtable.Entry, nChunks)
 	for _, e := range entries {
@@ -133,16 +132,20 @@ func (s *KVRegion) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
 		s.qp.Submit(r, cmd)
 		subs = append(subs, submission{s.qp, cmd})
 	}
-	awaitAll(r, subs)
+	return awaitAll(r, subs)
 }
 
 func (s *KVRegion) compoundCmd(entries []memtable.Entry, payload int) *nvme.Command {
-	return &nvme.Command{Op: "KV_PUT_COMPOUND", Bytes: kvHeader + payload, Exec: func(w *vclock.Runner) {
+	return &nvme.Command{Op: "KV_PUT_COMPOUND", Bytes: kvHeader + payload, Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, kvHeader+payload)
 		s.dev.armOverhead(w)
+		var first error
 		for _, e := range entries {
-			s.lsm.Put(w, e.Kind, e.Key, e.Value)
+			if err := s.lsm.Put(w, e.Kind, e.Key, e.Value); err != nil && first == nil {
+				first = err
+			}
 		}
+		return first
 	}}
 }
 
@@ -158,30 +161,39 @@ func hashKey(key []byte) uint64 {
 
 // KVGet issues a GET; the value (if any) is DMA'd back with the
 // completion.
-func (s *KVRegion) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
-	cmd := &nvme.Command{Op: "KV_GET", Bytes: kvHeader + len(key), Exec: func(w *vclock.Runner) {
+func (s *KVRegion) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
+	cmd := &nvme.Command{Op: "KV_GET", Bytes: kvHeader + len(key), Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, kvHeader+len(key))
 		s.dev.armOverhead(w)
-		value, kind, found = s.lsm.Get(w, key)
+		var gerr error
+		value, kind, found, gerr = s.lsm.Get(w, key)
+		if gerr != nil {
+			return gerr
+		}
 		ret := 16
 		if found {
 			ret += len(value)
 		}
 		s.dev.Link.Transfer(w, pcie.DeviceToHost, ret)
+		return nil
 	}}
-	s.qp.Do(r, cmd)
-	return value, kind, found
+	err = s.qp.Do(r, cmd)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return value, kind, found, nil
 }
 
 // KVReset clears this slice's Dev-LSM (§V-E step 8). Other slices of the
 // same device keep their pairs.
-func (s *KVRegion) KVReset(r *vclock.Runner) {
-	cmd := &nvme.Command{Op: "KV_RESET", Bytes: kvHeader, Exec: func(w *vclock.Runner) {
+func (s *KVRegion) KVReset(r *vclock.Runner) error {
+	cmd := &nvme.Command{Op: "KV_RESET", Bytes: kvHeader, Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, kvHeader)
 		s.dev.armOverhead(w)
 		s.lsm.Reset()
+		return nil
 	}}
-	s.qp.Do(r, cmd)
+	return s.qp.Do(r, cmd)
 }
 
 // KVBulkScan performs the iterator-based bulky range scan used by the
@@ -191,24 +203,34 @@ func (s *KVRegion) KVReset(r *vclock.Runner) {
 // the host. emit runs on the caller's runner between transfers, so host
 // work between chunks (gate acquisition, Main-LSM inserts) never blocks a
 // device firmware slot.
-func (s *KVRegion) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
+// A scan or transfer command that completes with an error aborts the
+// remaining chunks and surfaces the error; the caller must not treat
+// the emitted prefix as the slice's full contents.
+func (s *KVRegion) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) error {
 	var chunks []devlsm.ScanChunk
-	scan := &nvme.Command{Op: "KV_SCAN", Bytes: kvHeader, Exec: func(w *vclock.Runner) {
+	scan := &nvme.Command{Op: "KV_SCAN", Bytes: kvHeader, Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, kvHeader)
 		s.dev.armOverhead(w)
 		s.lsm.BulkScan(w, s.dev.cfg.DMAChunkSize, func(c devlsm.ScanChunk) {
 			chunks = append(chunks, c)
 		})
+		return nil
 	}}
-	s.qp.Do(r, scan)
+	if err := s.qp.Do(r, scan); err != nil {
+		return err
+	}
 	for _, c := range chunks {
 		c := c
-		xfer := &nvme.Command{Op: "KV_SCAN_XFER", Bytes: c.Bytes, Exec: func(w *vclock.Runner) {
+		xfer := &nvme.Command{Op: "KV_SCAN_XFER", Bytes: c.Bytes, Exec: func(w *vclock.Runner) error {
 			s.dev.Link.Transfer(w, pcie.DeviceToHost, c.Bytes)
+			return nil
 		}}
-		s.qp.Do(r, xfer)
+		if err := s.qp.Do(r, xfer); err != nil {
+			return err
+		}
 		emit(c.Entries)
 	}
+	return nil
 }
 
 // newKVIterator opens a device-side iterator over this slice
@@ -216,12 +238,13 @@ func (s *KVRegion) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Ent
 // advances.
 func (s *KVRegion) newKVIterator(r *vclock.Runner) *KVIterator {
 	var dit *devlsm.Iterator
-	cmd := &nvme.Command{Op: "KV_ITER_OPEN", Bytes: kvHeader, Exec: func(w *vclock.Runner) {
+	cmd := &nvme.Command{Op: "KV_ITER_OPEN", Bytes: kvHeader, Exec: func(w *vclock.Runner) error {
 		s.dev.Link.Transfer(w, pcie.HostToDevice, kvHeader)
 		s.dev.armOverhead(w)
 		dit = s.lsm.NewIterator(w)
+		return nil
 	}}
-	s.qp.Do(r, cmd)
+	_ = s.qp.Do(r, cmd)
 	return &KVIterator{d: s.dev, qp: s.qp, r: r, it: dit}
 }
 

@@ -38,11 +38,11 @@ func TestKVRegionSlicesAreDisjoint(t *testing.T) {
 			s.KVPut(r, memtable.KindPut, []byte(fmt.Sprintf("slice%d-key", i)), []byte("v"))
 		}
 		for i, s := range slices {
-			if _, _, found := s.KVGet(r, []byte(fmt.Sprintf("slice%d-key", i))); !found {
+			if _, _, found, _ := s.KVGet(r, []byte(fmt.Sprintf("slice%d-key", i))); !found {
 				t.Errorf("slice %d lost its own pair", i)
 			}
 			other := (i + 1) % len(slices)
-			if _, _, found := s.KVGet(r, []byte(fmt.Sprintf("slice%d-key", other))); found {
+			if _, _, found, _ := s.KVGet(r, []byte(fmt.Sprintf("slice%d-key", other))); found {
 				t.Errorf("slice %d can read slice %d's pair", i, other)
 			}
 		}
@@ -65,13 +65,13 @@ func TestKVRegionSliceResetIsScoped(t *testing.T) {
 		if slices[1].KVEmpty() {
 			t.Fatal("reset of slice 0 wiped slice 1")
 		}
-		if v, _, found := slices[1].KVGet(r, []byte("b")); !found || string(v) != "vb" {
+		if v, _, found, _ := slices[1].KVGet(r, []byte("b")); !found || string(v) != "vb" {
 			t.Errorf("slice 1 pair damaged by sibling reset: found=%v v=%q", found, v)
 		}
 
 		// The reset slice must keep working (free LPNs rebuilt correctly).
 		slices[0].KVPut(r, memtable.KindPut, []byte("a2"), []byte("va2"))
-		if _, _, found := slices[0].KVGet(r, []byte("a2")); !found {
+		if _, _, found, _ := slices[0].KVGet(r, []byte("a2")); !found {
 			t.Error("slice 0 unusable after reset")
 		}
 	})
@@ -83,7 +83,7 @@ func TestKVRegionFullDelegation(t *testing.T) {
 	d, clk := newTestDev()
 	runOn(t, clk, func(r *vclock.Runner) {
 		d.KVPut(r, memtable.KindPut, []byte("k"), []byte("v"))
-		if v, _, found := d.KVRegionFull().KVGet(r, []byte("k")); !found || string(v) != "v" {
+		if v, _, found, _ := d.KVRegionFull().KVGet(r, []byte("k")); !found || string(v) != "v" {
 			t.Fatalf("full-region view missed device put: found=%v v=%q", found, v)
 		}
 		entries, bytes := d.KVRegionFull().KVUsage()

@@ -22,6 +22,7 @@ import (
 
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/devlsm"
+	"kvaccel/internal/faults"
 	"kvaccel/internal/ftl"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/nand"
@@ -64,6 +65,11 @@ type Config struct {
 	// IOQueues is the number of queue pairs each block namespace stripes
 	// its commands across (multi-queue NVMe). Defaults to 1.
 	IOQueues int
+
+	// Faults is the shared fault plan consulted by the NVMe dispatcher
+	// (per-opcode rules) and the NAND array (physical-extent rules). Nil
+	// means no injection.
+	Faults *faults.Plan
 }
 
 // CosmosConfig mirrors the paper's Cosmos+ OpenSSD at 1/scale size and
@@ -142,8 +148,33 @@ func New(clk *vclock.Clock, cfg Config) *Device {
 		clk:   clk,
 	}
 	d.full = &KVRegion{dev: d, lsm: d.Dev, qp: d.NVMe.NewQueuePair("kv", 1)}
+	if cfg.Faults != nil {
+		d.NVMe.SetFaultPlan(cfg.Faults)
+		arr.SetFaultPlan(cfg.Faults)
+	}
 	return d
 }
+
+// SetFaultPlan (re)binds the fault plan on a built device; tests use it
+// to swap plans between phases without rebuilding the stack.
+func (d *Device) SetFaultPlan(p *faults.Plan) {
+	d.cfg.Faults = p
+	d.NVMe.SetFaultPlan(p)
+	d.Array.SetFaultPlan(p)
+}
+
+// FaultPlan returns the device's fault plan (possibly nil).
+func (d *Device) FaultPlan() *faults.Plan { return d.cfg.Faults }
+
+// Sever models a power cut: every queued and in-flight command completes
+// with faults.ErrDeviceGone and new submissions fail fast until the next
+// Attach. Device-side persistent state (NAND, FTL tables, Dev-LSM) is
+// capacitor-backed on the paper's platform and survives; host DRAM state
+// is the caller's problem (see fs.Crash).
+func (d *Device) Sever() { d.NVMe.Sever() }
+
+// Severed reports whether the device is currently cut off.
+func (d *Device) Severed() bool { return d.NVMe.Severed() }
 
 // Config returns the device's configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -251,20 +282,25 @@ type submission struct {
 	cmd *nvme.Command
 }
 
-// awaitAll parks r until every submitted command completes.
-func awaitAll(r *vclock.Runner, subs []submission) {
+// awaitAll parks r until every submitted command completes, returning
+// the first error status among them (every completion is still awaited).
+func awaitAll(r *vclock.Runner, subs []submission) error {
+	var first error
 	for _, s := range subs {
-		s.q.Await(r, s.cmd)
+		if err := s.q.Await(r, s.cmd); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // WritePages posts WRITE commands (split at the MDTS boundary) and awaits
 // their completions; each command DMAs its chunk over PCIe and programs
 // it via the FTL on a dispatcher worker, so at QD>1 one chunk's DMA
 // overlaps another's NAND program.
-func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) {
+func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) error {
 	if len(lpns) == 0 {
-		return
+		return nil
 	}
 	lpns = ns.translate(lpns)
 	ps := ns.PageSize()
@@ -276,23 +312,23 @@ func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) {
 			end = len(lpns)
 		}
 		chunk := lpns[start:end]
-		cmd := &nvme.Command{Op: "WRITE", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) {
+		cmd := &nvme.Command{Op: "WRITE", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) error {
 			ns.dev.Link.Transfer(w, pcie.HostToDevice, len(chunk)*ps)
-			ns.dev.FTL.WriteMany(w, ftl.BlockRegion, chunk)
+			return ns.dev.FTL.WriteMany(w, ftl.BlockRegion, chunk)
 		}}
 		q := ns.pick()
 		q.Submit(r, cmd)
 		subs = append(subs, submission{q, cmd})
 	}
-	awaitAll(r, subs)
+	return awaitAll(r, subs)
 }
 
 // ReadPages posts READ commands (split at the MDTS boundary) and awaits
 // their completions; each command reads via the FTL and DMAs its chunk
 // back to the host.
-func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) {
+func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) error {
 	if len(lpns) == 0 {
-		return
+		return nil
 	}
 	lpns = ns.translate(lpns)
 	ps := ns.PageSize()
@@ -304,23 +340,24 @@ func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) {
 			end = len(lpns)
 		}
 		chunk := lpns[start:end]
-		cmd := &nvme.Command{Op: "READ", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) {
-			ns.dev.FTL.ReadMany(w, ftl.BlockRegion, chunk)
+		cmd := &nvme.Command{Op: "READ", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) error {
+			err := ns.dev.FTL.ReadMany(w, ftl.BlockRegion, chunk)
 			ns.dev.Link.Transfer(w, pcie.DeviceToHost, len(chunk)*ps)
+			return err
 		}}
 		q := ns.pick()
 		q.Submit(r, cmd)
 		subs = append(subs, submission{q, cmd})
 	}
-	awaitAll(r, subs)
+	return awaitAll(r, subs)
 }
 
 // TrimPages invalidates pages as one NVMe Dataset Management (deallocate)
 // command: the range list crosses PCIe and the firmware pays the command
 // processing cost before dropping the mappings. No media time is spent.
-func (ns *BlockNS) TrimPages(r *vclock.Runner, lpns []int) {
+func (ns *BlockNS) TrimPages(r *vclock.Runner, lpns []int) error {
 	if len(lpns) == 0 {
-		return
+		return nil
 	}
 	lpns = ns.translate(lpns)
 	// DSM carries up to 256 16-byte range descriptors per command; count
@@ -332,7 +369,7 @@ func (ns *BlockNS) TrimPages(r *vclock.Runner, lpns []int) {
 		}
 	}
 	payload := kvHeader + 16*ranges
-	cmd := &nvme.Command{Op: "DSM_TRIM", Bytes: payload, Exec: func(w *vclock.Runner) {
+	cmd := &nvme.Command{Op: "DSM_TRIM", Bytes: payload, Exec: func(w *vclock.Runner) error {
 		ns.dev.Link.Transfer(w, pcie.HostToDevice, payload)
 		if d := ns.dev.cfg.KVCommandOverhead; d > 0 {
 			ns.dev.ARM.Run(w, d)
@@ -340,9 +377,10 @@ func (ns *BlockNS) TrimPages(r *vclock.Runner, lpns []int) {
 		for _, l := range lpns {
 			ns.dev.FTL.Trim(ftl.BlockRegion, l)
 		}
+		return nil
 	}}
 	q := ns.pick()
-	q.Do(r, cmd)
+	return q.Do(r, cmd)
 }
 
 // ---- Key-value interface (NVMe KV command set) ----
@@ -357,29 +395,29 @@ func (d *Device) armOverhead(r *vclock.Runner) {
 }
 
 // KVPut issues a PUT (or a redirected tombstone) over the KV interface.
-func (d *Device) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) {
-	d.full.KVPut(r, kind, key, value)
+func (d *Device) KVPut(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	return d.full.KVPut(r, kind, key, value)
 }
 
 // KVPutCompound issues one compound command carrying several records
 // (the buffered-I/O capability of the NVMe KV extensions [33]).
-func (d *Device) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) {
-	d.full.KVPutCompound(r, entries)
+func (d *Device) KVPutCompound(r *vclock.Runner, entries []memtable.Entry) error {
+	return d.full.KVPutCompound(r, entries)
 }
 
 // KVGet issues a GET; the value (if any) is DMA'd back.
-func (d *Device) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool) {
+func (d *Device) KVGet(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
 	return d.full.KVGet(r, key)
 }
 
 // KVReset clears the Dev-LSM (§V-E step 8).
-func (d *Device) KVReset(r *vclock.Runner) { d.full.KVReset(r) }
+func (d *Device) KVReset(r *vclock.Runner) error { return d.full.KVReset(r) }
 
 // KVBulkScan performs the iterator-based bulky range scan used by the
 // rollback: the device merges its entire contents and DMAs them to the
 // host in DMAChunkSize units (§V-E steps 3-6).
-func (d *Device) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) {
-	d.full.KVBulkScan(r, emit)
+func (d *Device) KVBulkScan(r *vclock.Runner, emit func(entries []memtable.Entry)) error {
+	return d.full.KVBulkScan(r, emit)
 }
 
 // KVIterator is the host-visible iterator over the KV interface (SEEK /
@@ -402,11 +440,17 @@ func (d *Device) NewKVIterator(r *vclock.Runner) *KVIterator {
 // do runs one iterator command synchronously, pointing the device-side
 // cursor's NAND accounting at the worker executing it.
 func (it *KVIterator) do(op string, payload int, body func(w *vclock.Runner)) {
-	cmd := &nvme.Command{Op: op, Bytes: kvHeader + payload, Exec: func(w *vclock.Runner) {
+	if it.it == nil {
+		return // the open command itself failed; the cursor never existed
+	}
+	cmd := &nvme.Command{Op: op, Bytes: kvHeader + payload, Exec: func(w *vclock.Runner) error {
 		it.it.SetRunner(w)
 		body(w)
+		return nil
 	}}
-	it.qp.Do(it.r, cmd)
+	// Iterator cursor faults invalidate the cursor rather than surface a
+	// status; a severed device simply leaves the cursor where it was.
+	_ = it.qp.Do(it.r, cmd)
 }
 
 // Seek issues a SEEK command.
@@ -447,8 +491,9 @@ func (it *KVIterator) transferCurrent(w *vclock.Runner) {
 	}
 }
 
-// Valid reports whether the cursor is on an entry.
-func (it *KVIterator) Valid() bool { return it.it.Valid() }
+// Valid reports whether the cursor is on an entry. A cursor whose open
+// command failed (severed or faulted device) is never valid.
+func (it *KVIterator) Valid() bool { return it.it != nil && it.it.Valid() }
 
 // Entry returns the current record.
 func (it *KVIterator) Entry() memtable.Entry { return it.it.Entry() }

@@ -92,11 +92,11 @@ func TestKVPutGetThroughInterface(t *testing.T) {
 	d, clk := newTestDev()
 	runOn(t, clk, func(r *vclock.Runner) {
 		d.KVPut(r, memtable.KindPut, key(1), []byte("hello"))
-		v, kind, ok := d.KVGet(r, key(1))
+		v, kind, ok, _ := d.KVGet(r, key(1))
 		if !ok || kind != memtable.KindPut || !bytes.Equal(v, []byte("hello")) {
 			t.Fatalf("kv get: ok=%v", ok)
 		}
-		if _, _, ok := d.KVGet(r, key(2)); ok {
+		if _, _, ok, _ := d.KVGet(r, key(2)); ok {
 			t.Fatal("absent KV key found")
 		}
 	})
@@ -197,15 +197,15 @@ func TestKVNamespaceIsolation(t *testing.T) {
 	runOn(t, clk, func(r *vclock.Runner) {
 		tenantA.Put(r, memtable.KindPut, []byte("k"), []byte("from-A"))
 		tenantB.Put(r, memtable.KindPut, []byte("k"), []byte("from-B"))
-		v, _, ok := tenantA.Get(r, []byte("k"))
+		v, _, ok, _ := tenantA.Get(r, []byte("k"))
 		if !ok || string(v) != "from-A" {
 			t.Fatalf("tenant A sees %q ok=%v", v, ok)
 		}
-		v, _, ok = tenantB.Get(r, []byte("k"))
+		v, _, ok, _ = tenantB.Get(r, []byte("k"))
 		if !ok || string(v) != "from-B" {
 			t.Fatalf("tenant B sees %q ok=%v", v, ok)
 		}
-		if _, _, ok := tenantA.Get(r, []byte("only-b")); ok {
+		if _, _, ok, _ := tenantA.Get(r, []byte("only-b")); ok {
 			t.Fatal("cross-tenant read leak")
 		}
 	})

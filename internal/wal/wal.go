@@ -48,6 +48,7 @@ type Log struct {
 
 	bytesAppended int64
 	bytesWritten  int64
+	werr          error // sticky writeback error (first device failure)
 }
 
 // Open creates a log file and starts its writeback runner on clk.
@@ -77,6 +78,11 @@ func (l *Log) Append(r *vclock.Runner, payload []byte) error {
 		l.mu.Unlock()
 		return fmt.Errorf("wal: %s: append on closed log", l.name)
 	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return err
+	}
 	l.buf = encoding.PutU32(l.buf, uint32(len(payload)))
 	l.buf = encoding.PutU32(l.buf, encoding.Checksum(payload))
 	l.buf = append(l.buf, payload...)
@@ -95,8 +101,9 @@ func (l *Log) Append(r *vclock.Runner, payload []byte) error {
 }
 
 // Sync flushes the partial buffer and parks r until every queued chunk is
-// on the device.
-func (l *Log) Sync(r *vclock.Runner) {
+// on the device. It returns the log's sticky writeback error: a Sync
+// that returns nil guarantees every record appended so far is durable.
+func (l *Log) Sync(r *vclock.Runner) error {
 	l.mu.Lock()
 	if len(l.buf) > 0 && !l.closed {
 		chunk := l.buf
@@ -109,7 +116,16 @@ func (l *Log) Sync(r *vclock.Runner) {
 	for l.pending > 0 {
 		l.drained.Wait(r)
 	}
+	err := l.werr
 	l.mu.Unlock()
+	return err
+}
+
+// Err returns the sticky writeback error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
 }
 
 // Close stops the writeback runner after draining queued chunks. The
@@ -166,9 +182,14 @@ func (l *Log) writeback(r *vclock.Runner) {
 			batch = append(batch, more...)
 			n++
 		}
-		// fs.Append spends the block-path device time.
-		_ = l.fsys.Append(r, l.name, batch)
+		// fs.Append spends the block-path device time. A failed append
+		// leaves a hole in the log, so the error is sticky: no later
+		// Sync may report the log durable again.
+		err := l.fsys.Append(r, l.name, batch)
 		l.mu.Lock()
+		if err != nil && l.werr == nil {
+			l.werr = err
+		}
 		l.bytesWritten += int64(len(batch))
 		l.pending -= n
 		l.mu.Unlock()
@@ -178,8 +199,22 @@ func (l *Log) writeback(r *vclock.Runner) {
 
 // Replay decodes every complete record in the log file, calling fn for
 // each payload. It stops at the first corrupt or truncated record, which
-// is the crash-recovery contract of a WAL.
+// is the crash-recovery contract of a WAL: recovery keeps the longest
+// checksummed prefix and discards the torn tail.
 func Replay(r *vclock.Runner, fsys *fs.FileSystem, name string, fn func(payload []byte) error) error {
+	return replay(r, fsys, name, fn, true)
+}
+
+// ReplayUnchecked replays without verifying record checksums, admitting
+// torn or corrupt tails as if they were valid records. It exists solely
+// so the torture suite can prove a broken recovery (one that skips
+// torn-tail truncation) is caught by the oracle; real recovery must
+// never use it.
+func ReplayUnchecked(r *vclock.Runner, fsys *fs.FileSystem, name string, fn func(payload []byte) error) error {
+	return replay(r, fsys, name, fn, false)
+}
+
+func replay(r *vclock.Runner, fsys *fs.FileSystem, name string, fn func(payload []byte) error, checked bool) error {
 	if !fsys.Exists(name) {
 		return nil
 	}
@@ -191,10 +226,19 @@ func Replay(r *vclock.Runner, fsys *fs.FileSystem, name string, fn func(payload 
 		length, rest, _ := encoding.U32(data)
 		crc, rest, _ := encoding.U32(rest)
 		if uint64(len(rest)) < uint64(length) {
-			return nil // truncated tail: normal after a crash
+			if checked {
+				return nil // truncated tail: normal after a crash
+			}
+			// Unchecked mode deliberately admits the truncated payload.
+			if len(rest) > 0 {
+				if err := fn(rest); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		payload := rest[:length]
-		if encoding.Checksum(payload) != crc {
+		if checked && encoding.Checksum(payload) != crc {
 			return nil // torn write: stop replay here
 		}
 		if err := fn(payload); err != nil {

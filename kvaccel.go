@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kvaccel/internal/core"
+	"kvaccel/internal/faults"
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/lsm"
@@ -93,6 +94,11 @@ type Options struct {
 	// IOQueues is the number of block-interface I/O queue pairs the file
 	// system stripes its commands across. 0 keeps the default (1).
 	IOQueues int
+	// Faults is a deterministic, seeded fault plan injected into the
+	// device stack (NVMe dispatcher and NAND array): per-opcode media
+	// errors, timeouts, latency spikes, and power-cut support. Nil
+	// disables injection. See internal/faults.
+	Faults *faults.Plan
 }
 
 // DefaultOptions mirrors the paper's setup at scale 10.
@@ -153,6 +159,7 @@ func (opt Options) deviceConfig() ssd.Config {
 	if opt.IOQueues > 0 {
 		cfg.IOQueues = opt.IOQueues
 	}
+	cfg.Faults = opt.Faults
 	return cfg
 }
 
@@ -255,17 +262,18 @@ func (db *DB) WriteBatch(r *Runner, b *Batch) error { return db.kv.WriteBatch(r,
 // NewIterator opens a merged range cursor over both LSMs.
 func (db *DB) NewIterator(r *Runner) *Iterator { return db.kv.NewIterator(r) }
 
-// Flush forces the Main-LSM memtable to disk.
-func (db *DB) Flush(r *Runner) { db.kv.Flush(r) }
+// Flush forces the Main-LSM memtable to disk. A nil return is a
+// durability barrier for every previously acknowledged write.
+func (db *DB) Flush(r *Runner) error { return db.kv.Flush(r) }
 
 // Rollback drains the Dev-LSM into the Main-LSM immediately (§V-E).
-func (db *DB) Rollback(r *Runner) { db.kv.RollbackNow(r) }
+func (db *DB) Rollback(r *Runner) error { return db.kv.RollbackNow(r) }
 
 // SimulateCrash drops the volatile metadata table (§VI-D).
 func (db *DB) SimulateCrash() { db.kv.SimulateCrash() }
 
 // Recover restores a consistent single-database view after a crash.
-func (db *DB) Recover(r *Runner) { db.kv.Recover(r) }
+func (db *DB) Recover(r *Runner) error { return db.kv.Recover(r) }
 
 // Stats aggregates the interesting counters across layers.
 type Stats struct {

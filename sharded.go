@@ -194,18 +194,27 @@ func (db *ShardedDB) NewIterator(r *Runner) *MergedIterator {
 	return iterkit.NewMergedCursor(children)
 }
 
-// Flush forces every shard's Main-LSM memtable to disk.
-func (db *ShardedDB) Flush(r *Runner) {
+// Flush forces every shard's Main-LSM memtable to disk, returning the
+// first shard's background error, if any.
+func (db *ShardedDB) Flush(r *Runner) error {
+	var first error
 	for _, s := range db.shards {
-		s.Flush(r)
+		if err := s.Flush(r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Rollback drains every shard's Dev-LSM into its Main-LSM immediately.
-func (db *ShardedDB) Rollback(r *Runner) {
+func (db *ShardedDB) Rollback(r *Runner) error {
+	var first error
 	for _, s := range db.shards {
-		s.RollbackNow(r)
+		if err := s.RollbackNow(r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // SimulateCrash drops every shard's volatile metadata table.
@@ -216,10 +225,14 @@ func (db *ShardedDB) SimulateCrash() {
 }
 
 // Recover restores a consistent view on every shard after a crash.
-func (db *ShardedDB) Recover(r *Runner) {
+func (db *ShardedDB) Recover(r *Runner) error {
+	var first error
 	for _, s := range db.shards {
-		s.Recover(r)
+		if err := s.Recover(r); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // NumShards returns the shard count.
