@@ -9,19 +9,26 @@
 //	kvbench -engine kvaccel -workload readwhilewriting -readfraction 0.2 -rollback eager
 //	kvbench -engine adoc -workload seekrandom
 //	kvbench -engine kvaccel-sharded -shards 4 -workload fillrandom
+//	kvbench -engine rocksdb -slowdown=false -trace out.json -trace-summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"kvaccel/internal/harness"
+	"kvaccel/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel, kvaccel-sharded")
 		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom")
@@ -42,24 +49,41 @@ func main() {
 		queues   = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
 		faultSee = flag.Int64("faults-seed", 0, "seed a deterministic device fault plan (0 = no injection)")
 		cuts     = flag.Int("power-cuts", 0, "run the crash-recovery torture instead of a bench: cut device power N times, recover, verify the oracle")
+
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's virtual timeline to this file")
+		traceSum   = flag.Bool("trace-summary", false, "print per-phase virtual-time attribution and the stall-window report")
+		traceDepth = flag.Int("trace-depth", 1<<20, "trace ring capacity in events (oldest overwritten)")
+		jsonPath   = flag.String("json", "", "write the headline RunResult as machine-readable JSON to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself (host real time, not virtual time) to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer stopProf()
+
 	if *cuts > 0 {
-		runTorture(*faultSee, *cuts)
-		return
+		return runTorture(*faultSee, *cuts, *tracePath)
 	}
 
 	rb, ok := parseRollback(*rollback)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown rollback scheme %q\n", *rollback)
-		os.Exit(2)
+		return 2
 	}
 
 	if strings.ToLower(*engine) == "kvaccel-sharded" {
 		if *faultSee != 0 {
 			fmt.Fprintln(os.Stderr, "-faults-seed is not supported for kvaccel-sharded")
-			os.Exit(2)
+			return 2
+		}
+		if *tracePath != "" || *traceSum || *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "-trace/-trace-summary/-json are not supported for kvaccel-sharded")
+			return 2
 		}
 		runSharded(shardedRunParams{
 			shards:   *shards,
@@ -77,7 +101,7 @@ func main() {
 			ioqueues: *ioqueues,
 			queues:   *queues,
 		})
-		return
+		return 0
 	}
 
 	p := harness.DefaultParams()
@@ -88,6 +112,9 @@ func main() {
 	p.QueueDepth = *qd
 	p.IOQueues = *ioqueues
 	p.FaultsSeed = *faultSee
+	if *tracePath != "" || *traceSum {
+		p.Trace = trace.New(*traceDepth)
+	}
 
 	spec := harness.EngineSpec{Threads: *threads, Slowdown: *slowdown}
 	switch strings.ToLower(*engine) {
@@ -100,7 +127,7 @@ func main() {
 		spec.Rollback = rb
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+		return 2
 	}
 
 	var kind harness.WorkloadKind
@@ -117,12 +144,12 @@ func main() {
 		kind = harness.WorkloadD
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
+		return 2
 	}
 
 	if *qdSweep != "" {
 		runQDSweep(p, spec, kind, *qdSweep)
-		return
+		return 0
 	}
 
 	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB\n",
@@ -155,6 +182,36 @@ func main() {
 			fmt.Printf("queue       : %s\n", q)
 		}
 	}
+	if *traceSum && res.TraceSummary != nil {
+		fmt.Printf("\n--- virtual-time attribution (%d events, %d dropped) ---\n", p.Trace.Len(), p.Trace.Dropped())
+		fmt.Print(res.TraceSummary.Table())
+		fmt.Println()
+		fmt.Print(res.TraceStalls.String())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := p.Trace.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("trace       : %d events -> %s (load in chrome://tracing or ui.perfetto.dev)\n", p.Trace.Len(), *tracePath)
+	}
+	if *jsonPath != "" {
+		if err := writeJSONResult(*jsonPath, p, spec, kind, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("json        : headline result -> %s\n", *jsonPath)
+	}
 	if *series {
 		fmt.Println()
 		fmt.Print(res.Rec.WriteSeries.TSV())
@@ -165,18 +222,159 @@ func main() {
 		fmt.Print(res.PCIeH2D.TSV())
 		fmt.Print(res.PCIeD2H.TSV())
 	}
+	return 0
+}
+
+// startProfiles arms the requested pprof outputs. These measure the
+// simulator's own host cost — real CPU seconds and heap bytes spent
+// simulating, not virtual time (that is what -trace shows).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
+// benchJSON is the machine-readable headline of one run — the record
+// appended to the BENCH_*.json perf trajectory.
+type benchJSON struct {
+	Engine    string  `json:"engine"`
+	Workload  string  `json:"workload"`
+	Scale     int     `json:"scale"`
+	DurationS float64 `json:"duration_s"` // virtual seconds measured
+
+	Writes     int64   `json:"writes"`
+	WriteKops  float64 `json:"write_kops"`
+	WriteMBps  float64 `json:"write_mbps"`
+	Reads      int64   `json:"reads,omitempty"`
+	ReadKops   float64 `json:"read_kops,omitempty"`
+	WriteP50US float64 `json:"write_p50_us"`
+	WriteP99US float64 `json:"write_p99_us"`
+
+	CPUAvgPct  float64 `json:"cpu_avg_pct"`
+	Efficiency float64 `json:"efficiency_mbps_per_cpu_pct"`
+
+	Stalls      int64   `json:"stalls"`
+	StallTimeS  float64 `json:"stall_time_s"`
+	Slowdowns   int64   `json:"slowdowns"`
+	Flushes     int64   `json:"flushes"`
+	Compactions int64   `json:"compactions"`
+	WriteAmp    float64 `json:"write_amp"`
+	Redirected  int64   `json:"redirected,omitempty"`
+	Rollbacks   int64   `json:"rollbacks,omitempty"`
+
+	PCIeAvgMBps float64 `json:"pcie_avg_mbps"`
+
+	Queues []queueJSON `json:"queues,omitempty"`
+
+	TracePhases []phaseJSON `json:"trace_phases,omitempty"`
+}
+
+type queueJSON struct {
+	Name      string  `json:"name"`
+	Submitted int64   `json:"submitted"`
+	MeanDepth float64 `json:"mean_depth"`
+	MeanUS    float64 `json:"mean_us"`
+	P99US     float64 `json:"p99_us"`
+}
+
+type phaseJSON struct {
+	Phase   string  `json:"phase"`
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxUS   float64 `json:"max_us"`
+}
+
+func writeJSONResult(path string, p harness.Params, spec harness.EngineSpec, kind harness.WorkloadKind, res *harness.RunResult) error {
+	out := benchJSON{
+		Engine:      spec.Name(),
+		Workload:    kind.String(),
+		Scale:       p.Scale,
+		DurationS:   res.Duration.Seconds(),
+		Writes:      res.Rec.Writes(),
+		WriteKops:   res.WriteKops(),
+		WriteMBps:   res.WriteMBps(),
+		Reads:       res.Rec.Reads(),
+		ReadKops:    res.ReadKops(),
+		WriteP50US:  float64(res.Rec.WriteLatency.Quantile(0.5)) / 1e3,
+		WriteP99US:  float64(res.Rec.WriteLatency.Quantile(0.99)) / 1e3,
+		CPUAvgPct:   res.CPUAvg,
+		Efficiency:  res.Efficiency(),
+		Stalls:      res.MainStats.TotalStalls(),
+		StallTimeS:  res.MainStats.StallTime.Seconds(),
+		Slowdowns:   res.MainStats.Slowdowns,
+		Flushes:     res.MainStats.Flushes,
+		Compactions: res.MainStats.Compactions,
+		WriteAmp:    res.MainStats.WriteAmplification(),
+		Redirected:  res.Redirects,
+		Rollbacks:   res.Rollbacks,
+		PCIeAvgMBps: res.PCIeSeries.Mean(),
+	}
+	for _, q := range res.Queues {
+		if q.Submitted == 0 {
+			continue
+		}
+		out.Queues = append(out.Queues, queueJSON{
+			Name:      q.Name,
+			Submitted: q.Submitted,
+			MeanDepth: q.MeanOutstanding,
+			MeanUS:    float64(q.Latency.Mean()) / 1e3,
+			P99US:     float64(q.Latency.Quantile(0.99)) / 1e3,
+		})
+	}
+	if res.TraceSummary != nil {
+		for _, ps := range res.TraceSummary.Phases {
+			out.TracePhases = append(out.TracePhases, phaseJSON{
+				Phase:   ps.Phase.String(),
+				Count:   ps.Count,
+				TotalMS: float64(ps.Total) / 1e6,
+				MaxUS:   float64(ps.Max) / 1e3,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runTorture runs the §9 crash-recovery torture from the CLI: fillrandom
 // with rollback active, n seeded power cuts, reattach + Recover after
 // each, and the host-side durability oracle. Exits non-zero on any
 // oracle violation.
-func runTorture(seed int64, n int) {
+func runTorture(seed int64, n int, tracePath string) int {
 	if seed == 0 {
 		seed = 1
 	}
 	p := harness.DefaultTortureParams(seed)
 	p.Cuts = n
+	p.TracePath = tracePath
 	p.Logf = func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	}
@@ -192,9 +390,13 @@ func runTorture(seed int64, n int) {
 		for _, v := range rep.Violations {
 			fmt.Printf("  - %s\n", v)
 		}
-		os.Exit(1)
+		if rep.TraceDumped {
+			fmt.Printf("trace       : violating window -> %s\n", tracePath)
+		}
+		return 1
 	}
 	fmt.Println("oracle      : all checks passed")
+	return 0
 }
 
 // runQDSweep reruns the same workload once per requested queue depth and

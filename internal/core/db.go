@@ -17,6 +17,7 @@ import (
 	"kvaccel/internal/faults"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -72,6 +73,10 @@ type Options struct {
 	// transient faults (injected media errors, timeouts) are retried
 	// with backoff; a zero policy means a single attempt.
 	Retry faults.RetryPolicy
+	// Trace, when non-nil, records causal spans for the controller's
+	// put/get/redirect paths, the rollback drain, recovery, and the
+	// detector's stall-signal transitions. Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // DefaultOptions mirrors the paper's implementation constants.
@@ -184,6 +189,7 @@ func Open(clk *vclock.Clock, main MainEngine, dev KVDevice, opt Options) *DB {
 		closeEv: vclock.NewEvent("kvaccel.close"),
 	}
 	db.det = NewDetector(main, opt.DetectorPeriod, opt.DetectorCost)
+	db.det.SetTracer(opt.Trace)
 	db.det.Start(clk, nil)
 	db.startRollbackManager()
 	return db
@@ -269,6 +275,14 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 	if db.closed.Load() {
 		return false, ErrClosed
 	}
+	sp := db.opt.Trace.Begin(r, trace.PhasePut, "put")
+	defer func() {
+		var arg int64
+		if redirected {
+			arg = 1
+		}
+		sp.EndArg(r, arg)
+	}()
 	db.gate.Acquire(r, 1)
 	defer db.gate.Release(1)
 
@@ -276,7 +290,10 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 		// Stall path: buffer in the Dev-LSM, record location metadata.
 		// A device command that fails even after retries falls through
 		// to the normal path — the Main-LSM is stalled, not broken.
-		if db.devPut(r, kind, key, value) == nil {
+		rsp := db.opt.Trace.Begin(r, trace.PhaseRedirect, "redirect-put")
+		perr := db.devPut(r, kind, key, value)
+		rsp.End(r)
+		if perr == nil {
 			db.meta.Insert(key)
 			db.redirectedPuts.Add(1)
 			db.lastRedirect.Store(int64(r.Now()))
@@ -319,6 +336,9 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 	db.gate.Acquire(r, 1)
 	defer db.gate.Release(1)
 
+	sp := db.opt.Trace.Begin(r, trace.PhaseBatch, "write-batch")
+	defer sp.End(r)
+
 	if db.shouldRedirect() {
 		entries := make([]memtable.Entry, 0, b.Len())
 		b.Ops(func(kind memtable.Kind, key, value []byte) {
@@ -327,7 +347,10 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 		// The compound command is atomic device-side: on failure none of
 		// the batch landed, so falling through to the Main-LSM path is a
 		// clean re-commit, not a duplicate.
-		if db.devPutCompound(r, entries) == nil {
+		rsp := db.opt.Trace.Begin(r, trace.PhaseRedirect, "redirect-batch")
+		cerr := db.devPutCompound(r, entries)
+		rsp.End(r)
+		if cerr == nil {
 			b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
 			db.redirectedPuts.Add(int64(b.Len()))
 			db.lastRedirect.Store(int64(r.Now()))
@@ -352,6 +375,8 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	if db.closed.Load() {
 		return nil, false, ErrClosed
 	}
+	sp := db.opt.Trace.Begin(r, trace.PhaseGet, "get")
+	defer sp.End(r)
 	if db.meta.Contains(key) {
 		db.devGets.Add(1)
 		v, kind, found, derr := db.devGet(r, key)

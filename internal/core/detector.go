@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"kvaccel/internal/lsm"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -22,6 +23,7 @@ type Detector struct {
 	override atomic.Pointer[bool] // non-nil pins the stall signal (tests, ablations)
 	checks   atomic.Int64
 	closed   atomic.Bool
+	tracer   atomic.Pointer[trace.Tracer]
 
 	lastHealth atomic.Pointer[lsm.Health]
 }
@@ -55,11 +57,30 @@ func (d *Detector) Check(r *vclock.Runner, cpuRun func(*vclock.Runner, time.Dura
 	// The write-stall prediction (§V-C) is the engine's exported stall
 	// signal: a stop condition already holding, a slowdown trigger, or
 	// the anticipatory memtable-pressure signal.
-	d.stall.Store(h.StallSignal())
+	sig := h.StallSignal()
+	if prev := d.stall.Swap(sig); prev != sig {
+		if tr := d.tracer.Load(); tr != nil {
+			if sig {
+				tr.Instant(r, trace.PhaseDetector, "stall-on", int64(h.L0Files))
+			} else {
+				tr.Instant(r, trace.PhaseDetector, "stall-off", int64(h.L0Files))
+			}
+		}
+	}
 	d.checks.Add(1)
 	if cpuRun != nil && d.cost > 0 {
 		cpuRun(r, d.cost)
 	}
+}
+
+// SetTracer wires a tracer for stall-signal transition instants. Safe
+// to call at any time; nil detaches.
+func (d *Detector) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		d.tracer.Store(nil)
+		return
+	}
+	d.tracer.Store(tr)
 }
 
 // StallLikely is the Controller's per-write redirect signal.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -73,6 +74,9 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 		return nil // already in progress
 	}
 	defer db.rollingBack.Store(false)
+	var pairs int64
+	rbsp := db.opt.Trace.Begin(r, trace.PhaseRollback, "rollback")
+	defer func() { rbsp.EndArg(r, pairs) }()
 
 	// Barrier: a writer that read shouldRedirect() before the flag
 	// flipped may still be mid-devPut; if its pair landed after the
@@ -84,8 +88,8 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 	db.gate.Release(gateUnits)
 
 	start := r.Now()
-	var pairs int64
 	var merged [][]byte
+	ssp := db.opt.Trace.Begin(r, trace.PhaseRollbackScan, "rollback-scan")
 	scanErr := db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		// Each chunk merges under the write gate, serializing against
 		// foreground writes so a concurrent overwrite cannot be clobbered
@@ -109,6 +113,7 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 		}
 		db.gate.Release(gateUnits)
 	})
+	ssp.EndArg(r, pairs)
 	if scanErr != nil {
 		return scanErr
 	}
@@ -153,11 +158,13 @@ func (db *DB) Recover(r *vclock.Runner) error {
 		return nil
 	}
 	defer db.rollingBack.Store(false)
+	var pairs int64
+	rsp := db.opt.Trace.Begin(r, trace.PhaseRecovery, "recovery")
+	defer func() { rsp.EndArg(r, pairs) }()
 	// Same in-flight-writer barrier as RollbackNow; Recover usually runs
 	// before writers start, but nothing enforces that.
 	db.gate.Acquire(r, gateUnits)
 	db.gate.Release(gateUnits)
-	var pairs int64
 	scanErr := db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		db.gate.Acquire(r, gateUnits)
 		for i := range entries {

@@ -25,6 +25,7 @@ import (
 	"kvaccel/internal/ftl"
 	"kvaccel/internal/iterkit"
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	PutCPU       time.Duration
 	GetCPU       time.Duration
 	ScanCPUPerKB time.Duration
+
+	// Trace records KV command and device-flush spans. Nil (the default)
+	// disables tracing at nil-check cost.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig models the Cosmos+ single ARM Cortex-A9 controller core:
@@ -203,6 +208,8 @@ func (d *DevLSM) allocLocked(n int) []int {
 // Put buffers one record (value may be nil with kind KindDelete for
 // redirected tombstones), flushing the device memtable when full.
 func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	sp := d.cfg.Trace.Begin(r, trace.PhaseDevLSM, "kv-put")
+	defer sp.EndArg(r, int64(len(key)+len(value)))
 	d.arm.Run(r, d.cfg.PutCPU)
 	d.mu.Lock()
 	d.seq++
@@ -222,6 +229,8 @@ func (d *DevLSM) Put(r *vclock.Runner, kind memtable.Kind, key, value []byte) er
 // Get returns the newest buffered record for key. Each run probe costs
 // one NAND page read; there is no read cache.
 func (d *DevLSM) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
+	sp := d.cfg.Trace.Begin(r, trace.PhaseDevLSM, "kv-get")
+	defer sp.End(r)
 	d.arm.Run(r, d.cfg.GetCPU)
 	d.mu.Lock()
 	d.stats.Gets++
@@ -322,6 +331,9 @@ func (d *DevLSM) Flush(r *vclock.Runner) error {
 	mem := d.mem
 	d.mem = memtable.New()
 	d.mu.Unlock()
+
+	fsp := d.cfg.Trace.Begin(r, trace.PhaseDevLSMFlush, "devlsm-flush")
+	defer func() { fsp.EndArg(r, int64(mem.Count())) }()
 
 	ru, lpns := d.buildRun(r, mem.NewIterator())
 	if ru == nil {

@@ -8,6 +8,7 @@ import (
 	"kvaccel/internal/metrics"
 	"kvaccel/internal/nvme"
 	"kvaccel/internal/pcie"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 	"kvaccel/internal/workload"
 )
@@ -61,6 +62,12 @@ type RunResult struct {
 	DevFailed  int64
 	// Queues snapshots every NVMe queue pair at the end of the run.
 	Queues []nvme.QueueStats
+
+	// TraceSummary and TraceStalls are the per-phase virtual-time
+	// attribution and the stall-window report; nil unless Params.Trace
+	// was set.
+	TraceSummary *trace.Summary
+	TraceStalls  *trace.StallReport
 
 	valueSize int
 }
@@ -207,6 +214,12 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 	}
 	if tb.Faults != nil {
 		res.Injected = tb.Faults.TotalInjected()
+	}
+	if p.Trace != nil {
+		s := p.Trace.Summary()
+		res.TraceSummary = &s
+		r := p.Trace.StallReport()
+		res.TraceStalls = &r
 	}
 	return res
 }

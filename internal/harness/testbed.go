@@ -23,6 +23,7 @@ import (
 	"kvaccel/internal/fs"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/ssd"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 	"kvaccel/internal/workload"
 )
@@ -64,6 +65,12 @@ type Params struct {
 	// The plan is exposed on the Testbed so callers can read its
 	// injection counters after the run.
 	FaultsSeed int64
+	// Trace, when non-nil, records causal op spans across every layer of
+	// the testbed (engine write path, background work, NVMe, NAND,
+	// Dev-LSM) and attaches a phase-attribution summary and stall report
+	// to the RunResult — kvbench's -trace flag. Nil (the default) leaves
+	// every hot-path hook at nil-check cost.
+	Trace *trace.Tracer
 }
 
 // DefaultParams is the scale-10 setup used by cmd/experiments.
@@ -143,6 +150,7 @@ func (p Params) NewTestbed() *Testbed {
 		DefaultFaultRules(plan)
 		cfg.Faults = plan
 	}
+	cfg.Trace = p.Trace
 	dev := ssd.New(clk, cfg)
 	return &Testbed{
 		Clk:    clk,
@@ -204,6 +212,7 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	// the regime ADOC is evaluated in. ~160 MB/s per thread at scale 1.
 	opt.Cost.MergeCPUPerKB = opt.Cost.MergeCPUPerKB * sd * 4 / 10
 	opt.Cost.FlushCPUPerKB *= sd
+	opt.Trace = p.Trace
 	return opt
 }
 
@@ -291,6 +300,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		main := lsm.Open(tb.Clk, tb.Fsys, opt)
 		copt := core.DefaultOptions()
 		copt.Rollback = spec.Rollback
+		copt.Trace = p.Trace
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"kvaccel/internal/nand"
 	"kvaccel/internal/pcie"
 	"kvaccel/internal/ssd"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -59,6 +61,12 @@ type TortureParams struct {
 	// ("pre-recover") and after ("post-recover") crash recovery — test
 	// instrumentation for drilling into a failing seed.
 	Hook func(r *vclock.Runner, db *core.DB, phase int, when string)
+	// TracePath, when set, records causal op spans through every phase
+	// and writes a Chrome trace of the window around the first oracle
+	// violation to this file — the forensic view of a failing seed.
+	// Phases run on fresh clocks; the trace stitches them onto one
+	// monotone time axis via per-phase time-base epochs.
+	TracePath string
 }
 
 // DefaultTortureParams is the configuration the torture tests run with.
@@ -88,6 +96,9 @@ type TortureReport struct {
 	DevFailed  int64
 	Injected   int64 // faults injected by the plan (all classes)
 	Violations []string
+	// TraceDumped reports that a violation fired with TracePath set and
+	// the Chrome trace of the violating phase's window was written.
+	TraceDumped bool
 }
 
 // torKeyState is the oracle's view of one key.
@@ -213,13 +224,22 @@ func RunTorture(p TortureParams) TortureReport {
 		DefaultFaultRules(plan)
 	}
 
+	var tr *trace.Tracer
+	if p.TracePath != "" {
+		tr = trace.New(1 << 18)
+	}
+
 	clk := vclock.New()
-	dev := ssd.New(clk, tortureSSDConfig(plan))
+	scfg := tortureSSDConfig(plan)
+	scfg.Trace = tr
+	dev := ssd.New(clk, scfg)
 	fsys := fs.New(dev.BlockNamespace(0, 0))
 	oracle := newTortureOracle()
 
 	rep := TortureReport{}
 	var stats core.Stats
+	var traceBase vclock.Time
+	var traceDump []byte
 
 	// Phase p < Cuts ends in a power cut; the final phase is a clean
 	// open → recover → verify → close.
@@ -228,6 +248,8 @@ func RunTorture(p TortureParams) TortureReport {
 			clk = vclock.New()
 			dev.Attach(clk)
 		}
+		tr.SetTimeBase(traceBase)
+		nViolBefore := len(rep.Violations)
 		cutPhase := phase < p.Cuts
 		// Drawn outside the runner so the sequence of seeded decisions
 		// does not depend on goroutine scheduling.
@@ -243,6 +265,7 @@ func RunTorture(p TortureParams) TortureReport {
 			// tail — the case the checksummed replay exists for.
 			lopt.WALChunkSize = 2 << 10
 			lopt.UncheckedWALReplay = p.BrokenRecovery
+			lopt.Trace = tr
 
 			var main *lsm.DB
 			if fsys.Exists("CURRENT") {
@@ -259,6 +282,7 @@ func RunTorture(p TortureParams) TortureReport {
 			opt := core.DefaultOptions()
 			opt.Rollback = core.RollbackEager
 			opt.DetectorPeriod = 2 * time.Millisecond
+			opt.Trace = tr
 			db := core.Open(clk, main, dev.KVRegionFull(), opt)
 			defer func() {
 				stats = stats.Add(db.Stats())
@@ -311,6 +335,15 @@ func RunTorture(p TortureParams) TortureReport {
 		})
 		clk.Wait()
 		rep.Phases++
+		if tr != nil {
+			// Stitch the next phase's fresh clock onto a monotone axis, and
+			// capture the ring the moment a phase first violates the oracle —
+			// later phases would overwrite the failing window.
+			traceBase += clk.Now() + vclock.Time(time.Microsecond)
+			if traceDump == nil && len(rep.Violations) > nViolBefore {
+				traceDump = tr.ChromeTraceJSON()
+			}
+		}
 
 		if cutPhase {
 			if !dev.Severed() {
@@ -330,6 +363,14 @@ func RunTorture(p TortureParams) TortureReport {
 	rep.DevFailed = stats.DevFailed
 	rep.Recovered = stats.RollbackPairs
 	rep.Injected = plan.TotalInjected()
+	if traceDump != nil {
+		if err := os.WriteFile(p.TracePath, traceDump, 0o644); err != nil {
+			logf("trace dump write failed: %v", err)
+		} else {
+			rep.TraceDumped = true
+			logf("trace of violating window written to %s", p.TracePath)
+		}
+	}
 	return rep
 }
 

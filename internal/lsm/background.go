@@ -7,6 +7,7 @@ import (
 	"kvaccel/internal/iterkit"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/sstable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -44,6 +45,7 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 		job := db.imm[0]
 		db.flushing = true
 		db.mu.Unlock()
+		fsp := db.opt.Trace.Begin(r, trace.PhaseFlush, "flush")
 
 		// The OS would have written these dirty WAL pages back by now;
 		// charge that device traffic before the memtable becomes an SST.
@@ -60,6 +62,7 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 			// Device full mid-flush: go read-only. The immutable memtable
 			// stays queued so reads keep serving it; this worker parks
 			// until shutdown instead of retrying a doomed flush.
+			fsp.End(r)
 			db.setBackgroundError(err)
 			db.mu.Lock()
 			db.flushing = false
@@ -91,6 +94,11 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 				job.log.Delete(r)
 			}
 		}
+		var flushedBytes int64
+		if meta != nil {
+			flushedBytes = meta.Size
+		}
+		fsp.EndArg(r, flushedBytes)
 		db.writeCond.Broadcast()
 		db.bgCond.Broadcast()
 		if perr != nil {
@@ -112,6 +120,8 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 
 // buildSST encodes one memtable as an SST at the given level, spending
 // merge CPU and device write time. It returns nil for an empty memtable.
+// The device write traces as flush I/O (buildSST only runs for memtable
+// flushes — at startup recovery and in the flush worker).
 func (db *DB) buildSST(r *vclock.Runner, mt *memtable.Table, level int) (*FileMeta, error) {
 	it := mt.NewIterator()
 	b := sstable.NewBuilder(db.opt.builderOptions())
@@ -135,19 +145,23 @@ func (db *DB) buildSST(r *vclock.Runner, mt *memtable.Table, level int) (*FileMe
 	if err != nil {
 		return nil, err
 	}
-	return db.writeTable(r, data, meta, level)
+	return db.writeTable(r, data, meta, level, trace.PhaseFlushIO)
 }
 
-// writeTable persists encoded table bytes and opens its reader. A write
+// writeTable persists encoded table bytes and opens its reader, tracing
+// the device write under ioPh (flush-io vs compaction-io). A write
 // failure (device full) surfaces as a sticky background error.
-func (db *DB) writeTable(r *vclock.Runner, data []byte, meta sstable.Meta, level int) (*FileMeta, error) {
+func (db *DB) writeTable(r *vclock.Runner, data []byte, meta sstable.Meta, level int, ioPh trace.Phase) (*FileMeta, error) {
 	db.mu.Lock()
 	num := db.nextFileNum
 	db.nextFileNum++
 	db.mu.Unlock()
 
 	name := SSTName(num)
-	if err := db.fsys.WriteFile(r, name, data); err != nil {
+	wsp := db.opt.Trace.Begin(r, ioPh, "sst-write")
+	err := db.fsys.WriteFile(r, name, data)
+	wsp.EndArg(r, int64(len(data)))
+	if err != nil {
 		return nil, err
 	}
 	rd, err := sstable.Open(r, &fileSource{db: db, name: name, size: len(data)}, num, db.cache)
@@ -186,6 +200,7 @@ const compactionReadahead = 2 << 20
 // window over an inner source.
 type readaheadSource struct {
 	inner sstable.Source
+	tr    *trace.Tracer
 	buf   []byte
 	off   int
 }
@@ -201,7 +216,9 @@ func (s *readaheadSource) ReadAt(r *vclock.Runner, off, length int) ([]byte, err
 	if off+want > s.inner.Size() {
 		want = s.inner.Size() - off
 	}
+	rsp := s.tr.Begin(r, trace.PhaseCompactionIO, "sst-read")
 	buf, err := s.inner.ReadAt(r, off, want)
+	rsp.EndArg(r, int64(want))
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +230,7 @@ func (s *readaheadSource) Size() int { return s.inner.Size() }
 
 // compactionIterator opens a cache-bypassing, readahead iterator over f.
 func (db *DB) compactionIterator(r *vclock.Runner, f *FileMeta) (iterkit.Iterator, error) {
-	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size)}}
+	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size)}, tr: db.opt.Trace}
 	rd, err := sstable.Open(r, src, f.Num, nil)
 	if err != nil {
 		return nil, err
@@ -407,11 +424,13 @@ func keyRange(files []*FileMeta) (smallest, largest []byte) {
 // reads interleaved with CPU merge work, then a burst of device writes.
 // Versions still visible to a live snapshot are retained.
 func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
+	csp := db.opt.Trace.Begin(r, trace.PhaseCompaction, "compaction")
+	var readBytes, writeBytes int64
+	defer func() { csp.EndArg(r, readBytes+writeBytes) }()
 	db.mu.Lock()
 	snaps := db.activeSnapshotsLocked()
 	db.mu.Unlock()
 	iters := make([]iterkit.Iterator, 0, len(c.inputs)+len(c.overlap))
-	var readBytes int64
 	var openErr error
 	for _, f := range c.allFiles() {
 		it, err := db.compactionIterator(r, f)
@@ -437,7 +456,6 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	merged := iterkit.NewMerge(iters)
 
 	var outputs []*FileMeta
-	var writeBytes int64
 	b := sstable.NewBuilder(db.opt.builderOptions())
 	pendingCPU := 0
 	var lastUserKey []byte
@@ -454,7 +472,7 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 			emitErr = err
 			return
 		}
-		out, err := db.writeTable(r, data, meta, c.target)
+		out, err := db.writeTable(r, data, meta, c.target, trace.PhaseCompactionIO)
 		if err != nil {
 			emitErr = err
 			return

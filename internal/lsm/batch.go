@@ -3,6 +3,7 @@ package lsm
 import (
 	"kvaccel/internal/encoding"
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -123,7 +124,10 @@ func (db *DB) Write(r *vclock.Runner, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	tr := db.opt.Trace
+	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
 	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*vclock.Duration(b.Len()))
+	msp.EndArg(r, int64(b.Len()))
 
 	db.mu.Lock()
 	if db.closed {
@@ -147,7 +151,10 @@ func (db *DB) Write(r *vclock.Runner, b *Batch) error {
 	db.mu.Unlock()
 
 	if lg != nil {
-		if err := lg.Append(r, encodeBatch(b)); err != nil && !db.isClosed() {
+		wsp := tr.Begin(r, trace.PhaseWALAppend, "wal-append")
+		err := lg.Append(r, encodeBatch(b))
+		wsp.EndArg(r, int64(b.bytes))
+		if err != nil && !db.isClosed() {
 			return err
 		}
 	}

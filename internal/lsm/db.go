@@ -10,6 +10,7 @@ import (
 	"kvaccel/internal/fs"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/sstable"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 	"kvaccel/internal/wal"
 )
@@ -140,7 +141,10 @@ func (db *DB) Delete(r *vclock.Runner, key []byte) error {
 }
 
 func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+	tr := db.opt.Trace
+	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
 	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU)
+	msp.End(r)
 	recBytes := len(key) + len(value) + 16
 
 	db.mu.Lock()
@@ -166,7 +170,10 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) err
 		rec := make([]byte, 0, recBytes)
 		rec = append(rec, byte(kind))
 		rec = appendKV(rec, key, value)
-		if err := lg.Append(r, rec); err != nil && !db.isClosed() {
+		wsp := tr.Begin(r, trace.PhaseWALAppend, "wal-append")
+		err := lg.Append(r, rec)
+		wsp.EndArg(r, int64(recBytes))
+		if err != nil && !db.isClosed() {
 			return err
 		}
 	}
@@ -213,7 +220,9 @@ func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int) error {
 				}
 			}
 			db.mu.Unlock()
+			ssp := db.opt.Trace.Begin(r, trace.PhaseSlowdown, "slowdown")
 			r.Sleep(delay)
+			ssp.End(r)
 			db.mu.Lock()
 
 		case db.mem.ApproximateSize() <= db.memSize:
@@ -256,9 +265,11 @@ func (db *DB) stallWait(r *vclock.Runner, reason StallReason, counted *[numStall
 		db.stats.StallEvents[reason]++
 	}
 	db.stalledWriters++
+	sp := db.opt.Trace.Begin(r, trace.PhaseStallWait, reason.String())
 	start := r.Now()
 	db.writeCond.Wait(r)
 	db.stats.StallTime += r.Now().Sub(start)
+	sp.End(r)
 	db.stalledWriters--
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/sstable"
+	"kvaccel/internal/trace"
 )
 
 // Options configures a DB. The defaults are the paper's RocksDB v8.x
@@ -87,6 +88,12 @@ type Options struct {
 	CPU *cpu.Pool
 	// Cost models the per-operation host CPU time.
 	Cost CostModel
+
+	// Trace, when non-nil, records causal spans for the write path
+	// (WAL append, memtable insert, stall/slowdown waits) and the
+	// background workers (flush, compaction, their device I/O). Nil
+	// disables tracing at nil-check cost.
+	Trace *trace.Tracer
 }
 
 // CostModel holds the host CPU charges for engine work. Values are

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIChartEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	out := s.ASCIIChart(40, 6)
+	if !strings.Contains(out, "(no samples)") {
+		t.Fatalf("empty series chart: %q", out)
+	}
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("chart lost the series name: %q", out)
+	}
+}
+
+func TestASCIIChartClampsWidthAndHeight(t *testing.T) {
+	s := NewSeries("clamp")
+	for i := 0; i < 4; i++ {
+		s.Append(float64(i), float64(i+1))
+	}
+	out := s.ASCIIChart(0, 0) // clamps to 8x2
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 rows + axis + time labels
+	if len(lines) != 5 {
+		t.Fatalf("clamped chart has %d lines, want 5:\n%s", len(lines), out)
+	}
+	axis := lines[3]
+	if !strings.Contains(axis, "+"+strings.Repeat("-", 8)) {
+		t.Fatalf("axis not clamped to width 8: %q", axis)
+	}
+	for _, l := range lines[1:3] {
+		if got := len(l) - strings.Index(l, "|") - 1; got != 8 {
+			t.Fatalf("row width = %d, want 8: %q", got, l)
+		}
+	}
+}
+
+func TestASCIIChartMaxPreservingDownsample(t *testing.T) {
+	// 100 samples into 10 buckets: each bucket must keep its max, so a
+	// single spike in a flat run cannot be averaged away.
+	s := NewSeries("spike")
+	for i := 0; i < 100; i++ {
+		v := 1.0
+		if i == 57 {
+			v = 100.0 // lone spike, lands in bucket 5
+		}
+		s.Append(float64(i), v)
+	}
+	out := s.ASCIIChart(10, 4)
+	if !strings.Contains(out, "(max 100.00)") {
+		t.Fatalf("spike lost in downsampling:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	top := lines[1] // highest band row
+	bar := top[strings.Index(top, "|")+1:]
+	if len(bar) != 10 {
+		t.Fatalf("bar width = %d: %q", len(bar), bar)
+	}
+	// Only bucket 5 (samples 50-59) reaches the top band.
+	for i, c := range bar {
+		if i == 5 && c != '#' {
+			t.Fatalf("spike bucket not rendered at top band: %q", bar)
+		}
+		if i != 5 && c == '#' {
+			t.Fatalf("flat bucket %d reached the top band: %q", i, bar)
+		}
+	}
+}
+
+func TestASCIIChartShortSeries(t *testing.T) {
+	// Fewer samples than buckets: each sample maps to its own bucket,
+	// the rest stay empty — no index out of range, no phantom bars.
+	s := NewSeries("short")
+	s.Append(0, 5)
+	s.Append(1, 10)
+	out := s.ASCIIChart(20, 3)
+	if !strings.Contains(out, "(max 10.00)") {
+		t.Fatalf("short series max wrong:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	bar := top[strings.Index(top, "|")+1:]
+	hashes := strings.Count(bar, "#")
+	if hashes != 1 {
+		t.Fatalf("top band has %d columns, want exactly the max sample's bucket:\n%s", hashes, out)
+	}
+}
+
+func TestASCIIChartAllZeroSeries(t *testing.T) {
+	s := NewSeries("zeros")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), 0)
+	}
+	out := s.ASCIIChart(10, 3)
+	for _, l := range strings.Split(out, "\n") {
+		if i := strings.Index(l, "|"); i >= 0 && strings.ContainsAny(l[i:], "#.") {
+			t.Fatalf("all-zero series rendered bars:\n%s", out)
+		}
+	}
+	// maxV is floored to 1 so band labels stay finite.
+	if !strings.Contains(out, "(max 1.00)") {
+		t.Fatalf("zero series header:\n%s", out)
+	}
+}
+
+func TestASCIIChartTimeLabels(t *testing.T) {
+	s := NewSeries("t")
+	s.Append(12, 1)
+	s.Append(600, 2)
+	out := s.ASCIIChart(30, 2)
+	if !strings.Contains(out, "t=12") || !strings.Contains(out, "t=600") {
+		t.Fatalf("time labels missing:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kvaccel/internal/faults"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -94,13 +95,25 @@ type Array struct {
 
 	eraseCounts []atomic.Int64 // per (die, block) wear
 
-	plan atomic.Pointer[faults.Plan] // fault plan; nil injects nothing
+	plan   atomic.Pointer[faults.Plan]  // fault plan; nil injects nothing
+	tracer atomic.Pointer[trace.Tracer] // nil records nothing
 }
 
 // SetFaultPlan installs the fault plan every NAND operation consults;
 // rules scoped to a physical-page extent produce region-scoped media
 // faults (the FTL maps logical regions onto physical extents).
 func (a *Array) SetFaultPlan(p *faults.Plan) { a.plan.Store(p) }
+
+// SetTracer installs the tracer NAND operations record spans to. Each
+// span covers the op's full array residency — die/channel queueing plus
+// the media time (tRead/tProg/tErase). Nil detaches.
+func (a *Array) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		a.tracer.Store(nil)
+		return
+	}
+	a.tracer.Store(tr)
+}
 
 // ppn returns addr's physical page number — the address fault-rule
 // scopes match against.
@@ -166,8 +179,10 @@ func (a *Array) ReadPage(r *vclock.Runner, addr Addr) error {
 	if err := a.consult(r, "NAND_READ", addr); err != nil {
 		return err
 	}
+	sp := a.tracer.Load().Begin(r, trace.PhaseNANDRead, "tRead")
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.ReadPage)
 	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
+	sp.End(r)
 	a.pagesRead.Add(1)
 	return nil
 }
@@ -180,8 +195,10 @@ func (a *Array) ProgramPage(r *vclock.Runner, addr Addr) error {
 	if err := a.consult(r, "NAND_PROG", addr); err != nil {
 		return err
 	}
+	sp := a.tracer.Load().Begin(r, trace.PhaseNANDProg, "tProg")
 	a.channels[addr.Channel].Use(r, a.busTime(a.geo.PageSize))
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.ProgramPage)
+	sp.End(r)
 	a.pagesProg.Add(1)
 	return nil
 }
@@ -193,7 +210,9 @@ func (a *Array) EraseBlock(r *vclock.Runner, addr Addr) error {
 	if err := a.consult(r, "NAND_ERASE", addr); err != nil {
 		return err
 	}
+	sp := a.tracer.Load().Begin(r, trace.PhaseNANDErase, "tErase")
 	a.dies[a.dieIndex(addr)].Use(r, a.timing.EraseBlock)
+	sp.End(r)
 	a.blocksErsd.Add(1)
 	a.eraseCounts[a.dieIndex(addr)*a.geo.BlocksPerDie+addr.Block].Add(1)
 	return nil

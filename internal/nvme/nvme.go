@@ -23,6 +23,7 @@ import (
 
 	"kvaccel/internal/faults"
 	"kvaccel/internal/metrics"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -41,7 +42,8 @@ type Command struct {
 
 	qp        *QueuePair
 	submitted vclock.Time
-	done      bool // guarded by Dispatcher.mu
+	parent    uint64 // submitter's trace context, for causal linking
+	done      bool   // guarded by Dispatcher.mu
 }
 
 // Config sets the queueing model's constants.
@@ -103,6 +105,7 @@ type Dispatcher struct {
 	running bool
 	busyNS  int64 // cumulative per-command service time (Exec only)
 	plan    *faults.Plan
+	tracer  *trace.Tracer
 	severed bool // power cut: no command survives until re-Attach
 }
 
@@ -112,6 +115,15 @@ func (d *Dispatcher) SetFaultPlan(p *faults.Plan) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.plan = p
+}
+
+// SetTracer installs the tracer commands report to: one nvme-queue
+// complete-event per command (submit → dispatch residency) and one
+// nvme-exec span per command body. Nil (the default) disables it.
+func (d *Dispatcher) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = tr
 }
 
 // Sever models a power cut at the current instant: every queued command
@@ -239,8 +251,13 @@ func (d *Dispatcher) run(r *vclock.Runner) {
 		d.mu.Unlock()
 		d.clk.Go("nvme.cmd."+cmd.Op, func(w *vclock.Runner) {
 			d.mu.Lock()
-			plan, severed := d.plan, d.severed
+			plan, severed, tr := d.plan, d.severed, d.tracer
 			d.mu.Unlock()
+			if tr != nil {
+				// Queue residency: doorbell ring to firmware dispatch.
+				tr.Complete(w, trace.PhaseNVMeQueue, cmd.Op,
+					cmd.submitted, w.Now().Sub(cmd.submitted), cmd.parent, int64(cmd.Bytes))
+			}
 			var err error
 			var service time.Duration
 			// Injected delay (latency spike or timeout) is queueing
@@ -257,9 +274,11 @@ func (d *Dispatcher) run(r *vclock.Runner) {
 				err = outcome.Err
 			default:
 				if cmd.Exec != nil {
+					xsp := tr.BeginLinked(w, trace.PhaseNVMeExec, cmd.Op, cmd.parent)
 					start := w.Now()
 					err = cmd.Exec(w)
 					service = w.Now().Sub(start)
+					xsp.EndArg(w, int64(cmd.Bytes))
 				}
 				// A cut that lands while the body runs drops the
 				// completion: the work may have partially happened, but
@@ -372,6 +391,7 @@ func (q *QueuePair) accountLocked(now vclock.Time, prev int) {
 // at full depth. It returns once the command is queued, not completed;
 // pair with Await (or use Do).
 func (q *QueuePair) Submit(r *vclock.Runner, cmd *Command) {
+	cmd.parent = r.TraceCtx()
 	if q.d.cfg.DoorbellLatency > 0 {
 		r.Sleep(q.d.cfg.DoorbellLatency)
 	}

@@ -28,6 +28,7 @@ import (
 	"kvaccel/internal/nand"
 	"kvaccel/internal/nvme"
 	"kvaccel/internal/pcie"
+	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	// (per-opcode rules) and the NAND array (physical-extent rules). Nil
 	// means no injection.
 	Faults *faults.Plan
+
+	// Trace is propagated to the NVMe dispatcher (queue residency and
+	// firmware-execution spans), the NAND array (tRead/tProg/tErase), and
+	// the Dev-LSM (KV commands, device flushes). Nil disables tracing.
+	Trace *trace.Tracer
 }
 
 // CosmosConfig mirrors the paper's Cosmos+ OpenSSD at 1/scale size and
@@ -137,6 +143,7 @@ func New(clk *vclock.Clock, cfg Config) *Device {
 	if cfg.IOQueues < 1 {
 		cfg.IOQueues = 1
 	}
+	cfg.DevLSM.Trace = cfg.Trace
 	d := &Device{
 		cfg:   cfg,
 		Array: arr,
@@ -151,6 +158,10 @@ func New(clk *vclock.Clock, cfg Config) *Device {
 	if cfg.Faults != nil {
 		d.NVMe.SetFaultPlan(cfg.Faults)
 		arr.SetFaultPlan(cfg.Faults)
+	}
+	if cfg.Trace != nil {
+		d.NVMe.SetTracer(cfg.Trace)
+		arr.SetTracer(cfg.Trace)
 	}
 	return d
 }

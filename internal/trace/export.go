@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace renders the ring-buffer snapshot as Chrome
+// trace-event JSON (the "JSON object format" with a traceEvents array),
+// loadable in chrome://tracing and Perfetto. Virtual nanoseconds map to
+// trace microseconds (ts/dur are fractional µs), runner ids map to tids,
+// and every lane gets a thread_name metadata record.
+//
+// The output is sanitized so strict tools accept it even after ring
+// wrap: end events whose begin was overwritten are dropped, and spans
+// still open at snapshot time get a synthetic end at the last recorded
+// timestamp — every emitted B has a matching E.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if first {
+			bw.WriteString("\n")
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"kvaccel-sim"}}`)
+
+	// One thread_name metadata record per lane, in lane order.
+	laneNames := map[uint64]string{}
+	var lanes []uint64
+	var maxTS int64
+	for _, e := range events {
+		if _, ok := laneNames[e.Lane]; !ok {
+			laneNames[e.Lane] = e.LaneName
+			lanes = append(lanes, e.Lane)
+		}
+		ts := int64(e.TS)
+		if e.Kind == KindComplete {
+			ts += int64(e.Dur)
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+	for _, l := range lanes {
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			l, strconv.Quote(laneNames[l]))
+	}
+
+	us := func(ns int64) string { return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64) }
+
+	// Per-lane stack of open begins, to pair Bs with Es and repair wrap
+	// damage.
+	open := map[uint64][]Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindBegin:
+			emit(`{"ph":"B","pid":1,"tid":%d,"ts":%s,"name":%s,"cat":%s,"args":{"span":%d,"parent":%d}}`,
+				e.Lane, us(int64(e.TS)), strconv.Quote(e.Name), strconv.Quote(e.Phase.String()), e.Span, e.Parent)
+			open[e.Lane] = append(open[e.Lane], e)
+		case KindEnd:
+			st := open[e.Lane]
+			if len(st) == 0 || st[len(st)-1].Span != e.Span {
+				continue // begin lost to ring wrap: drop the orphan end
+			}
+			open[e.Lane] = st[:len(st)-1]
+			emit(`{"ph":"E","pid":1,"tid":%d,"ts":%s,"name":%s,"cat":%s,"args":{"span":%d,"arg":%d}}`,
+				e.Lane, us(int64(e.TS)), strconv.Quote(e.Name), strconv.Quote(e.Phase.String()), e.Span, e.Arg)
+		case KindComplete:
+			emit(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%s,"cat":%s,"args":{"span":%d,"parent":%d,"arg":%d}}`,
+				e.Lane, us(int64(e.TS)), us(int64(e.Dur)), strconv.Quote(e.Name), strconv.Quote(e.Phase.String()), e.Span, e.Parent, e.Arg)
+		case KindInstant:
+			emit(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"name":%s,"cat":%s,"s":"t","args":{"arg":%d}}`,
+				e.Lane, us(int64(e.TS)), strconv.Quote(e.Name), strconv.Quote(e.Phase.String()), e.Arg)
+		}
+	}
+
+	// Close spans still open at snapshot time, innermost first.
+	for _, l := range lanes {
+		st := open[l]
+		for i := len(st) - 1; i >= 0; i-- {
+			e := st[i]
+			emit(`{"ph":"E","pid":1,"tid":%d,"ts":%s,"name":%s,"cat":%s,"args":{"span":%d,"arg":0}}`,
+				e.Lane, us(maxTS), strconv.Quote(e.Name), strconv.Quote(e.Phase.String()), e.Span)
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ChromeTraceJSON renders WriteChromeTrace to a byte slice.
+func (t *Tracer) ChromeTraceJSON() []byte {
+	var buf bytes.Buffer
+	if err := t.WriteChromeTrace(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}

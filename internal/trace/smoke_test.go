@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"os"
+	"testing"
+)
+
+// TestChromeTraceFile validates an externally produced trace file — the
+// second half of CI's trace smoke job, which first runs
+//
+//	kvbench -engine rocksdb -slowdown=false -duration 2s -trace out.json
+//
+// and then re-runs this test with KVACCEL_TRACE_JSON=out.json. Skipped
+// when the variable is unset (normal go test runs).
+func TestChromeTraceFile(t *testing.T) {
+	path := os.Getenv("KVACCEL_TRACE_JSON")
+	if path == "" {
+		t.Skip("KVACCEL_TRACE_JSON not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	stats, err := ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if stats.SpanPairs == 0 {
+		t.Fatalf("%s: no matched B/E span pairs: %+v", path, stats)
+	}
+	if stats.Metadata == 0 || stats.Lanes == 0 {
+		t.Fatalf("%s: missing metadata/lanes: %+v", path, stats)
+	}
+	t.Logf("%s: %d events (%d pairs, %d complete, %d instants) on %d lanes",
+		path, stats.Events, stats.SpanPairs, stats.Complete, stats.Instants, stats.Lanes)
+}

@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+// runTraced drives fn on a fresh virtual clock and returns after the
+// simulation drains.
+func runTraced(name string, fn func(r *vclock.Runner)) {
+	clk := vclock.New()
+	clk.Go(name, fn)
+	clk.Wait()
+}
+
+func TestNilTracerIsSafeAndEmpty(t *testing.T) {
+	var tr *Tracer
+	runTraced("w", func(r *vclock.Runner) {
+		sp := tr.Begin(r, PhasePut, "put")
+		r.Sleep(time.Millisecond)
+		sp.End(r)
+		tr.Instant(r, PhaseDetector, "flip", 1)
+		tr.Complete(r, PhaseNVMeQueue, "WRITE", 0, time.Millisecond, 0, 0)
+	})
+	tr.SetTimeBase(42)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer holds events: len=%d", tr.Len())
+	}
+	if s := tr.Summary(); len(s.Phases) != 0 {
+		t.Fatalf("nil tracer summary non-empty: %+v", s.Phases)
+	}
+	if rep := tr.StallReport(); len(rep.Windows) != 0 {
+		t.Fatalf("nil tracer stall report non-empty")
+	}
+	// A nil tracer still renders a valid (empty) Chrome trace.
+	data := tr.ChromeTraceJSON()
+	if _, err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("nil tracer export invalid: %v", err)
+	}
+}
+
+// TestDisabledPathZeroAlloc is the acceptance check for "disabled
+// tracing must be nil-check-cheap": a Begin/End pair on a nil tracer
+// allocates nothing. The nil paths never dereference the runner, so no
+// clock is needed.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var r *vclock.Runner
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(r, PhaseWALAppend, "wal-append")
+		sp.EndArg(r, 4096)
+		tr.Instant(r, PhaseDetector, "flip", 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace hooks allocate %.1f per op, want 0", allocs)
+	}
+}
+
+func TestSpanAggregatesAndEvents(t *testing.T) {
+	tr := New(1 << 12)
+	runTraced("writer", func(r *vclock.Runner) {
+		for i := 0; i < 3; i++ {
+			outer := tr.Begin(r, PhasePut, "put")
+			inner := tr.Begin(r, PhaseWALAppend, "wal-append")
+			r.Sleep(2 * time.Millisecond)
+			inner.EndArg(r, 128)
+			r.Sleep(time.Millisecond)
+			outer.End(r)
+		}
+	})
+
+	put := tr.Stats(PhasePut)
+	if put.Count != 3 || put.Total != 9*time.Millisecond || put.Max != 3*time.Millisecond {
+		t.Fatalf("put stats = %+v", put)
+	}
+	wal := tr.Stats(PhaseWALAppend)
+	if wal.Count != 3 || wal.Total != 6*time.Millisecond || wal.Mean() != 2*time.Millisecond {
+		t.Fatalf("wal stats = %+v", wal)
+	}
+	if tr.Len() != 12 {
+		t.Fatalf("event count = %d, want 12", tr.Len())
+	}
+
+	// The inner span must be parented to the outer via the runner's
+	// trace context.
+	var sawChild bool
+	for _, e := range tr.Events() {
+		if e.Kind == KindBegin && e.Name == "wal-append" {
+			if e.Parent == 0 {
+				t.Fatalf("inner span has no parent: %+v", e)
+			}
+			sawChild = true
+		}
+	}
+	if !sawChild {
+		t.Fatal("no wal-append begin recorded")
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("reconstructed %d spans, want 6", len(spans))
+	}
+	for _, s := range spans {
+		if s.Phase == PhaseWALAppend && s.Duration() != 2*time.Millisecond {
+			t.Fatalf("wal span duration = %v", s.Duration())
+		}
+	}
+}
+
+func TestRingWrapKeepsAggregatesExact(t *testing.T) {
+	tr := New(0) // minimum capacity: 64 events per shard
+	const n = 5000
+	runTraced("w", func(r *vclock.Runner) {
+		for i := 0; i < n; i++ {
+			sp := tr.Begin(r, PhaseGet, "get")
+			r.Sleep(time.Microsecond)
+			sp.End(r)
+		}
+	})
+	if tr.Dropped() == 0 {
+		t.Fatal("expected ring wrap")
+	}
+	if tr.Len() >= 2*n {
+		t.Fatalf("ring holds %d events, expected far fewer than %d", tr.Len(), 2*n)
+	}
+	st := tr.Stats(PhaseGet)
+	if st.Count != n {
+		t.Fatalf("aggregate count = %d, want %d despite wrap", st.Count, n)
+	}
+	if st.Total != n*time.Microsecond {
+		t.Fatalf("aggregate total = %v", st.Total)
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	tr := New(1 << 12)
+	clk := vclock.New()
+	clk.Go("host", func(r *vclock.Runner) {
+		sp := tr.Begin(r, PhasePut, "put")
+		r.Sleep(3 * time.Millisecond)
+		tr.Instant(r, PhaseDetector, "stall-on", 21)
+		sp.End(r)
+	})
+	clk.Go("device", func(r *vclock.Runner) {
+		r.Sleep(time.Millisecond)
+		tr.Complete(r, PhaseNVMeQueue, "WRITE", vclock.Time(0), time.Millisecond, 0, 4096)
+		x := tr.BeginLinked(r, PhaseNVMeExec, "WRITE", 7)
+		r.Sleep(2 * time.Millisecond)
+		x.End(r)
+	})
+	clk.Wait()
+
+	data := tr.ChromeTraceJSON()
+	stats, err := ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("export invalid: %v\n%s", err, data)
+	}
+	if stats.SpanPairs != 2 || stats.Complete != 1 || stats.Instants != 1 {
+		t.Fatalf("validation stats = %+v", stats)
+	}
+	if stats.Lanes != 2 {
+		t.Fatalf("lanes = %d, want 2", stats.Lanes)
+	}
+	// process_name + one thread_name per lane.
+	if stats.Metadata != 3 {
+		t.Fatalf("metadata records = %d, want 3", stats.Metadata)
+	}
+}
+
+func TestExportSanitizesWrapAndOpenSpans(t *testing.T) {
+	tr := New(0) // tiny ring: early begins get overwritten
+	runTraced("w", func(r *vclock.Runner) {
+		leak := tr.Begin(r, PhaseCompaction, "compaction") // never ended
+		for i := 0; i < 4000; i++ {
+			sp := tr.Begin(r, PhasePut, "put")
+			r.Sleep(time.Microsecond)
+			sp.End(r)
+		}
+		_ = leak
+	})
+	if tr.Dropped() == 0 {
+		t.Fatal("expected wrap")
+	}
+	data := tr.ChromeTraceJSON()
+	if _, err := ValidateChromeTrace(data); err != nil {
+		t.Fatalf("post-wrap export invalid: %v", err)
+	}
+}
+
+func TestSetTimeBaseStitchesPhases(t *testing.T) {
+	tr := New(1 << 10)
+	phase := func(base vclock.Time) {
+		tr.SetTimeBase(base)
+		runTraced("w", func(r *vclock.Runner) {
+			sp := tr.Begin(r, PhasePut, "put")
+			r.Sleep(time.Millisecond)
+			sp.End(r)
+		})
+	}
+	phase(0)
+	phase(vclock.Time(10 * time.Millisecond))
+
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var last vclock.Time = -1
+	for _, e := range events {
+		if e.TS < last {
+			t.Fatalf("timestamps regressed across phases: %v after %v", e.TS, last)
+		}
+		last = e.TS
+	}
+	if events[2].TS != vclock.Time(10*time.Millisecond) {
+		t.Fatalf("second phase begin at %v, want 10ms", events[2].TS)
+	}
+}
+
+func TestStallReportAttribution(t *testing.T) {
+	tr := New(1 << 10)
+	runTraced("w", func(r *vclock.Runner) {
+		at := func(ts vclock.Time, ph Phase, name string, d time.Duration) {
+			tr.Complete(r, ph, name, ts, d, 0, 0)
+		}
+		ms := func(n int64) vclock.Time { return vclock.Time(n * int64(time.Millisecond)) }
+		// Window 1: [10,20) stalled; compaction covers [5,16), flush-io
+		// [14,30) — union covers all 10ms.
+		at(ms(10), PhaseStallWait, "stall", 10*time.Millisecond)
+		at(ms(5), PhaseCompaction, "compaction", 11*time.Millisecond)
+		at(ms(14), PhaseFlushIO, "sst-write", 16*time.Millisecond)
+		// Two stall spans 0.5ms apart coalesce into window 2 [40,45);
+		// nothing overlaps it.
+		at(ms(40), PhaseStallWait, "stall", 2*time.Millisecond)
+		at(vclock.Time(42500*int64(time.Microsecond)/1000), PhaseStallWait, "stall", 0) // zero-length: ignored
+		at(ms(43), PhaseStallWait, "stall", 2*time.Millisecond)
+		r.Sleep(50 * time.Millisecond) // pin maxTS past every synthetic span
+	})
+
+	rep := tr.StallReport()
+	if len(rep.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2: %+v", len(rep.Windows), rep.Windows)
+	}
+	w := rep.Windows[0]
+	if w.Duration() != 10*time.Millisecond {
+		t.Fatalf("window 1 duration = %v", w.Duration())
+	}
+	if w.Coverage() != 1.0 {
+		t.Fatalf("window 1 coverage = %v, want 1.0 (%+v)", w.Coverage(), w.Attribution)
+	}
+	comp := false
+	for _, a := range w.Attribution {
+		if a.Phase == PhaseCompaction && a.Dur != 6*time.Millisecond {
+			t.Fatalf("compaction overlap = %v, want 6ms", a.Dur)
+		}
+		if a.Phase == PhaseCompaction {
+			comp = true
+		}
+	}
+	if !comp {
+		t.Fatal("compaction missing from attribution")
+	}
+	w2 := rep.Windows[1]
+	if w2.Duration() != 5*time.Millisecond || w2.Covered != 0 {
+		t.Fatalf("window 2 = %v covered %v, want 5ms / 0", w2.Duration(), w2.Covered)
+	}
+	if rep.TotalStall != 15*time.Millisecond {
+		t.Fatalf("total stall = %v", rep.TotalStall)
+	}
+	if !strings.Contains(rep.String(), "stall report: 2 windows") {
+		t.Fatalf("report rendering: %q", rep.String())
+	}
+}
+
+func TestSummaryTableAndGet(t *testing.T) {
+	tr := New(1 << 10)
+	runTraced("w", func(r *vclock.Runner) {
+		a := tr.Begin(r, PhaseFlush, "flush")
+		r.Sleep(4 * time.Millisecond)
+		a.End(r)
+		b := tr.Begin(r, PhaseGet, "get")
+		r.Sleep(time.Millisecond)
+		b.End(r)
+	})
+	s := tr.Summary()
+	if len(s.Phases) != 2 || s.Phases[0].Phase != PhaseFlush {
+		t.Fatalf("summary order: %+v", s.Phases)
+	}
+	if got := s.Get(PhaseGet); got.Total != time.Millisecond {
+		t.Fatalf("Get(get) = %+v", got)
+	}
+	if got := s.Get(PhaseRollback); got.Count != 0 {
+		t.Fatalf("absent phase non-zero: %+v", got)
+	}
+	tbl := s.Table()
+	if !strings.Contains(tbl, "flush") || !strings.Contains(tbl, "get") {
+		t.Fatalf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `]`,
+		"no events key": `{"foo":[]}`,
+		"unknown ph":    `{"traceEvents":[{"ph":"Q","pid":1,"tid":0,"ts":0}]}`,
+		"no pid":        `{"traceEvents":[{"ph":"i","tid":0,"ts":0,"name":"x"}]}`,
+		"negative ts":   `{"traceEvents":[{"ph":"i","pid":1,"tid":0,"ts":-5,"name":"x"}]}`,
+		"orphan E":      `{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":1,"name":"x"}]}`,
+		"name mismatch": `{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":0,"name":"a"},{"ph":"E","pid":1,"tid":0,"ts":1,"name":"b"}]}`,
+		"unclosed B":    `{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":0,"name":"a"}]}`,
+		"X without dur": `{"traceEvents":[{"ph":"X","pid":1,"tid":0,"ts":0,"name":"x"}]}`,
+	}
+	for label, data := range cases {
+		if _, err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validated unexpectedly", label)
+		}
+	}
+	ok := `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name"},{"ph":"B","pid":1,"tid":7,"ts":0,"name":"a"},{"ph":"E","pid":1,"tid":7,"ts":1.5,"name":"a"}]}`
+	stats, err := ValidateChromeTrace([]byte(ok))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if stats.SpanPairs != 1 || stats.Metadata != 1 || stats.Lanes != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// BenchmarkDisabledSpan measures the hook cost with tracing off — the
+// price every hot path pays in a normal run.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	var r *vclock.Runner
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(r, PhaseWALAppend, "wal-append")
+		sp.EndArg(r, 4096)
+	}
+}
+
+// BenchmarkEnabledSpan measures the recording cost with tracing on.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(1 << 16)
+	clk := vclock.New()
+	b.ReportAllocs()
+	clk.Go("bench", func(r *vclock.Runner) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Begin(r, PhaseWALAppend, "wal-append")
+			sp.EndArg(r, 4096)
+		}
+	})
+	clk.Wait()
+}

@@ -50,6 +50,7 @@ type Clock struct {
 	mu      sync.Mutex
 	now     Time
 	seq     uint64 // tie-break for deterministic wake ordering
+	nextID  uint64 // runner ids, assigned in registration order
 	active  int    // registered runners currently runnable
 	total   int    // registered runners alive
 	timers  timerHeap
@@ -82,16 +83,34 @@ func (c *Clock) Now() Time {
 type Runner struct {
 	clock *Clock
 	name  string
+	id    uint64
 	wake  chan struct{}
 	// gen counts condition parks (guarded by clock.mu). A conditional
 	// timer records the generation it backstops; if the runner has since
 	// been signalled and parked again, the stale timer's generation no
 	// longer matches and it must not fire.
 	gen uint64
+	// traceCtx is a per-runner scratch slot owned by the tracing layer:
+	// the id of the innermost open trace span on this runner, so child
+	// spans (and cross-runner handoffs such as NVMe commands) can record
+	// a causal parent without any shared state. Only the runner's own
+	// goroutine reads or writes it.
+	traceCtx uint64
 }
 
 // Name returns the label the runner was created with.
 func (r *Runner) Name() string { return r.name }
+
+// ID returns the runner's clock-unique id, assigned in registration
+// order starting at 1. Tracing uses it as a stable "thread" lane.
+func (r *Runner) ID() uint64 { return r.id }
+
+// TraceCtx returns the runner's current trace context (0 = none).
+func (r *Runner) TraceCtx() uint64 { return r.traceCtx }
+
+// SetTraceCtx replaces the runner's trace context. Must only be called
+// from the runner's own goroutine.
+func (r *Runner) SetTraceCtx(ctx uint64) { r.traceCtx = ctx }
 
 // Clock returns the clock this runner is registered with.
 func (r *Runner) Clock() *Clock { return r.clock }
@@ -115,7 +134,8 @@ func (c *Clock) register(name string) *Runner {
 	defer c.mu.Unlock()
 	c.total++
 	c.active++
-	return &Runner{clock: c, name: name, wake: make(chan struct{}, 1)}
+	c.nextID++
+	return &Runner{clock: c, name: name, id: c.nextID, wake: make(chan struct{}, 1)}
 }
 
 func (c *Clock) unregister(r *Runner) {
