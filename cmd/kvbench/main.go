@@ -9,6 +9,8 @@
 //	kvbench -engine kvaccel -workload readwhilewriting -readfraction 0.2 -rollback eager
 //	kvbench -engine adoc -workload seekrandom
 //	kvbench -engine kvaccel-sharded -shards 4 -workload fillrandom
+//	kvbench -engine kvaccel -writers 8 -seed 7 -json out.json
+//	kvbench -engine kvaccel -writers-sweep 1,8
 //	kvbench -engine rocksdb -slowdown=false -trace out.json -trace-summary
 package main
 
@@ -42,7 +44,10 @@ func run() int {
 		value    = flag.Int("value", 4096, "value size in bytes")
 		series   = flag.Bool("series", false, "print per-second throughput TSV")
 		shards   = flag.Int("shards", 1, "shard count for kvaccel-sharded")
-		writers  = flag.Int("writers", 0, "writer threads for kvaccel-sharded (default: one per shard)")
+		writers  = flag.Int("writers", 0, "concurrent fillrandom writer threads (kvaccel-sharded default: one per shard)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed (writer i uses seed+i*101)")
+		noGroup  = flag.Bool("no-group-commit", false, "disable the group-commit write pipeline and stall failover (A/B baseline)")
+		wSweep   = flag.String("writers-sweep", "", "comma-separated writer counts, e.g. 1,8: rerun fillrandom grouped AND with -no-group-commit per count (overrides single run)")
 		qd       = flag.Int("qd", 0, "NVMe submission-queue depth per queue pair (0 = device default, 32)")
 		ioqueues = flag.Int("ioqueues", 0, "block-interface I/O queue pairs to stripe over (0 = default, 1)")
 		qdSweep  = flag.String("qdsweep", "", "comma-separated queue depths to sweep, e.g. 1,2,4,8,32 (overrides -qd)")
@@ -96,6 +101,8 @@ func run() int {
 			duration: *duration,
 			keyspace: *keyspace,
 			value:    *value,
+			seed:     *seed,
+			noGroup:  *noGroup,
 			series:   *series,
 			qd:       *qd,
 			ioqueues: *ioqueues,
@@ -112,6 +119,9 @@ func run() int {
 	p.QueueDepth = *qd
 	p.IOQueues = *ioqueues
 	p.FaultsSeed = *faultSee
+	p.Seed = *seed
+	p.Writers = *writers
+	p.DisableGroupCommit = *noGroup
 	if *tracePath != "" || *traceSum {
 		p.Trace = trace.New(*traceDepth)
 	}
@@ -147,13 +157,16 @@ func run() int {
 		return 2
 	}
 
+	if *wSweep != "" {
+		return runWritersSweep(p, spec, *wSweep, *jsonPath)
+	}
 	if *qdSweep != "" {
 		runQDSweep(p, spec, kind, *qdSweep)
 		return 0
 	}
 
-	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB\n",
-		spec.Name(), kind, p.Scale, p.Duration, p.KeySpace, p.ValueSize)
+	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB writers=%d seed=%d\n",
+		spec.Name(), kind, p.Scale, p.Duration, p.KeySpace, p.ValueSize, max(p.Writers, 1), p.Seed)
 	res := p.Run(spec, kind)
 
 	fmt.Printf("\nwrites      : %d ops, %.2f Kops/s, %.1f MB/s\n", res.Rec.Writes(), res.WriteKops(), res.WriteMBps())
@@ -169,6 +182,10 @@ func run() int {
 	fmt.Printf("tree        : %s\n", res.Levels)
 	if res.Redirects > 0 || res.Rollbacks > 0 {
 		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
+	}
+	if s.GroupCommits > 0 {
+		fmt.Printf("groups      : %d commits, mean size %.2f, %.3f WAL appends/record, failover=%d\n",
+			s.GroupCommits, s.MeanGroupSize(), s.WALAppendsPerRecord(), res.WouldStallRedirects)
 	}
 	if *faultSee != 0 {
 		fmt.Printf("faults      : injected=%d retried=%d failed=%d (dev-errors=%d)\n",
@@ -263,10 +280,13 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // benchJSON is the machine-readable headline of one run — the record
 // appended to the BENCH_*.json perf trajectory.
 type benchJSON struct {
-	Engine    string  `json:"engine"`
-	Workload  string  `json:"workload"`
-	Scale     int     `json:"scale"`
-	DurationS float64 `json:"duration_s"` // virtual seconds measured
+	Engine      string  `json:"engine"`
+	Workload    string  `json:"workload"`
+	Scale       int     `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Writers     int     `json:"writers"`
+	GroupCommit bool    `json:"group_commit"`
+	DurationS   float64 `json:"duration_s"` // virtual seconds measured
 
 	Writes     int64   `json:"writes"`
 	WriteKops  float64 `json:"write_kops"`
@@ -287,6 +307,11 @@ type benchJSON struct {
 	WriteAmp    float64 `json:"write_amp"`
 	Redirected  int64   `json:"redirected,omitempty"`
 	Rollbacks   int64   `json:"rollbacks,omitempty"`
+
+	GroupCommits        int64   `json:"group_commits,omitempty"`
+	MeanGroupSize       float64 `json:"mean_group_size,omitempty"`
+	WALAppendsPerRecord float64 `json:"wal_appends_per_record,omitempty"`
+	WouldStallRedirects int64   `json:"would_stall_redirects,omitempty"`
 
 	PCIeAvgMBps float64 `json:"pcie_avg_mbps"`
 
@@ -311,10 +336,22 @@ type phaseJSON struct {
 }
 
 func writeJSONResult(path string, p harness.Params, spec harness.EngineSpec, kind harness.WorkloadKind, res *harness.RunResult) error {
+	out := makeBenchJSON(p, spec, kind, res)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.WorkloadKind, res *harness.RunResult) benchJSON {
 	out := benchJSON{
 		Engine:      spec.Name(),
 		Workload:    kind.String(),
 		Scale:       p.Scale,
+		Seed:        p.Seed,
+		Writers:     max(p.Writers, 1),
+		GroupCommit: !p.DisableGroupCommit,
 		DurationS:   res.Duration.Seconds(),
 		Writes:      res.Rec.Writes(),
 		WriteKops:   res.WriteKops(),
@@ -334,6 +371,11 @@ func writeJSONResult(path string, p harness.Params, spec harness.EngineSpec, kin
 		Redirected:  res.Redirects,
 		Rollbacks:   res.Rollbacks,
 		PCIeAvgMBps: res.PCIeSeries.Mean(),
+
+		GroupCommits:        res.MainStats.GroupCommits,
+		MeanGroupSize:       res.MainStats.MeanGroupSize(),
+		WALAppendsPerRecord: res.MainStats.WALAppendsPerRecord(),
+		WouldStallRedirects: res.WouldStallRedirects,
 	}
 	for _, q := range res.Queues {
 		if q.Submitted == 0 {
@@ -357,11 +399,7 @@ func writeJSONResult(path string, p harness.Params, spec harness.EngineSpec, kin
 			})
 		}
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return out
 }
 
 // runTorture runs the §9 crash-recovery torture from the CLI: fillrandom
@@ -418,4 +456,58 @@ func runQDSweep(p harness.Params, spec harness.EngineSpec, kind harness.Workload
 			depth, res.Rec.Writes(), res.WriteKops(),
 			res.Rec.WriteLatency.Quantile(0.99), res.MainStats.StallTime)
 	}
+}
+
+// runWritersSweep is the group-commit A/B harness: for each writer count
+// it runs fillrandom twice — pipeline enabled, then -no-group-commit —
+// and prints one row per run plus the grouped/ungrouped speedup. With
+// -json the per-run headline records are written as a JSON array.
+func runWritersSweep(p harness.Params, spec harness.EngineSpec, list, jsonPath string) int {
+	kind := harness.WorkloadA
+	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v seed=%d — writer sweep (grouped vs -no-group-commit)\n",
+		spec.Name(), kind, p.Scale, p.Duration, p.Seed)
+	fmt.Printf("%7s %6s %10s %9s %9s %12s %12s %9s\n",
+		"writers", "group", "writes", "Kops/s", "mean-grp", "appends/rec", "stall-time", "failover")
+	var records []benchJSON
+	for _, field := range strings.Split(list, ",") {
+		var nw int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &nw); err != nil || nw < 1 {
+			fmt.Fprintf(os.Stderr, "bad writer count %q\n", field)
+			return 2
+		}
+		var kops [2]float64
+		for _, grouped := range []bool{true, false} {
+			q := p
+			q.Writers = nw
+			q.DisableGroupCommit = !grouped
+			res := q.Run(spec, kind)
+			s := res.MainStats
+			fmt.Printf("%7d %6v %10d %9.2f %9.2f %12.3f %12v %9d\n",
+				nw, grouped, res.Rec.Writes(), res.WriteKops(),
+				s.MeanGroupSize(), s.WALAppendsPerRecord(),
+				s.StallTime, res.WouldStallRedirects)
+			if grouped {
+				kops[0] = res.WriteKops()
+			} else {
+				kops[1] = res.WriteKops()
+			}
+			records = append(records, makeBenchJSON(q, spec, kind, res))
+		}
+		if kops[1] > 0 {
+			fmt.Printf("%7d speedup %.2fx grouped over ungrouped\n", nw, kops[0]/kops[1])
+		}
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("json        : %d records -> %s\n", len(records), jsonPath)
+	}
+	return 0
 }

@@ -34,6 +34,8 @@ type shardedRunParams struct {
 	duration time.Duration
 	keyspace int
 	value    int
+	seed     int64
+	noGroup  bool
 	series   bool
 	qd       int
 	ioqueues int
@@ -57,6 +59,7 @@ func runSharded(p shardedRunParams) {
 	opt.Rollback = p.rollback
 	opt.QueueDepth = p.qd
 	opt.IOQueues = p.ioqueues
+	opt.DisableGroupCommit = p.noGroup
 	db := kvaccel.OpenSharded(opt)
 	eng := workload.ShardedEngine{DB: db}
 
@@ -64,6 +67,9 @@ func runSharded(p shardedRunParams) {
 	cfg.KeySpace = p.keyspace
 	cfg.ValueSize = p.value
 	cfg.Duration = p.duration
+	if p.seed != 0 {
+		cfg.Seed = p.seed
+	}
 
 	fmt.Printf("kvbench: KVAccel-sharded(%d), %s, writers=%d scale=%d duration=%v keyspace=%d value=%dB\n",
 		p.shards, p.workload, p.writers, opt.Scale, p.duration, p.keyspace, p.value)
@@ -135,6 +141,10 @@ func runSharded(p shardedRunParams) {
 	fmt.Printf("stalls      : %d events (%v total), %d slowdowns\n", m.TotalStalls(), m.StallTime, m.Slowdowns)
 	fmt.Printf("engine      : flushes=%d compactions=%d write-amp=%.2f\n", m.Flushes, m.Compactions, m.WriteAmplification())
 	fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", st.KVAccel.RedirectedPuts, st.KVAccel.Rollbacks)
+	if m.GroupCommits > 0 {
+		fmt.Printf("groups      : %d commits, mean size %.2f, %.3f WAL appends/record, failover=%d\n",
+			m.GroupCommits, m.MeanGroupSize(), m.WALAppendsPerRecord(), st.KVAccel.WouldStallRedirects)
+	}
 	for i, s := range st.PerShard {
 		fmt.Printf("shard %-6d: puts=%d redirected=%d rollbacks=%d stalls=%d stall-time=%v\n",
 			i, s.KVAccel.NormalPuts+s.KVAccel.RedirectedPuts, s.KVAccel.RedirectedPuts,

@@ -73,6 +73,13 @@ type Options struct {
 	// transient faults (injected media errors, timeouts) are retried
 	// with backoff; a zero policy means a single attempt.
 	Retry faults.RetryPolicy
+	// StallFailover makes the Controller's normal-path write attempt
+	// non-blocking (lsm.WriteOptions.NoStallWait): when the Main-LSM
+	// answers ErrWouldStall, the write is redirected to the Dev-LSM
+	// immediately instead of parking behind the flush or compaction
+	// backlog. It closes the Detector's polling gap — a hard stall that
+	// begins between two detector samples still never blocks a writer.
+	StallFailover bool
 	// Trace, when non-nil, records causal spans for the controller's
 	// put/get/redirect paths, the rollback drain, recovery, and the
 	// detector's stall-signal transitions. Nil disables tracing.
@@ -95,13 +102,18 @@ func DefaultOptions() Options {
 type Stats struct {
 	NormalPuts     int64
 	RedirectedPuts int64
-	MainGets       int64
-	DevGets        int64
-	Rollbacks      int64
-	RollbackPairs  int64
-	RollbackTime   time.Duration
-	Recoveries     int64
-	RecoveryTime   time.Duration
+	// WouldStallRedirects counts redirected writes that took the path via
+	// StallFailover — the Main-LSM refused admission with ErrWouldStall —
+	// rather than via the Detector's stall signal. Included in
+	// RedirectedPuts.
+	WouldStallRedirects int64
+	MainGets            int64
+	DevGets             int64
+	Rollbacks           int64
+	RollbackPairs       int64
+	RollbackTime        time.Duration
+	Recoveries          int64
+	RecoveryTime        time.Duration
 	// DevErrors counts device command errors observed (before retries),
 	// DevRetries the retries issued, and DevFailed the commands that
 	// failed after exhausting the retry policy.
@@ -115,6 +127,7 @@ type Stats struct {
 func (s Stats) Add(o Stats) Stats {
 	s.NormalPuts += o.NormalPuts
 	s.RedirectedPuts += o.RedirectedPuts
+	s.WouldStallRedirects += o.WouldStallRedirects
 	s.MainGets += o.MainGets
 	s.DevGets += o.DevGets
 	s.Rollbacks += o.Rollbacks
@@ -149,18 +162,19 @@ type DB struct {
 	closed       atomic.Bool
 	closeEv      *vclock.Event // signals the rollback runner to drain and exit
 
-	normalPuts     atomic.Int64
-	redirectedPuts atomic.Int64
-	mainGets       atomic.Int64
-	devGets        atomic.Int64
-	rollbacks      atomic.Int64
-	rollbackPairs  atomic.Int64
-	rollbackNS     atomic.Int64
-	recoveries     atomic.Int64
-	recoveryNS     atomic.Int64
-	devErrors      atomic.Int64
-	devRetries     atomic.Int64
-	devFailed      atomic.Int64
+	normalPuts          atomic.Int64
+	redirectedPuts      atomic.Int64
+	wouldStallRedirects atomic.Int64
+	mainGets            atomic.Int64
+	devGets             atomic.Int64
+	rollbacks           atomic.Int64
+	rollbackPairs       atomic.Int64
+	rollbackNS          atomic.Int64
+	recoveries          atomic.Int64
+	recoveryNS          atomic.Int64
+	devErrors           atomic.Int64
+	devRetries          atomic.Int64
+	devFailed           atomic.Int64
 }
 
 const gateUnits = 1 << 20 // effectively "all writers"
@@ -210,18 +224,19 @@ func (db *DB) Detector() *Detector { return db.det }
 // Stats returns a snapshot of KVACCEL's counters.
 func (db *DB) Stats() Stats {
 	return Stats{
-		NormalPuts:     db.normalPuts.Load(),
-		RedirectedPuts: db.redirectedPuts.Load(),
-		MainGets:       db.mainGets.Load(),
-		DevGets:        db.devGets.Load(),
-		Rollbacks:      db.rollbacks.Load(),
-		RollbackPairs:  db.rollbackPairs.Load(),
-		RollbackTime:   time.Duration(db.rollbackNS.Load()),
-		Recoveries:     db.recoveries.Load(),
-		RecoveryTime:   time.Duration(db.recoveryNS.Load()),
-		DevErrors:      db.devErrors.Load(),
-		DevRetries:     db.devRetries.Load(),
-		DevFailed:      db.devFailed.Load(),
+		NormalPuts:          db.normalPuts.Load(),
+		RedirectedPuts:      db.redirectedPuts.Load(),
+		WouldStallRedirects: db.wouldStallRedirects.Load(),
+		MainGets:            db.mainGets.Load(),
+		DevGets:             db.devGets.Load(),
+		Rollbacks:           db.rollbacks.Load(),
+		RollbackPairs:       db.rollbackPairs.Load(),
+		RollbackTime:        time.Duration(db.rollbackNS.Load()),
+		Recoveries:          db.recoveries.Load(),
+		RecoveryTime:        time.Duration(db.recoveryNS.Load()),
+		DevErrors:           db.devErrors.Load(),
+		DevRetries:          db.devRetries.Load(),
+		DevFailed:           db.devFailed.Load(),
 	}
 }
 
@@ -300,11 +315,27 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 			return true, nil
 		}
 	}
-	// Normal path.
-	if kind == memtable.KindDelete {
-		err = db.main.Delete(r, key)
-	} else {
-		err = db.main.Put(r, key, value)
+	// Normal path. With StallFailover the first attempt is non-blocking:
+	// a write that would park in a hard stall comes back with
+	// ErrWouldStall and fails over to the Dev-LSM, so a stall that begins
+	// between two Detector samples still never blocks a writer. A
+	// rollback in flight suspends the failover for the same reason it
+	// suspends shouldRedirect.
+	err = db.mainWrite(r, kind, key, value, db.opt.StallFailover && !db.rollingBack.Load())
+	if errors.Is(err, lsm.ErrWouldStall) {
+		rsp := db.opt.Trace.Begin(r, trace.PhaseRedirect, "failover-put")
+		perr := db.devPut(r, kind, key, value)
+		rsp.End(r)
+		if perr == nil {
+			db.meta.Insert(key)
+			db.redirectedPuts.Add(1)
+			db.wouldStallRedirects.Add(1)
+			db.lastRedirect.Store(int64(r.Now()))
+			return true, nil
+		}
+		// The device refused too; the Main-LSM is the only home left —
+		// take the blocking path and wait the stall out.
+		err = db.mainWrite(r, kind, key, value, false)
 	}
 	if err != nil {
 		return false, err
@@ -321,6 +352,16 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 	}
 	db.normalPuts.Add(1)
 	return false, nil
+}
+
+// mainWrite issues one point write to the Main-LSM, non-blocking when
+// noStall is set.
+func (db *DB) mainWrite(r *vclock.Runner, kind memtable.Kind, key, value []byte, noStall bool) error {
+	wo := lsm.WriteOptions{NoStallWait: noStall}
+	if kind == memtable.KindDelete {
+		return db.main.DeleteWith(r, wo, key)
+	}
+	return db.main.PutWith(r, wo, key, value)
 }
 
 // WriteBatch commits a batch atomically through the Controller: on the
@@ -357,7 +398,28 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 			return nil
 		}
 	}
-	if err := db.main.Write(r, b); err != nil {
+	wo := lsm.WriteOptions{NoStallWait: db.opt.StallFailover && !db.rollingBack.Load()}
+	err := db.main.WriteWith(r, wo, b)
+	if errors.Is(err, lsm.ErrWouldStall) {
+		// Non-blocking admission refused the batch; fail it over as one
+		// compound command, same atomicity argument as above.
+		entries := make([]memtable.Entry, 0, b.Len())
+		b.Ops(func(kind memtable.Kind, key, value []byte) {
+			entries = append(entries, memtable.Entry{Kind: kind, Key: key, Value: value})
+		})
+		rsp := db.opt.Trace.Begin(r, trace.PhaseRedirect, "failover-batch")
+		cerr := db.devPutCompound(r, entries)
+		rsp.End(r)
+		if cerr == nil {
+			b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
+			db.redirectedPuts.Add(int64(b.Len()))
+			db.wouldStallRedirects.Add(int64(b.Len()))
+			db.lastRedirect.Store(int64(r.Now()))
+			return nil
+		}
+		err = db.main.Write(r, b)
+	}
+	if err != nil {
 		return err
 	}
 	b.Ops(func(_ memtable.Kind, key, _ []byte) {

@@ -19,6 +19,13 @@ type MainEngine interface {
 	Put(r *vclock.Runner, key, value []byte) error
 	Delete(r *vclock.Runner, key []byte) error
 	Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err error)
+	// PutWith, DeleteWith, and WriteWith carry per-write admission flags;
+	// with WriteOptions.NoStallWait they return lsm.ErrWouldStall instead
+	// of parking in a hard write stall, which is the Controller's cue to
+	// fail the write over to the Dev-LSM.
+	PutWith(r *vclock.Runner, wo lsm.WriteOptions, key, value []byte) error
+	DeleteWith(r *vclock.Runner, wo lsm.WriteOptions, key []byte) error
+	WriteWith(r *vclock.Runner, wo lsm.WriteOptions, b *lsm.Batch) error
 	// Write commits a batch atomically (one WAL record).
 	Write(r *vclock.Runner, b *lsm.Batch) error
 	// NewIterator opens a range cursor over the engine's contents.

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/vclock"
+)
+
+// TestStallFailoverRedirects drives the Main-LSM into a hard stall with
+// StallFailover enabled and checks that writes keep completing by failing
+// over to the Dev-LSM instead of parking, with every value readable
+// afterwards.
+func TestStallFailoverRedirects(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	opt.StallFailover = true
+	// Pin the detector's signal off so only the ErrWouldStall failover can
+	// redirect — isolates the new path from the polling one.
+	clk, db := newStack(opt, func(lopt *lsm.Options) {
+		lopt.MaxImmutableMemtables = 1
+		lopt.L0StopTrigger = 1000
+	})
+	db.det.SetOverride(false)
+	clk.Go("writer", func(r *vclock.Runner) {
+		defer db.Close()
+		// ~256 KiB of 256-byte values against a 64 KiB memtable with one
+		// immutable slot: flushes fall behind and the stop condition fires.
+		for i := 0; i < 1000; i++ {
+			if err := db.Put(r, key(i), value(i)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 1000; i += 7 {
+			v, ok, err := db.Get(r, key(i))
+			if err != nil || !ok || len(v) != len(value(i)) {
+				t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+	s := db.Stats()
+	if s.WouldStallRedirects == 0 {
+		t.Fatalf("no would-stall redirects: %+v", s)
+	}
+	if s.RedirectedPuts < s.WouldStallRedirects {
+		t.Fatalf("redirected=%d < wouldStall=%d", s.RedirectedPuts, s.WouldStallRedirects)
+	}
+	if ms := db.main.Stats(); ms.WouldStalls == 0 {
+		t.Fatalf("engine never returned ErrWouldStall: %+v", ms)
+	}
+}
+
+// TestStallFailoverBatch checks the WriteBatch failover: a batch refused
+// by non-blocking admission lands atomically on the device.
+func TestStallFailoverBatch(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	opt.StallFailover = true
+	clk, db := newStack(opt, func(lopt *lsm.Options) {
+		lopt.MaxImmutableMemtables = 1
+		lopt.L0StopTrigger = 1000
+	})
+	db.det.SetOverride(false)
+	clk.Go("writer", func(r *vclock.Runner) {
+		defer db.Close()
+		for n := 0; n < 100; n++ {
+			b := &lsm.Batch{}
+			for i := 0; i < 10; i++ {
+				b.Put(key(n*10+i), value(i))
+			}
+			if err := db.WriteBatch(r, b); err != nil {
+				t.Errorf("batch %d: %v", n, err)
+				return
+			}
+		}
+		for i := 0; i < 1000; i += 13 {
+			if _, ok, err := db.Get(r, key(i)); err != nil || !ok {
+				t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+	if s := db.Stats(); s.WouldStallRedirects == 0 {
+		t.Fatalf("no would-stall redirects: %+v", s)
+	}
+}
+
+// TestStallFailoverDisabledParks is the control: without StallFailover
+// the same workload parks in stalls instead of redirecting (and still
+// completes, just slower).
+func TestStallFailoverDisabledParks(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	clk, db := newStack(opt, func(lopt *lsm.Options) {
+		lopt.MaxImmutableMemtables = 1
+		lopt.L0StopTrigger = 1000
+	})
+	db.det.SetOverride(false)
+	var elapsed time.Duration
+	clk.Go("writer", func(r *vclock.Runner) {
+		defer db.Close()
+		start := r.Now()
+		for i := 0; i < 1000; i++ {
+			if err := db.Put(r, key(i), value(i)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		elapsed = r.Now().Sub(start)
+	})
+	clk.Wait()
+	s := db.Stats()
+	if s.WouldStallRedirects != 0 {
+		t.Fatalf("control run redirected via failover: %+v", s)
+	}
+	ms := db.main.Stats()
+	if ms.TotalStalls() == 0 {
+		t.Skipf("workload did not stall (elapsed %v); control not meaningful", elapsed)
+	}
+	if ms.StallTime == 0 {
+		t.Fatalf("stalled %d times but accrued no stall time", ms.TotalStalls())
+	}
+}
+
+// TestFailoverValuesSurviveRollback drains failover-redirected pairs back
+// into the Main-LSM and re-verifies every value — the §V-E rollback path
+// applied to writes that arrived via ErrWouldStall.
+func TestFailoverValuesSurviveRollback(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Rollback = RollbackDisabled
+	opt.StallFailover = true
+	clk, db := newStack(opt, func(lopt *lsm.Options) {
+		lopt.MaxImmutableMemtables = 1
+		lopt.L0StopTrigger = 1000
+	})
+	db.det.SetOverride(false)
+	clk.Go("writer", func(r *vclock.Runner) {
+		defer db.Close()
+		for i := 0; i < 1000; i++ {
+			if err := db.Put(r, key(i), value(i)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		if db.Stats().WouldStallRedirects == 0 {
+			t.Error("nothing redirected; rollback test is vacuous")
+			return
+		}
+		db.main.WaitIdle(r)
+		if err := db.RollbackNow(r); err != nil {
+			t.Errorf("rollback: %v", err)
+			return
+		}
+		if n := db.meta.Count(); n != 0 {
+			t.Errorf("%d pairs still tracked on the device after rollback", n)
+		}
+		for i := 0; i < 1000; i += 3 {
+			v, ok, err := db.Get(r, key(i))
+			if err != nil || !ok || len(v) != len(value(i)) {
+				t.Errorf("post-rollback get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+}

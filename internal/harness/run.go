@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -51,7 +52,11 @@ type RunResult struct {
 	MainStats lsm.Stats
 	Levels    string // final tree shape
 	Redirects int64
-	Rollbacks int64
+	// WouldStallRedirects is the subset of Redirects taken because the
+	// engine refused non-blocking admission (ErrWouldStall), rather than
+	// because the Detector's stall signal was up.
+	WouldStallRedirects int64
+	Rollbacks           int64
 	// Fault-injection counters: Injected counts faults the plan fired
 	// (all classes, any layer); the Dev* trio is the KVACCEL
 	// controller's retry-policy view (zero for baselines and for runs
@@ -170,7 +175,29 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 		start := r.Now()
 		switch kind {
 		case WorkloadA:
+			nw := p.Writers
+			if nw <= 1 {
+				workload.FillRandom(r, eng.Eng, cfg, res.Rec)
+				break
+			}
+			// Fan out nw concurrent fillrandom writers, each with a derived
+			// seed, and join them all before closing the engine. The
+			// semaphore starts full: draining it here and re-acquiring the
+			// full capacity below parks this runner until every writer has
+			// released its unit.
+			sem := vclock.NewSemaphore(nw, "harness.writers")
+			sem.Acquire(r, nw)
+			for i := 1; i < nw; i++ {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)*101
+				tb.Clk.Go(fmt.Sprintf("harness.writer%d", i), func(wr *vclock.Runner) {
+					workload.FillRandom(wr, eng.Eng, c, res.Rec)
+					sem.Release(1)
+				})
+			}
 			workload.FillRandom(r, eng.Eng, cfg, res.Rec)
+			sem.Release(1)
+			sem.Acquire(r, nw)
 		case WorkloadB, WorkloadC:
 			workload.ReadWhileWriting(r, tb.Clk, eng.Eng, cfg, res.Rec)
 		case WorkloadD:
@@ -207,6 +234,7 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 	if eng.KV != nil {
 		s := eng.KV.Stats()
 		res.Redirects = s.RedirectedPuts
+		res.WouldStallRedirects = s.WouldStallRedirects
 		res.Rollbacks = s.Rollbacks
 		res.DevErrors = s.DevErrors
 		res.DevRetries = s.DevRetries

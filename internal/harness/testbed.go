@@ -44,6 +44,15 @@ type Params struct {
 	Seed int64
 	// HostCores bounds the host CPU (the paper limits the Xeon to 8).
 	HostCores int
+	// Writers is the number of concurrent writer runners the fill
+	// workloads fan out over (kvbench's -writers flag); 0 or 1 keeps the
+	// single-writer setup. Each writer runs the full configured duration
+	// with its own derived seed.
+	Writers int
+	// DisableGroupCommit routes engine writes through the legacy
+	// one-record-one-WAL-append path (and disables the pipeline's
+	// stall-failover admission) — the bench sweep's A/B baseline.
+	DisableGroupCommit bool
 
 	// DMAChunkBytes overrides the bulk-scan DMA unit (512 KiB default) —
 	// the §V-E design-choice ablation.
@@ -202,8 +211,10 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	// through stall conditions, not through synchronous log writes.
 	opt.WALChunkSize = 256 << 10
 	opt.WALQueueDepth = 512
+	opt.DisableGroupCommit = p.DisableGroupCommit
 	sd := time.Duration(scale)
 	opt.Cost.WriteCPU *= sd
+	opt.Cost.WALAppendCPU *= sd
 	opt.Cost.ReadCPU *= sd
 	opt.Cost.IterCPU *= sd
 	// Merge runs at ~their Xeon's native speed against a slow interconnect
@@ -301,6 +312,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		copt := core.DefaultOptions()
 		copt.Rollback = spec.Rollback
 		copt.Trace = p.Trace
+		copt.StallFailover = !p.DisableGroupCommit
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}

@@ -43,6 +43,13 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 			return
 		}
 		job := db.imm[0]
+		// Writers insert into their claimed memtable outside db.mu; wait
+		// for in-flight inserts on this table to drain so the SST captures
+		// every record the WAL already holds. Appliers never block on
+		// anything but the CPU pool, so this always makes progress.
+		for db.applying[job.mt] > 0 {
+			db.bgCond.Wait(r)
+		}
 		db.flushing = true
 		db.mu.Unlock()
 		fsp := db.opt.Trace.Begin(r, trace.PhaseFlush, "flush")

@@ -119,22 +119,35 @@ func decodeBatch(p []byte, fn func(kind memtable.Kind, key, value []byte) error)
 }
 
 // Write commits a batch atomically: one write-controller pass, one WAL
-// record, consecutive sequence numbers.
+// record, consecutive sequence numbers. With group commit enabled the
+// batch joins the same write group queue as single-record writes, so a
+// group may carry several batches (and loose Puts) under one WAL append
+// while keeping each batch's records contiguous.
 func (db *DB) Write(r *vclock.Runner, b *Batch) error {
+	return db.WriteWith(r, WriteOptions{}, b)
+}
+
+// WriteWith is Write with per-write admission options.
+func (db *DB) WriteWith(r *vclock.Runner, wo WriteOptions, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	tr := db.opt.Trace
-	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
-	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*vclock.Duration(b.Len()))
-	msp.EndArg(r, int64(b.Len()))
+	if db.opt.DisableGroupCommit {
+		return db.writeBatchLegacy(r, wo, b)
+	}
+	w := &groupWriter{ops: b.ops, bytes: b.bytes, noStall: wo.NoStallWait}
+	return db.commitThroughGroup(r, w)
+}
 
+// writeBatchLegacy is the pre-group-commit batch path (see writeLegacy).
+func (db *DB) writeBatchLegacy(r *vclock.Runner, wo WriteOptions, b *Batch) error {
+	tr := db.opt.Trace
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	if err := db.makeRoomForWrite(r, b.bytes); err != nil {
+	if err := db.makeRoomForWrite(r, b.bytes, wo.NoStallWait, false); err != nil {
 		db.mu.Unlock()
 		return err
 	}
@@ -148,6 +161,10 @@ func (db *DB) Write(r *vclock.Runner, b *Batch) error {
 			db.stats.Puts++
 		}
 	}
+	if lg != nil {
+		db.stats.WALAppends++
+	}
+	db.beginApplyLocked(mt, 1)
 	db.mu.Unlock()
 
 	if lg != nil {
@@ -155,11 +172,19 @@ func (db *DB) Write(r *vclock.Runner, b *Batch) error {
 		err := lg.Append(r, encodeBatch(b))
 		wsp.EndArg(r, int64(b.bytes))
 		if err != nil && !db.isClosed() {
+			db.endApply(mt)
+			db.mu.Lock()
+			db.stats.WALErrors++
+			db.mu.Unlock()
 			return err
 		}
 	}
+	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*vclock.Duration(b.Len()))
 	for i, op := range b.ops {
 		mt.Add(firstSeq+uint64(i), op.kind, op.key, op.value)
 	}
+	msp.EndArg(r, int64(b.Len()))
+	db.endApply(mt)
 	return nil
 }

@@ -34,6 +34,23 @@ type DB struct {
 	mu        sync.Mutex
 	writeCond *vclock.Cond // stalled writers wait here
 	bgCond    *vclock.Cond // background workers and WaitIdle wait here
+	groupCond *vclock.Cond // group-commit members wait for their leader here
+
+	// Group-commit state (group.go): writers queued for the next group,
+	// their staged bytes, and whether a leader is mid-commit. The next
+	// group forms in groupQueue while the current leader is in the WAL.
+	groupQueue []*groupWriter
+	groupBytes int64
+	committing bool
+	// failNextAppend, when set, makes the next group's WAL append fail
+	// with this error without touching the log — the deterministic
+	// injection hook for the seq-release regression test.
+	failNextAppend error
+	// applying counts in-flight memtable inserts per table: writers
+	// insert outside db.mu (parallel memtable writes), so a flush of a
+	// rotated memtable must wait until its count drains or it would
+	// capture the table without records already committed to the WAL.
+	applying map[*memtable.Table]int
 
 	seq     uint64
 	memSize int64 // runtime-adjustable memtable threshold
@@ -79,9 +96,11 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 		nextFileNum:       1,
 		compactionThreads: opt.CompactionThreads,
 		cursor:            make([][]byte, opt.MaxLevels),
+		applying:          make(map[*memtable.Table]int),
 	}
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	db.groupCond = vclock.NewCond(&db.mu, "lsm.writeGroup")
 	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	if !opt.DisableWAL {
 		db.log = db.newWAL()
@@ -100,6 +119,8 @@ func (db *DB) newWAL() *wal.Log {
 	return wal.Open(db.clk, db.fsys, name, wal.Options{
 		ChunkSize:  db.opt.WALChunkSize,
 		QueueDepth: db.opt.WALQueueDepth,
+		CPU:        db.opt.CPU,
+		AppendCPU:  db.opt.Cost.WALAppendCPU,
 	})
 }
 
@@ -128,23 +149,49 @@ func (db *DB) Close() {
 	}
 	db.bgCond.Broadcast()
 	db.writeCond.Broadcast()
+	db.groupCond.Broadcast()
 }
 
 // Put inserts or overwrites a key.
 func (db *DB) Put(r *vclock.Runner, key, value []byte) error {
-	return db.write(r, memtable.KindPut, key, value)
+	return db.write(r, WriteOptions{}, memtable.KindPut, key, value)
+}
+
+// PutWith is Put with per-write admission options.
+func (db *DB) PutWith(r *vclock.Runner, wo WriteOptions, key, value []byte) error {
+	return db.write(r, wo, memtable.KindPut, key, value)
 }
 
 // Delete writes a tombstone for a key.
 func (db *DB) Delete(r *vclock.Runner, key []byte) error {
-	return db.write(r, memtable.KindDelete, key, nil)
+	return db.write(r, WriteOptions{}, memtable.KindDelete, key, nil)
 }
 
-func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) error {
+// DeleteWith is Delete with per-write admission options.
+func (db *DB) DeleteWith(r *vclock.Runner, wo WriteOptions, key []byte) error {
+	return db.write(r, wo, memtable.KindDelete, key, nil)
+}
+
+func (db *DB) write(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, value []byte) error {
+	if db.opt.DisableGroupCommit {
+		return db.writeLegacy(r, wo, kind, key, value)
+	}
+	w := &groupWriter{bytes: len(key) + len(value) + 16, noStall: wo.NoStallWait}
+	w.single[0] = batchOp{kind: kind, key: key, value: value}
+	w.ops = w.single[:1]
+	return db.commitThroughGroup(r, w)
+}
+
+// writeLegacy is the pre-group-commit write path, kept behind
+// Options.DisableGroupCommit for A/B runs: one write-controller pass,
+// one WAL record, and one memtable insert per record, with no
+// cross-writer amortization. A WAL append failure here leaves the
+// already-claimed sequence number unused (other writers may have claimed
+// past it, so it cannot be released); the gap is accounted in
+// Stats.WALErrors, and recovery tolerates it — Reopen renumbers replayed
+// records densely.
+func (db *DB) writeLegacy(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, value []byte) error {
 	tr := db.opt.Trace
-	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
-	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU)
-	msp.End(r)
 	recBytes := len(key) + len(value) + 16
 
 	db.mu.Lock()
@@ -152,7 +199,7 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) err
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	if err := db.makeRoomForWrite(r, recBytes); err != nil {
+	if err := db.makeRoomForWrite(r, recBytes, wo.NoStallWait, false); err != nil {
 		db.mu.Unlock()
 		return err
 	}
@@ -164,6 +211,10 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) err
 	} else {
 		db.stats.Puts++
 	}
+	if lg != nil {
+		db.stats.WALAppends++
+	}
+	db.beginApplyLocked(mt, 1)
 	db.mu.Unlock()
 
 	if lg != nil {
@@ -174,11 +225,38 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) err
 		err := lg.Append(r, rec)
 		wsp.EndArg(r, int64(recBytes))
 		if err != nil && !db.isClosed() {
+			db.endApply(mt)
+			db.mu.Lock()
+			db.stats.WALErrors++
+			db.mu.Unlock()
 			return err
 		}
 	}
+	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU)
 	mt.Add(seq, kind, key, value)
+	msp.End(r)
+	db.endApply(mt)
 	return nil
+}
+
+// beginApplyLocked registers in-flight memtable inserts on mt; the flush
+// worker will not capture mt until they drain. Called with db.mu held,
+// before the writer leaves the lock to insert.
+func (db *DB) beginApplyLocked(mt *memtable.Table, n int) {
+	db.applying[mt] += n
+}
+
+// endApply retires one in-flight insert on mt, waking the flush worker
+// when the table's count drains.
+func (db *DB) endApply(mt *memtable.Table) {
+	db.mu.Lock()
+	db.applying[mt]--
+	if db.applying[mt] <= 0 {
+		delete(db.applying, mt)
+		db.bgCond.Broadcast()
+	}
+	db.mu.Unlock()
 }
 
 func appendKV(dst, key, value []byte) []byte {
@@ -197,7 +275,14 @@ func (db *DB) isClosed() bool {
 // makeRoomForWrite implements RocksDB's write controller: slowdown first
 // (if enabled), then hard stops for the three stall classes, rotating the
 // memtable when it fills. Called and returns with db.mu held.
-func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int) error {
+//
+// noStall turns the three hard-stop branches into ErrWouldStall returns
+// (the group-commit failover signal); slowdown throttling still applies
+// because it is bounded. group marks the caller as a group-commit leader
+// admitting its whole queue: the slowdown rate delay covers every byte
+// queued behind it, and a stall ejects queued NoStallWait members before
+// the leader parks.
+func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int, noStall, group bool) error {
 	allowDelay := db.opt.EnableSlowdown
 	stallCounted := [numStallReasons]bool{}
 	for {
@@ -208,13 +293,28 @@ func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int) error {
 			return db.bgErr
 		}
 		l0 := len(db.vers.levels[0])
+		stall := func(reason StallReason) error {
+			if group {
+				db.ejectNoStallLocked()
+			}
+			if noStall {
+				db.stats.WouldStalls++
+				return ErrWouldStall
+			}
+			db.stallWait(r, reason, &stallCounted)
+			return nil
+		}
 		switch {
 		case allowDelay && db.slowdownConditionLocked():
 			allowDelay = false
 			db.stats.Slowdowns++
 			delay := db.opt.SlowdownSleep
+			bytes := recBytes
+			if group && db.groupBytes > int64(bytes) {
+				bytes = int(db.groupBytes)
+			}
 			if rate := db.opt.DelayedWriteBytesPerSec; rate > 0 {
-				d := time.Duration(float64(recBytes) / float64(rate) * float64(time.Second))
+				d := time.Duration(float64(bytes) / float64(rate) * float64(time.Second))
 				if d > delay {
 					delay = d
 				}
@@ -229,13 +329,19 @@ func (db *DB) makeRoomForWrite(r *vclock.Runner, recBytes int) error {
 			return nil
 
 		case len(db.imm) >= db.opt.MaxImmutableMemtables:
-			db.stallWait(r, StallMemtable, &stallCounted)
+			if err := stall(StallMemtable); err != nil {
+				return err
+			}
 
 		case l0 >= db.opt.L0StopTrigger:
-			db.stallWait(r, StallL0, &stallCounted)
+			if err := stall(StallL0); err != nil {
+				return err
+			}
 
 		case db.pending >= db.opt.PendingCompactionStopBytes:
-			db.stallWait(r, StallPending, &stallCounted)
+			if err := stall(StallPending); err != nil {
+				return err
+			}
 
 		default:
 			db.rotateMemtableLocked()

@@ -1,0 +1,280 @@
+package lsm
+
+import (
+	"errors"
+	"time"
+
+	"kvaccel/internal/encoding"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
+	"kvaccel/internal/vclock"
+)
+
+// ErrWouldStall is returned by writes carrying WriteOptions.NoStallWait
+// when admission would park the writer in a hard write stall. The caller
+// (KVACCEL's Controller) treats it as a failover signal: the write is
+// redirected to the Dev-LSM instead of blocking behind the flush or
+// compaction backlog.
+var ErrWouldStall = errors.New("lsm: write would stall")
+
+// WriteOptions carries per-write admission flags through the write path.
+type WriteOptions struct {
+	// NoStallWait makes the write fail with ErrWouldStall instead of
+	// blocking when a hard stall (memtable, L0, or pending-bytes stop
+	// condition) is in effect. Slowdown throttling still applies: it is
+	// bounded, while a hard stall can hold a writer for the whole flush.
+	NoStallWait bool
+}
+
+// groupWriter is one writer's membership in the group-commit protocol:
+// the staged records it wants committed, and the outcome slot its group
+// leader fills in.
+type groupWriter struct {
+	ops     []batchOp
+	bytes   int
+	noStall bool
+
+	// Leader-assigned outcome, valid once done is true (all under db.mu).
+	seq  uint64          // first sequence number of this writer's records
+	mt   *memtable.Table // memtable generation the group committed into
+	err  error
+	done bool
+
+	single [1]batchOp // backing store for the 1-op (Put/Delete) case
+}
+
+// commitThroughGroup is the single join point of the write pipeline:
+// every Put, Delete, and Write (batch) enters here when group commit is
+// enabled. The first writer to find the queue head free becomes the
+// group leader; it runs the write controller once, claims a contiguous
+// sequence range for every queued writer (bounded by MaxWriteGroupBytes),
+// issues one WAL append for the whole group, and wakes the members. The
+// next group forms behind it while the leader is in the WAL, so groups
+// pipeline back-to-back. Each member — leader included — then applies
+// its own records to the memtable concurrently and returns only after
+// they are visible (read-your-writes).
+func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if w.noStall && db.stalledWriters > 0 {
+		// Writers are parked in a hard stall right now; joining the queue
+		// would strand this non-blocking write behind them until the next
+		// flush completes. Fail over immediately.
+		db.stats.WouldStalls++
+		db.mu.Unlock()
+		return ErrWouldStall
+	}
+	db.groupQueue = append(db.groupQueue, w)
+	db.groupBytes += int64(w.bytes)
+
+	for {
+		if w.done {
+			// A leader committed (or failed) this writer's records.
+			db.mu.Unlock()
+			if w.err != nil {
+				return w.err
+			}
+			db.applyOps(r, w)
+			return nil
+		}
+		// A writer the leader has already claimed (popped off the queue but
+		// not yet marked done) must keep waiting for its outcome — even
+		// through Close — so the two checks below apply only while w is
+		// still queued.
+		if db.closed && db.removeFromGroupQueueLocked(w) {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if len(db.groupQueue) > 0 && db.groupQueue[0] == w && !db.committing {
+			break // leadership
+		}
+		db.groupCond.Wait(r)
+	}
+
+	// Leader: one write-controller pass admits the whole group.
+	db.committing = true
+	if err := db.makeRoomForWrite(r, w.bytes, w.noStall, true); err != nil {
+		// The queue behind us fails the same way on its own (each member
+		// re-elects and re-checks), except ErrWouldStall, where blocking
+		// members must proceed: ejectNoStallLocked already failed the
+		// non-blocking ones.
+		db.removeFromGroupQueueLocked(w)
+		db.committing = false
+		db.mu.Unlock()
+		db.groupCond.Broadcast()
+		return err
+	}
+
+	group, totalRecs, totalBytes := db.claimGroupLocked()
+	firstSeq := db.seq + 1
+	seq := firstSeq
+	for _, m := range group {
+		m.seq = seq
+		m.mt = db.mem
+		seq += uint64(len(m.ops))
+	}
+	db.seq = seq - 1
+	lg := db.log
+	failInject := db.failNextAppend
+	db.failNextAppend = nil
+	db.mu.Unlock()
+
+	gsp := db.opt.Trace.Begin(r, trace.PhaseWriteGroup, "write-group")
+	var werr error
+	if lg != nil {
+		payload := encodeGroupPayload(group, totalRecs, totalBytes)
+		wsp := db.opt.Trace.Begin(r, trace.PhaseWALAppend, "wal-append")
+		if failInject != nil {
+			werr = failInject
+		} else {
+			werr = lg.Append(r, payload)
+		}
+		wsp.EndArg(r, int64(len(payload)))
+	}
+
+	db.mu.Lock()
+	if werr != nil && !db.closed {
+		// No record carrying the claimed range reached the log: release
+		// the range so recovery never sees a sequence gap. Only the
+		// committing leader advances db.seq, so the decrement is exact.
+		db.seq -= uint64(totalRecs)
+		db.stats.WALErrors++
+		for _, m := range group {
+			m.done, m.err = true, werr
+		}
+		db.committing = false
+		db.mu.Unlock()
+		db.groupCond.Broadcast()
+		gsp.EndArg(r, 0)
+		return werr
+	}
+	db.stats.GroupCommits++
+	db.stats.GroupedRecords += int64(totalRecs)
+	if lg != nil {
+		db.stats.WALAppends++
+	}
+	for _, m := range group {
+		for _, op := range m.ops {
+			if op.kind == memtable.KindDelete {
+				db.stats.Deletes++
+			} else {
+				db.stats.Puts++
+			}
+		}
+		m.done = true
+	}
+	// Register every member's pending memtable insert before any of them
+	// leaves the lock: the flush worker must not capture this memtable
+	// until all of the group's records — already durable in the WAL —
+	// have landed in it.
+	db.beginApplyLocked(group[0].mt, len(group))
+	db.committing = false
+	db.mu.Unlock()
+	db.groupCond.Broadcast()
+	gsp.EndArg(r, int64(totalRecs))
+
+	db.applyOps(r, w)
+	return nil
+}
+
+// applyOps inserts a committed member's records into the group's
+// memtable. Members apply their own records concurrently (RocksDB's
+// parallel memtable writes): the leader is back in the next group's way
+// for only one WAL append, not N memtable inserts.
+func (db *DB) applyOps(r *vclock.Runner, w *groupWriter) {
+	msp := db.opt.Trace.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*time.Duration(len(w.ops)))
+	seq := w.seq
+	for _, op := range w.ops {
+		w.mt.Add(seq, op.kind, op.key, op.value)
+		seq++
+	}
+	msp.EndArg(r, int64(len(w.ops)))
+	db.endApply(w.mt)
+}
+
+// claimGroupLocked pops the leader's group off the queue head: as many
+// waiting writers as fit under MaxWriteGroupBytes (always at least the
+// leader itself). Called with db.mu held.
+func (db *DB) claimGroupLocked() (group []*groupWriter, totalRecs int, totalBytes int) {
+	limit := db.opt.MaxWriteGroupBytes
+	for len(db.groupQueue) > 0 {
+		m := db.groupQueue[0]
+		if len(group) > 0 && int64(totalBytes+m.bytes) > limit {
+			break
+		}
+		group = append(group, m)
+		totalRecs += len(m.ops)
+		totalBytes += m.bytes
+		db.groupBytes -= int64(m.bytes)
+		db.groupQueue = db.groupQueue[1:]
+	}
+	if len(db.groupQueue) == 0 {
+		db.groupQueue = nil // release the backing array
+	}
+	return group, totalRecs, totalBytes
+}
+
+// ejectNoStallLocked fails every queued non-blocking writer behind the
+// leader with ErrWouldStall. The leader calls it from the write
+// controller's stall branches before parking (or failing itself): a
+// NoStallWait member must never sit out a flush-length stall behind a
+// blocking leader. Called with db.mu held.
+func (db *DB) ejectNoStallLocked() {
+	if len(db.groupQueue) <= 1 {
+		return
+	}
+	kept := db.groupQueue[:1:1]
+	ejected := false
+	for _, m := range db.groupQueue[1:] {
+		if m.noStall {
+			m.done, m.err = true, ErrWouldStall
+			db.groupBytes -= int64(m.bytes)
+			db.stats.WouldStalls++
+			ejected = true
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	if ejected {
+		db.groupQueue = kept
+		db.groupCond.Broadcast()
+	}
+}
+
+// removeFromGroupQueueLocked drops a still-unclaimed writer from the
+// queue, reporting whether it was found (false means a leader already
+// claimed it). Called with db.mu held.
+func (db *DB) removeFromGroupQueueLocked(w *groupWriter) bool {
+	for i, m := range db.groupQueue {
+		if m == w {
+			db.groupQueue = append(db.groupQueue[:i:i], db.groupQueue[i+1:]...)
+			db.groupBytes -= int64(w.bytes)
+			return true
+		}
+	}
+	return false
+}
+
+// encodeGroupPayload renders one WAL record covering every record of
+// every group member, in claim order — the same batch format Reopen
+// already replays with consecutive sequence numbers, so a group commit
+// is crash-equivalent to one large atomic batch.
+func encodeGroupPayload(group []*groupWriter, totalRecs, totalBytes int) []byte {
+	out := make([]byte, 0, totalBytes+16)
+	out = append(out, walBatchMarker)
+	out = encoding.PutUvarint(out, uint64(totalRecs))
+	for _, m := range group {
+		for _, op := range m.ops {
+			out = append(out, byte(op.kind))
+			out = encoding.PutUvarint(out, uint64(len(op.key)))
+			out = append(out, op.key...)
+			out = encoding.PutUvarint(out, uint64(len(op.value)))
+			out = append(out, op.value...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+// TestGroupCommitConcurrentWriters is the pipeline's property test: N
+// concurrent writers, each doing M puts with interleaved read-your-writes
+// checks, must commit every record through the group path with a gap-free
+// monotone sequence range and fewer WAL appends than records.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 400
+	clk, fsys, db := crashableEnv()
+	done := make(chan struct{}, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		clk.Go(fmt.Sprintf("writer%d", w), func(r *vclock.Runner) {
+			for i := 0; i < perWriter; i++ {
+				k := key(w*100000 + i)
+				if err := db.Put(r, k, value(i)); err != nil {
+					t.Errorf("writer %d put %d: %v", w, i, err)
+					break
+				}
+				if i%50 == 0 {
+					// Read-your-writes: a returned Put is immediately visible.
+					v, ok, err := db.Get(r, k)
+					if err != nil || !ok || !bytes.Equal(v, value(i)) {
+						t.Errorf("writer %d read-your-write %d: ok=%v err=%v", w, i, ok, err)
+					}
+				}
+			}
+			done <- struct{}{}
+		})
+	}
+	clk.Go("closer", func(r *vclock.Runner) {
+		for i := 0; i < writers; i++ {
+			for len(done) <= i {
+				r.Sleep(10 * time.Millisecond)
+			}
+		}
+		db.mu.Lock()
+		seq := db.seq
+		queued := len(db.groupQueue)
+		db.mu.Unlock()
+		if want := uint64(writers * perWriter); seq != want {
+			t.Errorf("sequence not gap-free: seq=%d want %d", seq, want)
+		}
+		if queued != 0 {
+			t.Errorf("%d writers still queued after drain", queued)
+		}
+		db.Flush(r) // durability barrier before the restart
+		db.WaitIdle(r)
+		db.Close()
+	})
+	clk.Wait()
+
+	s := db.Stats()
+	if s.Puts != writers*perWriter {
+		t.Fatalf("puts = %d, want %d", s.Puts, writers*perWriter)
+	}
+	if s.GroupCommits == 0 || s.GroupedRecords != s.Puts {
+		t.Fatalf("group accounting: commits=%d grouped=%d puts=%d", s.GroupCommits, s.GroupedRecords, s.Puts)
+	}
+	if s.WALAppends != s.GroupCommits {
+		t.Fatalf("WAL appends = %d, want one per group (%d)", s.WALAppends, s.GroupCommits)
+	}
+	if s.GroupCommits >= s.Puts {
+		t.Fatalf("no grouping happened: %d commits for %d puts", s.GroupCommits, s.Puts)
+	}
+	if apr := s.WALAppendsPerRecord(); apr >= 1 {
+		t.Fatalf("WAL appends per record = %.3f, want < 1", apr)
+	}
+
+	clk2 := vclock.New()
+	clk2.Go("verify", func(r *vclock.Runner) {
+		db2, err := Reopen(r, clk2, fsys, smallOpts())
+		if err != nil {
+			t.Errorf("reopen after grouped commits: %v", err)
+			return
+		}
+		defer db2.Close()
+		for w := 0; w < writers; w++ {
+			for i := 0; i < perWriter; i += 97 {
+				v, ok, err := db2.Get(r, key(w*100000+i))
+				if err != nil || !ok || !bytes.Equal(v, value(i)) {
+					t.Errorf("writer %d key %d lost across restart: ok=%v err=%v", w, i, ok, err)
+				}
+			}
+		}
+	})
+	clk2.Wait()
+}
+
+// TestGroupWALErrorReleasesSeq is the satellite regression: a WAL append
+// failure on an open DB must release the claimed sequence range, leave
+// the memtable untouched, and not perturb recovery of the writes around
+// it.
+func TestGroupWALErrorReleasesSeq(t *testing.T) {
+	clk, fsys, db := crashableEnv()
+	boom := errors.New("injected append failure")
+	clk.Go("writer", func(r *vclock.Runner) {
+		for i := 0; i < 100; i++ {
+			_ = db.Put(r, key(i), value(i))
+		}
+		// Persist a manifest so the post-crash Reopen has a CURRENT file;
+		// the writes after this barrier live only in the WAL.
+		db.Flush(r)
+		db.WaitIdle(r)
+		db.mu.Lock()
+		seqBefore := db.seq
+		db.failNextAppend = boom
+		db.mu.Unlock()
+
+		if err := db.Put(r, key(5000), value(0)); !errors.Is(err, boom) {
+			t.Errorf("failed append returned %v, want %v", err, boom)
+		}
+		db.mu.Lock()
+		seqAfter := db.seq
+		db.mu.Unlock()
+		if seqAfter != seqBefore {
+			t.Errorf("seq leaked across failed append: %d -> %d", seqBefore, seqAfter)
+		}
+		if _, ok, _ := db.Get(r, key(5000)); ok {
+			t.Error("failed write is visible in the memtable")
+		}
+		if s := db.Stats(); s.WALErrors != 1 {
+			t.Errorf("WALErrors = %d, want 1", s.WALErrors)
+		}
+
+		// The DB keeps accepting writes after the failure...
+		for i := 100; i < 160; i++ {
+			if err := db.Put(r, key(i), value(i)); err != nil {
+				t.Errorf("put %d after failed append: %v", i, err)
+			}
+		}
+		db.mu.Lock()
+		lg := db.log
+		db.mu.Unlock()
+		lg.Sync(r)
+		db.Close()
+	})
+	clk.Wait()
+
+	// ...and recovery replays the surrounding writes with no gap effects.
+	clk2 := vclock.New()
+	clk2.Go("recover", func(r *vclock.Runner) {
+		db2, err := Reopen(r, clk2, fsys, smallOpts())
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		defer db2.Close()
+		for i := 0; i < 160; i += 13 {
+			v, ok, err := db2.Get(r, key(i))
+			if err != nil || !ok || !bytes.Equal(v, value(i)) {
+				t.Errorf("key %d lost after failed-append recovery: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if _, ok, _ := db2.Get(r, key(5000)); ok {
+			t.Error("failed write resurrected by recovery")
+		}
+	})
+	clk2.Wait()
+}
+
+// TestNoStallWaitFailsFast drives the engine into a hard memtable stall
+// (slow device, tiny flush backlog) and checks that NoStallWait writes
+// come back with ErrWouldStall instead of parking.
+func TestNoStallWaitFailsFast(t *testing.T) {
+	opt := smallOpts()
+	opt.MaxImmutableMemtables = 1
+	opt.L0StopTrigger = 1000 // let the memtable stop condition fire first
+	clk, db := newTestDB(5*time.Millisecond, opt)
+	clk.Go("writer", func(r *vclock.Runner) {
+		defer db.Close()
+		var wouldStall bool
+		for i := 0; i < 2000; i++ {
+			err := db.PutWith(r, WriteOptions{NoStallWait: true}, key(i), value(i))
+			if errors.Is(err, ErrWouldStall) {
+				wouldStall = true
+				break
+			}
+			if err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		if !wouldStall {
+			t.Error("2000 non-blocking puts never hit ErrWouldStall on a stalling device")
+		}
+	})
+	clk.Wait()
+	if s := db.Stats(); s.WouldStalls == 0 {
+		t.Fatalf("WouldStalls = 0 after ErrWouldStall was returned")
+	}
+}
+
+// TestDisableGroupCommitLegacyPath checks the A/B escape hatch: with
+// group commit off, every record pays its own WAL append and no groups
+// are accounted.
+func TestDisableGroupCommitLegacyPath(t *testing.T) {
+	opt := smallOpts()
+	opt.DisableGroupCommit = true
+	clk, db := newTestDB(0, opt)
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		for i := 0; i < 200; i++ {
+			if err := db.Put(r, key(i), value(i)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}
+		b := &Batch{}
+		for i := 200; i < 210; i++ {
+			b.Put(key(i), value(i))
+		}
+		if err := db.Write(r, b); err != nil {
+			t.Errorf("batch: %v", err)
+		}
+		for i := 0; i < 210; i += 11 {
+			v, ok, err := db.Get(r, key(i))
+			if err != nil || !ok || !bytes.Equal(v, value(i)) {
+				t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+	s := db.Stats()
+	if s.GroupCommits != 0 || s.GroupedRecords != 0 {
+		t.Fatalf("legacy path formed groups: %+v", s)
+	}
+	// 200 point appends plus 1 batch append.
+	if s.WALAppends != 201 {
+		t.Fatalf("WALAppends = %d, want 201", s.WALAppends)
+	}
+	if s.Puts != 210 {
+		t.Fatalf("puts = %d, want 210", s.Puts)
+	}
+}
+
+// TestBatchCommitsThroughGroup routes a WriteBatch through the group
+// pipeline and checks it is accounted as one group of b.Len() records.
+func TestBatchCommitsThroughGroup(t *testing.T) {
+	clk, db := newTestDB(0, smallOpts())
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		b := &Batch{}
+		for i := 0; i < 10; i++ {
+			b.Put(key(i), value(i))
+		}
+		b.Delete(key(3))
+		if err := db.Write(r, b); err != nil {
+			t.Errorf("batch: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			v, ok, err := db.Get(r, key(i))
+			if i == 3 {
+				if ok {
+					t.Error("deleted key visible")
+				}
+				continue
+			}
+			if err != nil || !ok || !bytes.Equal(v, value(i)) {
+				t.Errorf("get %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+	})
+	clk.Wait()
+	s := db.Stats()
+	if s.GroupCommits != 1 || s.GroupedRecords != 11 {
+		t.Fatalf("batch group accounting: commits=%d grouped=%d", s.GroupCommits, s.GroupedRecords)
+	}
+	if s.Puts != 10 || s.Deletes != 1 {
+		t.Fatalf("op counts: puts=%d deletes=%d", s.Puts, s.Deletes)
+	}
+}

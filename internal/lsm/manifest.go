@@ -227,6 +227,8 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	}
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
+	db.groupCond = vclock.NewCond(&db.mu, "lsm.writeGroup")
+	db.applying = make(map[*memtable.Table]int)
 	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	db.manifest.counter = manifestCounterFrom(string(cur))
 

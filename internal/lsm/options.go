@@ -72,6 +72,16 @@ type Options struct {
 	BlockSize       int
 	BloomBitsPerKey int
 
+	// MaxWriteGroupBytes bounds how many staged bytes one group-commit
+	// leader may claim into a single WAL append (RocksDB
+	// max_write_batch_group_size_bytes). Writers beyond the bound wait
+	// for the next group.
+	MaxWriteGroupBytes int64
+	// DisableGroupCommit routes every write through the legacy
+	// one-record-one-WAL-append path — the A/B escape hatch for
+	// measuring what the group-commit pipeline buys.
+	DisableGroupCommit bool
+
 	// WALChunkSize and WALQueueDepth tune write-ahead-log write-back.
 	WALChunkSize  int
 	WALQueueDepth int
@@ -101,8 +111,16 @@ type Options struct {
 // (memtable inserts at a few hundred Kops/s, compaction merge at a few
 // hundred MB/s per thread).
 type CostModel struct {
-	// WriteCPU is charged per Put/Delete (WAL encode + memtable insert).
+	// WriteCPU is charged per record on the writing thread (record encode
+	// + memtable insert). The WAL-append half of the old 3 µs per-write
+	// charge now lives in WALAppendCPU, so a group commit pays it once
+	// per group instead of once per record.
 	WriteCPU time.Duration
+	// WALAppendCPU is charged per WAL Append call (checksum + log-buffer
+	// copy): once per record on the legacy path, once per group with
+	// group commit. WriteCPU + WALAppendCPU equals the old per-record
+	// write charge, so single-writer behaviour is unchanged.
+	WALAppendCPU time.Duration
 	// ReadCPU is charged per Get before any device time.
 	ReadCPU time.Duration
 	// IterCPU is charged per iterator Seek or Next.
@@ -118,7 +136,8 @@ type CostModel struct {
 // DefaultCostModel reflects a ~3 GHz Xeon core.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		WriteCPU:      3 * time.Microsecond,
+		WriteCPU:      2 * time.Microsecond,
+		WALAppendCPU:  1 * time.Microsecond,
 		ReadCPU:       4 * time.Microsecond,
 		IterCPU:       2 * time.Microsecond,
 		MergeCPUPerKB: 4 * time.Microsecond, // ~250 MB/s merge per thread
@@ -158,6 +177,8 @@ func DefaultOptions(cpuPool *cpu.Pool) Options {
 		BlockCacheBytes: 64 << 20,
 		BlockSize:       4096,
 		BloomBitsPerKey: 10,
+
+		MaxWriteGroupBytes: 1 << 20,
 
 		WALChunkSize:  64 << 10,
 		WALQueueDepth: 32,
@@ -216,6 +237,9 @@ func (o *Options) sanitize() {
 	if o.BlockSize <= 0 {
 		o.BlockSize = 4096
 	}
+	if o.MaxWriteGroupBytes <= 0 {
+		o.MaxWriteGroupBytes = 1 << 20
+	}
 	if o.WALChunkSize <= 0 {
 		o.WALChunkSize = 64 << 10
 	}
@@ -230,6 +254,9 @@ func (o *Options) sanitize() {
 	}
 	if o.Cost.FlushCPUPerKB <= 0 {
 		o.Cost.FlushCPUPerKB = o.Cost.MergeCPUPerKB / 4
+	}
+	if o.Cost.WALAppendCPU <= 0 {
+		o.Cost.WALAppendCPU = o.Cost.WriteCPU / 2
 	}
 }
 

@@ -45,12 +45,47 @@ type Stats struct {
 	StallEvents [numStallReasons]int64
 	StallTime   time.Duration
 
+	// GroupCommits counts committed write groups and GroupedRecords the
+	// records they carried (mean group size = GroupedRecords /
+	// GroupCommits). WALAppends counts write-path WAL Append calls —
+	// one per group, or one per record on the legacy path — so
+	// WALAppends / (Puts+Deletes) is the appends-per-record amortization
+	// the pipeline exists to shrink. WouldStalls counts NoStallWait
+	// writes that failed fast with ErrWouldStall instead of parking, and
+	// WALErrors counts write-path WAL append failures (on the group path
+	// the claimed sequence range is released; on the legacy path the gap
+	// is only accounted here).
+	GroupCommits   int64
+	GroupedRecords int64
+	WALAppends     int64
+	WouldStalls    int64
+	WALErrors      int64
+
 	Flushes              int64
 	FlushBytes           int64
 	Compactions          int64
 	CompactionReadBytes  int64
 	CompactionWriteBytes int64
 	WALBytesWritten      int64
+}
+
+// MeanGroupSize is the average number of records per committed write
+// group (1 when no groups formed).
+func (s Stats) MeanGroupSize() float64 {
+	if s.GroupCommits == 0 {
+		return 1
+	}
+	return float64(s.GroupedRecords) / float64(s.GroupCommits)
+}
+
+// WALAppendsPerRecord is write-path WAL Append calls per committed
+// record — 1.0 on the legacy path, below 1 once groups amortize appends.
+func (s Stats) WALAppendsPerRecord() float64 {
+	recs := s.Puts + s.Deletes
+	if recs == 0 {
+		return 0
+	}
+	return float64(s.WALAppends) / float64(recs)
 }
 
 // TotalStalls sums stall events across reasons.
@@ -103,6 +138,11 @@ func (s Stats) Add(o Stats) Stats {
 		s.StallEvents[i] += o.StallEvents[i]
 	}
 	s.StallTime += o.StallTime
+	s.GroupCommits += o.GroupCommits
+	s.GroupedRecords += o.GroupedRecords
+	s.WALAppends += o.WALAppends
+	s.WouldStalls += o.WouldStalls
+	s.WALErrors += o.WALErrors
 	s.Flushes += o.Flushes
 	s.FlushBytes += o.FlushBytes
 	s.Compactions += o.Compactions

@@ -53,6 +53,7 @@ const (
 	PhaseRollbackScan
 	PhaseRecovery
 	PhaseDetector
+	PhaseWriteGroup
 
 	NumPhases
 )
@@ -82,6 +83,7 @@ var phaseNames = [NumPhases]string{
 	PhaseRollbackScan:   "rollback-scan",
 	PhaseRecovery:       "recovery",
 	PhaseDetector:       "detector",
+	PhaseWriteGroup:     "write-group",
 }
 
 func (p Phase) String() string {

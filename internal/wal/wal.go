@@ -13,7 +13,9 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"kvaccel/internal/cpu"
 	"kvaccel/internal/encoding"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/vclock"
@@ -27,6 +29,13 @@ type Options struct {
 	// QueueDepth bounds the number of un-written chunks before Append
 	// blocks (page-cache dirty limit).
 	QueueDepth int
+	// CPU and AppendCPU model the host cost of one Append call (checksum
+	// + log-buffer copy): each Append charges AppendCPU to the calling
+	// runner on CPU before touching the log. Group commit amortizes
+	// exactly this charge — one Append covers a whole write group. Zero
+	// or a nil pool disables the charge.
+	CPU       *cpu.Pool
+	AppendCPU time.Duration
 }
 
 // DefaultOptions buffers 64 KiB chunks, 32 deep.
@@ -73,6 +82,12 @@ func (l *Log) Name() string { return l.name }
 // buffer, handing full chunks to the writeback runner. It blocks only when
 // the writeback queue is full.
 func (l *Log) Append(r *vclock.Runner, payload []byte) error {
+	// The encode cost is charged before taking l.mu: a runner must not
+	// park on the CPU pool while holding a host mutex other running
+	// goroutines contend on, or virtual time could not advance.
+	if l.opt.CPU != nil && l.opt.AppendCPU > 0 {
+		l.opt.CPU.Run(r, l.opt.AppendCPU)
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()

@@ -29,8 +29,8 @@ import (
 	"time"
 
 	"kvaccel/internal/core"
-	"kvaccel/internal/faults"
 	"kvaccel/internal/cpu"
+	"kvaccel/internal/faults"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/nvme"
@@ -76,6 +76,12 @@ type Options struct {
 	// KVACCEL; false degrades to plain RocksDB-like behaviour — the
 	// ablation baseline).
 	EnableRedirection bool
+	// DisableGroupCommit routes Main-LSM writes through the legacy
+	// one-record-one-WAL-append path instead of the group-commit write
+	// pipeline — the A/B escape hatch the bench sweep measures against.
+	// It also disables the pipeline's stall-failover admission (a
+	// would-stall write redirecting immediately instead of parking).
+	DisableGroupCommit bool
 	// DetectorPeriod is the stall-detector refresh interval.
 	DetectorPeriod time.Duration
 	// HostCores bounds the host CPU pool.
@@ -182,9 +188,11 @@ func (opt Options) engineOptions(pool *cpu.Pool, shards int64) lsm.Options {
 	lopt.L0StopTrigger = 36
 	lopt.CompactionThreads = opt.CompactionThreads
 	lopt.EnableSlowdown = false // KVACCEL redirects instead of throttling
+	lopt.DisableGroupCommit = opt.DisableGroupCommit
 	lopt.WALChunkSize = 256 << 10
 	lopt.WALQueueDepth = 512
 	lopt.Cost.WriteCPU *= scale
+	lopt.Cost.WALAppendCPU *= scale
 	lopt.Cost.ReadCPU *= scale
 	lopt.Cost.IterCPU *= scale
 	lopt.Cost.MergeCPUPerKB = lopt.Cost.MergeCPUPerKB * scale * 4 / 10
@@ -199,6 +207,9 @@ func (opt Options) coreOptions() core.Options {
 	if opt.DetectorPeriod > 0 {
 		copt.DetectorPeriod = opt.DetectorPeriod
 	}
+	// The stall failover rides on the group-commit pipeline's admission
+	// control, and only makes sense when the accelerator is on.
+	copt.StallFailover = opt.EnableRedirection && !opt.DisableGroupCommit
 	return copt
 }
 
