@@ -42,6 +42,9 @@ func run() int {
 		duration = flag.Duration("duration", 30*time.Second, "virtual run duration")
 		keyspace = flag.Int("keyspace", 300_000, "key domain size")
 		value    = flag.Int("value", 4096, "value size in bytes")
+		valSize  = flag.Int("value-size", 0, "value size in bytes (db_bench spelling; overrides -value when set)")
+		vthresh  = flag.Int("value-threshold", 1024, "separate values >= this many bytes into the value log (WiscKey); 0 keeps values inline")
+		noVLog   = flag.Bool("no-vlog", false, "disable value separation (the vlog A/B baseline; same as -value-threshold 0)")
 		series   = flag.Bool("series", false, "print per-second throughput TSV")
 		shards   = flag.Int("shards", 1, "shard count for kvaccel-sharded")
 		writers  = flag.Int("writers", 0, "concurrent fillrandom writer threads (kvaccel-sharded default: one per shard)")
@@ -63,6 +66,13 @@ func run() int {
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *valSize > 0 {
+		*value = *valSize
+	}
+	if *noVLog {
+		*vthresh = 0
+	}
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -101,6 +111,7 @@ func run() int {
 			duration: *duration,
 			keyspace: *keyspace,
 			value:    *value,
+			vthresh:  *vthresh,
 			seed:     *seed,
 			noGroup:  *noGroup,
 			series:   *series,
@@ -122,6 +133,7 @@ func run() int {
 	p.Seed = *seed
 	p.Writers = *writers
 	p.DisableGroupCommit = *noGroup
+	p.ValueThreshold = *vthresh
 	if *tracePath != "" || *traceSum {
 		p.Trace = trace.New(*traceDepth)
 	}
@@ -177,15 +189,10 @@ func run() int {
 	}
 	s := res.MainStats
 	fmt.Printf("cpu         : %.1f%% avg  efficiency=%.3f MB/s per cpu%%\n", res.CPUAvg, res.Efficiency())
-	fmt.Printf("stalls      : %d events (%v total), %d slowdowns\n", s.TotalStalls(), s.StallTime, s.Slowdowns)
-	fmt.Printf("engine      : flushes=%d compactions=%d write-amp=%.2f\n", s.Flushes, s.Compactions, s.WriteAmplification())
+	printEngineSummary(s, res.WouldStallRedirects)
 	fmt.Printf("tree        : %s\n", res.Levels)
 	if res.Redirects > 0 || res.Rollbacks > 0 {
 		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
-	}
-	if s.GroupCommits > 0 {
-		fmt.Printf("groups      : %d commits, mean size %.2f, %.3f WAL appends/record, failover=%d\n",
-			s.GroupCommits, s.MeanGroupSize(), s.WALAppendsPerRecord(), res.WouldStallRedirects)
 	}
 	if *faultSee != 0 {
 		fmt.Printf("faults      : injected=%d retried=%d failed=%d (dev-errors=%d)\n",
@@ -313,11 +320,22 @@ type benchJSON struct {
 	WALAppendsPerRecord float64 `json:"wal_appends_per_record,omitempty"`
 	WouldStallRedirects int64   `json:"would_stall_redirects,omitempty"`
 
+	ValueLog *vlogJSON `json:"value_log,omitempty"`
+
 	PCIeAvgMBps float64 `json:"pcie_avg_mbps"`
 
 	Queues []queueJSON `json:"queues,omitempty"`
 
 	TracePhases []phaseJSON `json:"trace_phases,omitempty"`
+}
+
+// vlogJSON is the value-separation block of benchJSON, present only when
+// the run had a value log.
+type vlogJSON struct {
+	Segments     int64 `json:"segments"`
+	GCRewrites   int64 `json:"gc_rewrites"`
+	DiscardBytes int64 `json:"discard_bytes"`
+	PunchedBytes int64 `json:"punched_bytes"`
 }
 
 type queueJSON struct {
@@ -376,6 +394,14 @@ func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.Workl
 		MeanGroupSize:       res.MainStats.MeanGroupSize(),
 		WALAppendsPerRecord: res.MainStats.WALAppendsPerRecord(),
 		WouldStallRedirects: res.WouldStallRedirects,
+	}
+	if m := res.MainStats; m.VLogSegments > 0 || m.VLogBytes > 0 {
+		out.ValueLog = &vlogJSON{
+			Segments:     m.VLogSegments,
+			GCRewrites:   m.VLogGCRewrites,
+			DiscardBytes: m.VLogDiscardBytes,
+			PunchedBytes: m.VLogPunchedBytes,
+		}
 	}
 	for _, q := range res.Queues {
 		if q.Submitted == 0 {

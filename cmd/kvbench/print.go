@@ -1,0 +1,27 @@
+package main
+
+import (
+	"fmt"
+
+	"kvaccel/internal/lsm"
+)
+
+// printEngineSummary prints the engine-counter block shared by the
+// single-engine and sharded front-ends — stall totals, compaction
+// counters, group-commit shape, and value-log activity — so a new line
+// (like vlog) shows up in both, in the same format, from one place.
+func printEngineSummary(m lsm.Stats, failover int64) {
+	fmt.Printf("stalls      : %d events (%v total), %d slowdowns\n",
+		m.TotalStalls(), m.StallTime, m.Slowdowns)
+	fmt.Printf("engine      : flushes=%d compactions=%d write-amp=%.2f\n",
+		m.Flushes, m.Compactions, m.WriteAmplification())
+	if m.GroupCommits > 0 {
+		fmt.Printf("groups      : %d commits, mean size %.2f, %.3f WAL appends/record, failover=%d\n",
+			m.GroupCommits, m.MeanGroupSize(), m.WALAppendsPerRecord(), failover)
+	}
+	if m.VLogSegments > 0 || m.VLogBytes > 0 {
+		fmt.Printf("vlog        : segments=%d, %.1f MB written, gc-rewrites=%d, discard=%.1f MB, punched=%.1f MB\n",
+			m.VLogSegments, float64(m.VLogBytes)/1e6, m.VLogGCRewrites,
+			float64(m.VLogDiscardBytes)/1e6, float64(m.VLogPunchedBytes)/1e6)
+	}
+}

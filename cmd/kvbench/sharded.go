@@ -34,6 +34,7 @@ type shardedRunParams struct {
 	duration time.Duration
 	keyspace int
 	value    int
+	vthresh  int
 	seed     int64
 	noGroup  bool
 	series   bool
@@ -60,6 +61,7 @@ func runSharded(p shardedRunParams) {
 	opt.QueueDepth = p.qd
 	opt.IOQueues = p.ioqueues
 	opt.DisableGroupCommit = p.noGroup
+	opt.ValueThreshold = p.vthresh
 	db := kvaccel.OpenSharded(opt)
 	eng := workload.ShardedEngine{DB: db}
 
@@ -138,13 +140,8 @@ func runSharded(p shardedRunParams) {
 		fmt.Printf("read lat    : %s\n", rec.ReadLatency)
 	}
 	m := st.Main
-	fmt.Printf("stalls      : %d events (%v total), %d slowdowns\n", m.TotalStalls(), m.StallTime, m.Slowdowns)
-	fmt.Printf("engine      : flushes=%d compactions=%d write-amp=%.2f\n", m.Flushes, m.Compactions, m.WriteAmplification())
+	printEngineSummary(m, st.KVAccel.WouldStallRedirects)
 	fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", st.KVAccel.RedirectedPuts, st.KVAccel.Rollbacks)
-	if m.GroupCommits > 0 {
-		fmt.Printf("groups      : %d commits, mean size %.2f, %.3f WAL appends/record, failover=%d\n",
-			m.GroupCommits, m.MeanGroupSize(), m.WALAppendsPerRecord(), st.KVAccel.WouldStallRedirects)
-	}
 	for i, s := range st.PerShard {
 		fmt.Printf("shard %-6d: puts=%d redirected=%d rollbacks=%d stalls=%d stall-time=%v\n",
 			i, s.KVAccel.NormalPuts+s.KVAccel.RedirectedPuts, s.KVAccel.RedirectedPuts,

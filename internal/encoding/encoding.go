@@ -110,6 +110,46 @@ func uvarintLen(x uint64) int {
 	return n
 }
 
+// A ValuePointer locates one value-log record: the segment file it lives
+// in, the byte offset of the record's frame, and the framed length
+// (header + payload). It is the fixed-size stand-in the LSM stores for a
+// separated value (WiscKey), so SSTs and the WAL carry 13 bytes per
+// large value instead of the value itself.
+type ValuePointer struct {
+	Seg uint32 // value-log segment id
+	Off uint32 // byte offset of the framed record within the segment
+	Len uint32 // framed record length (8-byte header + payload)
+}
+
+// valuePtrMarker is the first byte of an encoded ValuePointer; decoding
+// validates it so a raw user value misread as a pointer fails loudly.
+const valuePtrMarker = 0xF7
+
+// ValuePointerSize is the encoded size of a ValuePointer.
+const ValuePointerSize = 13
+
+// AppendValuePointer appends p's fixed-size encoding to dst.
+func AppendValuePointer(dst []byte, p ValuePointer) []byte {
+	dst = append(dst, valuePtrMarker)
+	dst = PutU32(dst, p.Seg)
+	dst = PutU32(dst, p.Off)
+	dst = PutU32(dst, p.Len)
+	return dst
+}
+
+// DecodeValuePointer parses a ValuePointer previously encoded with
+// AppendValuePointer. It rejects wrong sizes and a missing marker byte.
+func DecodeValuePointer(b []byte) (ValuePointer, error) {
+	if len(b) != ValuePointerSize || b[0] != valuePtrMarker {
+		return ValuePointer{}, ErrCorrupt
+	}
+	var p ValuePointer
+	p.Seg, b, _ = U32(b[1:])
+	p.Off, b, _ = U32(b)
+	p.Len, _, _ = U32(b)
+	return p, nil
+}
+
 // FormatKey renders a db_bench-style fixed-width decimal key. width must
 // be at least the number of digits in n.
 func FormatKey(dst []byte, n uint64, width int) []byte {

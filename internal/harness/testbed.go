@@ -53,6 +53,11 @@ type Params struct {
 	// one-record-one-WAL-append path (and disables the pipeline's
 	// stall-failover admission) — the bench sweep's A/B baseline.
 	DisableGroupCommit bool
+	// ValueThreshold enables WiscKey-style value separation in the
+	// Main-LSM: values at least this long live in the value log and the
+	// tree carries 13-byte pointers (kvbench's -value-threshold flag);
+	// 0 keeps values inline — the vlog A/B's baseline.
+	ValueThreshold int
 
 	// DMAChunkBytes overrides the bulk-scan DMA unit (512 KiB default) —
 	// the §V-E design-choice ablation.
@@ -212,6 +217,7 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	opt.WALChunkSize = 256 << 10
 	opt.WALQueueDepth = 512
 	opt.DisableGroupCommit = p.DisableGroupCommit
+	opt.ValueThreshold = p.ValueThreshold
 	sd := time.Duration(scale)
 	opt.Cost.WriteCPU *= sd
 	opt.Cost.WALAppendCPU *= sd

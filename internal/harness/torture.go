@@ -51,6 +51,12 @@ type TortureParams struct {
 	ValueSize   int           // bytes per value
 	CutWindow   time.Duration // cut instant drawn from (0, CutWindow] after phase start
 	FaultRules  bool          // add deterministic NVMe media-error/timeout/latency rules
+	// ValueThreshold enables value separation in the Main-LSM under
+	// torture: values at or above it live in the value log, so the
+	// oracle's durability checks cover vlog torn tails and GC. 0
+	// disables separation; DefaultTortureParams enables it (48 bytes,
+	// below the default 96-byte values, so every put separates).
+	ValueThreshold int
 	// BrokenRecovery deliberately replays WALs without checksum
 	// verification (lsm.Options.UncheckedWALReplay). A correct oracle
 	// must catch the resulting corruption; the negative test asserts
@@ -79,6 +85,8 @@ func DefaultTortureParams(seed int64) TortureParams {
 		ValueSize:   96,
 		CutWindow:   60 * time.Millisecond,
 		FaultRules:  true,
+
+		ValueThreshold: 48,
 	}
 }
 
@@ -266,6 +274,11 @@ func RunTorture(p TortureParams) TortureReport {
 			lopt.WALChunkSize = 2 << 10
 			lopt.UncheckedWALReplay = p.BrokenRecovery
 			lopt.Trace = tr
+			// Small vlog segments (two per memtable) keep rotation, GC,
+			// and punching all live within a phase, so cuts land mid-GC.
+			lopt.ValueThreshold = p.ValueThreshold
+			lopt.VLogSegmentSize = 32 << 10
+			lopt.VLogGCDiscardRatio = 0.3
 
 			var main *lsm.DB
 			if fsys.Exists("CURRENT") {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 
+	"kvaccel/internal/encoding"
 	"kvaccel/internal/iterkit"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/sstable"
@@ -61,6 +62,14 @@ func (db *DB) flushWorker(r *vclock.Runner) {
 		// the broken log.
 		if job.log != nil {
 			if serr := job.log.Sync(r); serr != nil {
+				db.setBackgroundError(serr)
+			}
+		}
+		// Value bytes must be durable before the pointers referencing them
+		// land in an SST: an SST-resident pointer into a torn vlog tail
+		// would survive the crash its value did not.
+		if db.vlog != nil {
+			if serr := db.vlog.Sync(r); serr != nil {
 				db.setBackgroundError(serr)
 			}
 		}
@@ -468,6 +477,11 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	var lastUserKey []byte
 	haveUser := false
 	var lastKeptSeq uint64
+	// discards accumulates per-segment dead value-log bytes: every
+	// superseded pointer this merge drops strands its value in the vlog.
+	// Reported to the vlog after install so GC sees them only once the
+	// drop is durable.
+	var discards map[uint32]int64
 
 	var emitErr error
 	emit := func() {
@@ -501,6 +515,14 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 		// merge iterator yields newest-first within a key.
 		if haveUser && bytes.Equal(e.Key, lastUserKey) {
 			if !keepForSnapshot(snaps, e.Seq, lastKeptSeq) {
+				if e.Kind == memtable.KindValuePtr && db.vlog != nil {
+					if ptr, perr := encoding.DecodeValuePointer(e.Value); perr == nil {
+						if discards == nil {
+							discards = make(map[uint32]int64)
+						}
+						discards[ptr.Seg] += int64(ptr.Len)
+					}
+				}
 				continue
 			}
 		} else if e.Kind == memtable.KindDelete && c.dropTombstones && !keepForSnapshot(snaps, e.Seq, ^uint64(0)) {
@@ -568,5 +590,11 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	}
 	for _, f := range dead {
 		db.deleteFile(r, f)
+	}
+	if len(discards) > 0 {
+		for seg, n := range discards {
+			db.vlog.MarkDiscard(seg, n)
+		}
+		db.bgCond.Broadcast() // a segment may have crossed the GC threshold
 	}
 }

@@ -62,15 +62,15 @@ func (b *Batch) Ops(fn func(kind memtable.Kind, key, value []byte)) {
 // (whose first byte is a memtable.Kind < 16).
 const walBatchMarker = 0xB7
 
-// encodeBatch renders the batch's WAL payload:
+// encodeOps renders an op list's WAL payload:
 //
 //	marker, uvarint(count), then per op: kind, uvarint(klen), key,
 //	uvarint(vlen), value.
-func encodeBatch(b *Batch) []byte {
-	out := make([]byte, 0, b.bytes+16)
+func encodeOps(ops []batchOp, bytes int) []byte {
+	out := make([]byte, 0, bytes+16)
 	out = append(out, walBatchMarker)
-	out = encoding.PutUvarint(out, uint64(len(b.ops)))
-	for _, op := range b.ops {
+	out = encoding.PutUvarint(out, uint64(len(ops)))
+	for _, op := range ops {
 		out = append(out, byte(op.kind))
 		out = encoding.PutUvarint(out, uint64(len(op.key)))
 		out = append(out, op.key...)
@@ -132,35 +132,95 @@ func (db *DB) WriteWith(r *vclock.Runner, wo WriteOptions, b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	if db.opt.DisableGroupCommit {
-		return db.writeBatchLegacy(r, wo, b)
+	userBytes := int64(b.bytes - 16*len(b.ops))
+	ops, bytes, ptrs, err := db.separateBatchOps(r, wo, b)
+	if err != nil {
+		return err
 	}
-	w := &groupWriter{ops: b.ops, bytes: b.bytes, noStall: wo.NoStallWait}
-	return db.commitThroughGroup(r, w)
+	if db.gcGate != nil {
+		db.gcGate.Acquire(r, 1)
+	}
+	if db.opt.DisableGroupCommit {
+		err = db.writeBatchLegacy(r, wo, ops, bytes, userBytes)
+	} else {
+		w := &groupWriter{ops: ops, bytes: bytes, noStall: wo.NoStallWait, userBytes: userBytes}
+		err = db.commitThroughGroup(r, w)
+	}
+	if db.gcGate != nil {
+		db.gcGate.Release(1)
+	}
+	if err != nil {
+		// The appended values are unreachable garbage; let GC reclaim them.
+		for _, p := range ptrs {
+			db.vlog.MarkDiscard(p.Seg, int64(p.Len))
+		}
+	}
+	return err
+}
+
+// separateBatchOps routes each qualifying staged value to the value log,
+// returning an op list with pointers substituted. The caller's Batch is
+// never mutated — KVACCEL's failover path replays the same Batch against
+// the Dev-LSM, which needs the original values. ptrs collects the
+// appended pointers so a failed commit can discard them.
+func (db *DB) separateBatchOps(r *vclock.Runner, wo WriteOptions, b *Batch) (ops []batchOp, bytes int, ptrs []encoding.ValuePointer, err error) {
+	anySep := false
+	for _, op := range b.ops {
+		if db.separates(op.kind, op.value) {
+			anySep = true
+			break
+		}
+	}
+	if !anySep {
+		return b.ops, b.bytes, nil, nil
+	}
+	if err := db.preSeparateStallCheck(wo); err != nil {
+		return nil, 0, nil, err
+	}
+	ops = make([]batchOp, len(b.ops))
+	for i, op := range b.ops {
+		if !db.separates(op.kind, op.value) {
+			ops[i] = op
+			bytes += len(op.key) + len(op.value) + 16
+			continue
+		}
+		ptr, perr := db.appendVLog(r, op.key, op.value)
+		if perr != nil {
+			for _, p := range ptrs {
+				db.vlog.MarkDiscard(p.Seg, int64(p.Len))
+			}
+			return nil, 0, nil, perr
+		}
+		ptrs = append(ptrs, ptr)
+		ops[i] = batchOp{kind: memtable.KindValuePtr, key: op.key, value: encoding.AppendValuePointer(nil, ptr)}
+		bytes += len(op.key) + encoding.ValuePointerSize + 16
+	}
+	return ops, bytes, ptrs, nil
 }
 
 // writeBatchLegacy is the pre-group-commit batch path (see writeLegacy).
-func (db *DB) writeBatchLegacy(r *vclock.Runner, wo WriteOptions, b *Batch) error {
+func (db *DB) writeBatchLegacy(r *vclock.Runner, wo WriteOptions, ops []batchOp, bytes int, userBytes int64) error {
 	tr := db.opt.Trace
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	if err := db.makeRoomForWrite(r, b.bytes, wo.NoStallWait, false); err != nil {
+	if err := db.makeRoomForWrite(r, bytes, wo.NoStallWait, false); err != nil {
 		db.mu.Unlock()
 		return err
 	}
 	firstSeq := db.seq + 1
-	db.seq += uint64(b.Len())
+	db.seq += uint64(len(ops))
 	mt, lg := db.mem, db.log
-	for _, op := range b.ops {
+	for _, op := range ops {
 		if op.kind == memtable.KindDelete {
 			db.stats.Deletes++
 		} else {
 			db.stats.Puts++
 		}
 	}
+	db.stats.UserBytes += userBytes
 	if lg != nil {
 		db.stats.WALAppends++
 	}
@@ -169,8 +229,8 @@ func (db *DB) writeBatchLegacy(r *vclock.Runner, wo WriteOptions, b *Batch) erro
 
 	if lg != nil {
 		wsp := tr.Begin(r, trace.PhaseWALAppend, "wal-append")
-		err := lg.Append(r, encodeBatch(b))
-		wsp.EndArg(r, int64(b.bytes))
+		err := lg.Append(r, encodeOps(ops, bytes))
+		wsp.EndArg(r, int64(bytes))
 		if err != nil && !db.isClosed() {
 			db.endApply(mt)
 			db.mu.Lock()
@@ -180,11 +240,11 @@ func (db *DB) writeBatchLegacy(r *vclock.Runner, wo WriteOptions, b *Batch) erro
 		}
 	}
 	msp := tr.Begin(r, trace.PhaseMemtableInsert, "memtable-insert")
-	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*vclock.Duration(b.Len()))
-	for i, op := range b.ops {
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*vclock.Duration(len(ops)))
+	for i, op := range ops {
 		mt.Add(firstSeq+uint64(i), op.kind, op.key, op.value)
 	}
-	msp.EndArg(r, int64(b.Len()))
+	msp.EndArg(r, int64(len(ops)))
 	db.endApply(mt)
 	return nil
 }

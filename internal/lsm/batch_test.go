@@ -47,7 +47,7 @@ func TestBatchEncodingRoundTrip(t *testing.T) {
 	b.Put([]byte("alpha"), []byte("1"))
 	b.Delete([]byte("beta"))
 	b.Put([]byte(""), nil) // empty key/value edge
-	enc := encodeBatch(&b)
+	enc := encodeOps(b.ops, b.bytes)
 	var got []string
 	err := decodeBatch(enc, func(kind memtable.Kind, key, value []byte) error {
 		got = append(got, string(key)+"/"+string(value))

@@ -7,11 +7,13 @@ import (
 	"sync"
 	"time"
 
+	"kvaccel/internal/encoding"
 	"kvaccel/internal/fs"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/sstable"
 	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
+	"kvaccel/internal/vlog"
 	"kvaccel/internal/wal"
 )
 
@@ -79,6 +81,21 @@ type DB struct {
 	snapshots  map[uint64]int // live snapshot seq -> refcount
 	bgErr      error          // sticky background failure (device full): DB goes read-only
 
+	// Value separation (vlog.go in this package). vlog is nil unless
+	// ValueThreshold > 0 or recovery found value-log state. gcGate is
+	// the writer/GC exclusion: writers hold one unit across their
+	// commit, the GC holds every unit around a check-and-rewrite batch
+	// (the same idiom as core's rollback gate). openIters and
+	// punchQueue gate segment punching behind live readers.
+	vlog       *vlog.Manager
+	gcGate     *vclock.Semaphore
+	openIters  int
+	punchQueue []uint32
+	// testHookGC, when set, is called at named points inside a GC pass
+	// ("after-rewrite", "before-punch", "after-punch") so the fault
+	// suite can crash the device mid-collection deterministically.
+	testHookGC func(string)
+
 	stats Stats
 }
 
@@ -104,6 +121,13 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	if !opt.DisableWAL {
 		db.log = db.newWAL()
+	}
+	if opt.ValueThreshold > 0 {
+		db.vlog = vlog.Open(clk, fsys, db.vlogOptions())
+		db.gcGate = vclock.NewSemaphore(vlogGateUnits, "lsm.vlogGate")
+		if !opt.DisableVLogGC {
+			clk.Go("lsm.vlog-gc", db.vlogGCWorker)
+		}
 	}
 	clk.Go("lsm.flush", db.flushWorker)
 	for i := 0; i < opt.MaxCompactionThreads; i++ {
@@ -147,6 +171,9 @@ func (db *DB) Close() {
 	for _, l := range logs {
 		l.Close()
 	}
+	if db.vlog != nil {
+		db.vlog.Close()
+	}
 	db.bgCond.Broadcast()
 	db.writeCond.Broadcast()
 	db.groupCond.Broadcast()
@@ -173,13 +200,42 @@ func (db *DB) DeleteWith(r *vclock.Runner, wo WriteOptions, key []byte) error {
 }
 
 func (db *DB) write(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, value []byte) error {
-	if db.opt.DisableGroupCommit {
-		return db.writeLegacy(r, wo, kind, key, value)
+	userBytes := int64(len(key) + len(value))
+	sep := db.separates(kind, value)
+	if sep {
+		if err := db.preSeparateStallCheck(wo); err != nil {
+			return err
+		}
 	}
-	w := &groupWriter{bytes: len(key) + len(value) + 16, noStall: wo.NoStallWait}
-	w.single[0] = batchOp{kind: kind, key: key, value: value}
-	w.ops = w.single[:1]
-	return db.commitThroughGroup(r, w)
+	var ptr encoding.ValuePointer
+	if sep {
+		var err error
+		if ptr, err = db.appendVLog(r, key, value); err != nil {
+			return err
+		}
+		kind = memtable.KindValuePtr
+		value = encoding.AppendValuePointer(nil, ptr)
+	}
+	if db.gcGate != nil {
+		db.gcGate.Acquire(r, 1)
+	}
+	var err error
+	if db.opt.DisableGroupCommit {
+		err = db.writeLegacy(r, wo, kind, key, value, userBytes, false)
+	} else {
+		w := &groupWriter{bytes: len(key) + len(value) + 16, noStall: wo.NoStallWait, userBytes: userBytes}
+		w.single[0] = batchOp{kind: kind, key: key, value: value}
+		w.ops = w.single[:1]
+		err = db.commitThroughGroup(r, w)
+	}
+	if db.gcGate != nil {
+		db.gcGate.Release(1)
+	}
+	if err != nil && sep {
+		// The appended value is unreachable garbage; let GC reclaim it.
+		db.vlog.MarkDiscard(ptr.Seg, int64(ptr.Len))
+	}
+	return err
 }
 
 // writeLegacy is the pre-group-commit write path, kept behind
@@ -190,7 +246,7 @@ func (db *DB) write(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, 
 // past it, so it cannot be released); the gap is accounted in
 // Stats.WALErrors, and recovery tolerates it — Reopen renumbers replayed
 // records densely.
-func (db *DB) writeLegacy(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, value []byte) error {
+func (db *DB) writeLegacy(r *vclock.Runner, wo WriteOptions, kind memtable.Kind, key, value []byte, userBytes int64, internal bool) error {
 	tr := db.opt.Trace
 	recBytes := len(key) + len(value) + 16
 
@@ -206,10 +262,15 @@ func (db *DB) writeLegacy(r *vclock.Runner, wo WriteOptions, kind memtable.Kind,
 	db.seq++
 	seq := db.seq
 	mt, lg := db.mem, db.log
-	if kind == memtable.KindDelete {
+	if internal {
+		db.stats.VLogGCRewrites++
+		db.stats.VLogGCBytes += userBytes
+	} else if kind == memtable.KindDelete {
 		db.stats.Deletes++
+		db.stats.UserBytes += userBytes
 	} else {
 		db.stats.Puts++
+		db.stats.UserBytes += userBytes
 	}
 	if lg != nil {
 		db.stats.WALAppends++
@@ -396,16 +457,51 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	return db.get(r, key, ^uint64(0))
 }
 
-// get reads the newest version of key with seq <= maxSeq.
+// get reads the newest version of key with seq <= maxSeq, dereferencing
+// value pointers. A pointer whose segment was punched between the
+// version read and the dereference is retried once: GC rewrote the value
+// through the normal write path before punching, so the re-read observes
+// the fresh pointer.
 func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok bool, err error) {
 	db.opt.CPU.Run(r, db.opt.Cost.ReadCPU)
-
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return nil, false, ErrClosed
 	}
 	db.stats.Gets++
+	db.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		v, kind, found, err := db.getRaw(r, key, maxSeq)
+		if err != nil || !found {
+			return nil, false, err
+		}
+		if kind == memtable.KindDelete {
+			return nil, false, nil
+		}
+		if kind != memtable.KindValuePtr {
+			return v, true, nil
+		}
+		val, derr := db.derefPointer(r, v)
+		if derr == vlog.ErrSegmentGone && attempt == 0 {
+			continue
+		}
+		if derr != nil {
+			return nil, false, derr
+		}
+		return val, true, nil
+	}
+}
+
+// getRaw reads the newest raw version of key with seq <= maxSeq, without
+// dereferencing value pointers — the vlog GC's liveness primitive.
+func (db *DB) getRaw(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool, err error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, 0, false, ErrClosed
+	}
 	mem := db.mem
 	imms := make([]*memtable.Table, len(db.imm))
 	for i, j := range db.imm {
@@ -417,42 +513,35 @@ func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok
 
 	// Memtable, then immutables newest-first.
 	if v, kind, found := memtableGetAt(mem, key, maxSeq); found {
-		return liveValue(v, kind)
+		return v, kind, true, nil
 	}
 	for i := len(imms) - 1; i >= 0; i-- {
 		if v, kind, found := memtableGetAt(imms[i], key, maxSeq); found {
-			return liveValue(v, kind)
+			return v, kind, true, nil
 		}
 	}
 	// L0 newest-first, then one candidate per deeper level.
 	for _, f := range snap.byKey(0, key) {
 		v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
 		if err != nil {
-			return nil, false, err
+			return nil, 0, false, err
 		}
 		if found {
-			return liveValue(v, kind)
+			return v, kind, true, nil
 		}
 	}
 	for l := 1; l < len(snap.levels); l++ {
 		for _, f := range snap.byKey(l, key) {
 			v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
 			if err != nil {
-				return nil, false, err
+				return nil, 0, false, err
 			}
 			if found {
-				return liveValue(v, kind)
+				return v, kind, true, nil
 			}
 		}
 	}
-	return nil, false, nil
-}
-
-func liveValue(v []byte, kind memtable.Kind) ([]byte, bool, error) {
-	if kind == memtable.KindDelete {
-		return nil, false, nil
-	}
-	return v, true, nil
+	return nil, 0, false, nil
 }
 
 // fileSnapshot pins a consistent set of SST files for a read.
@@ -572,11 +661,20 @@ func (db *DB) MemtableSize() int64 {
 	return db.memSize
 }
 
-// Stats returns a snapshot of cumulative counters.
+// Stats returns a snapshot of cumulative counters, folding in the value
+// log's live gauges when value separation is enabled.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.stats
+	s := db.stats
+	db.mu.Unlock()
+	if db.vlog != nil {
+		vs := db.vlog.Stats()
+		s.VLogBytes = vs.BytesWritten
+		s.VLogSegments = int64(vs.Segments)
+		s.VLogDiscardBytes = vs.DiscardBytes
+		s.VLogPunchedBytes = vs.PunchedBytes
+	}
+	return s
 }
 
 // BackgroundError returns the sticky background failure, if any; once

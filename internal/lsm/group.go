@@ -33,6 +33,11 @@ type groupWriter struct {
 	ops     []batchOp
 	bytes   int
 	noStall bool
+	// userBytes is the pre-separation key+value byte count this writer
+	// represents (write-amp's denominator); internal marks vlog GC
+	// rewrites, which count as GC work, not user writes.
+	userBytes int64
+	internal  bool
 
 	// Leader-assigned outcome, valid once done is true (all under db.mu).
 	seq  uint64          // first sequence number of this writer's records
@@ -157,12 +162,18 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 		db.stats.WALAppends++
 	}
 	for _, m := range group {
-		for _, op := range m.ops {
-			if op.kind == memtable.KindDelete {
-				db.stats.Deletes++
-			} else {
-				db.stats.Puts++
+		if m.internal {
+			db.stats.VLogGCRewrites += int64(len(m.ops))
+			db.stats.VLogGCBytes += m.userBytes
+		} else {
+			for _, op := range m.ops {
+				if op.kind == memtable.KindDelete {
+					db.stats.Deletes++
+				} else {
+					db.stats.Puts++
+				}
 			}
+			db.stats.UserBytes += m.userBytes
 		}
 		m.done = true
 	}

@@ -93,11 +93,16 @@ type Iterator struct {
 	value  []byte
 	valid  bool
 	closed bool
+	err    error // sticky value-pointer dereference failure
 }
 
 // NewIterator returns a range-scan cursor bound to runner r.
 func (db *DB) NewIterator(r *vclock.Runner) *Iterator {
 	db.mu.Lock()
+	// Pin value-log segments: GC defers punching (finishSegment) while any
+	// iterator is open, so every pointer this cursor surfaces stays
+	// dereferenceable until Close.
+	db.openIters++
 	mem := db.mem
 	imms := make([]*memtable.Table, len(db.imm))
 	for i, j := range db.imm {
@@ -131,7 +136,19 @@ func (it *Iterator) Close() {
 	}
 	it.closed = true
 	it.db.releaseFiles(it.r, it.snap)
+	db := it.db
+	db.mu.Lock()
+	db.openIters--
+	wake := db.openIters == 0 && len(db.punchQueue) > 0
+	db.mu.Unlock()
+	if wake {
+		db.bgCond.Broadcast() // GC worker can drain the punch queue now
+	}
 }
+
+// Err returns the first value-pointer dereference failure the iterator
+// hit; a valid==false cursor with nil Err is simply exhausted.
+func (it *Iterator) Err() error { return it.err }
 
 // Valid reports whether the iterator is on a live user key.
 func (it *Iterator) Valid() bool { return it.valid }
@@ -190,7 +207,19 @@ func (it *Iterator) settle(prev []byte) {
 			continue
 		}
 		it.key = append(it.key[:0], e.Key...)
-		it.value = append(it.value[:0], e.Value...)
+		if e.Kind == memtable.KindValuePtr {
+			// Open iterators pin segments against punching, so the
+			// dereference cannot race GC; failure here is real corruption.
+			v, err := it.db.derefPointer(it.r, e.Value)
+			if err != nil {
+				it.err = err
+				it.valid = false
+				return
+			}
+			it.value = append(it.value[:0], v...)
+		} else {
+			it.value = append(it.value[:0], e.Value...)
+		}
 		it.valid = true
 		return
 	}

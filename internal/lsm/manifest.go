@@ -12,6 +12,7 @@ import (
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/sstable"
 	"kvaccel/internal/vclock"
+	"kvaccel/internal/vlog"
 	"kvaccel/internal/wal"
 )
 
@@ -35,6 +36,12 @@ type manifestSnapshot struct {
 	nextFileNum uint64
 	seq         uint64
 	files       []manifestFile
+	// hasVLog marks a manifest written with value separation enabled;
+	// vlogState then carries the segment-id allocator and per-segment
+	// durable/discard watermarks so Recover resumes exactly. Manifests
+	// from before the value log simply lack the section.
+	hasVLog   bool
+	vlogState vlog.ManifestState
 }
 
 type manifestFile struct {
@@ -58,6 +65,10 @@ func (db *DB) snapshotManifestLocked() manifestSnapshot {
 			})
 		}
 	}
+	if db.vlog != nil {
+		snap.hasVLog = true
+		snap.vlogState = db.vlog.ManifestSnapshot()
+	}
 	return snap
 }
 
@@ -76,6 +87,16 @@ func encodeManifest(s manifestSnapshot) []byte {
 		b = append(b, f.largest...)
 		b = encoding.PutU64(b, uint64(f.size))
 		b = encoding.PutU32(b, uint32(f.entries))
+	}
+	if s.hasVLog {
+		b = append(b, 1) // vlog section marker
+		b = encoding.PutU32(b, s.vlogState.NextSeg)
+		b = encoding.PutU32(b, uint32(len(s.vlogState.Segments)))
+		for _, si := range s.vlogState.Segments {
+			b = encoding.PutU32(b, si.ID)
+			b = encoding.PutU64(b, uint64(si.Durable))
+			b = encoding.PutU64(b, uint64(si.Discard))
+		}
 	}
 	b = encoding.PutU32(b, encoding.Checksum(b))
 	return b
@@ -143,6 +164,33 @@ func decodeManifest(b []byte) (manifestSnapshot, error) {
 		}
 		f.entries = int(ent)
 		s.files = append(s.files, f)
+	}
+	if len(rest) > 0 && rest[0] == 1 {
+		s.hasVLog = true
+		rest = rest[1:]
+		if s.vlogState.NextSeg, rest, err = encoding.U32(rest); err != nil {
+			return s, err
+		}
+		var nseg uint32
+		if nseg, rest, err = encoding.U32(rest); err != nil {
+			return s, err
+		}
+		for i := uint32(0); i < nseg; i++ {
+			var si vlog.SegmentInfo
+			if si.ID, rest, err = encoding.U32(rest); err != nil {
+				return s, err
+			}
+			var u uint64
+			if u, rest, err = encoding.U64(rest); err != nil {
+				return s, err
+			}
+			si.Durable = int64(u)
+			if u, rest, err = encoding.U64(rest); err != nil {
+				return s, err
+			}
+			si.Discard = int64(u)
+			s.vlogState.Segments = append(s.vlogState.Segments, si)
+		}
 	}
 	return s, nil
 }
@@ -267,6 +315,42 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		}
 	}
 
+	// Recover the value log before WAL replay: replayed pointer records
+	// are validated against the recovered (torn-tail-truncated) segments.
+	// The log is rebuilt whenever the manifest says it existed, segment
+	// files survive on disk, or the new options enable separation.
+	anyVLogFiles := false
+	for _, name := range fsys.List() {
+		if _, ok := vlog.ParseSegmentName(name); ok {
+			anyVLogFiles = true
+			break
+		}
+	}
+	if snap.hasVLog || anyVLogFiles || opt.ValueThreshold > 0 {
+		vl, verr := vlog.Recover(r, clk, fsys, db.vlogOptions(), snap.vlogState)
+		if verr != nil {
+			return nil, verr
+		}
+		db.vlog = vl
+		db.gcGate = vclock.NewSemaphore(vlogGateUnits, "lsm.vlogGate")
+		if !opt.DisableVLogGC {
+			clk.Go("lsm.vlog-gc", db.vlogGCWorker)
+		}
+	}
+	// From here on the vlog's write-back runner (and possibly the GC
+	// worker) are live; an error return must shut them down or they park
+	// forever on a DB no one will ever Close.
+	abort := func(err error) (*DB, error) {
+		db.mu.Lock()
+		db.closed = true
+		db.mu.Unlock()
+		if db.vlog != nil {
+			db.vlog.Close()
+		}
+		db.bgCond.Broadcast()
+		return nil, err
+	}
+
 	// Replay surviving WAL files in file-number order; records beyond the
 	// last write-back are gone, as on a real crash.
 	var logs []string
@@ -288,6 +372,22 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 			db.nextFileNum = n + 1
 		}
 	}
+	// A WAL record can carry a pointer into vlog bytes the crash tore
+	// away. Such records are dropped whole (the batch is atomic): they
+	// were never acknowledged as durable — the group commit acks after
+	// the WAL append, but durability is only promised at the Flush
+	// barrier, which syncs the vlog before the WAL's memtable reaches an
+	// SST — so dropping them is within the recovery contract. The
+	// unchecked-replay mode skips the validation along with everything
+	// else it skips.
+	checkPtrs := db.vlog != nil && !opt.UncheckedWALReplay
+	resolves := func(kind memtable.Kind, value []byte) bool {
+		if !checkPtrs || kind != memtable.KindValuePtr {
+			return true
+		}
+		ptr, perr := encoding.DecodeValuePointer(value)
+		return perr == nil && db.vlog.Resolves(ptr)
+	}
 	for _, name := range logs {
 		replayFn := wal.Replay
 		if opt.UncheckedWALReplay {
@@ -295,23 +395,44 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		}
 		err := replayFn(r, fsys, name, func(payload []byte) error {
 			if len(payload) > 0 && payload[0] == walBatchMarker {
-				// Atomic batch: replay all ops or none.
-				return decodeBatch(payload, func(kind memtable.Kind, key, value []byte) error {
-					db.seq++
-					db.mem.Add(db.seq, kind, key, value)
+				// Atomic batch: replay all ops or none. Decode fully before
+				// applying so a dangling pointer drops the whole batch.
+				var ops []batchOp
+				derr := decodeBatch(payload, func(kind memtable.Kind, key, value []byte) error {
+					ops = append(ops, batchOp{
+						kind:  kind,
+						key:   append([]byte(nil), key...),
+						value: append([]byte(nil), value...),
+					})
 					return nil
 				})
+				if derr != nil {
+					return derr
+				}
+				for _, op := range ops {
+					if !resolves(op.kind, op.value) {
+						return nil
+					}
+				}
+				for _, op := range ops {
+					db.seq++
+					db.mem.Add(db.seq, op.kind, op.key, op.value)
+				}
+				return nil
 			}
 			kind, key, value, perr := parseWALRecord(payload)
 			if perr != nil {
 				return nil // stop-at-corruption is handled by wal.Replay
+			}
+			if !resolves(kind, value) {
+				return nil
 			}
 			db.seq++
 			db.mem.Add(db.seq, kind, key, value)
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return abort(err)
 		}
 	}
 

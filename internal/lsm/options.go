@@ -82,6 +82,23 @@ type Options struct {
 	// measuring what the group-commit pipeline buys.
 	DisableGroupCommit bool
 
+	// ValueThreshold enables WiscKey-style value separation: a Put whose
+	// value is at least this many bytes appends the value to the value
+	// log and stores a fixed-size pointer in the LSM instead, so the WAL,
+	// memtable, SSTs, and every compaction move 13 bytes per large value.
+	// Zero (the default) disables the value log entirely.
+	ValueThreshold int
+	// VLogSegmentSize rotates the value log's head segment (the GC unit);
+	// defaults to MaxFileSize so segments are SST-sized.
+	VLogSegmentSize int64
+	// VLogGCDiscardRatio is the dead-bytes fraction at which a sealed
+	// segment becomes a GC candidate (live values are rewritten through
+	// the normal write path and the segment is punched via TRIM).
+	VLogGCDiscardRatio float64
+	// DisableVLogGC keeps the garbage collector parked — for tests that
+	// drive GC deterministically via CollectVLogGarbage.
+	DisableVLogGC bool
+
 	// WALChunkSize and WALQueueDepth tune write-ahead-log write-back.
 	WALChunkSize  int
 	WALQueueDepth int
@@ -239,6 +256,15 @@ func (o *Options) sanitize() {
 	}
 	if o.MaxWriteGroupBytes <= 0 {
 		o.MaxWriteGroupBytes = 1 << 20
+	}
+	if o.ValueThreshold < 0 {
+		o.ValueThreshold = 0
+	}
+	if o.VLogSegmentSize <= 0 {
+		o.VLogSegmentSize = o.MaxFileSize
+	}
+	if o.VLogGCDiscardRatio <= 0 || o.VLogGCDiscardRatio > 1 {
+		o.VLogGCDiscardRatio = 0.5
 	}
 	if o.WALChunkSize <= 0 {
 		o.WALChunkSize = 64 << 10

@@ -35,13 +35,17 @@ func (s *Snapshot) Seq() uint64 { return s.seq }
 func (s *Snapshot) Release() {
 	db := s.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if n, ok := db.snapshots[s.seq]; ok {
 		if n <= 1 {
 			delete(db.snapshots, s.seq)
 		} else {
 			db.snapshots[s.seq] = n - 1
 		}
+	}
+	wake := len(db.snapshots) == 0 && len(db.punchQueue) > 0
+	db.mu.Unlock()
+	if wake {
+		db.bgCond.Broadcast() // GC worker can drain the punch queue now
 	}
 }
 

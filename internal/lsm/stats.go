@@ -67,6 +67,26 @@ type Stats struct {
 	CompactionReadBytes  int64
 	CompactionWriteBytes int64
 	WALBytesWritten      int64
+
+	// UserBytes is the pre-separation key+value payload committed by user
+	// writes — write-amp's denominator. With value separation a 4 KiB
+	// value contributes 4 KiB here but only a 13-byte pointer to
+	// FlushBytes, which is why the old FlushBytes denominator can no
+	// longer stand in for user volume.
+	UserBytes int64
+
+	// Value-log counters. VLogBytes is device bytes the vlog wrote
+	// (segment write-back, GC rewrites included); VLogGCRewrites /
+	// VLogGCBytes count live records GC re-appended (not user writes);
+	// VLogSegments is the live segment count; VLogDiscardBytes is
+	// cumulative dead bytes reported by compaction; VLogPunchedBytes is
+	// bytes reclaimed via segment punch (TRIM).
+	VLogBytes        int64
+	VLogGCRewrites   int64
+	VLogGCBytes      int64
+	VLogSegments     int64
+	VLogDiscardBytes int64
+	VLogPunchedBytes int64
 }
 
 // MeanGroupSize is the average number of records per committed write
@@ -98,12 +118,20 @@ func (s Stats) TotalStalls() int64 {
 }
 
 // WriteAmplification estimates device-write bytes per user byte: WAL +
-// flush + compaction writes over flushed (user) bytes.
+// flush + compaction + value-log writes over the user payload. UserBytes
+// (pre-separation key+value volume) is the denominator; snapshots
+// predating the counter fall back to FlushBytes, which equalled user
+// volume before value separation existed.
 func (s Stats) WriteAmplification() float64 {
-	if s.FlushBytes == 0 {
+	device := s.WALBytesWritten + s.FlushBytes + s.CompactionWriteBytes + s.VLogBytes
+	user := s.UserBytes
+	if user == 0 {
+		user = s.FlushBytes
+	}
+	if user == 0 {
 		return 1
 	}
-	return float64(s.WALBytesWritten+s.FlushBytes+s.CompactionWriteBytes) / float64(s.FlushBytes)
+	return float64(device) / float64(user)
 }
 
 // Health is the instantaneous state the KVACCEL Detector polls (§V-C):
@@ -149,6 +177,13 @@ func (s Stats) Add(o Stats) Stats {
 	s.CompactionReadBytes += o.CompactionReadBytes
 	s.CompactionWriteBytes += o.CompactionWriteBytes
 	s.WALBytesWritten += o.WALBytesWritten
+	s.UserBytes += o.UserBytes
+	s.VLogBytes += o.VLogBytes
+	s.VLogGCRewrites += o.VLogGCRewrites
+	s.VLogGCBytes += o.VLogGCBytes
+	s.VLogSegments += o.VLogSegments
+	s.VLogDiscardBytes += o.VLogDiscardBytes
+	s.VLogPunchedBytes += o.VLogPunchedBytes
 	return s
 }
 

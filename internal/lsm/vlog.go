@@ -1,0 +1,329 @@
+package lsm
+
+import (
+	"fmt"
+	"time"
+
+	"kvaccel/internal/encoding"
+	"kvaccel/internal/memtable"
+	"kvaccel/internal/trace"
+	"kvaccel/internal/vclock"
+	"kvaccel/internal/vlog"
+	"kvaccel/internal/wal"
+)
+
+// vlogGateUnits sizes the writer/GC exclusion semaphore: a writer holds
+// one unit across its commit, the GC holds all of them around one
+// check-and-rewrite batch, so "GC holds the gate" means "no committed
+// write is invisible yet" — the invariant that makes the liveness
+// re-check under the gate exact. Mirrors core's rollback gate.
+const vlogGateUnits = 1 << 20
+
+// vlogGCBatch is how many live records GC rewrites per exclusive gate
+// hold; small enough that foreground writers never queue behind the GC
+// for long.
+const vlogGCBatch = 32
+
+func (db *DB) vlogOptions() vlog.Options {
+	return vlog.Options{
+		SegmentSize: db.opt.VLogSegmentSize,
+		ChunkSize:   db.opt.WALChunkSize,
+		QueueDepth:  db.opt.WALQueueDepth,
+		CPU:         db.opt.CPU,
+		AppendCPU:   db.opt.Cost.WALAppendCPU,
+	}
+}
+
+// separates reports whether a write's value should go to the value log.
+func (db *DB) separates(kind memtable.Kind, value []byte) bool {
+	return db.vlog != nil && db.opt.ValueThreshold > 0 &&
+		kind == memtable.KindPut && len(value) >= db.opt.ValueThreshold
+}
+
+// preSeparateStallCheck fails a NoStallWait write before it pays the
+// value-log append: the group path would reject it at the queue anyway,
+// and the appended value would be instant garbage.
+func (db *DB) preSeparateStallCheck(wo WriteOptions) error {
+	if !wo.NoStallWait || db.opt.DisableGroupCommit {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.stalledWriters > 0 {
+		db.stats.WouldStalls++
+		return ErrWouldStall
+	}
+	return nil
+}
+
+// appendVLog frames one separated value into the value log.
+func (db *DB) appendVLog(r *vclock.Runner, key, value []byte) (encoding.ValuePointer, error) {
+	sp := db.opt.Trace.Begin(r, trace.PhaseVLogAppend, "vlog-append")
+	ptr, err := db.vlog.Append(r, key, value)
+	sp.EndArg(r, int64(len(value)))
+	return ptr, err
+}
+
+// derefPointer resolves a KindValuePtr entry's value bytes.
+func (db *DB) derefPointer(r *vclock.Runner, pv []byte) ([]byte, error) {
+	ptr, err := encoding.DecodeValuePointer(pv)
+	if err != nil {
+		return nil, err
+	}
+	if db.vlog == nil {
+		return nil, fmt.Errorf("lsm: value pointer with no value log")
+	}
+	sp := db.opt.Trace.Begin(r, trace.PhaseVLogRead, "vlog-read")
+	v, err := db.vlog.ReadValue(r, ptr)
+	sp.EndArg(r, int64(len(v)))
+	return v, err
+}
+
+// VLogStats exposes the value log's counters (zero when disabled).
+func (db *DB) VLogStats() vlog.Stats {
+	if db.vlog == nil {
+		return vlog.Stats{}
+	}
+	return db.vlog.Stats()
+}
+
+// vlogGCWorker is the background garbage collector: whenever a sealed
+// segment's compaction-reported discard ratio crosses
+// VLogGCDiscardRatio, it rewrites the segment's live values through the
+// normal write path and punches the segment via TRIM.
+func (db *DB) vlogGCWorker(r *vclock.Runner) {
+	for {
+		db.mu.Lock()
+		for !db.closed && db.bgErr == nil && !db.vlogGCReadyLocked() {
+			db.bgCond.Wait(r)
+		}
+		if db.bgErr != nil && !db.closed {
+			// Read-only DB: no more GC, park until shutdown.
+			for !db.closed {
+				db.bgCond.Wait(r)
+			}
+		}
+		if db.closed {
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+
+		db.drainPunchQueue(r)
+		if seg, ok := db.vlog.PickGC(db.opt.VLogGCDiscardRatio); ok {
+			if err := db.gcSegment(r, seg); err != nil && !db.isClosed() {
+				// Transient failure (e.g. persistent stall pressure):
+				// back off instead of spinning on the same segment.
+				r.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+}
+
+// vlogGCReadyLocked reports whether the GC worker has work: a punchable
+// queue or a segment over the discard threshold. Caller holds db.mu;
+// vlog's own lock nests inside db.mu everywhere.
+func (db *DB) vlogGCReadyLocked() bool {
+	if len(db.punchQueue) > 0 && db.openIters == 0 && len(db.snapshots) == 0 {
+		return true
+	}
+	_, ok := db.vlog.PickGC(db.opt.VLogGCDiscardRatio)
+	return ok
+}
+
+// CollectVLogGarbage runs one synchronous GC pass over the most
+// garbage-laden sealed segment at or above ratio (0 accepts any sealed
+// segment with any discard). It exists for tests and tooling; the
+// background worker calls the same machinery. Returns whether a segment
+// was collected.
+func (db *DB) CollectVLogGarbage(r *vclock.Runner, ratio float64) (bool, error) {
+	if db.vlog == nil {
+		return false, nil
+	}
+	seg, ok := db.vlog.PickGC(ratio)
+	if !ok {
+		return false, nil
+	}
+	if err := db.gcSegment(r, seg); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// gcSegment collects one segment: sequential segment read, liveness
+// pre-filter, gated check-and-rewrite batches, sync, punch.
+func (db *DB) gcSegment(r *vclock.Runner, seg uint32) error {
+	sp := db.opt.Trace.Begin(r, trace.PhaseVLogGC, "vlog-gc")
+	defer sp.End(r)
+
+	entries, err := db.vlog.SegmentEntries(r, seg)
+	if err != nil {
+		return err
+	}
+	// Pre-filter liveness outside the gate to keep the exclusive windows
+	// small; each batch re-checks under the gate before rewriting.
+	live := entries[:0]
+	for _, e := range entries {
+		alive, lerr := db.pointerLive(r, e.Key, e.Ptr)
+		if lerr != nil {
+			return lerr
+		}
+		if alive {
+			live = append(live, e)
+		}
+	}
+	for start := 0; start < len(live); start += vlogGCBatch {
+		end := start + vlogGCBatch
+		if end > len(live) {
+			end = len(live)
+		}
+		for {
+			err := db.gcRewriteBatch(r, live[start:end], db.testHookGC)
+			if err == ErrWouldStall {
+				// The engine is stalling; the foreground failover path has
+				// priority. Release pressure and retry the batch.
+				r.Sleep(5 * time.Millisecond)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			break
+		}
+	}
+	// Every live value now has a newer copy; make the rewrites durable
+	// (vlog segment and the WAL records carrying the new pointers)
+	// before the old copies disappear, or a crash after the punch could
+	// lose the only recoverable copy.
+	if err := db.syncForVLogGC(r); err != nil {
+		return err
+	}
+	if db.testHookGC != nil {
+		db.testHookGC("before-punch")
+	}
+	db.finishSegment(r, seg)
+	if db.testHookGC != nil {
+		db.testHookGC("after-punch")
+	}
+	return nil
+}
+
+// gcRewriteBatch re-checks and rewrites one batch of candidate records
+// under the exclusive writer gate. Holding every gate unit guarantees no
+// foreground commit is in flight, so a record that checks live here
+// cannot be superseded before its rewrite commits — the stale-value
+// resurrection race this gate exists to prevent.
+func (db *DB) gcRewriteBatch(r *vclock.Runner, batch []vlog.Entry, hook func(string)) error {
+	db.gcGate.Acquire(r, vlogGateUnits)
+	defer db.gcGate.Release(vlogGateUnits)
+	for _, e := range batch {
+		alive, err := db.pointerLive(r, e.Key, e.Ptr)
+		if err != nil {
+			return err
+		}
+		if !alive {
+			continue
+		}
+		if err := db.rewriteForGC(r, e.Key, e.Value); err != nil {
+			return err
+		}
+		if hook != nil {
+			hook("after-rewrite")
+		}
+	}
+	return nil
+}
+
+// pointerLive reports whether ptr is still the newest version of key.
+func (db *DB) pointerLive(r *vclock.Runner, key []byte, ptr encoding.ValuePointer) (bool, error) {
+	db.opt.CPU.Run(r, db.opt.Cost.ReadCPU)
+	v, kind, found, err := db.getRaw(r, key, ^uint64(0))
+	if err != nil {
+		return false, err
+	}
+	if !found || kind != memtable.KindValuePtr {
+		return false, nil
+	}
+	cur, derr := encoding.DecodeValuePointer(v)
+	return derr == nil && cur == ptr, nil
+}
+
+// rewriteForGC re-appends one live value to the head segment and commits
+// the fresh pointer through the write path, bypassing the gate (the GC
+// holds it) and flagged internal so it does not count as a user write.
+func (db *DB) rewriteForGC(r *vclock.Runner, key, value []byte) error {
+	ptr, err := db.appendVLog(r, key, value)
+	if err != nil {
+		return err
+	}
+	pv := encoding.AppendValuePointer(nil, ptr)
+	wo := WriteOptions{NoStallWait: true}
+	if db.opt.DisableGroupCommit {
+		err = db.writeLegacy(r, wo, memtable.KindValuePtr, key, pv, int64(len(value)), true)
+	} else {
+		w := &groupWriter{bytes: len(key) + len(pv) + 16, noStall: true, internal: true, userBytes: int64(len(value))}
+		w.single[0] = batchOp{kind: memtable.KindValuePtr, key: key, value: pv}
+		w.ops = w.single[:1]
+		err = db.commitThroughGroup(r, w)
+	}
+	if err != nil {
+		db.vlog.MarkDiscard(ptr.Seg, int64(ptr.Len))
+	}
+	return err
+}
+
+// syncForVLogGC makes every rewrite durable: the value log first, then
+// every live WAL (active and queued-for-flush) carrying pointer records.
+func (db *DB) syncForVLogGC(r *vclock.Runner) error {
+	if err := db.vlog.Sync(r); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	logs := make([]*wal.Log, 0, len(db.imm)+1)
+	for _, j := range db.imm {
+		if j.log != nil {
+			logs = append(logs, j.log)
+		}
+	}
+	if db.log != nil {
+		logs = append(logs, db.log)
+	}
+	db.mu.Unlock()
+	for _, lg := range logs {
+		if err := lg.Sync(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishSegment punches a fully collected segment, or queues the punch
+// while live iterators or snapshots could still dereference into it.
+// New readers only ever observe the rewrites, which are newer versions.
+func (db *DB) finishSegment(r *vclock.Runner, seg uint32) {
+	db.vlog.MarkDead(seg)
+	db.mu.Lock()
+	if db.openIters > 0 || len(db.snapshots) > 0 {
+		db.punchQueue = append(db.punchQueue, seg)
+		db.mu.Unlock()
+		return
+	}
+	db.mu.Unlock()
+	db.vlog.Punch(r, seg)
+}
+
+// drainPunchQueue punches deferred segments once no reader can hold a
+// pointer into them.
+func (db *DB) drainPunchQueue(r *vclock.Runner) {
+	db.mu.Lock()
+	if len(db.punchQueue) == 0 || db.openIters > 0 || len(db.snapshots) > 0 {
+		db.mu.Unlock()
+		return
+	}
+	q := db.punchQueue
+	db.punchQueue = nil
+	db.mu.Unlock()
+	for _, seg := range q {
+		db.vlog.Punch(r, seg)
+	}
+}

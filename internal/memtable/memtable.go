@@ -24,6 +24,11 @@ const (
 	// being newer than it, shadows it. (KVACCEL-specific; never appears
 	// in the Main-LSM.)
 	KindSupersede
+	// KindValuePtr is a WiscKey-style separated value: the entry's value
+	// bytes are a fixed-size encoding.ValuePointer into the value log,
+	// not the user value itself. The Main-LSM's read paths dereference it
+	// transparently; compaction moves it without touching the value log.
+	KindValuePtr
 )
 
 const (

@@ -54,6 +54,9 @@ const (
 	PhaseRecovery
 	PhaseDetector
 	PhaseWriteGroup
+	PhaseVLogAppend
+	PhaseVLogRead
+	PhaseVLogGC
 
 	NumPhases
 )
@@ -84,6 +87,9 @@ var phaseNames = [NumPhases]string{
 	PhaseRecovery:       "recovery",
 	PhaseDetector:       "detector",
 	PhaseWriteGroup:     "write-group",
+	PhaseVLogAppend:     "vlog-append",
+	PhaseVLogRead:       "vlog-read",
+	PhaseVLogGC:         "vlog-gc",
 }
 
 func (p Phase) String() string {
@@ -102,6 +108,7 @@ var activityPhases = []Phase{
 	PhaseNANDRead, PhaseNANDProg, PhaseNANDErase,
 	PhaseDevLSM, PhaseDevLSMFlush,
 	PhaseRollback, PhaseRollbackScan, PhaseRecovery,
+	PhaseVLogGC,
 }
 
 // Event kinds, matching Chrome trace-event phase letters.

@@ -82,6 +82,16 @@ type Options struct {
 	// It also disables the pipeline's stall-failover admission (a
 	// would-stall write redirecting immediately instead of parking).
 	DisableGroupCommit bool
+	// ValueThreshold enables WiscKey-style value separation in the
+	// Main-LSM: Put values at least this many bytes long live in an
+	// append-only value log and the LSM carries a 13-byte pointer, so
+	// flushes and compactions move pointers, not payloads. 0 (the
+	// default) disables separation.
+	ValueThreshold int
+	// VLogGCDiscardRatio is the dead-bytes fraction at which a sealed
+	// value-log segment is garbage-collected (live values rewritten, the
+	// segment punched via TRIM). 0 keeps the engine default (0.5).
+	VLogGCDiscardRatio float64
 	// DetectorPeriod is the stall-detector refresh interval.
 	DetectorPeriod time.Duration
 	// HostCores bounds the host CPU pool.
@@ -189,6 +199,8 @@ func (opt Options) engineOptions(pool *cpu.Pool, shards int64) lsm.Options {
 	lopt.CompactionThreads = opt.CompactionThreads
 	lopt.EnableSlowdown = false // KVACCEL redirects instead of throttling
 	lopt.DisableGroupCommit = opt.DisableGroupCommit
+	lopt.ValueThreshold = opt.ValueThreshold
+	lopt.VLogGCDiscardRatio = opt.VLogGCDiscardRatio
 	lopt.WALChunkSize = 256 << 10
 	lopt.WALQueueDepth = 512
 	lopt.Cost.WriteCPU *= scale
