@@ -26,6 +26,7 @@ import (
 
 	"kvaccel/internal/harness"
 	"kvaccel/internal/trace"
+	"kvaccel/internal/workload"
 )
 
 func main() { os.Exit(run()) }
@@ -33,7 +34,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel, kvaccel-sharded")
-		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom")
+		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom, ycsb-a..ycsb-f, mixed")
 		threads  = flag.Int("threads", 1, "compaction threads")
 		slowdown = flag.Bool("slowdown", true, "enable the RocksDB slowdown mechanism (rocksdb/adoc)")
 		rollback = flag.String("rollback", "lazy", "kvaccel rollback scheme: disabled, lazy, eager")
@@ -57,6 +58,12 @@ func run() int {
 		queues   = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
 		faultSee = flag.Int64("faults-seed", 0, "seed a deterministic device fault plan (0 = no injection)")
 		cuts     = flag.Int("power-cuts", 0, "run the crash-recovery torture instead of a bench: cut device power N times, recover, verify the oracle")
+		readPct  = flag.Float64("read-pct", 0, "read fraction override for mixed workloads (0 = preset default)")
+		zipfT    = flag.Float64("zipf-theta", 0, "zipfian skew override for mixed workloads (0 = YCSB default 0.99)")
+		frontMB  = flag.Int("front-cache-mb", 32, "hot-key front cache budget in MB (kvaccel engines; default-on for mixed workloads)")
+		noFront  = flag.Bool("no-front-cache", false, "disable the hot-key front cache")
+		noBlock  = flag.Bool("no-block-cache", false, "disable the Main-LSM block cache and vlog read cache (cold-cache baseline)")
+		cacheAB  = flag.String("cache-ab", "", "run the mixed workload twice (caches on, then off) and write the paired A/B record to this JSON file")
 
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's virtual timeline to this file")
 		traceSum   = flag.Bool("trace-summary", false, "print per-phase virtual-time attribution and the stall-window report")
@@ -73,6 +80,12 @@ func run() int {
 	if *noVLog {
 		*vthresh = 0
 	}
+	frontSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "front-cache-mb" {
+			frontSet = true
+		}
+	})
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -118,6 +131,12 @@ func run() int {
 			qd:       *qd,
 			ioqueues: *ioqueues,
 			queues:   *queues,
+			frontCacheBytes: func() int64 {
+				if *noFront || !frontSet {
+					return 0
+				}
+				return int64(*frontMB) << 20
+			}(),
 		})
 		return 0
 	}
@@ -134,6 +153,9 @@ func run() int {
 	p.Writers = *writers
 	p.DisableGroupCommit = *noGroup
 	p.ValueThreshold = *vthresh
+	p.ReadPct = *readPct
+	p.ZipfTheta = *zipfT
+	p.DisableBlockCache = *noBlock
 	if *tracePath != "" || *traceSum {
 		p.Trace = trace.New(*traceDepth)
 	}
@@ -164,11 +186,28 @@ func run() int {
 		}
 	case "seekrandom":
 		kind = harness.WorkloadD
+	case "mixed":
+		kind = harness.WorkloadMixed
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		return 2
+		name := strings.ToLower(*wl)
+		if _, ok := workload.Mix(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+			return 2
+		}
+		kind = harness.WorkloadMixed
+		p.Mix = name
 	}
 
+	// The front cache is the mixed-workload read accelerator: default-on
+	// there (kvaccel engines only), opt-in elsewhere via -front-cache-mb.
+	if !*noFront && spec.Kind == harness.KindKVAccel &&
+		(kind == harness.WorkloadMixed || frontSet) {
+		p.FrontCacheBytes = int64(*frontMB) << 20
+	}
+
+	if *cacheAB != "" {
+		return runCacheAB(p, spec, int64(*frontMB)<<20, *cacheAB)
+	}
 	if *wSweep != "" {
 		return runWritersSweep(p, spec, *wSweep, *jsonPath)
 	}
@@ -177,8 +216,13 @@ func run() int {
 		return 0
 	}
 
+	wlName := kind.String()
+	if kind == harness.WorkloadMixed {
+		mix := p.ResolveMix()
+		wlName = fmt.Sprintf("Mixed(%s %s theta=%.2f)", mix.Name, mix.Dist, mix.EffectiveTheta())
+	}
 	fmt.Printf("kvbench: %s, %s, scale=%d duration=%v keyspace=%d value=%dB writers=%d seed=%d\n",
-		spec.Name(), kind, p.Scale, p.Duration, p.KeySpace, p.ValueSize, max(p.Writers, 1), p.Seed)
+		spec.Name(), wlName, p.Scale, p.Duration, p.KeySpace, p.ValueSize, max(p.Writers, 1), p.Seed)
 	res := p.Run(spec, kind)
 
 	fmt.Printf("\nwrites      : %d ops, %.2f Kops/s, %.1f MB/s\n", res.Rec.Writes(), res.WriteKops(), res.WriteMBps())
@@ -187,9 +231,14 @@ func run() int {
 		fmt.Printf("reads       : %d ops, %.2f Kops/s\n", res.Rec.Reads(), res.ReadKops())
 		fmt.Printf("read lat    : %s\n", res.Rec.ReadLatency)
 	}
+	if res.Rec.Scans() > 0 {
+		fmt.Printf("scans       : %d ops, %.2f Kops/s\n", res.Rec.Scans(), res.ScanKops())
+		fmt.Printf("scan lat    : %s\n", res.Rec.ScanLatency)
+	}
 	s := res.MainStats
 	fmt.Printf("cpu         : %.1f%% avg  efficiency=%.3f MB/s per cpu%%\n", res.CPUAvg, res.Efficiency())
 	printEngineSummary(s, res.WouldStallRedirects)
+	printReadAttribution(res.KVStats)
 	fmt.Printf("tree        : %s\n", res.Levels)
 	if res.Redirects > 0 || res.Rollbacks > 0 {
 		fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", res.Redirects, res.Rollbacks)
@@ -295,13 +344,21 @@ type benchJSON struct {
 	GroupCommit bool    `json:"group_commit"`
 	DurationS   float64 `json:"duration_s"` // virtual seconds measured
 
+	Mix string `json:"mix,omitempty"` // resolved mixed-workload preset
+
 	Writes     int64   `json:"writes"`
 	WriteKops  float64 `json:"write_kops"`
 	WriteMBps  float64 `json:"write_mbps"`
 	Reads      int64   `json:"reads,omitempty"`
 	ReadKops   float64 `json:"read_kops,omitempty"`
+	Scans      int64   `json:"scans,omitempty"`
+	ScanKops   float64 `json:"scan_kops,omitempty"`
 	WriteP50US float64 `json:"write_p50_us"`
 	WriteP99US float64 `json:"write_p99_us"`
+	ReadP50US  float64 `json:"read_p50_us,omitempty"`
+	ReadP99US  float64 `json:"read_p99_us,omitempty"`
+	ScanP50US  float64 `json:"scan_p50_us,omitempty"`
+	ScanP99US  float64 `json:"scan_p99_us,omitempty"`
 
 	CPUAvgPct  float64 `json:"cpu_avg_pct"`
 	Efficiency float64 `json:"efficiency_mbps_per_cpu_pct"`
@@ -322,6 +379,13 @@ type benchJSON struct {
 
 	ValueLog *vlogJSON `json:"value_log,omitempty"`
 
+	// FrontCache, BlockCache, and Attribution are the read-pipeline
+	// blocks: hot-key front cache counters, Main-LSM block cache
+	// counters, and the controller's per-source read attribution.
+	FrontCache  *frontCacheJSON  `json:"front_cache,omitempty"`
+	BlockCache  *blockCacheJSON  `json:"block_cache,omitempty"`
+	Attribution *attributionJSON `json:"read_attribution,omitempty"`
+
 	PCIeAvgMBps float64 `json:"pcie_avg_mbps"`
 
 	Queues []queueJSON `json:"queues,omitempty"`
@@ -336,6 +400,38 @@ type vlogJSON struct {
 	GCRewrites   int64 `json:"gc_rewrites"`
 	DiscardBytes int64 `json:"discard_bytes"`
 	PunchedBytes int64 `json:"punched_bytes"`
+}
+
+// frontCacheJSON is the hot-key front cache block, present when the
+// cache saw any traffic.
+type frontCacheJSON struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Fills         int64   `json:"fills"`
+	Rejected      int64   `json:"rejected"`
+	Invalidations int64   `json:"invalidations"`
+	Evictions     int64   `json:"evictions"`
+	Entries       int64   `json:"entries"`
+	UsedBytes     int64   `json:"used_bytes"`
+}
+
+// blockCacheJSON is the Main-LSM SST block cache block.
+type blockCacheJSON struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Evictions int64   `json:"evictions"`
+}
+
+// attributionJSON is the controller's per-source read attribution;
+// Sums asserts FrontCache + DevLSM + MainLSM == Gets.
+type attributionJSON struct {
+	FrontCache int64 `json:"front_cache"`
+	DevLSM     int64 `json:"dev_lsm"`
+	MainLSM    int64 `json:"main_lsm"`
+	Gets       int64 `json:"gets"`
+	Sums       bool  `json:"sums"`
 }
 
 type queueJSON struct {
@@ -394,6 +490,50 @@ func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.Workl
 		MeanGroupSize:       res.MainStats.MeanGroupSize(),
 		WALAppendsPerRecord: res.MainStats.WALAppendsPerRecord(),
 		WouldStallRedirects: res.WouldStallRedirects,
+	}
+	if kind == harness.WorkloadMixed {
+		out.Mix = res.MixSpec.Name
+	}
+	if res.Rec.Reads() > 0 {
+		out.ReadP50US = float64(res.Rec.ReadLatency.Quantile(0.5)) / 1e3
+		out.ReadP99US = float64(res.Rec.ReadLatency.Quantile(0.99)) / 1e3
+	}
+	if res.Rec.Scans() > 0 {
+		out.Scans = res.Rec.Scans()
+		out.ScanKops = res.ScanKops()
+		out.ScanP50US = float64(res.Rec.ScanLatency.Quantile(0.5)) / 1e3
+		out.ScanP99US = float64(res.Rec.ScanLatency.Quantile(0.99)) / 1e3
+	}
+	kv := res.KVStats
+	if kv.FrontCacheHits+kv.FrontCacheMisses > 0 {
+		out.FrontCache = &frontCacheJSON{
+			Hits:          kv.FrontCacheHits,
+			Misses:        kv.FrontCacheMisses,
+			HitRate:       kv.FrontCacheHitRate(),
+			Fills:         kv.FrontCacheFills,
+			Rejected:      kv.FrontCacheRejected,
+			Invalidations: kv.FrontCacheInvalidations,
+			Evictions:     kv.FrontCacheEvictions,
+			Entries:       kv.FrontCacheEntries,
+			UsedBytes:     kv.FrontCacheUsed,
+		}
+	}
+	if m := res.MainStats; m.BlockCacheHits+m.BlockCacheMisses > 0 {
+		out.BlockCache = &blockCacheJSON{
+			Hits:      m.BlockCacheHits,
+			Misses:    m.BlockCacheMisses,
+			HitRate:   m.BlockCacheHitRate(),
+			Evictions: m.BlockCacheEvictions,
+		}
+	}
+	if kv.Gets > 0 {
+		out.Attribution = &attributionJSON{
+			FrontCache: kv.FrontCacheHits,
+			DevLSM:     kv.DevServed,
+			MainLSM:    kv.MainGets,
+			Gets:       kv.Gets,
+			Sums:       kv.FrontCacheHits+kv.DevServed+kv.MainGets == kv.Gets,
+		}
 	}
 	if m := res.MainStats; m.VLogSegments > 0 || m.VLogBytes > 0 {
 		out.ValueLog = &vlogJSON{
@@ -460,6 +600,70 @@ func runTorture(seed int64, n int, tracePath string) int {
 		return 1
 	}
 	fmt.Println("oracle      : all checks passed")
+	return 0
+}
+
+// runCacheAB is the read-cache A/B harness: it runs the mixed workload
+// twice on identical seeds — hot-key front cache and block cache on,
+// then both off — and writes the paired headline records plus the read
+// speedup and the attribution check to path. Exits non-zero if the
+// per-source read attribution fails to sum.
+func runCacheAB(p harness.Params, spec harness.EngineSpec, frontBytes int64, path string) int {
+	kind := harness.WorkloadMixed
+	mix := p.ResolveMix()
+	fmt.Printf("kvbench: %s, Mixed(%s %s theta=%.2f), scale=%d duration=%v keyspace=%d seed=%d — cache A/B (front+block on vs off)\n",
+		spec.Name(), mix.Name, mix.Dist, mix.EffectiveTheta(), p.Scale, p.Duration, p.KeySpace, p.Seed)
+	fmt.Printf("%7s %10s %9s %12s %11s %11s\n",
+		"caches", "reads", "Kops/s", "read-p99", "front-hit", "block-hit")
+	row := func(label string, res *harness.RunResult) {
+		fmt.Printf("%7s %10d %9.2f %12v %10.1f%% %10.1f%%\n",
+			label, res.Rec.Reads(), res.ReadKops(),
+			res.Rec.ReadLatency.Quantile(0.99),
+			res.KVStats.FrontCacheHitRate()*100,
+			res.MainStats.BlockCacheHitRate()*100)
+	}
+
+	on := p
+	on.FrontCacheBytes = frontBytes
+	on.DisableBlockCache = false
+	resOn := on.Run(spec, kind)
+	row("on", resOn)
+
+	off := p
+	off.FrontCacheBytes = 0
+	off.DisableBlockCache = true
+	resOff := off.Run(spec, kind)
+	row("off", resOff)
+
+	var speedup float64
+	if resOff.ReadKops() > 0 {
+		speedup = resOn.ReadKops() / resOff.ReadKops()
+	}
+	kv := resOn.KVStats
+	attributionOK := kv.Gets > 0 && kv.FrontCacheHits+kv.DevServed+kv.MainGets == kv.Gets
+	fmt.Printf("speedup     : %.2fx reads with caches on (attribution-ok=%v)\n", speedup, attributionOK)
+
+	out := struct {
+		Mix           string    `json:"mix"`
+		CacheOn       benchJSON `json:"cache_on"`
+		CacheOff      benchJSON `json:"cache_off"`
+		ReadSpeedup   float64   `json:"read_speedup"`
+		AttributionOK bool      `json:"attribution_ok"`
+	}{mix.Name, makeBenchJSON(on, spec, kind, resOn), makeBenchJSON(off, spec, kind, resOff), speedup, attributionOK}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("json        : cache A/B record -> %s\n", path)
+	if !attributionOK {
+		fmt.Fprintln(os.Stderr, "read attribution failed to sum")
+		return 1
+	}
 	return 0
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 
+	"kvaccel/internal/core"
 	"kvaccel/internal/lsm"
 )
 
@@ -23,5 +24,40 @@ func printEngineSummary(m lsm.Stats, failover int64) {
 		fmt.Printf("vlog        : segments=%d, %.1f MB written, gc-rewrites=%d, discard=%.1f MB, punched=%.1f MB\n",
 			m.VLogSegments, float64(m.VLogBytes)/1e6, m.VLogGCRewrites,
 			float64(m.VLogDiscardBytes)/1e6, float64(m.VLogPunchedBytes)/1e6)
+	}
+	if m.Gets > 0 {
+		fmt.Printf("reads-by    : memtable=%d imm=%d sst=%d miss=%d (of %d gets)\n",
+			m.ReadsMemtable, m.ReadsImmutable, m.ReadsSST(), m.ReadMisses, m.Gets)
+	}
+	if m.BloomConsults > 0 {
+		fmt.Printf("bloom       : consults=%d negatives=%d false-pos=%d\n",
+			m.BloomConsults, m.BloomNegatives, m.BloomFalsePositives)
+	}
+	if m.BlockCacheHits+m.BlockCacheMisses > 0 {
+		fmt.Printf("block-cache : %.1f%% hit (%d/%d), evictions=%d\n",
+			m.BlockCacheHitRate()*100, m.BlockCacheHits,
+			m.BlockCacheHits+m.BlockCacheMisses, m.BlockCacheEvictions)
+	}
+	if m.VLogReadCacheHits+m.VLogReadCacheMisses > 0 || m.VLogDerefs > 0 {
+		fmt.Printf("vlog-reads  : derefs=%d, read-cache hits=%d misses=%d\n",
+			m.VLogDerefs, m.VLogReadCacheHits, m.VLogReadCacheMisses)
+	}
+}
+
+// printReadAttribution prints the KVACCEL controller's read-side view —
+// the front-cache counters and the per-source attribution (front cache /
+// Dev-LSM / Main-LSM), shared by the single-engine and sharded
+// front-ends. A zero-valued Stats (baselines) prints nothing.
+func printReadAttribution(kv core.Stats) {
+	if kv.FrontCacheHits+kv.FrontCacheMisses > 0 {
+		fmt.Printf("front-cache : %.1f%% hit (%d/%d), fills=%d rejected=%d invalidations=%d evictions=%d entries=%d\n",
+			kv.FrontCacheHitRate()*100, kv.FrontCacheHits,
+			kv.FrontCacheHits+kv.FrontCacheMisses, kv.FrontCacheFills,
+			kv.FrontCacheRejected, kv.FrontCacheInvalidations,
+			kv.FrontCacheEvictions, kv.FrontCacheEntries)
+	}
+	if kv.Gets > 0 {
+		fmt.Printf("read-src    : front-cache=%d dev-lsm=%d main-lsm=%d (of %d gets)\n",
+			kv.FrontCacheHits, kv.DevServed, kv.MainGets, kv.Gets)
 	}
 }

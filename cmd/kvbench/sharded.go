@@ -41,6 +41,9 @@ type shardedRunParams struct {
 	qd       int
 	ioqueues int
 	queues   bool
+	// frontCacheBytes is the total hot-key front cache budget, split
+	// evenly across shards by OpenSharded (0 = disabled).
+	frontCacheBytes int64
 }
 
 // runSharded drives the ShardedDB front-end: N writer threads over N
@@ -62,6 +65,7 @@ func runSharded(p shardedRunParams) {
 	opt.IOQueues = p.ioqueues
 	opt.DisableGroupCommit = p.noGroup
 	opt.ValueThreshold = p.vthresh
+	opt.FrontCacheBytes = p.frontCacheBytes
 	db := kvaccel.OpenSharded(opt)
 	eng := workload.ShardedEngine{DB: db}
 
@@ -141,6 +145,7 @@ func runSharded(p shardedRunParams) {
 	}
 	m := st.Main
 	printEngineSummary(m, st.KVAccel.WouldStallRedirects)
+	printReadAttribution(st.KVAccel)
 	fmt.Printf("kvaccel     : redirected=%d rollbacks=%d\n", st.KVAccel.RedirectedPuts, st.KVAccel.Rollbacks)
 	for i, s := range st.PerShard {
 		fmt.Printf("shard %-6d: puts=%d redirected=%d rollbacks=%d stalls=%d stall-time=%v\n",

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"kvaccel/internal/faults"
+	"kvaccel/internal/hotring"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/trace"
@@ -84,6 +85,14 @@ type Options struct {
 	// put/get/redirect paths, the rollback drain, recovery, and the
 	// detector's stall-signal transitions. Nil disables tracing.
 	Trace *trace.Tracer
+	// FrontCacheBytes sizes the HotRing-style hot-key front cache that
+	// answers reads before either LSM is consulted. 0 disables it (the
+	// default: the cache is an opt-in read accelerator, not part of the
+	// paper's §V design).
+	FrontCacheBytes int64
+	// FrontCacheShards is the front cache's shard count (rounded up to a
+	// power of two; <= 0 picks the hotring default).
+	FrontCacheShards int
 }
 
 // DefaultOptions mirrors the paper's implementation constants.
@@ -107,8 +116,17 @@ type Stats struct {
 	// rather than via the Detector's stall signal. Included in
 	// RedirectedPuts.
 	WouldStallRedirects int64
-	MainGets            int64
-	DevGets             int64
+	// Gets counts every Controller read. Each one is answered by exactly
+	// one layer, so Gets == FrontCacheHits + DevServed + MainGets — the
+	// per-source attribution invariant the bench asserts.
+	Gets     int64
+	MainGets int64
+	// DevGets counts Dev-LSM lookup attempts (metadata said the newest
+	// version may be buffered there); DevServed counts the subset the
+	// Dev-LSM actually answered — a miss or superseded pair falls through
+	// to MainGets.
+	DevGets   int64
+	DevServed int64
 	Rollbacks           int64
 	RollbackPairs       int64
 	RollbackTime        time.Duration
@@ -120,6 +138,26 @@ type Stats struct {
 	DevErrors  int64
 	DevRetries int64
 	DevFailed  int64
+	// FrontCache mirrors the hot-key front cache's counters (all zero
+	// when the cache is disabled).
+	FrontCacheHits          int64
+	FrontCacheMisses        int64
+	FrontCacheFills         int64
+	FrontCacheRejected      int64 // fills dropped by the generation guard
+	FrontCacheInvalidations int64
+	FrontCacheEvictions     int64
+	FrontCacheHeadMoves     int64
+	FrontCacheUsed          int64
+	FrontCacheEntries       int64
+}
+
+// FrontCacheHitRate returns the front cache's hit ratio over all
+// Controller reads issued while it was enabled.
+func (s Stats) FrontCacheHitRate() float64 {
+	if s.FrontCacheHits+s.FrontCacheMisses == 0 {
+		return 0
+	}
+	return float64(s.FrontCacheHits) / float64(s.FrontCacheHits+s.FrontCacheMisses)
 }
 
 // Add returns the field-wise sum of s and o. The sharded front-end uses
@@ -128,8 +166,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.NormalPuts += o.NormalPuts
 	s.RedirectedPuts += o.RedirectedPuts
 	s.WouldStallRedirects += o.WouldStallRedirects
+	s.Gets += o.Gets
 	s.MainGets += o.MainGets
 	s.DevGets += o.DevGets
+	s.DevServed += o.DevServed
 	s.Rollbacks += o.Rollbacks
 	s.RollbackPairs += o.RollbackPairs
 	s.RollbackTime += o.RollbackTime
@@ -138,6 +178,15 @@ func (s Stats) Add(o Stats) Stats {
 	s.DevErrors += o.DevErrors
 	s.DevRetries += o.DevRetries
 	s.DevFailed += o.DevFailed
+	s.FrontCacheHits += o.FrontCacheHits
+	s.FrontCacheMisses += o.FrontCacheMisses
+	s.FrontCacheFills += o.FrontCacheFills
+	s.FrontCacheRejected += o.FrontCacheRejected
+	s.FrontCacheInvalidations += o.FrontCacheInvalidations
+	s.FrontCacheEvictions += o.FrontCacheEvictions
+	s.FrontCacheHeadMoves += o.FrontCacheHeadMoves
+	s.FrontCacheUsed += o.FrontCacheUsed
+	s.FrontCacheEntries += o.FrontCacheEntries
 	return s
 }
 
@@ -150,6 +199,12 @@ type DB struct {
 	dev  KVDevice
 	meta *MetadataManager
 	det  *Detector
+
+	// front is the hot-key front cache (nil when disabled). It caches
+	// found values only — never tombstones or misses — and is kept
+	// coherent by per-key invalidation on every write acknowledgment plus
+	// the generation guard on fills (see internal/hotring).
+	front *hotring.Cache
 
 	// gate serializes rollback chunk merges against foreground writes:
 	// writers hold one unit, a rollback chunk holds all of them. This is
@@ -165,8 +220,10 @@ type DB struct {
 	normalPuts          atomic.Int64
 	redirectedPuts      atomic.Int64
 	wouldStallRedirects atomic.Int64
+	gets                atomic.Int64
 	mainGets            atomic.Int64
 	devGets             atomic.Int64
+	devServed           atomic.Int64
 	rollbacks           atomic.Int64
 	rollbackPairs       atomic.Int64
 	rollbackNS          atomic.Int64
@@ -201,6 +258,7 @@ func Open(clk *vclock.Clock, main MainEngine, dev KVDevice, opt Options) *DB {
 		meta:    NewMetadataManager(opt.MetadataShards),
 		gate:    vclock.NewSemaphore(gateUnits, "kvaccel.gate"),
 		closeEv: vclock.NewEvent("kvaccel.close"),
+		front:   hotring.New(opt.FrontCacheBytes, opt.FrontCacheShards),
 	}
 	db.det = NewDetector(main, opt.DetectorPeriod, opt.DetectorCost)
 	db.det.SetTracer(opt.Trace)
@@ -221,14 +279,20 @@ func (db *DB) Metadata() *MetadataManager { return db.meta }
 // Detector exposes the detector (tests, Table VI bench).
 func (db *DB) Detector() *Detector { return db.det }
 
+// FrontCache exposes the hot-key front cache (nil when disabled).
+func (db *DB) FrontCache() *hotring.Cache { return db.front }
+
 // Stats returns a snapshot of KVACCEL's counters.
 func (db *DB) Stats() Stats {
+	fc := db.front.Stats()
 	return Stats{
 		NormalPuts:          db.normalPuts.Load(),
 		RedirectedPuts:      db.redirectedPuts.Load(),
 		WouldStallRedirects: db.wouldStallRedirects.Load(),
+		Gets:                db.gets.Load(),
 		MainGets:            db.mainGets.Load(),
 		DevGets:             db.devGets.Load(),
+		DevServed:           db.devServed.Load(),
 		Rollbacks:           db.rollbacks.Load(),
 		RollbackPairs:       db.rollbackPairs.Load(),
 		RollbackTime:        time.Duration(db.rollbackNS.Load()),
@@ -237,6 +301,16 @@ func (db *DB) Stats() Stats {
 		DevErrors:           db.devErrors.Load(),
 		DevRetries:          db.devRetries.Load(),
 		DevFailed:           db.devFailed.Load(),
+
+		FrontCacheHits:          fc.Hits,
+		FrontCacheMisses:        fc.Misses,
+		FrontCacheFills:         fc.Fills,
+		FrontCacheRejected:      fc.Rejected,
+		FrontCacheInvalidations: fc.Invalidations,
+		FrontCacheEvictions:     fc.Evictions,
+		FrontCacheHeadMoves:     fc.HeadMoves,
+		FrontCacheUsed:          fc.Used,
+		FrontCacheEntries:       fc.Entries,
 	}
 }
 
@@ -310,6 +384,7 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 		rsp.End(r)
 		if perr == nil {
 			db.meta.Insert(key)
+			db.front.Invalidate(key)
 			db.redirectedPuts.Add(1)
 			db.lastRedirect.Store(int64(r.Now()))
 			return true, nil
@@ -328,6 +403,7 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 		rsp.End(r)
 		if perr == nil {
 			db.meta.Insert(key)
+			db.front.Invalidate(key)
 			db.redirectedPuts.Add(1)
 			db.wouldStallRedirects.Add(1)
 			db.lastRedirect.Store(int64(r.Now()))
@@ -347,6 +423,7 @@ func (db *DB) write(r *vclock.Runner, kind memtable.Kind, key, value []byte) (re
 	// that fails to land leaves a stale pair that recovery may replay;
 	// the fault model documents that hazard (DESIGN.md §9) — the
 	// guarantee for this key now follows the normal-path regime.
+	db.front.Invalidate(key)
 	if db.meta.Remove(key) {
 		_ = db.devPut(r, memtable.KindSupersede, key, nil)
 	}
@@ -392,7 +469,10 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 		cerr := db.devPutCompound(r, entries)
 		rsp.End(r)
 		if cerr == nil {
-			b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
+			b.Ops(func(_ memtable.Kind, key, _ []byte) {
+				db.meta.Insert(key)
+				db.front.Invalidate(key)
+			})
 			db.redirectedPuts.Add(int64(b.Len()))
 			db.lastRedirect.Store(int64(r.Now()))
 			return nil
@@ -411,7 +491,10 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 		cerr := db.devPutCompound(r, entries)
 		rsp.End(r)
 		if cerr == nil {
-			b.Ops(func(_ memtable.Kind, key, _ []byte) { db.meta.Insert(key) })
+			b.Ops(func(_ memtable.Kind, key, _ []byte) {
+				db.meta.Insert(key)
+				db.front.Invalidate(key)
+			})
 			db.redirectedPuts.Add(int64(b.Len()))
 			db.wouldStallRedirects.Add(int64(b.Len()))
 			db.lastRedirect.Store(int64(r.Now()))
@@ -423,6 +506,7 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 		return err
 	}
 	b.Ops(func(_ memtable.Kind, key, _ []byte) {
+		db.front.Invalidate(key)
 		if db.meta.Remove(key) {
 			_ = db.devPut(r, memtable.KindSupersede, key, nil)
 		}
@@ -431,21 +515,41 @@ func (db *DB) WriteBatch(r *vclock.Runner, b *lsm.Batch) error {
 	return nil
 }
 
-// Get reads a key through the Controller (§V-C Read Path): the Metadata
-// Manager picks the LSM holding the newest version.
+// Get reads a key through the Controller (§V-C Read Path), layered:
+// the hot-key front cache answers first, then the Metadata Manager
+// picks the LSM holding the newest version. A miss in the front cache
+// snapshots its generation token before either LSM is consulted, so the
+// fill after the read cannot install a value a concurrent write has
+// already superseded.
 func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
 	}
 	sp := db.opt.Trace.Begin(r, trace.PhaseGet, "get")
 	defer sp.End(r)
+	db.gets.Add(1)
+	var token uint64
+	if db.front != nil {
+		fsp := db.opt.Trace.Begin(r, trace.PhaseFrontCache, "front-cache")
+		if v, hit := db.front.Get(key); hit {
+			fsp.EndArg(r, 1)
+			return v, true, nil
+		}
+		token = db.front.BeginRead(key)
+		fsp.End(r)
+	}
 	if db.meta.Contains(key) {
 		db.devGets.Add(1)
 		v, kind, found, derr := db.devGet(r, key)
 		if derr == nil && found && kind != memtable.KindSupersede {
+			db.devServed.Add(1)
 			if kind == memtable.KindDelete {
 				return nil, false, nil
 			}
+			// Dev-LSM values are safe to cache: a rollback merges the
+			// identical newest version into the Main-LSM, so the cached
+			// copy stays correct across the drain.
+			db.front.FillIfUnchanged(key, v, token)
 			return v, true, nil
 		}
 		// Metadata said Dev-LSM but the pair is gone (rolled back between
@@ -454,7 +558,13 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 		// the newest durable version the host can still reach.
 	}
 	db.mainGets.Add(1)
-	return db.main.Get(r, key)
+	value, ok, err = db.main.Get(r, key)
+	if err == nil && ok {
+		// Found values only — no negative caching, so absent keys never
+		// need tombstone invalidation from compaction.
+		db.front.FillIfUnchanged(key, value, token)
+	}
+	return value, ok, err
 }
 
 // Flush drains the Main-LSM memtable (delegates; the Dev-LSM is flushed

@@ -138,9 +138,11 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 }
 
 // SimulateCrash models the §VI-D failure: the volatile metadata manager's
-// hash table is lost. Dev-LSM contents (non-volatile NAND) survive.
+// hash table is lost, and with it every other host-DRAM structure — the
+// front cache included. Dev-LSM contents (non-volatile NAND) survive.
 func (db *DB) SimulateCrash() {
 	db.meta.Clear()
+	db.front.InvalidateAll()
 }
 
 // Recover rebuilds a consistent single-database view after a crash by
@@ -193,6 +195,11 @@ func (db *DB) Recover(r *vclock.Runner) error {
 	if err := db.devReset(r); err != nil {
 		return err
 	}
+	// The unconditional replay can resurrect a stale pair whose supersede
+	// marker never landed (the documented fault hazard, DESIGN.md §9);
+	// drop the whole front cache so it cannot disagree with the merged
+	// view either way.
+	db.front.InvalidateAll()
 	db.recoveries.Add(1)
 	db.rollbackPairs.Add(pairs)
 	db.recoveryNS.Add(int64(r.Now().Sub(start)))

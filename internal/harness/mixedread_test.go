@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/core"
+)
+
+// These tests cover the read side of value separation (satellite of the
+// layered-read-pipeline change): readwhilewriting and seekrandom with
+// ValueThreshold set, so point reads dereference vlog pointers while the
+// GC rewrites segments underneath, and iterators pin segments across
+// their scans. Plus the mixed-workload path end to end with both caches
+// enabled, including the per-source attribution invariant.
+
+func shortVlogReadParams() Params {
+	p := DefaultParams()
+	p.Duration = 3 * time.Second
+	p.KeySpace = 20_000
+	p.ValueThreshold = 1024 // 4 KiB values all separate
+	return p
+}
+
+// TestReadWhileWritingWithValueSeparation runs workload C (8:2
+// write/read) with value separation on the KVACCEL engine: every read
+// that lands on a flushed key dereferences a vlog pointer, many while
+// the overwrite-heavy fill keeps the GC busy rewriting segments.
+func TestReadWhileWritingWithValueSeparation(t *testing.T) {
+	p := shortVlogReadParams()
+	res := p.Run(EngineSpec{Kind: KindKVAccel, Threads: 1, Rollback: core.RollbackDisabled}, WorkloadC)
+	if res.Rec.Reads() == 0 {
+		t.Fatal("no reads recorded")
+	}
+	s := res.MainStats
+	if s.VLogBytes == 0 {
+		t.Fatalf("value separation inactive: %+v", s)
+	}
+	if s.VLogDerefs == 0 {
+		t.Fatal("reads never dereferenced a vlog pointer")
+	}
+	// Attribution invariant: every engine get is counted exactly once.
+	if got := s.ReadsAttributed(); got != s.Gets {
+		t.Fatalf("lsm attribution %d != gets %d", got, s.Gets)
+	}
+}
+
+// TestSeekRandomWithValueSeparationAndGC preloads through the vlog,
+// churns overwrites to build garbage, then runs seekrandom so iterators
+// resolve pointer entries while sealed segments are collected. Iterator
+// pinning must keep every dereference alive (no ErrSegmentGone escapes).
+func TestSeekRandomWithValueSeparationAndGC(t *testing.T) {
+	p := shortVlogReadParams()
+	p.KeySpace = 5_000
+	res := p.Run(EngineSpec{Kind: KindKVAccel, Threads: 1, Rollback: core.RollbackDisabled}, WorkloadD)
+	if res.Rec.Reads() == 0 {
+		t.Fatal("no scan ops recorded")
+	}
+	s := res.MainStats
+	if s.VLogBytes == 0 {
+		t.Fatal("value separation inactive")
+	}
+	if s.VLogDerefs == 0 {
+		t.Fatal("iterators never dereferenced a vlog pointer")
+	}
+}
+
+// TestMixedWorkloadYCSBBWithCaches runs the ycsb-b preset on KVACCEL
+// with the front cache and block cache enabled and checks (1) the
+// zipfian read stream hits the front cache, (2) the controller's
+// per-source attribution sums exactly, and (3) the lsm layer's own
+// attribution also sums.
+func TestMixedWorkloadYCSBBWithCaches(t *testing.T) {
+	p := DefaultParams()
+	p.Duration = 3 * time.Second
+	p.KeySpace = 20_000
+	p.Mix = "ycsb-b"
+	p.FrontCacheBytes = 8 << 20
+	res := p.Run(EngineSpec{Kind: KindKVAccel, Threads: 1, Rollback: core.RollbackEager}, WorkloadMixed)
+	if res.Rec.Reads() == 0 || res.Rec.Writes() == 0 {
+		t.Fatalf("idle mixed run: reads=%d writes=%d", res.Rec.Reads(), res.Rec.Writes())
+	}
+	kv := res.KVStats
+	if kv.Gets == 0 {
+		t.Fatal("controller saw no gets")
+	}
+	if kv.FrontCacheHits == 0 {
+		t.Fatal("zipfian reads never hit the front cache")
+	}
+	if got := kv.FrontCacheHits + kv.DevServed + kv.MainGets; got != kv.Gets {
+		t.Fatalf("controller attribution %d+%d+%d=%d != gets %d",
+			kv.FrontCacheHits, kv.DevServed, kv.MainGets, got, kv.Gets)
+	}
+	s := res.MainStats
+	if got := s.ReadsAttributed(); got != s.Gets {
+		t.Fatalf("lsm attribution %d != gets %d", got, s.Gets)
+	}
+	if res.MixSpec.Name != "ycsb-b" {
+		t.Fatalf("resolved mix %q", res.MixSpec.Name)
+	}
+}
+
+// TestMixedWorkloadBaselineNoCaches is the A/B twin: same preset with
+// the front cache off and block cache zeroed; the run must still be
+// correct and report zero front-cache traffic.
+func TestMixedWorkloadBaselineNoCaches(t *testing.T) {
+	p := DefaultParams()
+	p.Duration = 2 * time.Second
+	p.KeySpace = 20_000
+	p.Mix = "ycsb-b"
+	p.DisableBlockCache = true
+	res := p.Run(EngineSpec{Kind: KindKVAccel, Threads: 1, Rollback: core.RollbackEager}, WorkloadMixed)
+	kv := res.KVStats
+	if kv.FrontCacheHits != 0 || kv.FrontCacheMisses != 0 {
+		t.Fatalf("disabled front cache saw traffic: %+v", kv)
+	}
+	if got := kv.DevServed + kv.MainGets; got != kv.Gets {
+		t.Fatalf("attribution without front cache %d+%d != %d", kv.DevServed, kv.MainGets, kv.Gets)
+	}
+	if res.MainStats.BlockCacheHits != 0 {
+		t.Fatalf("disabled block cache reported %d hits", res.MainStats.BlockCacheHits)
+	}
+}

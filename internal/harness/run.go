@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kvaccel/internal/core"
 	"kvaccel/internal/lsm"
 	"kvaccel/internal/metrics"
 	"kvaccel/internal/nvme"
@@ -26,10 +27,13 @@ const (
 	WorkloadC
 	// WorkloadD is seekrandom (Seek + 1024 Next) after a preload.
 	WorkloadD
+	// WorkloadMixed is a YCSB-style mixed workload (Params.Mix picks the
+	// preset) over a preloaded keyspace.
+	WorkloadMixed
 )
 
 func (w WorkloadKind) String() string {
-	return [...]string{"A(fillrandom)", "B(readwhilewriting 9:1)", "C(readwhilewriting 8:2)", "D(seekrandom)"}[w]
+	return [...]string{"A(fillrandom)", "B(readwhilewriting 9:1)", "C(readwhilewriting 8:2)", "D(seekrandom)", "Mixed(ycsb)"}[w]
 }
 
 // RunResult is everything one run measured.
@@ -50,7 +54,12 @@ type RunResult struct {
 	Duration time.Duration
 
 	MainStats lsm.Stats
-	Levels    string // final tree shape
+	// KVStats is the full KVACCEL controller snapshot (front-cache
+	// counters, per-source read attribution); zero for baselines.
+	KVStats core.Stats
+	// MixSpec is the resolved mixed-workload spec (WorkloadMixed only).
+	MixSpec workload.MixSpec
+	Levels  string // final tree shape
 	Redirects int64
 	// WouldStallRedirects is the subset of Redirects taken because the
 	// engine refused non-blocking admission (ErrWouldStall), rather than
@@ -91,6 +100,14 @@ func (res *RunResult) ReadKops() float64 {
 		return 0
 	}
 	return float64(res.Rec.Reads()) / res.Duration.Seconds() / 1000
+}
+
+// ScanKops returns average range-scan throughput in Kops/s.
+func (res *RunResult) ScanKops() float64 {
+	if res.Duration <= 0 {
+		return 0
+	}
+	return float64(res.Rec.Scans()) / res.Duration.Seconds() / 1000
 }
 
 // WriteMBps returns average user write bandwidth in MB/s.
@@ -216,6 +233,31 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 			}
 			start = r.Now() // measure only the query phase
 			workload.SeekRandom(r, eng.Eng, cfg, res.Rec)
+		case WorkloadMixed:
+			spec := p.ResolveMix()
+			res.MixSpec = spec
+			workload.FillSequential(r, eng.Eng, cfg, p.KeySpace)
+			eng.Main.WaitIdle(r)
+			state := workload.NewMixedState(p.KeySpace)
+			start = r.Now() // measure only the mixed phase
+			nc := p.Writers
+			if nc <= 1 {
+				_ = workload.RunMixed(r, eng.Eng, cfg, spec, state, res.Rec)
+				break
+			}
+			sem := vclock.NewSemaphore(nc, "harness.clients")
+			sem.Acquire(r, nc)
+			for i := 1; i < nc; i++ {
+				c := cfg
+				c.Seed = cfg.Seed + int64(i)*101
+				tb.Clk.Go(fmt.Sprintf("harness.client%d", i), func(cr *vclock.Runner) {
+					_ = workload.RunMixed(cr, eng.Eng, c, spec, state, res.Rec)
+					sem.Release(1)
+				})
+			}
+			_ = workload.RunMixed(r, eng.Eng, cfg, spec, state, res.Rec)
+			sem.Release(1)
+			sem.Acquire(r, nc)
 		}
 		res.Duration = r.Now().Sub(start)
 		done.Store(true)
@@ -233,6 +275,7 @@ func (p Params) Run(spec EngineSpec, kind WorkloadKind) *RunResult {
 	res.Queues = tb.Dev.QueueStats()
 	if eng.KV != nil {
 		s := eng.KV.Stats()
+		res.KVStats = s
 		res.Redirects = s.RedirectedPuts
 		res.WouldStallRedirects = s.WouldStallRedirects
 		res.Rollbacks = s.Rollbacks

@@ -59,6 +59,21 @@ type Params struct {
 	// 0 keeps values inline — the vlog A/B's baseline.
 	ValueThreshold int
 
+	// Mix names the YCSB-style preset for WorkloadMixed (kvbench's
+	// -workload ycsb-a..f); empty defaults to ycsb-b.
+	Mix string
+	// ReadPct, when > 0, overrides the mix's read fraction (the other
+	// fractions rescale proportionally).
+	ReadPct float64
+	// ZipfTheta, when > 0, overrides the zipfian skew (YCSB default 0.99).
+	ZipfTheta float64
+	// FrontCacheBytes enables KVACCEL's hot-key front cache (0 = off,
+	// matching the paper's design).
+	FrontCacheBytes int64
+	// DisableBlockCache zeroes the Main-LSM's SST block cache — the
+	// cold-cache side of the mixed-workload A/B.
+	DisableBlockCache bool
+
 	// DMAChunkBytes overrides the bulk-scan DMA unit (512 KiB default) —
 	// the §V-E design-choice ablation.
 	DMAChunkBytes int
@@ -97,6 +112,27 @@ func DefaultParams() Params {
 		Seed:      1,
 		HostCores: 8,
 	}
+}
+
+// ResolveMix renders the effective mixed-workload spec: the named
+// preset (ycsb-b when unset) with the ReadPct/ZipfTheta overrides
+// applied.
+func (p Params) ResolveMix() workload.MixSpec {
+	name := p.Mix
+	if name == "" {
+		name = "ycsb-b"
+	}
+	spec, ok := workload.Mix(name)
+	if !ok {
+		spec, _ = workload.Mix("ycsb-b")
+	}
+	if p.ReadPct > 0 {
+		spec = spec.WithReadPct(p.ReadPct)
+	}
+	if p.ZipfTheta > 0 {
+		spec.ZipfTheta = p.ZipfTheta
+	}
+	return spec
 }
 
 // workloadConfig renders the Table IV workload config.
@@ -208,6 +244,10 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	opt.PendingCompactionSlowdownBytes = (64 << 30) / scale
 	opt.PendingCompactionStopBytes = (256 << 30) / scale
 	opt.BlockCacheBytes = (512 << 20) / scale
+	if p.DisableBlockCache {
+		opt.BlockCacheBytes = 0
+		opt.VLogReadCacheBytes = -1 // negative disables (0 means default)
+	}
 	opt.CompactionThreads = threads
 	opt.MaxCompactionThreads = 8
 	opt.EnableSlowdown = slowdown
@@ -319,6 +359,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		copt.Rollback = spec.Rollback
 		copt.Trace = p.Trace
 		copt.StallFailover = !p.DisableGroupCommit
+		copt.FrontCacheBytes = p.FrontCacheBytes
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}

@@ -57,6 +57,12 @@ type TortureParams struct {
 	// disables separation; DefaultTortureParams enables it (48 bytes,
 	// below the default 96-byte values, so every put separates).
 	ValueThreshold int
+	// FrontCacheBytes enables the hot-key front cache in the
+	// controller under torture, so the oracle's read-back checks also
+	// police cache coherence across writes, redirects, and recovery
+	// (a stale cached value is a durability violation like any other).
+	// 0 disables; DefaultTortureParams enables a small one.
+	FrontCacheBytes int64
 	// BrokenRecovery deliberately replays WALs without checksum
 	// verification (lsm.Options.UncheckedWALReplay). A correct oracle
 	// must catch the resulting corruption; the negative test asserts
@@ -87,6 +93,8 @@ func DefaultTortureParams(seed int64) TortureParams {
 		FaultRules:  true,
 
 		ValueThreshold: 48,
+
+		FrontCacheBytes: 256 << 10,
 	}
 }
 
@@ -296,6 +304,7 @@ func RunTorture(p TortureParams) TortureReport {
 			opt.Rollback = core.RollbackEager
 			opt.DetectorPeriod = 2 * time.Millisecond
 			opt.Trace = tr
+			opt.FrontCacheBytes = p.FrontCacheBytes
 			db := core.Open(clk, main, dev.KVRegionFull(), opt)
 			defer func() {
 				stats = stats.Add(db.Stats())

@@ -1,0 +1,393 @@
+// Package hotring implements the hot-key front cache that sits in front
+// of the dual-LSM read path: a sharded hash index whose collision chains
+// are ordered circular rings with hotness-aware head pointers, after
+// HotRing (Chen et al., FAST '20). A lookup starts at the ring's head —
+// which migrates toward the hottest entry of the ring — so skewed
+// (zipfian) traffic finds its hot keys in O(1) ring steps instead of
+// paying the full chain walk a classic bucket list would.
+//
+// Correctness under concurrent writes uses a per-shard generation
+// counter: a reader snapshots the generation before reading the
+// underlying engine (BeginRead) and fills only if no write invalidated
+// the shard in between (FillIfUnchanged), so a stale value can never be
+// installed over a newer write. Writers invalidate through Invalidate /
+// InvalidateAll; both bump the generation first.
+package hotring
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// defaultShards spreads lock contention; must be a power of two.
+const defaultShards = 16
+
+// bucketsPerShard sizes each shard's hash directory; must be a power of
+// two. Rings stay short (a handful of entries) at any realistic load.
+const bucketsPerShard = 256
+
+// headBoost is how far an entry's sample-window access count must exceed
+// the current head's before the head pointer migrates to it.
+const headBoost = 4
+
+// entry is one ring node. Rings are circular, sorted ascending by
+// (tag, key) so a lookup can stop as soon as it passes the target's slot
+// — the HotRing ordered-ring termination rule.
+type entry struct {
+	key   string
+	value []byte
+	next  *entry
+	tag   uint32 // high hash bits, the primary sort key
+	count uint32 // accesses in the current sample window
+}
+
+type shard struct {
+	mu      sync.Mutex
+	gen     uint64 // bumped by every invalidation touching this shard
+	heads   [bucketsPerShard]*entry
+	used    int64
+	entries int64
+
+	hits, misses    int64
+	fills, rejected int64
+	invalidations   int64
+	evictions       int64
+	headMoves       int64
+
+	evictCursor uint32 // round-robin bucket cursor for capacity eviction
+}
+
+// Cache is the sharded front cache. The zero value is not usable; build
+// one with New. A nil *Cache is a valid disabled cache: Get always
+// misses, every other method is a no-op.
+type Cache struct {
+	shards      []shard
+	shardMask   uint64
+	perShardCap int64
+	seed        maphash.Seed
+}
+
+// New returns a cache bounded to roughly capacityBytes across shards
+// (shards is rounded up to a power of two; <= 0 picks the default).
+// capacityBytes <= 0 returns nil — the disabled cache.
+func New(capacityBytes int64, shards int) *Cache {
+	if capacityBytes <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacityBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	return &Cache{
+		shards:      make([]shard, n),
+		shardMask:   uint64(n - 1),
+		perShardCap: per,
+		seed:        maphash.MakeSeed(),
+	}
+}
+
+func (c *Cache) locate(key []byte) (*shard, uint32, uint32) {
+	h := maphash.Bytes(c.seed, key)
+	s := &c.shards[h&c.shardMask]
+	bucket := uint32(h>>8) % bucketsPerShard
+	tag := uint32(h >> 40)
+	return s, bucket, tag
+}
+
+// less orders ring entries by (tag, key) — the sort the ordered-ring
+// termination rule depends on.
+func less(aTag uint32, aKey string, bTag uint32, bKey string) bool {
+	if aTag != bTag {
+		return aTag < bTag
+	}
+	return aKey < bKey
+}
+
+// Get returns a copy of the cached value for key, if present. A hit
+// bumps the entry's hotness and may migrate the ring's head to it.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s, bucket, tag := c.locate(key)
+	s.mu.Lock()
+	e := s.find(bucket, tag, key)
+	if e == nil {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.hits++
+	e.count++
+	// Hotness-aware head migration: once an entry clearly out-accesses
+	// the current head within this sample window, lookups should start
+	// at it. Counts reset so a cooled-down key yields the head back.
+	if head := s.heads[bucket]; e != head && e.count > head.count+headBoost {
+		s.heads[bucket] = e
+		s.headMoves++
+		for it := e.next; ; it = it.next {
+			it.count = 0
+			if it == e {
+				break
+			}
+		}
+		e.count = 1
+	}
+	v := append([]byte(nil), e.value...)
+	s.mu.Unlock()
+	return v, true
+}
+
+// find walks the ordered ring from its head, stopping early once the
+// target's slot has been passed (cyclic order check).
+func (s *shard) find(bucket, tag uint32, key []byte) *entry {
+	head := s.heads[bucket]
+	if head == nil {
+		return nil
+	}
+	k := string(key)
+	cur := head
+	for {
+		if cur.tag == tag && cur.key == k {
+			return cur
+		}
+		nxt := cur.next
+		// Target absent if it sorts between cur and nxt in cyclic order:
+		// strictly inside the gap, or outside the ring's span when the
+		// gap wraps past the maximum element.
+		curLT := less(cur.tag, cur.key, tag, k)  // cur < target
+		tLTnxt := less(tag, k, nxt.tag, nxt.key) // target < next
+		wrap := less(nxt.tag, nxt.key, cur.tag, cur.key) || nxt == cur
+		if (curLT && tLTnxt) || (wrap && (curLT || tLTnxt)) {
+			return nil
+		}
+		cur = nxt
+		if cur == head {
+			return nil
+		}
+	}
+}
+
+// BeginRead snapshots key's shard generation. Pass the token to
+// FillIfUnchanged after reading the underlying engine; any write that
+// invalidated the shard in between makes the fill a no-op.
+func (c *Cache) BeginRead(key []byte) uint64 {
+	if c == nil {
+		return 0
+	}
+	s, _, _ := c.locate(key)
+	s.mu.Lock()
+	g := s.gen
+	s.mu.Unlock()
+	return g
+}
+
+// FillIfUnchanged installs key→value if the shard generation still
+// matches token. The value is copied.
+func (c *Cache) FillIfUnchanged(key, value []byte, token uint64) {
+	if c == nil {
+		return
+	}
+	s, bucket, tag := c.locate(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != token {
+		s.rejected++
+		return
+	}
+	size := int64(len(key) + len(value))
+	if size > c.perShardCap {
+		return
+	}
+	if e := s.find(bucket, tag, key); e != nil {
+		s.used += int64(len(value) - len(e.value))
+		e.value = append([]byte(nil), value...)
+		s.fills++
+		s.evictOver(c.perShardCap)
+		return
+	}
+	e := &entry{key: string(key), value: append([]byte(nil), value...), tag: tag}
+	s.insert(bucket, e)
+	s.used += size
+	s.entries++
+	s.fills++
+	s.evictOver(c.perShardCap)
+}
+
+// insert links e into its bucket's ring, keeping (tag, key) order.
+func (s *shard) insert(bucket uint32, e *entry) {
+	head := s.heads[bucket]
+	if head == nil {
+		e.next = e
+		s.heads[bucket] = e
+		return
+	}
+	// Find the predecessor in cyclic order: the entry after which e
+	// sorts, scanning the ring once from head.
+	cur := head
+	for {
+		nxt := cur.next
+		curLT := less(cur.tag, cur.key, e.tag, e.key)
+		eLTnxt := less(e.tag, e.key, nxt.tag, nxt.key)
+		wrap := less(nxt.tag, nxt.key, cur.tag, cur.key) || nxt == cur
+		if (curLT && eLTnxt) || (wrap && (curLT || eLTnxt)) {
+			e.next = nxt
+			cur.next = e
+			return
+		}
+		cur = nxt
+		if cur == head {
+			// Ring of equal elements (can't happen with distinct keys);
+			// link after head for safety.
+			e.next = head.next
+			head.next = e
+			return
+		}
+	}
+}
+
+// evictOver walks buckets round-robin evicting cold entries (sample
+// count 0; hotter entries get their counts halved — a second chance)
+// until the shard is back under cap. Repeated halving guarantees every
+// entry eventually goes cold, so the loop always converges.
+func (s *shard) evictOver(cap int64) {
+	for pass := 0; s.used > cap && pass < 64*bucketsPerShard && s.entries > 0; pass++ {
+		b := s.evictCursor % bucketsPerShard
+		s.evictCursor++
+		head := s.heads[b]
+		if head == nil {
+			continue
+		}
+		// Walk the ring once from head, dropping cold entries and
+		// collecting survivors in ring order, then relink.
+		var keep []*entry
+		for cur, stop := head, false; !stop; {
+			stop = cur.next == head
+			if cur.count == 0 && s.used > cap {
+				s.used -= int64(len(cur.key) + len(cur.value))
+				s.entries--
+				s.evictions++
+			} else {
+				cur.count /= 2
+				keep = append(keep, cur)
+			}
+			cur = cur.next
+		}
+		if len(keep) == 0 {
+			s.heads[b] = nil
+			continue
+		}
+		for i, e := range keep {
+			e.next = keep[(i+1)%len(keep)]
+		}
+		// The walk started at head, so if head survived it is keep[0];
+		// otherwise keep[0] is the next entry in order — either way a
+		// valid ring head.
+		s.heads[b] = keep[0]
+	}
+}
+
+// Invalidate removes key and bumps its shard generation, so in-flight
+// readers that snapshotted before this write cannot fill a stale value.
+func (c *Cache) Invalidate(key []byte) {
+	if c == nil {
+		return
+	}
+	s, bucket, tag := c.locate(key)
+	s.mu.Lock()
+	s.gen++
+	s.invalidations++
+	if e := s.find(bucket, tag, key); e != nil {
+		s.remove(bucket, e)
+	}
+	s.mu.Unlock()
+}
+
+// remove unlinks e from its bucket's ring.
+func (s *shard) remove(bucket uint32, e *entry) {
+	if e.next == e {
+		s.heads[bucket] = nil
+	} else {
+		prev := e
+		for prev.next != e {
+			prev = prev.next
+		}
+		prev.next = e.next
+		if s.heads[bucket] == e {
+			s.heads[bucket] = e.next
+		}
+	}
+	s.used -= int64(len(e.key) + len(e.value))
+	s.entries--
+}
+
+// InvalidateAll empties the cache and bumps every shard's generation —
+// the big hammer for rollback merges and crash recovery, whose write
+// sets are not enumerated per key.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.gen++
+		s.invalidations++
+		for b := range s.heads {
+			s.heads[b] = nil
+		}
+		s.used, s.entries = 0, 0
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time aggregate across shards.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Fills         int64
+	Rejected      int64 // fills dropped by the generation check
+	Invalidations int64
+	Evictions     int64
+	HeadMoves     int64
+	Used          int64
+	Entries       int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
+func (st Stats) HitRate() float64 {
+	if st.Hits+st.Misses == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(st.Hits+st.Misses)
+}
+
+// Stats sums the per-shard counters.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	if c == nil {
+		return st
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Fills += s.fills
+		st.Rejected += s.rejected
+		st.Invalidations += s.invalidations
+		st.Evictions += s.evictions
+		st.HeadMoves += s.headMoves
+		st.Used += s.used
+		st.Entries += s.entries
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,195 @@
+package hotring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%06d", i)) }
+
+func fill(c *Cache, k, v []byte) {
+	c.FillIfUnchanged(k, v, c.BeginRead(k))
+}
+
+func TestBasicFillGetInvalidate(t *testing.T) {
+	c := New(1<<20, 4)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("empty cache hit")
+	}
+	fill(c, key(1), []byte("v1"))
+	v, ok := c.Get(key(1))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("get after fill: %q %v", v, ok)
+	}
+	// Overwrite through a fresh fill.
+	fill(c, key(1), []byte("v2"))
+	if v, _ := c.Get(key(1)); string(v) != "v2" {
+		t.Fatalf("get after refill: %q", v)
+	}
+	c.Invalidate(key(1))
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("hit after invalidate")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Fills != 2 || st.Invalidations != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestGenerationGuard pins the write-vs-fill race rule: a fill whose
+// BeginRead token predates an Invalidate on the same shard must be
+// dropped, or a slow reader would resurrect a stale value over a newer
+// write.
+func TestGenerationGuard(t *testing.T) {
+	c := New(1<<20, 1) // one shard: every key shares the generation
+	tok := c.BeginRead(key(1))
+	c.Invalidate(key(1)) // the concurrent write
+	c.FillIfUnchanged(key(1), []byte("stale"), tok)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("stale fill installed past an invalidation")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// A fresh token after the write fills normally.
+	fill(c, key(1), []byte("fresh"))
+	if v, ok := c.Get(key(1)); !ok || string(v) != "fresh" {
+		t.Fatalf("fresh fill: %q %v", v, ok)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(1<<20, 4)
+	for i := 0; i < 100; i++ {
+		fill(c, key(i), []byte("v"))
+	}
+	tok := c.BeginRead(key(7))
+	c.InvalidateAll()
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(key(i)); ok {
+			t.Fatalf("key %d survived InvalidateAll", i)
+		}
+	}
+	c.FillIfUnchanged(key(7), []byte("stale"), tok)
+	if _, ok := c.Get(key(7)); ok {
+		t.Fatal("stale fill installed past InvalidateAll")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Used != 0 {
+		t.Fatalf("occupancy after InvalidateAll: %+v", st)
+	}
+}
+
+// TestCapacityEviction fills far past capacity and checks the cache
+// stays bounded while still serving recent traffic.
+func TestCapacityEviction(t *testing.T) {
+	capacity := int64(16 << 10)
+	c := New(capacity, 2)
+	val := make([]byte, 128)
+	for i := 0; i < 1000; i++ {
+		fill(c, key(i), val)
+	}
+	st := c.Stats()
+	if st.Used > capacity {
+		t.Fatalf("used %d exceeds capacity %d", st.Used, capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overfill")
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache emptied itself")
+	}
+}
+
+// TestHotKeyStaysResident drives a zipf-ish pattern: hot keys read
+// constantly among churning cold fills must stay resident (their sample
+// counts never reach zero) while cold entries cycle out.
+func TestHotKeyStaysResident(t *testing.T) {
+	c := New(8<<10, 1)
+	hot := key(0)
+	fill(c, hot, []byte("hotvalue"))
+	val := make([]byte, 64)
+	for i := 1; i < 2000; i++ {
+		for j := 0; j < 4; j++ {
+			if _, ok := c.Get(hot); !ok {
+				t.Fatalf("hot key evicted at fill %d", i)
+			}
+		}
+		fill(c, key(i), val)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("cold churn produced no evictions")
+	}
+}
+
+// TestHeadMigratesToHotEntry builds long collision rings (one shard,
+// thousands of keys across 256 buckets) and hammers a subset so their
+// access counts out-run their ring heads': the HotRing head-migration
+// rule must fire.
+func TestHeadMigratesToHotEntry(t *testing.T) {
+	c := New(1<<20, 1)
+	for i := 0; i < 4096; i++ {
+		fill(c, key(i), []byte("v"))
+	}
+	// 64 hot keys: even if a few happen to already be their ring's head,
+	// most are mid-ring and must trigger a migration.
+	for round := 0; round < 32; round++ {
+		for i := 0; i < 64; i++ {
+			if _, ok := c.Get(key(i * 61)); !ok {
+				t.Fatalf("hot key %d missing", i*61)
+			}
+		}
+	}
+	if st := c.Stats(); st.HeadMoves == 0 {
+		t.Fatal("head pointer never migrated to a hot entry")
+	}
+}
+
+// TestOrderedRingFindAbsent exercises the ordered-ring early-termination
+// path: lookups for absent keys that collide into populated buckets must
+// return miss, never loop.
+func TestOrderedRingFindAbsent(t *testing.T) {
+	c := New(1<<20, 1)
+	for i := 0; i < 4096; i++ {
+		fill(c, key(i), []byte("v"))
+	}
+	for i := 5000; i < 9096; i++ {
+		if _, ok := c.Get(key(i)); ok {
+			t.Fatalf("phantom hit for absent key %d", i)
+		}
+	}
+	for i := 0; i < 4096; i += 97 {
+		if v, ok := c.Get(key(i)); !ok || string(v) != "v" {
+			t.Fatalf("resident key %d lost: %q %v", i, v, ok)
+		}
+	}
+}
+
+// TestNilCacheIsDisabled pins the nil-cache contract core relies on when
+// the front cache is turned off.
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c != New(0, 4) {
+		t.Fatal("capacity 0 should return the nil disabled cache")
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.FillIfUnchanged(key(1), []byte("v"), c.BeginRead(key(1)))
+	c.Invalidate(key(1))
+	c.InvalidateAll()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+}
+
+// TestGetReturnsCopy: mutating a returned value must not corrupt the
+// cached copy.
+func TestGetReturnsCopy(t *testing.T) {
+	c := New(1<<20, 1)
+	fill(c, key(1), []byte("abc"))
+	v, _ := c.Get(key(1))
+	v[0] = 'X'
+	if v2, _ := c.Get(key(1)); string(v2) != "abc" {
+		t.Fatalf("cached value mutated: %q", v2)
+	}
+}

@@ -106,7 +106,7 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 		clk:               clk,
 		fsys:              fsys,
 		opt:               opt,
-		cache:             sstable.NewBlockCache(opt.BlockCacheBytes),
+		cache:             opt.newBlockCache(),
 		memSize:           opt.MemtableSize,
 		mem:               memtable.New(),
 		vers:              newVersion(opt.MaxLevels),
@@ -457,11 +457,11 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	return db.get(r, key, ^uint64(0))
 }
 
-// get reads the newest version of key with seq <= maxSeq, dereferencing
-// value pointers. A pointer whose segment was punched between the
-// version read and the dereference is retried once: GC rewrote the value
-// through the normal write path before punching, so the re-read observes
-// the fresh pointer.
+// get reads the newest version of key with seq <= maxSeq through the
+// layered read pipeline (read.go), dereferencing value pointers. A
+// pointer whose segment was punched between the version read and the
+// dereference is retried once: GC rewrote the value through the normal
+// write path before punching, so the re-read observes the fresh pointer.
 func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok bool, err error) {
 	db.opt.CPU.Run(r, db.opt.Cost.ReadCPU)
 	db.mu.Lock()
@@ -473,75 +473,29 @@ func (db *DB) get(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, ok
 	db.mu.Unlock()
 
 	for attempt := 0; ; attempt++ {
-		v, kind, found, err := db.getRaw(r, key, maxSeq)
-		if err != nil || !found {
+		v, kind, found, attr, err := db.lookup(r, key, maxSeq)
+		if err != nil {
+			db.recordRead(attr)
 			return nil, false, err
 		}
-		if kind == memtable.KindDelete {
+		if !found || kind == memtable.KindDelete {
+			db.recordRead(attr)
 			return nil, false, nil
 		}
 		if kind != memtable.KindValuePtr {
+			db.recordRead(attr)
 			return v, true, nil
 		}
 		val, derr := db.derefPointer(r, v)
 		if derr == vlog.ErrSegmentGone && attempt == 0 {
-			continue
+			continue // retry; only the final attempt records attribution
 		}
+		db.recordRead(attr)
 		if derr != nil {
 			return nil, false, derr
 		}
 		return val, true, nil
 	}
-}
-
-// getRaw reads the newest raw version of key with seq <= maxSeq, without
-// dereferencing value pointers — the vlog GC's liveness primitive.
-func (db *DB) getRaw(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool, err error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, 0, false, ErrClosed
-	}
-	mem := db.mem
-	imms := make([]*memtable.Table, len(db.imm))
-	for i, j := range db.imm {
-		imms[i] = j.mt
-	}
-	snap := db.snapshotFilesLocked()
-	db.mu.Unlock()
-	defer db.releaseFiles(r, snap)
-
-	// Memtable, then immutables newest-first.
-	if v, kind, found := memtableGetAt(mem, key, maxSeq); found {
-		return v, kind, true, nil
-	}
-	for i := len(imms) - 1; i >= 0; i-- {
-		if v, kind, found := memtableGetAt(imms[i], key, maxSeq); found {
-			return v, kind, true, nil
-		}
-	}
-	// L0 newest-first, then one candidate per deeper level.
-	for _, f := range snap.byKey(0, key) {
-		v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		if found {
-			return v, kind, true, nil
-		}
-	}
-	for l := 1; l < len(snap.levels); l++ {
-		for _, f := range snap.byKey(l, key) {
-			v, kind, found, err := f.reader.GetAt(r, key, maxSeq)
-			if err != nil {
-				return nil, 0, false, err
-			}
-			if found {
-				return v, kind, true, nil
-			}
-		}
-	}
-	return nil, 0, false, nil
 }
 
 // fileSnapshot pins a consistent set of SST files for a read.
@@ -667,12 +621,18 @@ func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	s := db.stats
 	db.mu.Unlock()
+	cs := db.cache.Stats()
+	s.BlockCacheHits = cs.Hits
+	s.BlockCacheMisses = cs.Misses
+	s.BlockCacheEvictions = cs.Evictions
 	if db.vlog != nil {
 		vs := db.vlog.Stats()
 		s.VLogBytes = vs.BytesWritten
 		s.VLogSegments = int64(vs.Segments)
 		s.VLogDiscardBytes = vs.DiscardBytes
 		s.VLogPunchedBytes = vs.PunchedBytes
+		s.VLogReadCacheHits = vs.ReadCacheHits
+		s.VLogReadCacheMisses = vs.ReadCacheMisses
 	}
 	return s
 }

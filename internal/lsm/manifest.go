@@ -264,7 +264,7 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		clk:               clk,
 		fsys:              fsys,
 		opt:               opt,
-		cache:             sstable.NewBlockCache(opt.BlockCacheBytes),
+		cache:             opt.newBlockCache(),
 		memSize:           opt.MemtableSize,
 		mem:               memtable.New(),
 		vers:              newVersion(opt.MaxLevels),

@@ -98,6 +98,11 @@ type Options struct {
 	// DisableVLogGC keeps the garbage collector parked — for tests that
 	// drive GC deterministically via CollectVLogGarbage.
 	DisableVLogGC bool
+	// VLogReadCacheBytes bounds an LRU over hot value-log frames so
+	// repeated dereferences of the same pointer skip the device. Only
+	// meaningful with ValueThreshold > 0; negative disables the cache
+	// explicitly (0 keeps the default when separation is on).
+	VLogReadCacheBytes int64
 
 	// WALChunkSize and WALQueueDepth tune write-ahead-log write-back.
 	WALChunkSize  int
@@ -266,6 +271,12 @@ func (o *Options) sanitize() {
 	if o.VLogGCDiscardRatio <= 0 || o.VLogGCDiscardRatio > 1 {
 		o.VLogGCDiscardRatio = 0.5
 	}
+	if o.VLogReadCacheBytes == 0 {
+		o.VLogReadCacheBytes = 8 << 20
+	}
+	if o.VLogReadCacheBytes < 0 {
+		o.VLogReadCacheBytes = 0
+	}
 	if o.WALChunkSize <= 0 {
 		o.WALChunkSize = 64 << 10
 	}
@@ -288,4 +299,11 @@ func (o *Options) sanitize() {
 
 func (o *Options) builderOptions() sstable.BuilderOptions {
 	return sstable.BuilderOptions{BlockSize: o.BlockSize, BloomBits: o.BloomBitsPerKey}
+}
+
+// newBlockCache builds the one shared SST block cache. Open and Reopen
+// both construct theirs here so the reopen path can never diverge on
+// sizing from the cold-open path.
+func (o *Options) newBlockCache() *sstable.BlockCache {
+	return sstable.NewBlockCache(o.BlockCacheBytes)
 }

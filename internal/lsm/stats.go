@@ -32,11 +32,44 @@ func (s StallReason) String() string {
 	return "unknown"
 }
 
+// numLevelBuckets sizes the per-level read-attribution histogram;
+// deeper levels fold into the last bucket (the tree rarely exceeds 7
+// levels anyway).
+const numLevelBuckets = 8
+
 // Stats is a snapshot of a DB's cumulative counters.
 type Stats struct {
 	Puts    int64
 	Gets    int64
 	Deletes int64
+
+	// Read-pipeline attribution (read.go): which layer of the lookup
+	// chain served each Get. Exactly one of these increments per Get, so
+	// Gets == ReadsMemtable + ReadsImmutable + ΣReadsLevel + ReadMisses.
+	// ReadsLevel[0] is L0; deeper levels fold into the last bucket.
+	ReadsMemtable  int64
+	ReadsImmutable int64
+	ReadsLevel     [numLevelBuckets]int64
+	ReadMisses     int64
+
+	// Bloom-filter accounting across every SST probed by the read
+	// pipeline: consults, definite-negative answers (saved block reads),
+	// and false positives (blocks read for an absent key).
+	BloomConsults       int64
+	BloomNegatives      int64
+	BloomFalsePositives int64
+
+	// VLogDerefs counts read-triggered value-pointer dereferences (point
+	// gets and iterator values); the GC's liveness probes do not count.
+	VLogDerefs int64
+
+	// Block-cache and vlog-read-cache counters, folded in by Stats()
+	// from the live caches.
+	BlockCacheHits      int64
+	BlockCacheMisses    int64
+	BlockCacheEvictions int64
+	VLogReadCacheHits   int64
+	VLogReadCacheMisses int64
 
 	// Slowdowns counts writes that were throttled by the slowdown
 	// mechanism; StallEvents counts writes that hit a hard stop, by
@@ -108,6 +141,29 @@ func (s Stats) WALAppendsPerRecord() float64 {
 	return float64(s.WALAppends) / float64(recs)
 }
 
+// ReadsSST sums the per-level SST read attribution.
+func (s Stats) ReadsSST() int64 {
+	var n int64
+	for _, v := range s.ReadsLevel {
+		n += v
+	}
+	return n
+}
+
+// ReadsAttributed is the total reads the pipeline accounted for; it
+// equals Gets exactly (the attribution invariant tests pin).
+func (s Stats) ReadsAttributed() int64 {
+	return s.ReadsMemtable + s.ReadsImmutable + s.ReadsSST() + s.ReadMisses
+}
+
+// BlockCacheHitRate returns block-cache hits over lookups (0 when idle).
+func (s Stats) BlockCacheHitRate() float64 {
+	if s.BlockCacheHits+s.BlockCacheMisses == 0 {
+		return 0
+	}
+	return float64(s.BlockCacheHits) / float64(s.BlockCacheHits+s.BlockCacheMisses)
+}
+
 // TotalStalls sums stall events across reasons.
 func (s Stats) TotalStalls() int64 {
 	var n int64
@@ -161,6 +217,21 @@ func (s Stats) Add(o Stats) Stats {
 	s.Puts += o.Puts
 	s.Gets += o.Gets
 	s.Deletes += o.Deletes
+	s.ReadsMemtable += o.ReadsMemtable
+	s.ReadsImmutable += o.ReadsImmutable
+	for i := range s.ReadsLevel {
+		s.ReadsLevel[i] += o.ReadsLevel[i]
+	}
+	s.ReadMisses += o.ReadMisses
+	s.BloomConsults += o.BloomConsults
+	s.BloomNegatives += o.BloomNegatives
+	s.BloomFalsePositives += o.BloomFalsePositives
+	s.VLogDerefs += o.VLogDerefs
+	s.BlockCacheHits += o.BlockCacheHits
+	s.BlockCacheMisses += o.BlockCacheMisses
+	s.BlockCacheEvictions += o.BlockCacheEvictions
+	s.VLogReadCacheHits += o.VLogReadCacheHits
+	s.VLogReadCacheMisses += o.VLogReadCacheMisses
 	s.Slowdowns += o.Slowdowns
 	for i := range s.StallEvents {
 		s.StallEvents[i] += o.StallEvents[i]

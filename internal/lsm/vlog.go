@@ -26,11 +26,12 @@ const vlogGCBatch = 32
 
 func (db *DB) vlogOptions() vlog.Options {
 	return vlog.Options{
-		SegmentSize: db.opt.VLogSegmentSize,
-		ChunkSize:   db.opt.WALChunkSize,
-		QueueDepth:  db.opt.WALQueueDepth,
-		CPU:         db.opt.CPU,
-		AppendCPU:   db.opt.Cost.WALAppendCPU,
+		SegmentSize:    db.opt.VLogSegmentSize,
+		ChunkSize:      db.opt.WALChunkSize,
+		QueueDepth:     db.opt.WALQueueDepth,
+		CPU:            db.opt.CPU,
+		AppendCPU:      db.opt.Cost.WALAppendCPU,
+		ReadCacheBytes: db.opt.VLogReadCacheBytes,
 	}
 }
 
@@ -73,6 +74,9 @@ func (db *DB) derefPointer(r *vclock.Runner, pv []byte) ([]byte, error) {
 	if db.vlog == nil {
 		return nil, fmt.Errorf("lsm: value pointer with no value log")
 	}
+	db.mu.Lock()
+	db.stats.VLogDerefs++
+	db.mu.Unlock()
 	sp := db.opt.Trace.Begin(r, trace.PhaseVLogRead, "vlog-read")
 	v, err := db.vlog.ReadValue(r, ptr)
 	sp.EndArg(r, int64(len(v)))

@@ -16,7 +16,24 @@ type BlockCache struct {
 	lru   *list.List // front = most recent; values are *cacheEntry
 	items map[cacheKey]*list.Element
 
-	hits, misses int64
+	hits, misses, evictions int64
+}
+
+// CacheStats is a point-in-time snapshot of a BlockCache's counters.
+type CacheStats struct {
+	Hits      int64 // Get calls served from the cache
+	Misses    int64 // Get calls that found nothing
+	Evictions int64 // entries dropped for capacity or file deletion
+	Used      int64 // bytes currently resident
+	Entries   int64 // blocks currently resident
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 type cacheKey struct {
@@ -76,6 +93,7 @@ func (c *BlockCache) Put(file uint64, off uint32, data []byte) {
 		c.lru.Remove(back)
 		delete(c.items, e.key)
 		c.used -= int64(len(e.data))
+		c.evictions++
 	}
 }
 
@@ -91,14 +109,21 @@ func (c *BlockCache) EvictFile(file uint64) {
 			c.lru.Remove(el)
 			delete(c.items, e.key)
 			c.used -= int64(len(e.data))
+			c.evictions++
 		}
 		el = next
 	}
 }
 
-// Stats returns hit/miss counters and current byte usage.
-func (c *BlockCache) Stats() (hits, misses, used int64) {
+// Stats returns a snapshot of the cache's counters and occupancy.
+func (c *BlockCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.used
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Used:      c.used,
+		Entries:   int64(c.lru.Len()),
+	}
 }

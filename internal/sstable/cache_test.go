@@ -1,0 +1,73 @@
+package sstable
+
+import "testing"
+
+// TestBlockCacheCounters pins the hit/miss/eviction accounting the read
+// pipeline reports through lsm.Stats: every Get is a hit or a miss,
+// every capacity drop and file eviction is an eviction, and occupancy
+// tracks the resident set exactly.
+func TestBlockCacheCounters(t *testing.T) {
+	c := NewBlockCache(100)
+
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("empty cache returned a block")
+	}
+	c.Put(1, 0, make([]byte, 40))
+	if _, ok := c.Get(1, 0); !ok {
+		t.Fatal("inserted block missing")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 0 {
+		t.Fatalf("after one miss + one hit: %+v", s)
+	}
+	if s.Used != 40 || s.Entries != 1 {
+		t.Fatalf("occupancy: %+v", s)
+	}
+
+	// Capacity eviction: the second 70-byte block pushes out the first.
+	c.Put(1, 40, make([]byte, 70))
+	s = c.Stats()
+	if s.Evictions != 1 || s.Used != 70 || s.Entries != 1 {
+		t.Fatalf("after capacity eviction: %+v", s)
+	}
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("evicted block still resident")
+	}
+
+	// File eviction counts too (compaction deleting a table).
+	c.EvictFile(1)
+	s = c.Stats()
+	if s.Evictions != 2 || s.Used != 0 || s.Entries != 0 {
+		t.Fatalf("after EvictFile: %+v", s)
+	}
+
+	// Oversized and zero-capacity inserts are dropped, not evicted.
+	c.Put(2, 0, make([]byte, 200))
+	none := NewBlockCache(0)
+	none.Put(1, 0, make([]byte, 10))
+	if s = c.Stats(); s.Evictions != 2 {
+		t.Fatalf("oversized insert counted as eviction: %+v", s)
+	}
+	if s = none.Stats(); s.Used != 0 || s.Entries != 0 {
+		t.Fatalf("zero-capacity cache stored data: %+v", s)
+	}
+
+	if hr := c.Stats().HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate = %v, want in (0,1)", hr)
+	}
+	if hr := (CacheStats{}).HitRate(); hr != 0 {
+		t.Fatalf("idle hit rate = %v", hr)
+	}
+}
+
+// TestBlockCacheReplaceTracksBytes covers the in-place overwrite path:
+// replacing an entry adjusts Used by the size delta without an eviction.
+func TestBlockCacheReplaceTracksBytes(t *testing.T) {
+	c := NewBlockCache(100)
+	c.Put(1, 0, make([]byte, 30))
+	c.Put(1, 0, make([]byte, 50))
+	s := c.Stats()
+	if s.Used != 50 || s.Entries != 1 || s.Evictions != 0 {
+		t.Fatalf("after replace: %+v", s)
+	}
+}

@@ -336,6 +336,16 @@ func decodeNext(b []byte) (rec record, rest []byte, err error) {
 	return rec, b[klen+vlen:], nil
 }
 
+// Probe reports what one table lookup did, so the read pipeline can
+// account bloom-filter effectiveness per Get: whether a filter was
+// consulted, whether it ruled the key out, and whether a positive answer
+// turned out to be a false positive (blocks read, key absent).
+type Probe struct {
+	BloomConsulted bool // the table has a filter and it was checked
+	BloomNegative  bool // the filter proved the key absent (no I/O)
+	BloomFalsePos  bool // the filter said maybe, but the key was absent
+}
+
 // Get returns the newest record for key. found is false if the table has
 // no entry for it (tombstones return found=true, kind=KindDelete).
 func (rd *Reader) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable.Kind, found bool, err error) {
@@ -345,9 +355,30 @@ func (rd *Reader) Get(r *vclock.Runner, key []byte) (value []byte, kind memtable
 // GetAt returns the newest record for key with seq <= maxSeq (snapshot
 // reads); maxSeq of ^uint64(0) degenerates to Get.
 func (rd *Reader) GetAt(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool, err error) {
-	if !rd.MayContain(key) {
-		return nil, 0, false, nil
+	value, kind, found, _, err = rd.GetAtProbe(r, key, maxSeq)
+	return value, kind, found, err
+}
+
+// GetAtProbe is GetAt plus a Probe describing the bloom-filter outcome of
+// this lookup.
+func (rd *Reader) GetAtProbe(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool, probe Probe, err error) {
+	if rd.filter != nil {
+		probe.BloomConsulted = true
+		if !rd.filter.MayContain(key) {
+			probe.BloomNegative = true
+			return nil, 0, false, probe, nil
+		}
 	}
+	value, kind, found, err = rd.getFrom(r, key, maxSeq)
+	// A consulted filter that answered "maybe" for an absent key burned
+	// block reads for nothing: the false positive the stats surface.
+	probe.BloomFalsePos = probe.BloomConsulted && !found && err == nil
+	return value, kind, found, probe, err
+}
+
+// getFrom is the block-scan body of GetAt, after the bloom filter has
+// been consulted (or when the table has none).
+func (rd *Reader) getFrom(r *vclock.Runner, key []byte, maxSeq uint64) (value []byte, kind memtable.Kind, found bool, err error) {
 	if len(rd.index) == 0 {
 		return nil, 0, false, nil
 	}

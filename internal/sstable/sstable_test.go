@@ -236,9 +236,9 @@ func TestBlockCacheAvoidsRereads(t *testing.T) {
 		if src.reads != base {
 			t.Fatalf("cached gets performed %d source reads", src.reads-base)
 		}
-		hits, _, used := cache.Stats()
-		if hits < 10 || used == 0 {
-			t.Fatalf("cache stats: hits=%d used=%d", hits, used)
+		cs := cache.Stats()
+		if cs.Hits < 10 || cs.Used == 0 {
+			t.Fatalf("cache stats: %+v", cs)
 		}
 	})
 }

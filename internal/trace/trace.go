@@ -57,6 +57,9 @@ const (
 	PhaseVLogAppend
 	PhaseVLogRead
 	PhaseVLogGC
+	PhaseFrontCache
+	PhaseSSTGet
+	PhaseScan
 
 	NumPhases
 )
@@ -90,6 +93,9 @@ var phaseNames = [NumPhases]string{
 	PhaseVLogAppend:     "vlog-append",
 	PhaseVLogRead:       "vlog-read",
 	PhaseVLogGC:         "vlog-gc",
+	PhaseFrontCache:     "front-cache",
+	PhaseSSTGet:         "sst-get",
+	PhaseScan:           "scan",
 }
 
 func (p Phase) String() string {

@@ -29,6 +29,7 @@ import (
 	"kvaccel/internal/cpu"
 	"kvaccel/internal/encoding"
 	"kvaccel/internal/fs"
+	"kvaccel/internal/sstable"
 	"kvaccel/internal/vclock"
 )
 
@@ -76,6 +77,10 @@ type Options struct {
 	// buffer copy), as in the WAL.
 	CPU       *cpu.Pool
 	AppendCPU time.Duration
+	// ReadCacheBytes bounds an LRU over dereferenced frames of durable
+	// (fully written-back) segments, so hot-key reads skip the device the
+	// way a kernel page cache would. 0 disables the cache.
+	ReadCacheBytes int64
 }
 
 func (o *Options) sanitize() {
@@ -116,6 +121,10 @@ type Stats struct {
 	BytesWritten  int64 // bytes acked by device write-back
 	DiscardBytes  int64 // cumulative dead bytes reported by compaction
 	PunchedBytes  int64 // cumulative bytes reclaimed by segment punch
+	// Read-cache counters (all zero when ReadCacheBytes is 0).
+	ReadCacheHits      int64
+	ReadCacheMisses    int64
+	ReadCacheEvictions int64
 }
 
 // Entry is one decoded record, as surfaced to GC.
@@ -164,6 +173,10 @@ type Manager struct {
 	discardTotal  int64
 	punchedBytes  int64
 
+	// rcache holds dereferenced frames of durable segments, keyed by
+	// (segment, offset). Nil when Options.ReadCacheBytes is 0.
+	rcache *sstable.BlockCache
+
 	queue *vclock.Queue[wbChunk]
 }
 
@@ -171,6 +184,9 @@ type Manager struct {
 func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *Manager {
 	opt.sanitize()
 	m := &Manager{fsys: fsys, opt: opt, segs: make(map[uint32]*segment), nextSeg: 1}
+	if opt.ReadCacheBytes > 0 {
+		m.rcache = sstable.NewBlockCache(opt.ReadCacheBytes)
+	}
 	m.drained = vclock.NewCond(&m.mu, "vlog.drained")
 	m.queue = vclock.NewQueue[wbChunk](opt.QueueDepth, "vlog.queue")
 	clk.Go("vlog.writeback", m.writeback)
@@ -186,6 +202,9 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *Manager {
 func Recover(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Options, ms ManifestState) (*Manager, error) {
 	opt.sanitize()
 	m := &Manager{fsys: fsys, opt: opt, segs: make(map[uint32]*segment), nextSeg: 1}
+	if opt.ReadCacheBytes > 0 {
+		m.rcache = sstable.NewBlockCache(opt.ReadCacheBytes)
+	}
 	m.drained = vclock.NewCond(&m.mu, "vlog.drained")
 	m.queue = vclock.NewQueue[wbChunk](opt.QueueDepth, "vlog.queue")
 
@@ -357,9 +376,20 @@ func (m *Manager) readRecord(r *vclock.Runner, ptr encoding.ValuePointer) (key, 
 		m.mu.Unlock()
 	} else {
 		m.mu.Unlock()
+		// Durable path: try the read cache before paying device time.
+		// In-memory (head) reads above are already free and stay uncached
+		// so the cache holds only frames that would otherwise hit NAND.
+		if m.rcache != nil {
+			if f, ok := m.rcache.Get(uint64(ptr.Seg), ptr.Off); ok {
+				return parseFrame(f)
+			}
+		}
 		frame, err = m.fsys.ReadAt(r, SegmentName(ptr.Seg), int(ptr.Off), int(ptr.Len))
 		if err != nil {
 			return nil, nil, err
+		}
+		if m.rcache != nil {
+			m.rcache.Put(uint64(ptr.Seg), ptr.Off, frame)
 		}
 	}
 	return parseFrame(frame)
@@ -502,6 +532,9 @@ func (m *Manager) Punch(r *vclock.Runner, id uint32) int64 {
 	delete(m.segs, id)
 	m.punchedBytes += seg.size
 	m.mu.Unlock()
+	if m.rcache != nil {
+		m.rcache.EvictFile(uint64(id))
+	}
 	if m.fsys.Exists(SegmentName(id)) {
 		_ = m.fsys.Remove(r, SegmentName(id))
 	}
@@ -532,6 +565,10 @@ func (m *Manager) Stats() Stats {
 		BytesWritten:  m.bytesWritten,
 		DiscardBytes:  m.discardTotal,
 		PunchedBytes:  m.punchedBytes,
+	}
+	if m.rcache != nil {
+		cs := m.rcache.Stats()
+		s.ReadCacheHits, s.ReadCacheMisses, s.ReadCacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
 	first := true
 	for id := range m.segs {

@@ -86,9 +86,11 @@ func MakeValue(n, size int) []byte {
 type Recorder struct {
 	writes atomic.Int64
 	reads  atomic.Int64
+	scans  atomic.Int64
 
 	WriteLatency *metrics.Histogram
 	ReadLatency  *metrics.Histogram
+	ScanLatency  *metrics.Histogram
 	WriteSeries  *metrics.Series // Kops/s per second
 	ReadSeries   *metrics.Series
 
@@ -101,6 +103,7 @@ func NewRecorder(name string) *Recorder {
 	return &Recorder{
 		WriteLatency: metrics.NewHistogram(),
 		ReadLatency:  metrics.NewHistogram(),
+		ScanLatency:  metrics.NewHistogram(),
 		WriteSeries:  metrics.NewSeries(name + ".write-kops"),
 		ReadSeries:   metrics.NewSeries(name + ".read-kops"),
 	}
@@ -111,6 +114,9 @@ func (rec *Recorder) Writes() int64 { return rec.writes.Load() }
 
 // Reads returns the cumulative read count.
 func (rec *Recorder) Reads() int64 { return rec.reads.Load() }
+
+// Scans returns the cumulative range-scan count (mixed workloads only).
+func (rec *Recorder) Scans() int64 { return rec.scans.Load() }
 
 // Sample appends one throughput point at time t (in the series' time
 // unit), normalizing the ops delta over the sampling interval to Kops/s.

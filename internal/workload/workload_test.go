@@ -53,6 +53,9 @@ type fakeIter struct {
 }
 
 func (e *fakeEngine) NewIterator(r *vclock.Runner) Iterator {
+	if e.opDelay > 0 {
+		r.Sleep(e.opDelay)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	it := &fakeIter{}

@@ -103,6 +103,11 @@ type Options struct {
 	// Dev-LSM NAND reads — the extension the paper names as the fix for
 	// its Table V range-query deficit. 0 (default) reproduces the paper.
 	DevReadCacheBytes int64
+	// FrontCacheBytes enables a HotRing-style hot-key front cache in the
+	// controller's read path: skewed point reads are answered from host
+	// DRAM before either LSM is consulted. 0 (default) reproduces the
+	// paper. Sharded DBs split the budget evenly across shards.
+	FrontCacheBytes int64
 	// QueueDepth is the NVMe submission-queue depth per queue pair: how
 	// many commands one submitter may keep in flight before blocking.
 	// 0 keeps the device default (32).
@@ -222,6 +227,7 @@ func (opt Options) coreOptions() core.Options {
 	// The stall failover rides on the group-commit pipeline's admission
 	// control, and only makes sense when the accelerator is on.
 	copt.StallFailover = opt.EnableRedirection && !opt.DisableGroupCommit
+	copt.FrontCacheBytes = opt.FrontCacheBytes
 	return copt
 }
 

@@ -73,6 +73,11 @@ func OpenSharded(opt ShardedOptions) *ShardedDB {
 		panic("kvaccel: more shards than block-region pages")
 	}
 
+	copt := opt.coreOptions()
+	// Like the other buffer budgets, the front cache splits evenly so the
+	// sharded store spends the same total host DRAM as an unsharded one.
+	copt.FrontCacheBytes /= int64(n)
+
 	shards := make([]*core.DB, n)
 	for i := 0; i < n; i++ {
 		pages := per
@@ -81,7 +86,7 @@ func OpenSharded(opt ShardedOptions) *ShardedDB {
 		}
 		fsys := fs.New(dev.BlockNamespace(i*per, pages))
 		main := lsm.Open(clk, fsys, lopt)
-		kv := core.Open(clk, main, kvSlices[i], opt.coreOptions())
+		kv := core.Open(clk, main, kvSlices[i], copt)
 		if !opt.EnableRedirection {
 			kv.Detector().SetOverride(false)
 		}
