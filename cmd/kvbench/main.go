@@ -33,37 +33,39 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		engine   = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel, kvaccel-sharded")
-		wl       = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom, ycsb-a..ycsb-f, mixed")
-		threads  = flag.Int("threads", 1, "compaction threads")
-		slowdown = flag.Bool("slowdown", true, "enable the RocksDB slowdown mechanism (rocksdb/adoc)")
-		rollback = flag.String("rollback", "lazy", "kvaccel rollback scheme: disabled, lazy, eager")
-		readFrac = flag.Float64("readfraction", 0.1, "read share for readwhilewriting")
-		scale    = flag.Int("scale", 10, "device/CPU scale divisor")
-		duration = flag.Duration("duration", 30*time.Second, "virtual run duration")
-		keyspace = flag.Int("keyspace", 300_000, "key domain size")
-		value    = flag.Int("value", 4096, "value size in bytes")
-		valSize  = flag.Int("value-size", 0, "value size in bytes (db_bench spelling; overrides -value when set)")
-		vthresh  = flag.Int("value-threshold", 1024, "separate values >= this many bytes into the value log (WiscKey); 0 keeps values inline")
-		noVLog   = flag.Bool("no-vlog", false, "disable value separation (the vlog A/B baseline; same as -value-threshold 0)")
-		series   = flag.Bool("series", false, "print per-second throughput TSV")
-		shards   = flag.Int("shards", 1, "shard count for kvaccel-sharded")
-		writers  = flag.Int("writers", 0, "concurrent fillrandom writer threads (kvaccel-sharded default: one per shard)")
-		seed     = flag.Int64("seed", 1, "workload RNG seed (writer i uses seed+i*101)")
-		noGroup  = flag.Bool("no-group-commit", false, "disable the group-commit write pipeline and stall failover (A/B baseline)")
-		wSweep   = flag.String("writers-sweep", "", "comma-separated writer counts, e.g. 1,8: rerun fillrandom grouped AND with -no-group-commit per count (overrides single run)")
-		qd       = flag.Int("qd", 0, "NVMe submission-queue depth per queue pair (0 = device default, 32)")
-		ioqueues = flag.Int("ioqueues", 0, "block-interface I/O queue pairs to stripe over (0 = default, 1)")
-		qdSweep  = flag.String("qdsweep", "", "comma-separated queue depths to sweep, e.g. 1,2,4,8,32 (overrides -qd)")
-		queues   = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
-		faultSee = flag.Int64("faults-seed", 0, "seed a deterministic device fault plan (0 = no injection)")
-		cuts     = flag.Int("power-cuts", 0, "run the crash-recovery torture instead of a bench: cut device power N times, recover, verify the oracle")
-		readPct  = flag.Float64("read-pct", 0, "read fraction override for mixed workloads (0 = preset default)")
-		zipfT    = flag.Float64("zipf-theta", 0, "zipfian skew override for mixed workloads (0 = YCSB default 0.99)")
-		frontMB  = flag.Int("front-cache-mb", 32, "hot-key front cache budget in MB (kvaccel engines; default-on for mixed workloads)")
-		noFront  = flag.Bool("no-front-cache", false, "disable the hot-key front cache")
-		noBlock  = flag.Bool("no-block-cache", false, "disable the Main-LSM block cache and vlog read cache (cold-cache baseline)")
-		cacheAB  = flag.String("cache-ab", "", "run the mixed workload twice (caches on, then off) and write the paired A/B record to this JSON file")
+		engine    = flag.String("engine", "kvaccel", "engine: rocksdb, adoc, kvaccel, kvaccel-sharded")
+		wl        = flag.String("workload", "fillrandom", "workload: fillrandom, readwhilewriting, seekrandom, ycsb-a..ycsb-f, mixed")
+		threads   = flag.Int("threads", 1, "compaction threads")
+		slowdown  = flag.Bool("slowdown", true, "enable the RocksDB slowdown mechanism (rocksdb/adoc)")
+		rollback  = flag.String("rollback", "lazy", "kvaccel rollback scheme: disabled, lazy, eager")
+		readFrac  = flag.Float64("readfraction", 0.1, "read share for readwhilewriting")
+		scale     = flag.Int("scale", 10, "device/CPU scale divisor")
+		duration  = flag.Duration("duration", 30*time.Second, "virtual run duration")
+		keyspace  = flag.Int("keyspace", 300_000, "key domain size")
+		value     = flag.Int("value", 4096, "value size in bytes")
+		valSize   = flag.Int("value-size", 0, "value size in bytes (db_bench spelling; overrides -value when set)")
+		vthresh   = flag.Int("value-threshold", 1024, "separate values >= this many bytes into the value log (WiscKey); 0 keeps values inline")
+		noVLog    = flag.Bool("no-vlog", false, "disable value separation (the vlog A/B baseline; same as -value-threshold 0)")
+		series    = flag.Bool("series", false, "print per-second throughput TSV")
+		shards    = flag.Int("shards", 1, "shard count for kvaccel-sharded")
+		writers   = flag.Int("writers", 0, "concurrent fillrandom writer threads (kvaccel-sharded default: one per shard)")
+		seed      = flag.Int64("seed", 1, "workload RNG seed (writer i uses seed+i*101)")
+		noGroup   = flag.Bool("no-group-commit", false, "disable the group-commit write pipeline and stall failover (A/B baseline)")
+		lingerUS  = flag.Int64("linger-us", 30, "group leader adaptive linger window in unscaled virtual microseconds (multiplied by -scale; 0 disables)")
+		noPipeWAL = flag.Bool("no-pipelined-wal", false, "hold the group-commit critical section across the WAL append (pipelined-WAL A/B baseline)")
+		wSweep    = flag.String("writers-sweep", "", "comma-separated writer counts, e.g. 1,8: rerun fillrandom grouped AND with -no-group-commit per count (overrides single run)")
+		qd        = flag.Int("qd", 0, "NVMe submission-queue depth per queue pair (0 = device default, 32)")
+		ioqueues  = flag.Int("ioqueues", 0, "block-interface I/O queue pairs to stripe over (0 = default, 1)")
+		qdSweep   = flag.String("qdsweep", "", "comma-separated queue depths to sweep, e.g. 1,2,4,8,32 (overrides -qd)")
+		queues    = flag.Bool("queues", true, "print per-queue NVMe depth/latency stats")
+		faultSee  = flag.Int64("faults-seed", 0, "seed a deterministic device fault plan (0 = no injection)")
+		cuts      = flag.Int("power-cuts", 0, "run the crash-recovery torture instead of a bench: cut device power N times, recover, verify the oracle")
+		readPct   = flag.Float64("read-pct", 0, "read fraction override for mixed workloads (0 = preset default)")
+		zipfT     = flag.Float64("zipf-theta", 0, "zipfian skew override for mixed workloads (0 = YCSB default 0.99)")
+		frontMB   = flag.Int("front-cache-mb", 32, "hot-key front cache budget in MB (kvaccel engines; default-on for mixed workloads)")
+		noFront   = flag.Bool("no-front-cache", false, "disable the hot-key front cache")
+		noBlock   = flag.Bool("no-block-cache", false, "disable the Main-LSM block cache and vlog read cache (cold-cache baseline)")
+		cacheAB   = flag.String("cache-ab", "", "run the mixed workload twice (caches on, then off) and write the paired A/B record to this JSON file")
 
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's virtual timeline to this file")
 		traceSum   = flag.Bool("trace-summary", false, "print per-phase virtual-time attribution and the stall-window report")
@@ -152,6 +154,8 @@ func run() int {
 	p.Seed = *seed
 	p.Writers = *writers
 	p.DisableGroupCommit = *noGroup
+	p.LingerMicros = *lingerUS
+	p.NoPipelinedWAL = *noPipeWAL
 	p.ValueThreshold = *vthresh
 	p.ReadPct = *readPct
 	p.ZipfTheta = *zipfT
@@ -376,6 +380,9 @@ type benchJSON struct {
 	MeanGroupSize       float64 `json:"mean_group_size,omitempty"`
 	WALAppendsPerRecord float64 `json:"wal_appends_per_record,omitempty"`
 	WouldStallRedirects int64   `json:"would_stall_redirects,omitempty"`
+	GroupLingerWaits    int64   `json:"group_linger_waits,omitempty"`
+	GroupLingerMicros   int64   `json:"group_linger_micros,omitempty"`
+	PipelinedAppends    int64   `json:"pipelined_appends,omitempty"`
 
 	ValueLog *vlogJSON `json:"value_log,omitempty"`
 
@@ -490,6 +497,9 @@ func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.Workl
 		MeanGroupSize:       res.MainStats.MeanGroupSize(),
 		WALAppendsPerRecord: res.MainStats.WALAppendsPerRecord(),
 		WouldStallRedirects: res.WouldStallRedirects,
+		GroupLingerWaits:    res.MainStats.GroupLingerWaits,
+		GroupLingerMicros:   res.MainStats.GroupLingerMicros,
+		PipelinedAppends:    res.MainStats.PipelinedAppends,
 	}
 	if kind == harness.WorkloadMixed {
 		out.Mix = res.MixSpec.Name

@@ -31,8 +31,8 @@ func (d *testDev) ReadPages(r *vclock.Runner, lpns []int) error {
 	return nil
 }
 func (d *testDev) TrimPages(r *vclock.Runner, lpns []int) error { return nil }
-func (d *testDev) PageSize() int                          { return d.pageSize }
-func (d *testDev) Pages() int                             { return d.pages }
+func (d *testDev) PageSize() int                                { return d.pageSize }
+func (d *testDev) Pages() int                                   { return d.pages }
 
 func newEnv(perPage time.Duration) (*vclock.Clock, *lsm.DB) {
 	clk := vclock.New()

@@ -125,13 +125,13 @@ type Stats struct {
 	// version may be buffered there); DevServed counts the subset the
 	// Dev-LSM actually answered — a miss or superseded pair falls through
 	// to MainGets.
-	DevGets   int64
-	DevServed int64
-	Rollbacks           int64
-	RollbackPairs       int64
-	RollbackTime        time.Duration
-	Recoveries          int64
-	RecoveryTime        time.Duration
+	DevGets       int64
+	DevServed     int64
+	Rollbacks     int64
+	RollbackPairs int64
+	RollbackTime  time.Duration
+	Recoveries    int64
+	RecoveryTime  time.Duration
 	// DevErrors counts device command errors observed (before retries),
 	// DevRetries the retries issued, and DevFailed the commands that
 	// failed after exhausting the retry policy.
@@ -333,9 +333,19 @@ func (db *DB) Close() {
 // shouldRedirect is the Controller's path decision (§V-C Write Path):
 // redirect while a stall is detected, unless a rollback is mid-flight
 // (the Dev-LSM must not absorb new writes that the imminent Reset would
-// drop).
+// drop). With StallFailover the pre-emptive redirect narrows to the
+// Detector's hard-stall sample: the write path itself fails over on
+// ErrWouldStall the instant admission would really block, so redirecting
+// on the broad predictive signal would only siphon near-stall traffic —
+// which group commit can still absorb — onto the slower device path.
 func (db *DB) shouldRedirect() bool {
-	return db.det.StallLikely() && !db.rollingBack.Load()
+	if db.rollingBack.Load() {
+		return false
+	}
+	if db.opt.StallFailover {
+		return db.det.StallNow()
+	}
+	return db.det.StallLikely()
 }
 
 // Put writes a key-value pair through the Controller.

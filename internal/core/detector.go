@@ -20,6 +20,7 @@ type Detector struct {
 	cost   time.Duration // host CPU charged per check (Table VI: 1.37 us)
 
 	stall    atomic.Bool
+	hard     atomic.Bool          // sampled Health.Stalled: writers blocked right now
 	override atomic.Pointer[bool] // non-nil pins the stall signal (tests, ablations)
 	checks   atomic.Int64
 	closed   atomic.Bool
@@ -58,6 +59,7 @@ func (d *Detector) Check(r *vclock.Runner, cpuRun func(*vclock.Runner, time.Dura
 	// signal: a stop condition already holding, a slowdown trigger, or
 	// the anticipatory memtable-pressure signal.
 	sig := h.StallSignal()
+	d.hard.Store(h.Stalled)
 	if prev := d.stall.Swap(sig); prev != sig {
 		if tr := d.tracer.Load(); tr != nil {
 			if sig {
@@ -89,6 +91,22 @@ func (d *Detector) StallLikely() bool {
 		return *o
 	}
 	return d.stall.Load()
+}
+
+// StallNow is the narrower pre-emptive redirect signal for controllers
+// whose write path fails over on its own (Options.StallFailover): it is
+// true only when the last sample caught writers actually blocked in a
+// hard stall. The broader predictive signals (slowdown triggers,
+// memtable pressure) are left to the write path's fail-fast admission —
+// ErrWouldStall is ground truth at write time, while this sample is up
+// to a Detector period old — so near-stall traffic keeps filling groups
+// on the fast main path instead of being siphoned to the device.
+// An override pins this signal too.
+func (d *Detector) StallNow() bool {
+	if o := d.override.Load(); o != nil {
+		return *o
+	}
+	return d.hard.Load()
 }
 
 // SetOverride pins the stall signal regardless of the Main-LSM's real

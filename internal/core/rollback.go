@@ -1,10 +1,17 @@
 package core
 
 import (
+	"kvaccel/internal/lsm"
 	"kvaccel/internal/memtable"
 	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
 )
+
+// rollbackMergeBatch bounds the atomic batches a rollback (or recovery)
+// merges survivors in: one group commit per 256 records instead of one
+// per pair, so a drain does not flood the Main-LSM's commit pipeline
+// with tens of thousands of singleton groups.
+const rollbackMergeBatch = 256
 
 // startRollbackManager launches the Rollback Manager runner (§V-E): it
 // receives the Detector's stall reports and triggers rollback at the
@@ -95,6 +102,13 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 		// foreground writes so a concurrent overwrite cannot be clobbered
 		// by an older rolled-back version.
 		db.gate.Acquire(r, gateUnits)
+		var b lsm.Batch
+		flush := func() {
+			if b.Len() > 0 {
+				_ = db.main.Write(r, &b)
+				b.Reset()
+			}
+		}
 		for i := range entries {
 			e := &entries[i]
 			if e.Kind == memtable.KindSupersede || !db.meta.Contains(e.Key) {
@@ -104,13 +118,17 @@ func (db *DB) RollbackNow(r *vclock.Runner) error {
 				continue
 			}
 			if e.Kind == memtable.KindDelete {
-				_ = db.main.Delete(r, e.Key)
+				b.Delete(e.Key)
 			} else {
-				_ = db.main.Put(r, e.Key, e.Value)
+				b.Put(e.Key, e.Value)
+			}
+			if b.Len() >= rollbackMergeBatch {
+				flush()
 			}
 			merged = append(merged, append([]byte(nil), e.Key...))
 			pairs++
 		}
+		flush()
 		db.gate.Release(gateUnits)
 	})
 	ssp.EndArg(r, pairs)
@@ -169,6 +187,13 @@ func (db *DB) Recover(r *vclock.Runner) error {
 	db.gate.Release(gateUnits)
 	scanErr := db.dev.KVBulkScan(r, func(entries []memtable.Entry) {
 		db.gate.Acquire(r, gateUnits)
+		var b lsm.Batch
+		flush := func() {
+			if b.Len() > 0 {
+				_ = db.main.Write(r, &b)
+				b.Reset()
+			}
+		}
 		for i := range entries {
 			e := &entries[i]
 			switch e.Kind {
@@ -176,14 +201,18 @@ func (db *DB) Recover(r *vclock.Runner) error {
 				// The Main-LSM already holds a newer version (written
 				// through the normal path before the crash): skip.
 			case memtable.KindDelete:
-				_ = db.main.Delete(r, e.Key)
+				b.Delete(e.Key)
 				pairs++
 			default:
-				_ = db.main.Put(r, e.Key, e.Value)
+				b.Put(e.Key, e.Value)
 				pairs++
+			}
+			if b.Len() >= rollbackMergeBatch {
+				flush()
 			}
 			db.meta.Remove(e.Key)
 		}
+		flush()
 		db.gate.Release(gateUnits)
 	})
 	if scanErr != nil {

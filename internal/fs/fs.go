@@ -365,6 +365,25 @@ func (fs *FileSystem) freeFileLocked(f *file) []int {
 	return f.pages
 }
 
+// Format drops every file, returning the namespace to empty. Pages are
+// freed at the file-system level without a device trim pass, so Format
+// needs no runner: its caller is a fresh open discarding a dead
+// incarnation's files (no manifest ever pointed at them, so they carry
+// no durability obligations), and the physical pages are remapped when
+// new writes land on them.
+func (fs *FileSystem) Format() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	files := make([]*file, 0, len(fs.files))
+	for _, f := range fs.files {
+		files = append(files, f)
+	}
+	for _, f := range files {
+		pages := fs.freeFileLocked(f)
+		fs.cacheDropLocked(pages)
+	}
+}
+
 // List returns the names of all files (unordered).
 func (fs *FileSystem) List() []string {
 	fs.mu.Lock()

@@ -58,8 +58,8 @@ type RunResult struct {
 	// counters, per-source read attribution); zero for baselines.
 	KVStats core.Stats
 	// MixSpec is the resolved mixed-workload spec (WorkloadMixed only).
-	MixSpec workload.MixSpec
-	Levels  string // final tree shape
+	MixSpec   workload.MixSpec
+	Levels    string // final tree shape
 	Redirects int64
 	// WouldStallRedirects is the subset of Redirects taken because the
 	// engine refused non-blocking admission (ErrWouldStall), rather than

@@ -53,6 +53,15 @@ type Params struct {
 	// one-record-one-WAL-append path (and disables the pipeline's
 	// stall-failover admission) — the bench sweep's A/B baseline.
 	DisableGroupCommit bool
+	// LingerMicros is the group leader's adaptive linger window in
+	// unscaled virtual microseconds (kvbench's -linger-us flag); it is
+	// multiplied by Scale like the CPU costs, so -linger-us 30 at scale
+	// 10 opens a 300 µs window. 0 disables lingering.
+	LingerMicros int64
+	// NoPipelinedWAL keeps each group leader's commit critical section
+	// held across its WAL append (kvbench's -no-pipelined-wal flag) —
+	// the pipelined-WAL A/B and equivalence-test baseline.
+	NoPipelinedWAL bool
 	// ValueThreshold enables WiscKey-style value separation in the
 	// Main-LSM: values at least this long live in the value log and the
 	// tree carries 13-byte pointers (kvbench's -value-threshold flag);
@@ -257,6 +266,8 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	opt.WALChunkSize = 256 << 10
 	opt.WALQueueDepth = 512
 	opt.DisableGroupCommit = p.DisableGroupCommit
+	opt.GroupLingerMicros = p.LingerMicros * int64(scale)
+	opt.DisablePipelinedWAL = p.NoPipelinedWAL
 	opt.ValueThreshold = p.ValueThreshold
 	sd := time.Duration(scale)
 	opt.Cost.WriteCPU *= sd

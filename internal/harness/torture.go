@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kvaccel/internal/core"
@@ -63,6 +64,12 @@ type TortureParams struct {
 	// (a stale cached value is a durability violation like any other).
 	// 0 disables; DefaultTortureParams enables a small one.
 	FrontCacheBytes int64
+	// LingerMicros opens the group leader's adaptive linger window in the
+	// Main-LSM (lsm.Options.GroupLingerMicros), so cuts can land inside
+	// an open window; DefaultTortureParams enables it. The pipelined WAL
+	// and the concurrent memtable are always on — they are the write
+	// path's defaults — so every phase exercises them.
+	LingerMicros int64
 	// BrokenRecovery deliberately replays WALs without checksum
 	// verification (lsm.Options.UncheckedWALReplay). A correct oracle
 	// must catch the resulting corruption; the negative test asserts
@@ -95,6 +102,8 @@ func DefaultTortureParams(seed int64) TortureParams {
 		ValueThreshold: 48,
 
 		FrontCacheBytes: 256 << 10,
+
+		LingerMicros: 200,
 	}
 }
 
@@ -270,6 +279,17 @@ func RunTorture(p TortureParams) TortureReport {
 		// Drawn outside the runner so the sequence of seeded decisions
 		// does not depend on goroutine scheduling.
 		cutDelay := time.Duration(1 + rng.Int63n(int64(p.CutWindow)))
+		// Besides the timed cut — which stays armed as a fallback — a
+		// phase may sever power at the Nth group-commit hook hit: inside
+		// an open linger window ("in-linger") or between an overlapped
+		// WAL append and its predecessor's apply ("pre-append"), the two
+		// crash windows the deepened write pipeline added. If the chosen
+		// stage never reaches N hits (a futile-linger backoff, say), the
+		// timed cut still fires.
+		cutStage := [3]string{"", "in-linger", "pre-append"}[rng.Intn(3)]
+		cutNth := int64(1 + rng.Int63n(4))
+		var hookArmed atomic.Bool
+		var hookHits atomic.Int64
 
 		clk.Go("torture.host", func(r *vclock.Runner) {
 			lopt := lsm.DefaultOptions(cpu.NewPool(8, "host"))
@@ -287,6 +307,21 @@ func RunTorture(p TortureParams) TortureReport {
 			lopt.ValueThreshold = p.ValueThreshold
 			lopt.VLogSegmentSize = 32 << 10
 			lopt.VLogGCDiscardRatio = 0.3
+			// The deepened write pipeline under torture: the linger window
+			// holds commit slots open, the pipelined WAL overlaps appends
+			// with applies, and sharded replay reconstructs the memtable on
+			// every Reopen. The hook severs power inside the chosen window.
+			lopt.GroupLingerMicros = p.LingerMicros
+			if cutPhase && cutStage != "" {
+				lopt.TestHookCommit = func(stage string) {
+					if stage != cutStage || !hookArmed.Load() {
+						return
+					}
+					if hookHits.Add(1) == cutNth && !dev.Severed() {
+						dev.Sever()
+					}
+				}
+			}
 
 			var main *lsm.DB
 			if fsys.Exists("CURRENT") {
@@ -346,6 +381,7 @@ func RunTorture(p TortureParams) TortureReport {
 				// virtual instant is seeded relative to workload start.
 				at := r.Now().Add(cutDelay)
 				plan.ArmPowerCut(at)
+				hookArmed.Store(true)
 				clk.Go("torture.cutter", func(cr *vclock.Runner) {
 					if t, ok := plan.NextPowerCut(); ok {
 						cr.SleepUntil(t)

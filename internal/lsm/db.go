@@ -52,7 +52,28 @@ type DB struct {
 	// insert outside db.mu (parallel memtable writes), so a flush of a
 	// rotated memtable must wait until its count drains or it would
 	// capture the table without records already committed to the WAL.
-	applying map[*memtable.Table]int
+	// applyTotal is the sum of applying's counts — the cheap "any apply
+	// in flight" signal the pipelining-overlap counter reads.
+	applying   map[*memtable.Table]int
+	applyTotal int
+
+	// Linger state (group.go): lingerEv is the open linger window's wake
+	// event (nil when no leader is lingering); joiners Set it to cut the
+	// window short once the queue already holds a full group. recentGroup
+	// is an EWMA of recent group member counts, and lingerFutile counts
+	// consecutive lingered commits that still went out alone — together
+	// they drive the adaptive linger policy.
+	lingerEv     *vclock.Event
+	recentGroup  float64
+	lingerFutile int
+
+	// Pipelined-WAL ticket lane (group.go): each leader takes walTail++
+	// at claim time and may append only once walHead reaches its ticket,
+	// so appends hit the log in sequence order even though the next group
+	// claims — and the previous group applies — concurrently.
+	walTail uint64
+	walHead uint64
+	walCond *vclock.Cond
 
 	seq     uint64
 	memSize int64 // runtime-adjustable memtable threshold
@@ -102,6 +123,17 @@ type DB struct {
 // Open creates a DB on fsys and starts its background runners on clk.
 func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 	opt.sanitize()
+	// A fresh open over a non-empty namespace means a previous incarnation
+	// died before persisting its first manifest: no CURRENT, so none of its
+	// files — WALs, SSTs, vlog segments — carry durability obligations (a
+	// Flush barrier would have persisted CURRENT). They must not survive
+	// into this incarnation: a fresh DB reuses WAL numbers and vlog segment
+	// ids from 1, and a stale VLOG-1 under a fresh pointer (1, off) would
+	// silently resolve committed pointers into the dead incarnation's bytes
+	// after the next crash. Formatting the namespace removes the collision.
+	if !fsys.Exists(currentName) {
+		fsys.Format()
+	}
 	db := &DB{
 		clk:               clk,
 		fsys:              fsys,
@@ -118,6 +150,7 @@ func Open(clk *vclock.Clock, fsys *fs.FileSystem, opt Options) *DB {
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
 	db.groupCond = vclock.NewCond(&db.mu, "lsm.writeGroup")
+	db.walCond = vclock.NewCond(&db.mu, "lsm.walTicket")
 	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	if !opt.DisableWAL {
 		db.log = db.newWAL()
@@ -157,6 +190,9 @@ func (db *DB) Close() {
 		return
 	}
 	db.closed = true
+	if db.lingerEv != nil {
+		db.lingerEv.Set() // wake a lingering leader so it observes closed
+	}
 	lg := db.log
 	logs := make([]*wal.Log, 0, len(db.imm)+1)
 	if lg != nil {
@@ -177,6 +213,7 @@ func (db *DB) Close() {
 	db.bgCond.Broadcast()
 	db.writeCond.Broadcast()
 	db.groupCond.Broadcast()
+	db.walCond.Broadcast()
 }
 
 // Put inserts or overwrites a key.
@@ -306,18 +343,28 @@ func (db *DB) writeLegacy(r *vclock.Runner, wo WriteOptions, kind memtable.Kind,
 // before the writer leaves the lock to insert.
 func (db *DB) beginApplyLocked(mt *memtable.Table, n int) {
 	db.applying[mt] += n
+	db.applyTotal += n
 }
 
 // endApply retires one in-flight insert on mt, waking the flush worker
 // when the table's count drains.
 func (db *DB) endApply(mt *memtable.Table) {
 	db.mu.Lock()
-	db.applying[mt]--
+	db.releaseApplyLocked(mt, 1)
+	db.mu.Unlock()
+}
+
+// releaseApplyLocked retires n in-flight-insert registrations on mt,
+// waking the flush worker when the table's count drains. Besides
+// endApply, the group leader calls it directly when an append failure
+// means the group will never apply. Called with db.mu held.
+func (db *DB) releaseApplyLocked(mt *memtable.Table, n int) {
+	db.applying[mt] -= n
+	db.applyTotal -= n
 	if db.applying[mt] <= 0 {
 		delete(db.applying, mt)
 		db.bgCond.Broadcast()
 	}
-	db.mu.Unlock()
 }
 
 func appendKV(dst, key, value []byte) []byte {

@@ -74,6 +74,12 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 	}
 	db.groupQueue = append(db.groupQueue, w)
 	db.groupBytes += int64(w.bytes)
+	// A queue that already holds a full group is exactly what an open
+	// linger window waits for — cut it short.
+	if db.lingerEv != nil &&
+		(db.groupBytes >= db.opt.MaxWriteGroupBytes || len(db.groupQueue) >= lingerWakeMembers) {
+		db.lingerEv.Set()
+	}
 
 	for {
 		if w.done {
@@ -99,8 +105,15 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 		db.groupCond.Wait(r)
 	}
 
-	// Leader: one write-controller pass admits the whole group.
+	// Leader: linger first (if the adaptive policy says a short wait will
+	// grow the group), then one write-controller pass admits everyone who
+	// joined — the gathered group pays a single admission check.
 	db.committing = true
+	lingered := false
+	if d := db.lingerDurationLocked(); d > 0 {
+		lingered = true
+		db.linger(r, d)
+	}
 	if err := db.makeRoomForWrite(r, w.bytes, w.noStall, true); err != nil {
 		// The queue behind us fails the same way on its own (each member
 		// re-elects and re-checks), except ErrWouldStall, where blocking
@@ -113,7 +126,20 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 		return err
 	}
 
+	// Bounded pipeline depth: if walPipelineDepth appends are already in
+	// flight, hold the commit slot until the lane drains one. This is the
+	// backpressure that makes groups form at all under pipelining — while
+	// the leader waits here, writers accumulate behind it and are claimed
+	// together below — and it bounds how far acknowledged-but-unappended
+	// work can run ahead of the log.
+	if !db.opt.DisablePipelinedWAL {
+		for db.walTail-db.walHead >= walPipelineDepth && !db.closed {
+			db.walCond.Wait(r)
+		}
+	}
+
 	group, totalRecs, totalBytes := db.claimGroupLocked()
+	db.noteGroupLocked(len(group), lingered)
 	firstSeq := db.seq + 1
 	seq := firstSeq
 	for _, m := range group {
@@ -122,15 +148,52 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 		seq += uint64(len(m.ops))
 	}
 	db.seq = seq - 1
+	lastSeq := db.seq
 	lg := db.log
 	failInject := db.failNextAppend
 	db.failNextAppend = nil
+	// Register every member's pending memtable insert at claim time, not
+	// after the append: with pipelining, the next leader can rotate this
+	// memtable while our append is still in flight, and the refcount is
+	// what keeps the flush worker from capturing the table before the
+	// group's records — by then durable in the WAL — have landed in it.
+	db.beginApplyLocked(group[0].mt, len(group))
+	hasTicket := lg != nil
+	var ticket uint64
+	if hasTicket {
+		ticket = db.walTail
+		db.walTail++
+	}
+	pipelined := hasTicket && !db.opt.DisablePipelinedWAL
+	if pipelined {
+		if ticket != db.walHead || db.applyTotal > len(group) {
+			// A previous group's append or memtable apply is still in
+			// flight: this commit genuinely overlaps it.
+			db.stats.PipelinedAppends++
+		}
+		// Hand leadership over before the append: the next group claims
+		// and encodes behind our WAL ticket instead of behind our I/O.
+		db.committing = false
+	}
 	db.mu.Unlock()
+	if pipelined {
+		db.groupCond.Broadcast()
+	}
 
 	gsp := db.opt.Trace.Begin(r, trace.PhaseWriteGroup, "write-group")
 	var werr error
-	if lg != nil {
+	if hasTicket {
 		payload := encodeGroupPayload(group, totalRecs, totalBytes)
+		if hook := db.opt.TestHookCommit; hook != nil {
+			hook("pre-append") // between leadership handoff and the append
+		}
+		// The WAL lane: appends must hit the log in ticket (= sequence)
+		// order, or replay would reorder groups across a crash.
+		db.mu.Lock()
+		for db.walHead != ticket {
+			db.walCond.Wait(r)
+		}
+		db.mu.Unlock()
 		wsp := db.opt.Trace.Begin(r, trace.PhaseWALAppend, "wal-append")
 		if failInject != nil {
 			werr = failInject
@@ -141,16 +204,30 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 	}
 
 	db.mu.Lock()
+	if hasTicket {
+		// Advance the lane whether the append succeeded or not: the next
+		// ticket holder orders behind the attempt, not the outcome.
+		db.walHead++
+		db.walCond.Broadcast()
+	}
 	if werr != nil && !db.closed {
 		// No record carrying the claimed range reached the log: release
-		// the range so recovery never sees a sequence gap. Only the
-		// committing leader advances db.seq, so the decrement is exact.
-		db.seq -= uint64(totalRecs)
+		// the range so recovery never sees a sequence gap — unless a
+		// pipelined successor already claimed past it, in which case the
+		// gap stands (recovery renumbers replayed records densely).
+		if db.seq == lastSeq {
+			db.seq -= uint64(totalRecs)
+		}
 		db.stats.WALErrors++
 		for _, m := range group {
 			m.done, m.err = true, werr
 		}
-		db.committing = false
+		// The group will never apply; hand its insert registrations back
+		// so a pending flush of this memtable can proceed.
+		db.releaseApplyLocked(group[0].mt, len(group))
+		if !pipelined {
+			db.committing = false
+		}
 		db.mu.Unlock()
 		db.groupCond.Broadcast()
 		gsp.EndArg(r, 0)
@@ -177,18 +254,92 @@ func (db *DB) commitThroughGroup(r *vclock.Runner, w *groupWriter) error {
 		}
 		m.done = true
 	}
-	// Register every member's pending memtable insert before any of them
-	// leaves the lock: the flush worker must not capture this memtable
-	// until all of the group's records — already durable in the WAL —
-	// have landed in it.
-	db.beginApplyLocked(group[0].mt, len(group))
-	db.committing = false
+	if !pipelined {
+		db.committing = false
+	}
 	db.mu.Unlock()
 	db.groupCond.Broadcast()
 	gsp.EndArg(r, int64(totalRecs))
 
 	db.applyOps(r, w)
 	return nil
+}
+
+// walPipelineDepth bounds outstanding group WAL appends (tickets taken
+// but not yet retired): depth 2 lets one group encode and queue behind
+// the lane while another's append is on the device, which is all the
+// overlap the pipeline needs — deeper lanes only let singleton groups
+// leapfrog each other instead of merging.
+const walPipelineDepth = 2
+
+// Tunables of the adaptive linger policy (lingerDurationLocked).
+const (
+	// lingerGroupTarget: once the recent-group EWMA reaches this many
+	// members per commit, arrivals alone sustain grouping and a fresh
+	// leader skips the window.
+	lingerGroupTarget = 4.0
+	// lingerWakeMembers: a queue this deep is already a full group — an
+	// open window is cut short and a fresh leader does not wait.
+	lingerWakeMembers = 8
+	// lingerFutileLimit: after this many consecutive lingered commits
+	// that still went out alone, stop lingering until a group forms on
+	// its own — a single-writer workload stops paying the window after
+	// three commits.
+	lingerFutileLimit = 3
+)
+
+// lingerDurationLocked decides whether a fresh leader should hold the
+// commit open so followers can join, and for how long. Called with db.mu
+// held, after the leader set committing.
+func (db *DB) lingerDurationLocked() time.Duration {
+	us := db.opt.GroupLingerMicros
+	if us <= 0 || db.lingerFutile >= lingerFutileLimit {
+		return 0
+	}
+	if db.groupBytes >= db.opt.MaxWriteGroupBytes || len(db.groupQueue) >= lingerWakeMembers {
+		return 0 // a full group is already queued; commit it now
+	}
+	if db.recentGroup >= lingerGroupTarget {
+		return 0 // the arrival rate sustains grouping without the wait
+	}
+	if db.stalledWriters > 0 || db.slowdownConditionLocked() {
+		return 0 // never delay the admission pass when a stall is brewing
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// linger parks the leader for up to d on the virtual clock so followers
+// can join its group; joiners cut the window short once the queue holds
+// a full group, and Close wakes it immediately. Called with db.mu held;
+// returns with it held.
+func (db *DB) linger(r *vclock.Runner, d time.Duration) {
+	ev := vclock.NewEvent("lsm.groupLinger")
+	db.lingerEv = ev
+	db.stats.GroupLingerWaits++
+	db.mu.Unlock()
+	if hook := db.opt.TestHookCommit; hook != nil {
+		hook("in-linger") // inside an open window, before the timed wait
+	}
+	lsp := db.opt.Trace.Begin(r, trace.PhaseWriteGroup, "group-linger")
+	start := r.Now()
+	ev.WaitFor(r, d)
+	lsp.End(r)
+	waited := r.Now().Sub(start)
+	db.mu.Lock()
+	db.lingerEv = nil
+	db.stats.GroupLingerMicros += int64(waited / time.Microsecond)
+}
+
+// noteGroupLocked feeds the adaptive linger policy after a claim: an
+// EWMA of member counts, and a futility counter that backs the window
+// off when lingering keeps producing singleton groups.
+func (db *DB) noteGroupLocked(members int, lingered bool) {
+	db.recentGroup = 0.75*db.recentGroup + 0.25*float64(members)
+	if members >= 2 {
+		db.lingerFutile = 0
+	} else if lingered {
+		db.lingerFutile++
+	}
 }
 
 // applyOps inserts a committed member's records into the group's

@@ -32,8 +32,8 @@ func (d *testDev) ReadPages(r *vclock.Runner, lpns []int) error {
 	return nil
 }
 func (d *testDev) TrimPages(r *vclock.Runner, lpns []int) error { return nil }
-func (d *testDev) PageSize() int                          { return d.pageSize }
-func (d *testDev) Pages() int                             { return d.pages }
+func (d *testDev) PageSize() int                                { return d.pageSize }
+func (d *testDev) Pages() int                                   { return d.pages }
 
 // smallOpts is a tiny configuration that flushes and compacts quickly.
 func smallOpts() Options {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"kvaccel/internal/encoding"
 	"kvaccel/internal/fs"
@@ -276,6 +277,7 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	db.writeCond = vclock.NewCond(&db.mu, "lsm.writeStall")
 	db.bgCond = vclock.NewCond(&db.mu, "lsm.background")
 	db.groupCond = vclock.NewCond(&db.mu, "lsm.writeGroup")
+	db.walCond = vclock.NewCond(&db.mu, "lsm.walTicket")
 	db.applying = make(map[*memtable.Table]int)
 	db.persistSem = vclock.NewSemaphore(1, "lsm.manifest")
 	db.manifest.counter = manifestCounterFrom(string(cur))
@@ -381,13 +383,23 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 	// unchecked-replay mode skips the validation along with everything
 	// else it skips.
 	checkPtrs := db.vlog != nil && !opt.UncheckedWALReplay
-	resolves := func(kind memtable.Kind, value []byte) bool {
+	resolves := func(kind memtable.Kind, key, value []byte) bool {
 		if !checkPtrs || kind != memtable.KindValuePtr {
 			return true
 		}
 		ptr, perr := encoding.DecodeValuePointer(value)
-		return perr == nil && db.vlog.Resolves(ptr)
+		// The record's embedded key must match: a bare bounds check would
+		// also accept stale bytes left at the same (segment, offset) by a
+		// dead incarnation or a lost write-back, silently resolving the
+		// pointer into another key's value.
+		return perr == nil && db.vlog.Resolves(ptr) && db.vlog.VerifyKey(r, ptr, key)
 	}
+	// Replay is two phases. Phase 1 (serial, here): read and decode every
+	// log in order, validate pointers, and assign sequence numbers — the
+	// all-or-none batch semantics and stop-at-corruption handling need the
+	// serial record stream. Phase 2 (replayIntoMemtable): insert the
+	// decoded records, fanned out across ReplayShards concurrent inserters.
+	var replayOps []replayOp
 	for _, name := range logs {
 		replayFn := wal.Replay
 		if opt.UncheckedWALReplay {
@@ -410,13 +422,13 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 					return derr
 				}
 				for _, op := range ops {
-					if !resolves(op.kind, op.value) {
+					if !resolves(op.kind, op.key, op.value) {
 						return nil
 					}
 				}
 				for _, op := range ops {
 					db.seq++
-					db.mem.Add(db.seq, op.kind, op.key, op.value)
+					replayOps = append(replayOps, replayOp{seq: db.seq, kind: op.kind, key: op.key, value: op.value})
 				}
 				return nil
 			}
@@ -424,17 +436,23 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 			if perr != nil {
 				return nil // stop-at-corruption is handled by wal.Replay
 			}
-			if !resolves(kind, value) {
+			if !resolves(kind, key, value) {
 				return nil
 			}
 			db.seq++
-			db.mem.Add(db.seq, kind, key, value)
+			replayOps = append(replayOps, replayOp{
+				seq:   db.seq,
+				kind:  kind,
+				key:   append([]byte(nil), key...),
+				value: append([]byte(nil), value...),
+			})
 			return nil
 		})
 		if err != nil {
 			return abort(err)
 		}
 	}
+	db.replayIntoMemtable(r, replayOps)
 
 	if !opt.DisableWAL {
 		db.log = db.newWAL()
@@ -461,6 +479,75 @@ func Reopen(r *vclock.Runner, clk *vclock.Clock, fsys *fs.FileSystem, opt Option
 		}
 	}
 	return db, nil
+}
+
+// replayOp is one decoded WAL record with its recovery-assigned sequence
+// number, carried from the serial decode pass to the sharded insert pass.
+type replayOp struct {
+	seq   uint64
+	kind  memtable.Kind
+	key   []byte
+	value []byte
+}
+
+// replayIntoMemtable inserts the decoded WAL records into the fresh
+// memtable, fanned out over Options.ReplayShards concurrent inserters
+// sharded by key hash. Sequence numbers were assigned by the serial
+// decode pass and the skiplist orders entries by (key, seq) regardless
+// of insertion order, so the sharded result is bit-identical to a serial
+// replay — the "merge" is the skiplist's own internal-key ordering.
+// Each shard pays its records' WriteCPU on its own runner, which is what
+// makes the fan-out shorten recovery on the virtual clock.
+func (db *DB) replayIntoMemtable(r *vclock.Runner, ops []replayOp) {
+	if len(ops) == 0 {
+		return
+	}
+	shards := db.opt.ReplayShards
+	if shards > len(ops) {
+		shards = len(ops)
+	}
+	if shards <= 1 {
+		db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*time.Duration(len(ops)))
+		for _, op := range ops {
+			db.mem.Add(op.seq, op.kind, op.key, op.value)
+		}
+		db.stats.ReplayShards = 1
+		return
+	}
+	buckets := make([][]replayOp, shards)
+	for _, op := range ops {
+		s := replayShard(op.key, shards)
+		buckets[s] = append(buckets[s], op)
+	}
+	sem := vclock.NewSemaphore(shards, "lsm.replay")
+	sem.Acquire(r, shards)
+	for i := 1; i < shards; i++ {
+		bucket := buckets[i]
+		db.clk.Go(fmt.Sprintf("lsm.replay%d", i), func(rr *vclock.Runner) {
+			db.opt.CPU.Run(rr, db.opt.Cost.WriteCPU*time.Duration(len(bucket)))
+			for _, op := range bucket {
+				db.mem.Add(op.seq, op.kind, op.key, op.value)
+			}
+			sem.Release(1)
+		})
+	}
+	db.opt.CPU.Run(r, db.opt.Cost.WriteCPU*time.Duration(len(buckets[0])))
+	for _, op := range buckets[0] {
+		db.mem.Add(op.seq, op.kind, op.key, op.value)
+	}
+	sem.Release(1)
+	sem.Acquire(r, shards) // join: parks until every shard released its unit
+	db.stats.ReplayShards = int64(shards)
+}
+
+// replayShard maps a key to a replay shard (FNV-1a).
+func replayShard(key []byte, shards int) int {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
 }
 
 func manifestCounterFrom(current string) uint64 {

@@ -81,6 +81,34 @@ type Options struct {
 	// one-record-one-WAL-append path — the A/B escape hatch for
 	// measuring what the group-commit pipeline buys.
 	DisableGroupCommit bool
+	// GroupLingerMicros is the leader linger window in virtual
+	// microseconds: a group leader that finds recent groups small parks
+	// for up to this long before claiming, letting concurrent writers
+	// join its group. The wait adapts — it is skipped while the queue is
+	// already deep, while any stall condition holds, and after repeated
+	// windows that gathered nobody (so a single-writer workload stops
+	// paying it after three commits). Zero disables lingering.
+	GroupLingerMicros int64
+	// DisablePipelinedWAL keeps a group leader's commit critical section
+	// held across its WAL append, so group N+1 cannot form until group
+	// N's append returns — the pre-pipelining behaviour, kept for A/B
+	// runs and the byte-equivalence suite. With pipelining on (the
+	// default), the leader releases the critical section after claiming
+	// sequence numbers and appends under a ticket that preserves WAL
+	// record order == sequence order.
+	DisablePipelinedWAL bool
+	// ReplayShards is the number of concurrent memtable inserters Reopen
+	// fans WAL replay out over, sharded by key hash; the skiplist's
+	// (key, seq) ordering makes the result identical to a serial replay.
+	// 0 picks the default (4); 1 forces serial replay.
+	ReplayShards int
+	// TestHookCommit, when set, is called at named instants inside the
+	// group-commit pipeline — "in-linger" (inside an open linger window,
+	// before the timed wait) and "pre-append" (a pipelined leader has
+	// handed leadership over but not yet appended) — so the crash-recovery
+	// torture suite can cut power at the pipeline's new in-between states
+	// deterministically. Called without db.mu held, on the leader's runner.
+	TestHookCommit func(stage string)
 
 	// ValueThreshold enables WiscKey-style value separation: a Put whose
 	// value is at least this many bytes appends the value to the value
@@ -261,6 +289,12 @@ func (o *Options) sanitize() {
 	}
 	if o.MaxWriteGroupBytes <= 0 {
 		o.MaxWriteGroupBytes = 1 << 20
+	}
+	if o.GroupLingerMicros < 0 {
+		o.GroupLingerMicros = 0
+	}
+	if o.ReplayShards <= 0 {
+		o.ReplayShards = 4
 	}
 	if o.ValueThreshold < 0 {
 		o.ValueThreshold = 0

@@ -83,16 +83,35 @@ type Stats struct {
 	// GroupCommits). WALAppends counts write-path WAL Append calls —
 	// one per group, or one per record on the legacy path — so
 	// WALAppends / (Puts+Deletes) is the appends-per-record amortization
-	// the pipeline exists to shrink. WouldStalls counts NoStallWait
-	// writes that failed fast with ErrWouldStall instead of parking, and
+	// the pipeline exists to shrink.
+	//
+	// WouldStalls counts NoStallWait writes that failed fast with
+	// ErrWouldStall instead of parking — exactly one increment per
+	// failed write, never per group: a stalling leader that ejects N
+	// queued NoStallWait followers accounts N (one each), and adds one
+	// more only if the leader itself was non-blocking and failed too.
 	// WALErrors counts write-path WAL append failures (on the group path
-	// the claimed sequence range is released; on the legacy path the gap
-	// is only accounted here).
+	// the claimed sequence range is released when no later group claimed
+	// past it; otherwise, and on the legacy path, the gap stands —
+	// recovery renumbers densely).
 	GroupCommits   int64
 	GroupedRecords int64
 	WALAppends     int64
 	WouldStalls    int64
 	WALErrors      int64
+
+	// Linger and pipelining counters. GroupLingerWaits counts leader
+	// linger windows actually taken and GroupLingerMicros the virtual
+	// microseconds spent in them (windows cut short by a full queue
+	// count their real wait). PipelinedAppends counts group WAL appends
+	// issued while a previous group's append or memtable apply was still
+	// in flight — the overlap the pipelined WAL exists to create.
+	// ReplayShards is the number of concurrent replay inserters the last
+	// Reopen used (0 until a recovery has run, 1 for a serial replay).
+	GroupLingerWaits  int64
+	GroupLingerMicros int64
+	PipelinedAppends  int64
+	ReplayShards      int64
 
 	Flushes              int64
 	FlushBytes           int64
@@ -242,6 +261,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.WALAppends += o.WALAppends
 	s.WouldStalls += o.WouldStalls
 	s.WALErrors += o.WALErrors
+	s.GroupLingerWaits += o.GroupLingerWaits
+	s.GroupLingerMicros += o.GroupLingerMicros
+	s.PipelinedAppends += o.PipelinedAppends
+	s.ReplayShards += o.ReplayShards
 	s.Flushes += o.Flushes
 	s.FlushBytes += o.FlushBytes
 	s.Compactions += o.Compactions

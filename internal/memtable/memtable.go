@@ -2,12 +2,18 @@
 // a skiplist ordered by (user key ascending, sequence number descending),
 // the same internal-key ordering RocksDB uses so that the newest version
 // of a key is encountered first.
+//
+// The skiplist is lock-free: inserts link nodes bottom-up with
+// compare-and-swap on the predecessor's forward pointers, so any number of
+// writers may Add concurrently with readers and iterators. Nodes are
+// immutable once linked (the list is insert-only; deletes are tombstone
+// records, never unlinks), which is what makes wait-free reads sound:
+// a reader that observed a forward pointer can follow it forever.
 package memtable
 
 import (
 	"bytes"
-	"math/rand"
-	"sync"
+	"sync/atomic"
 )
 
 // Kind tags an entry as a value or a tombstone.
@@ -41,28 +47,31 @@ type node struct {
 	value []byte
 	seq   uint64
 	kind  Kind
-	next  []*node
+	next  []atomic.Pointer[node]
 }
 
-// Table is a concurrent skiplist memtable. A Table is safe for one writer
-// and many readers at a time (callers serialize writers, as the LSM write
-// path does).
+// loadNext returns n's successor at level h.
+func (n *node) loadNext(h int) *node { return n.next[h].Load() }
+
+// Table is a lock-free concurrent skiplist memtable: any number of
+// writers may Add while readers Get and iterate. Entries with distinct
+// (key, seq) pairs never conflict; the LSM write path's sequence
+// allocation guarantees uniqueness, so group members insert their
+// records fully in parallel.
 type Table struct {
-	mu     sync.RWMutex
 	head   *node
-	height int
-	rnd    *rand.Rand
-	size   int64
-	count  int
+	height atomic.Int32
+	rnd    atomic.Uint64 // splitmix64 state for randomHeight
+	size   atomic.Int64
+	count  atomic.Int64
 }
 
 // New returns an empty memtable.
 func New() *Table {
-	return &Table{
-		head:   &node{next: make([]*node, maxHeight)},
-		height: 1,
-		rnd:    rand.New(rand.NewSource(0xdecaf)),
-	}
+	t := &Table{head: &node{next: make([]atomic.Pointer[node], maxHeight)}}
+	t.height.Store(1)
+	t.rnd.Store(0xdecaf)
+	return t
 }
 
 // compare orders internal keys: user key ascending, then seq descending.
@@ -79,10 +88,21 @@ func compare(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
 	return 0
 }
 
+// randomHeight draws a geometric(1/branching) height from a lock-free
+// splitmix64 stream. Heights shape only the internal index levels, never
+// the level-0 ordering flushes and iterators observe, so contention on
+// the shared state changing the draw sequence is harmless.
 func (t *Table) randomHeight() int {
+	x := t.rnd.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
 	h := 1
-	for h < maxHeight && t.rnd.Intn(branching) == 0 {
+	for h < maxHeight && x&(branching-1) == 0 {
 		h++
+		x >>= 2
 	}
 	return h
 }
@@ -91,9 +111,9 @@ func (t *Table) randomHeight() int {
 // prev with the rightmost node before it at every level when prev != nil.
 func (t *Table) findGE(key []byte, seq uint64, prev []*node) *node {
 	x := t.head
-	level := t.height - 1
+	level := int(t.height.Load()) - 1
 	for {
-		next := x.next[level]
+		next := x.loadNext(level)
 		if next != nil && compare(next.key, next.seq, key, seq) < 0 {
 			x = next
 			continue
@@ -108,39 +128,68 @@ func (t *Table) findGE(key []byte, seq uint64, prev []*node) *node {
 	}
 }
 
-// Add inserts an entry. Duplicate (key, seq) pairs must not be inserted.
-func (t *Table) Add(seq uint64, kind Kind, key, value []byte) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	prev := make([]*node, maxHeight)
-	t.findGE(key, seq, prev)
-	h := t.randomHeight()
-	if h > t.height {
-		for i := t.height; i < h; i++ {
-			prev[i] = t.head
+// findSpliceForLevel recomputes the (prev, succ) pair for (key, seq) at
+// one level, starting the walk from a known-earlier node.
+func findSpliceForLevel(key []byte, seq uint64, level int, start *node) (prev, succ *node) {
+	prev = start
+	for {
+		succ = prev.loadNext(level)
+		if succ == nil || compare(succ.key, succ.seq, key, seq) >= 0 {
+			return prev, succ
 		}
-		t.height = h
+		prev = succ
+	}
+}
+
+// Add inserts an entry. Duplicate (key, seq) pairs must not be inserted
+// (the write path's sequence allocator guarantees this). Safe for any
+// number of concurrent callers.
+func (t *Table) Add(seq uint64, kind Kind, key, value []byte) {
+	h := t.randomHeight()
+	// Publish a taller list height first; a racing reader that still sees
+	// the old height just starts its descent lower, which is always valid.
+	for {
+		lh := t.height.Load()
+		if int32(h) <= lh || t.height.CompareAndSwap(lh, int32(h)) {
+			break
+		}
 	}
 	n := &node{
 		key:   append([]byte(nil), key...),
 		value: append([]byte(nil), value...),
 		seq:   seq,
 		kind:  kind,
-		next:  make([]*node, h),
+		next:  make([]atomic.Pointer[node], h),
 	}
+	var prev [maxHeight]*node
+	var succ [maxHeight]*node
+	for i := range prev[:h] {
+		prev[i] = t.head
+	}
+	t.findGE(key, seq, prev[:])
 	for i := 0; i < h; i++ {
-		n.next[i] = prev[i].next[i]
-		prev[i].next[i] = n
+		prev[i], succ[i] = findSpliceForLevel(key, seq, i, prev[i])
 	}
-	t.size += int64(len(key) + len(value) + 32) // 32 ~ node overhead
-	t.count++
+	// Link bottom-up: once level 0 is in, the node is visible to readers;
+	// upper levels are only an index and may lag behind. A failed CAS
+	// means a concurrent insert landed between prev and us — recompute
+	// the splice at that level from the last known predecessor and retry.
+	for i := 0; i < h; i++ {
+		for {
+			n.next[i].Store(succ[i])
+			if prev[i].next[i].CompareAndSwap(succ[i], n) {
+				break
+			}
+			prev[i], succ[i] = findSpliceForLevel(key, seq, i, prev[i])
+		}
+	}
+	t.size.Add(int64(len(key) + len(value) + 32)) // 32 ~ node overhead
+	t.count.Add(1)
 }
 
 // Get returns the newest entry for key. ok is false if the key has no
 // entry at all; a tombstone returns ok=true with kind KindDelete.
 func (t *Table) Get(key []byte) (value []byte, kind Kind, ok bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	// Seek to (key, maxSeq): the first entry for key is the newest.
 	n := t.findGE(key, ^uint64(0), nil)
 	if n == nil || !bytes.Equal(n.key, key) {
@@ -150,18 +199,10 @@ func (t *Table) Get(key []byte) (value []byte, kind Kind, ok bool) {
 }
 
 // ApproximateSize returns the memtable's memory footprint in bytes.
-func (t *Table) ApproximateSize() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.size
-}
+func (t *Table) ApproximateSize() int64 { return t.size.Load() }
 
 // Count returns the number of entries.
-func (t *Table) Count() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
-}
+func (t *Table) Count() int { return int(t.count.Load()) }
 
 // Entry is one internal-key record surfaced by an Iterator.
 type Entry struct {
@@ -172,8 +213,12 @@ type Entry struct {
 }
 
 // Iterator walks the memtable in internal-key order. It is valid as long
-// as the Table exists; inserted nodes' forward pointers are only ever
-// extended, so iteration under the read lock is consistent.
+// as the Table exists; nodes are never unlinked and forward pointers only
+// ever splice in new nodes, so lock-free iteration is consistent: every
+// entry present when the iterator was positioned is visited, and entries
+// inserted concurrently may or may not appear. Callers that need a stable
+// snapshot bound the walk by sequence number (SeekVersion / filtering on
+// Entry().Seq), which concurrent higher-seq inserts cannot perturb.
 type Iterator struct {
 	t *Table
 	n *node
@@ -187,35 +232,21 @@ func (t *Table) NewIterator() *Iterator { return &Iterator{t: t} }
 func (it *Iterator) Valid() bool { return it.n != nil }
 
 // SeekToFirst positions at the smallest internal key.
-func (it *Iterator) SeekToFirst() {
-	it.t.mu.RLock()
-	it.n = it.t.head.next[0]
-	it.t.mu.RUnlock()
-}
+func (it *Iterator) SeekToFirst() { it.n = it.t.head.loadNext(0) }
 
 // Seek positions at the first entry with user key >= key (its newest
 // version first).
-func (it *Iterator) Seek(key []byte) {
-	it.t.mu.RLock()
-	it.n = it.t.findGE(key, ^uint64(0), nil)
-	it.t.mu.RUnlock()
-}
+func (it *Iterator) Seek(key []byte) { it.n = it.t.findGE(key, ^uint64(0), nil) }
 
 // SeekVersion positions at the first entry >= (key, maxSeq) in internal
 // order: for user key `key`, that is its newest version with
 // seq <= maxSeq (snapshot reads).
 func (it *Iterator) SeekVersion(key []byte, maxSeq uint64) {
-	it.t.mu.RLock()
 	it.n = it.t.findGE(key, maxSeq, nil)
-	it.t.mu.RUnlock()
 }
 
 // Next advances to the following internal key.
-func (it *Iterator) Next() {
-	it.t.mu.RLock()
-	it.n = it.n.next[0]
-	it.t.mu.RUnlock()
-}
+func (it *Iterator) Next() { it.n = it.n.loadNext(0) }
 
 // Entry returns the current record. The returned slices must not be
 // modified.

@@ -469,11 +469,11 @@ func (q *QueuePair) complete(cmd *Command, now vclock.Time, err error) {
 
 // QueueStats is a snapshot of one queue pair's counters.
 type QueueStats struct {
-	Name           string
-	Depth          int
-	Weight         int
-	Submitted      int64
-	Completed      int64
+	Name      string
+	Depth     int
+	Weight    int
+	Submitted int64
+	Completed int64
 	// Errors counts completions with a non-nil status (injected faults,
 	// severed-device drops).
 	Errors         int64

@@ -19,6 +19,7 @@
 package vlog
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -114,7 +115,7 @@ type ManifestState struct {
 
 // Stats is a snapshot of the manager's counters.
 type Stats struct {
-	Segments      int   // live segments (head included)
+	Segments      int // live segments (head included)
 	HeadSeg       uint32
 	TailSeg       uint32
 	BytesAppended int64 // logical record bytes appended
@@ -462,6 +463,18 @@ func (m *Manager) SegmentEntries(r *vclock.Runner, id uint32) ([]Entry, error) {
 		off = frameEnd
 	}
 	return out, nil
+}
+
+// VerifyKey reports whether ptr dereferences to a record that actually
+// carries key — the strong WAL-replay validation for pointer records.
+// The bounds check alone (Resolves) cannot tell a live record from stale
+// bytes a dead incarnation left at the same (segment, offset): the
+// record's embedded key can. A mismatch (or unreadable frame) means the
+// pointer's bytes never became durable and the replayed record must be
+// dropped, exactly like a torn WAL tail.
+func (m *Manager) VerifyKey(r *vclock.Runner, ptr encoding.ValuePointer, key []byte) bool {
+	k, _, err := m.readRecord(r, ptr)
+	return err == nil && bytes.Equal(k, key)
 }
 
 // Resolves reports whether ptr dereferences into a live segment's valid
