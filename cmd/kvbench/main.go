@@ -64,8 +64,11 @@ func run() int {
 		zipfT     = flag.Float64("zipf-theta", 0, "zipfian skew override for mixed workloads (0 = YCSB default 0.99)")
 		frontMB   = flag.Int("front-cache-mb", 32, "hot-key front cache budget in MB (kvaccel engines; default-on for mixed workloads)")
 		noFront   = flag.Bool("no-front-cache", false, "disable the hot-key front cache")
+		frontNeg  = flag.Bool("front-cache-negative", false, "also cache confirmed-missing keys in the front cache (read-miss accelerator)")
 		noBlock   = flag.Bool("no-block-cache", false, "disable the Main-LSM block cache and vlog read cache (cold-cache baseline)")
 		cacheAB   = flag.String("cache-ab", "", "run the mixed workload twice (caches on, then off) and write the paired A/B record to this JSON file")
+		offload   = flag.Bool("offload-compaction", false, "offload eligible L0→L1 compactions to the SSD controller under stall pressure (kvaccel engines)")
+		offloadAB = flag.String("offload-ab", "", "run stall-heavy fillrandom twice (offload off, then on) and write the paired A/B record to this JSON file")
 
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's virtual timeline to this file")
 		traceSum   = flag.Bool("trace-summary", false, "print per-phase virtual-time attribution and the stall-window report")
@@ -139,6 +142,7 @@ func run() int {
 				}
 				return int64(*frontMB) << 20
 			}(),
+			frontCacheNegative: *frontNeg,
 		})
 		return 0
 	}
@@ -208,9 +212,14 @@ func run() int {
 		(kind == harness.WorkloadMixed || frontSet) {
 		p.FrontCacheBytes = int64(*frontMB) << 20
 	}
+	p.FrontCacheNegative = *frontNeg
+	p.OffloadCompaction = *offload
 
 	if *cacheAB != "" {
 		return runCacheAB(p, spec, int64(*frontMB)<<20, *cacheAB)
+	}
+	if *offloadAB != "" {
+		return runOffloadAB(p, spec, *offloadAB)
 	}
 	if *wSweep != "" {
 		return runWritersSweep(p, spec, *wSweep, *jsonPath)
@@ -413,9 +422,11 @@ type vlogJSON struct {
 // cache saw any traffic.
 type frontCacheJSON struct {
 	Hits          int64   `json:"hits"`
+	NegHits       int64   `json:"neg_hits,omitempty"` // subset of Hits answered by negative entries
 	Misses        int64   `json:"misses"`
 	HitRate       float64 `json:"hit_rate"`
 	Fills         int64   `json:"fills"`
+	NegFills      int64   `json:"neg_fills,omitempty"`
 	Rejected      int64   `json:"rejected"`
 	Invalidations int64   `json:"invalidations"`
 	Evictions     int64   `json:"evictions"`
@@ -518,9 +529,11 @@ func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.Workl
 	if kv.FrontCacheHits+kv.FrontCacheMisses > 0 {
 		out.FrontCache = &frontCacheJSON{
 			Hits:          kv.FrontCacheHits,
+			NegHits:       kv.FrontCacheNegHits,
 			Misses:        kv.FrontCacheMisses,
 			HitRate:       kv.FrontCacheHitRate(),
 			Fills:         kv.FrontCacheFills,
+			NegFills:      kv.FrontCacheNegFills,
 			Rejected:      kv.FrontCacheRejected,
 			Invalidations: kv.FrontCacheInvalidations,
 			Evictions:     kv.FrontCacheEvictions,

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"kvaccel/internal/harness"
+	"kvaccel/internal/lsm"
+	"kvaccel/internal/trace"
+)
+
+// stallHeavy renders the offload A/B's write regime: small memtables and
+// an early compaction trigger keep an L0→L1 merge almost always runnable,
+// and value separation is off (separated compactions are ineligible for
+// offload). Four writers fill a 4 MiB memtable every few hundred
+// milliseconds, so every flush races the compaction stream for the same
+// NAND dies: a host-issued merge programs pages at the same media
+// priority as the flush, stretches the flush past the fill time, and the
+// writers take memtable stalls — the "host compaction pressure" the
+// device-side executor relieves by scheduling its merge ops into idle
+// die slots instead. The stop trigger is left loose so the
+// background-paced device drain is never itself a stall source.
+func stallHeavy(p harness.Params) harness.Params {
+	p.ValueThreshold = 0
+	p.HostCores = 4
+	p.Writers = 4
+	// Overwrite-heavy: a small working set keeps L1 bounded (merges mostly
+	// dedupe), so L0→L1 merges stay ~1 s instead of snowballing with the
+	// dataset — the steady-state compaction stream the offload targets.
+	p.KeySpace = 4096
+	// Fixed offered load, sized between the two arms' open-throttle
+	// capacities: with an open throttle the protected arm just converts
+	// its headroom into more ingest (and therefore the same stalls), so
+	// stall time measures nothing. At a constant demand the host-only arm
+	// cannot sustain, stall time is exactly the capacity shortfall.
+	p.WriteIntervalMicros = 85
+	p.TuneLSM = func(o *lsm.Options) {
+		o.MemtableSize = 4 << 20
+		o.L0CompactionTrigger = 4
+		o.L0SlowdownTrigger = 12
+		o.L0StopTrigger = 20
+	}
+	return p
+}
+
+func sumStalls(s lsm.Stats) int64 {
+	var n int64
+	for _, c := range s.StallEvents {
+		n += c
+	}
+	return n
+}
+
+// runOffloadAB is the compaction-offload A/B harness: stall-heavy
+// fillrandom twice on identical seeds — host-only merges, then with the
+// device-side executor enabled — and writes the paired records plus the
+// headline stall-time reduction to path. Exits non-zero if offload-on
+// never offloaded anything (a vacuous comparison).
+func runOffloadAB(p harness.Params, spec harness.EngineSpec, path string) int {
+	kind := harness.WorkloadA
+	p = stallHeavy(p)
+	// The A/B isolates the Main-LSM write path: stock engine, hard stalls,
+	// no redirection hedge. With the hedge active the Dev-LSM absorbs the
+	// stall windows itself and its put/flush traffic occupies the ARM core
+	// the merge executor needs — a different experiment (the redirection
+	// A/B) measures that interaction.
+	spec.Kind = harness.KindRocksDB
+	spec.Slowdown = false
+	if spec.Threads < 1 {
+		spec.Threads = 1
+	}
+	fmt.Printf("kvbench: %s, fillrandom stall-heavy, scale=%d duration=%v keyspace=%d value=%dB writers=%d seed=%d — offload A/B (device merges off vs on)\n",
+		spec.Name(), p.Scale, p.Duration, p.KeySpace, p.ValueSize, p.Writers, p.Seed)
+	fmt.Printf("%8s %10s %9s %12s %12s %12s %10s %10s\n",
+		"offload", "writes", "Kops/s", "write-p99", "stall-time", "stalls(m/l0)", "offloaded", "fallbacks")
+	row := func(label string, res *harness.RunResult) {
+		m := res.MainStats
+		fmt.Printf("%8s %10d %9.2f %12v %12v %7d/%-4d %10d %10d\n",
+			label, res.Rec.Writes(), res.WriteKops(),
+			res.Rec.WriteLatency.Quantile(0.99),
+			m.StallTime.Round(time.Millisecond),
+			m.StallEvents[lsm.StallMemtable], m.StallEvents[lsm.StallL0],
+			m.OffloadedCompactions, m.OffloadFallbacks)
+		if os.Getenv("KVBENCH_OFFLOAD_DEBUG") != "" {
+			fmt.Printf("  debug: flushes=%d flushMB=%.1f compactions=%d compReadMB=%.1f compWriteMB=%.1f slowdowns=%d walMB=%.1f\n",
+				m.Flushes, float64(m.FlushBytes)/(1<<20), m.Compactions,
+				float64(m.CompactionReadBytes)/(1<<20), float64(m.CompactionWriteBytes)/(1<<20),
+				m.Slowdowns, float64(m.WALBytesWritten)/(1<<20))
+		}
+	}
+
+	debug := os.Getenv("KVBENCH_OFFLOAD_DEBUG") != ""
+
+	off := p
+	off.OffloadCompaction = false
+	if debug {
+		off.Trace = trace.New(1 << 20)
+	}
+	resOff := off.Run(spec, kind)
+	row("off", resOff)
+	if debug && resOff.TraceSummary != nil {
+		fmt.Print(resOff.TraceSummary.Table())
+	}
+
+	on := p
+	on.OffloadCompaction = true
+	if debug {
+		on.Trace = trace.New(1 << 20)
+	}
+	resOn := on.Run(spec, kind)
+	row("on", resOn)
+	if debug && resOn.TraceSummary != nil {
+		fmt.Print(resOn.TraceSummary.Table())
+	}
+
+	var reduction float64
+	if resOff.MainStats.StallTime > 0 {
+		reduction = 1 - float64(resOn.MainStats.StallTime)/float64(resOff.MainStats.StallTime)
+	}
+	fmt.Printf("stall-time  : %v -> %v (%.1f%% reduction), device merge CPU %v\n",
+		resOff.MainStats.StallTime.Round(time.Millisecond),
+		resOn.MainStats.StallTime.Round(time.Millisecond),
+		reduction*100,
+		time.Duration(resOn.MainStats.DeviceMergeCPUMicros)*time.Microsecond)
+
+	out := struct {
+		OffloadOff     benchJSON `json:"offload_off"`
+		OffloadOn      benchJSON `json:"offload_on"`
+		StallReduction float64   `json:"stall_time_reduction"`
+		Offloaded      int64     `json:"offloaded_compactions"`
+		OffloadedMB    float64   `json:"offloaded_mb"`
+		Fallbacks      int64     `json:"offload_fallbacks"`
+	}{
+		makeBenchJSON(off, spec, kind, resOff),
+		makeBenchJSON(on, spec, kind, resOn),
+		reduction,
+		resOn.MainStats.OffloadedCompactions,
+		float64(resOn.MainStats.OffloadedBytes) / (1 << 20),
+		resOn.MainStats.OffloadFallbacks,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("json        : offload A/B record -> %s\n", path)
+	if resOn.MainStats.OffloadedCompactions == 0 {
+		fmt.Fprintln(os.Stderr, "offload-on run never offloaded a compaction")
+		return 1
+	}
+	return 0
+}

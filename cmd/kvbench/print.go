@@ -55,6 +55,10 @@ func printReadAttribution(kv core.Stats) {
 			kv.FrontCacheHits+kv.FrontCacheMisses, kv.FrontCacheFills,
 			kv.FrontCacheRejected, kv.FrontCacheInvalidations,
 			kv.FrontCacheEvictions, kv.FrontCacheEntries)
+		if kv.FrontCacheNegHits > 0 || kv.FrontCacheNegFills > 0 {
+			fmt.Printf("front-neg   : %d absent-key hits (neg-fills=%d)\n",
+				kv.FrontCacheNegHits, kv.FrontCacheNegFills)
+		}
 	}
 	if kv.Gets > 0 {
 		fmt.Printf("read-src    : front-cache=%d dev-lsm=%d main-lsm=%d (of %d gets)\n",

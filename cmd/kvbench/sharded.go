@@ -44,6 +44,8 @@ type shardedRunParams struct {
 	// frontCacheBytes is the total hot-key front cache budget, split
 	// evenly across shards by OpenSharded (0 = disabled).
 	frontCacheBytes int64
+	// frontCacheNegative also caches confirmed-missing keys.
+	frontCacheNegative bool
 }
 
 // runSharded drives the ShardedDB front-end: N writer threads over N
@@ -66,6 +68,7 @@ func runSharded(p shardedRunParams) {
 	opt.DisableGroupCommit = p.noGroup
 	opt.ValueThreshold = p.vthresh
 	opt.FrontCacheBytes = p.frontCacheBytes
+	opt.FrontCacheNegative = p.frontCacheNegative
 	db := kvaccel.OpenSharded(opt)
 	eng := workload.ShardedEngine{DB: db}
 

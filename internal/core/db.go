@@ -93,6 +93,15 @@ type Options struct {
 	// FrontCacheShards is the front cache's shard count (rounded up to a
 	// power of two; <= 0 picks the hotring default).
 	FrontCacheShards int
+	// FrontCacheNegative additionally caches confirmed-missing keys: a
+	// read that descends the full path and finds nothing installs a
+	// negative entry, so repeat misses on the same key are answered by
+	// the ring instead of re-walking metadata, Dev-LSM, and Main-LSM.
+	// The per-key write invalidation the cache already performs evicts
+	// the negative entry the moment the key is written, so no extra
+	// coherence machinery is needed. Only meaningful with
+	// FrontCacheBytes > 0.
+	FrontCacheNegative bool
 }
 
 // DefaultOptions mirrors the paper's implementation constants.
@@ -140,9 +149,16 @@ type Stats struct {
 	DevFailed  int64
 	// FrontCache mirrors the hot-key front cache's counters (all zero
 	// when the cache is disabled).
-	FrontCacheHits          int64
-	FrontCacheMisses        int64
-	FrontCacheFills         int64
+	FrontCacheHits int64
+	// FrontCacheNegHits counts the subset of FrontCacheHits answered by a
+	// negative entry — reads resolved "absent" without descending the
+	// pipeline (requires Options.FrontCacheNegative).
+	FrontCacheNegHits int64
+	FrontCacheMisses  int64
+	FrontCacheFills   int64
+	// FrontCacheNegFills counts negative entries installed after a
+	// full-path miss (not included in FrontCacheFills).
+	FrontCacheNegFills int64
 	FrontCacheRejected      int64 // fills dropped by the generation guard
 	FrontCacheInvalidations int64
 	FrontCacheEvictions     int64
@@ -179,8 +195,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.DevRetries += o.DevRetries
 	s.DevFailed += o.DevFailed
 	s.FrontCacheHits += o.FrontCacheHits
+	s.FrontCacheNegHits += o.FrontCacheNegHits
 	s.FrontCacheMisses += o.FrontCacheMisses
 	s.FrontCacheFills += o.FrontCacheFills
+	s.FrontCacheNegFills += o.FrontCacheNegFills
 	s.FrontCacheRejected += o.FrontCacheRejected
 	s.FrontCacheInvalidations += o.FrontCacheInvalidations
 	s.FrontCacheEvictions += o.FrontCacheEvictions
@@ -303,8 +321,10 @@ func (db *DB) Stats() Stats {
 		DevFailed:           db.devFailed.Load(),
 
 		FrontCacheHits:          fc.Hits,
+		FrontCacheNegHits:       fc.NegHits,
 		FrontCacheMisses:        fc.Misses,
 		FrontCacheFills:         fc.Fills,
+		FrontCacheNegFills:      fc.NegFills,
 		FrontCacheRejected:      fc.Rejected,
 		FrontCacheInvalidations: fc.Invalidations,
 		FrontCacheEvictions:     fc.Evictions,
@@ -541,8 +561,13 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	var token uint64
 	if db.front != nil {
 		fsp := db.opt.Trace.Begin(r, trace.PhaseFrontCache, "front-cache")
-		if v, hit := db.front.Get(key); hit {
+		if v, hit, negative := db.front.Lookup(key); hit {
 			fsp.EndArg(r, 1)
+			if negative {
+				// A confirmed-missing key: the ring answers "absent"
+				// without descending metadata or either LSM.
+				return nil, false, nil
+			}
 			return v, true, nil
 		}
 		token = db.front.BeginRead(key)
@@ -554,6 +579,9 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 		if derr == nil && found && kind != memtable.KindSupersede {
 			db.devServed.Add(1)
 			if kind == memtable.KindDelete {
+				// A Dev-LSM tombstone is as conclusive as a full-path
+				// miss: remember the absence so repeat reads stop here.
+				db.fillNegative(key, token)
 				return nil, false, nil
 			}
 			// Dev-LSM values are safe to cache: a rollback merges the
@@ -569,12 +597,27 @@ func (db *DB) Get(r *vclock.Runner, key []byte) (value []byte, ok bool, err erro
 	}
 	db.mainGets.Add(1)
 	value, ok, err = db.main.Get(r, key)
-	if err == nil && ok {
-		// Found values only — no negative caching, so absent keys never
-		// need tombstone invalidation from compaction.
-		db.front.FillIfUnchanged(key, value, token)
+	if err == nil {
+		if ok {
+			db.front.FillIfUnchanged(key, value, token)
+		} else {
+			// The full path just proved the key absent under the
+			// generation snapshot; with negative caching enabled, record
+			// that so repeat misses are answered by the ring. Per-key
+			// write invalidation evicts the entry the moment the key is
+			// written, so compactions never need to chase tombstones here.
+			db.fillNegative(key, token)
+		}
 	}
 	return value, ok, err
+}
+
+// fillNegative records a confirmed-missing key in the front cache, if
+// negative caching is enabled. Safe with the cache disabled.
+func (db *DB) fillNegative(key []byte, token uint64) {
+	if db.opt.FrontCacheNegative {
+		db.front.FillNegativeIfUnchanged(key, token)
+	}
 }
 
 // Flush drains the Main-LSM memtable (delegates; the Dev-LSM is flushed

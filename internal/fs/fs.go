@@ -48,6 +48,10 @@ type FileSystem struct {
 	mu    sync.Mutex
 	files map[string]*file
 	free  []int // free page LPNs, LIFO
+	// reserved holds pages handed out by ReservePages but not yet bound
+	// to a file (compaction-offload output ranges). They are host-side
+	// bookkeeping only, so a crash returns them to the free pool.
+	reserved map[int]bool
 
 	// Page cache state. cacheCap <= 0 means unbounded (the default).
 	cacheCap int // pages
@@ -74,10 +78,11 @@ type file struct {
 // New formats a file system over dev with an unbounded page cache.
 func New(dev BlockDevice) *FileSystem {
 	fs := &FileSystem{
-		dev:    dev,
-		files:  make(map[string]*file),
-		cached: make(map[int]*list.Element),
-		lru:    list.New(),
+		dev:      dev,
+		files:    make(map[string]*file),
+		reserved: make(map[int]bool),
+		cached:   make(map[int]*list.Element),
+		lru:      list.New(),
 	}
 	n := dev.Pages()
 	fs.free = make([]int, n)
@@ -365,6 +370,104 @@ func (fs *FileSystem) freeFileLocked(f *file) []int {
 	return f.pages
 }
 
+// Extents returns a copy of the page LPNs backing a file, in file order.
+// It is host-side metadata (the inode's block map) and spends no device
+// time; the compaction-offload scheduler hands these to the device so it
+// can read the file near-data.
+func (fs *FileSystem) Extents(name string) ([]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	return append([]int(nil), f.pages...), nil
+}
+
+// MediaRead returns a copy of a file's device-acknowledged bytes without
+// spending any host-path time. It models the device reading its own
+// media: the fs holds the authoritative payload for the whole stack, so
+// device-side consumers (the offload merge executor) fetch bytes here
+// while charging NAND time through the FTL separately. Host code must
+// use ReadAt/ReadFile, which pay the block path.
+func (fs *FileSystem) MediaRead(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fs: %s: no such file", name)
+	}
+	if !f.durable {
+		return nil, fmt.Errorf("fs: %s: not on media yet", name)
+	}
+	return append([]byte(nil), f.stable...), nil
+}
+
+// ReservePages allocates n pages without binding them to a file — the
+// output namespace range a submit-merge command describes. Reserved
+// pages are excluded from other allocations until AdoptFile binds them
+// or ReleasePages returns them; a crash releases them implicitly (the
+// reservation is host DRAM state).
+func (fs *FileSystem) ReservePages(n int) ([]int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	pages, err := fs.allocLocked(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pages {
+		fs.reserved[p] = true
+	}
+	return pages, nil
+}
+
+// ReleasePages returns reserved pages to the free pool (offload abort or
+// fallback). Pages not currently reserved are ignored.
+func (fs *FileSystem) ReleasePages(lpns []int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, p := range lpns {
+		if fs.reserved[p] {
+			delete(fs.reserved, p)
+			fs.free = append(fs.free, p)
+		}
+	}
+}
+
+// AdoptFile binds reserved pages the device already programmed to a new
+// file name. No host I/O is spent and the pages are NOT inserted into
+// the page cache: the host never saw these bytes, so its first read of
+// the file (checksum validation) pays the block path like any cold read.
+// The file is durable immediately — the device acknowledged the programs
+// before completing the merge command.
+func (fs *FileSystem) AdoptFile(name string, pages []int, data []byte) error {
+	ps := fs.dev.PageSize()
+	need := (len(data) + ps - 1) / ps
+	if need == 0 {
+		need = 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return fmt.Errorf("fs: %s: adopt over existing file", name)
+	}
+	if len(pages) != need {
+		return fmt.Errorf("fs: %s: adopt with %d pages, need %d", name, len(pages), need)
+	}
+	for _, p := range pages {
+		if !fs.reserved[p] {
+			return fmt.Errorf("fs: %s: adopt of unreserved page %d", name, p)
+		}
+	}
+	for _, p := range pages {
+		delete(fs.reserved, p)
+	}
+	img := append([]byte(nil), data...)
+	fs.files[name] = &file{name: name, pages: append([]int(nil), pages...),
+		data: img, size: len(img), stable: img, durable: true}
+	return nil
+}
+
 // Format drops every file, returning the namespace to empty. Pages are
 // freed at the file-system level without a device trim pass, so Format
 // needs no runner: its caller is a fresh open discarding a dead
@@ -382,6 +485,10 @@ func (fs *FileSystem) Format() {
 		pages := fs.freeFileLocked(f)
 		fs.cacheDropLocked(pages)
 	}
+	for p := range fs.reserved {
+		fs.free = append(fs.free, p)
+	}
+	fs.reserved = make(map[int]bool)
 }
 
 // List returns the names of all files (unordered).
@@ -405,9 +512,15 @@ func (fs *FileSystem) Crash(plan *faults.Plan) {
 	ps := fs.dev.PageSize()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	// Host DRAM is gone.
+	// Host DRAM is gone: the page cache and any in-flight offload output
+	// reservations (pages the device may have programmed but no file or
+	// manifest ever referenced — physical garbage the FTL remaps later).
 	fs.cached = make(map[int]*list.Element)
 	fs.lru = list.New()
+	for p := range fs.reserved {
+		fs.free = append(fs.free, p)
+	}
+	fs.reserved = make(map[int]bool)
 	for name, f := range fs.files {
 		if !f.durable {
 			fs.freeFileLocked(f)

@@ -321,6 +321,51 @@ func (f *FTL) ReadMany(r *vclock.Runner, rg Region, lpns []int) error {
 	})
 }
 
+// ReadManyBackground is ReadMany at background media priority:
+// device-internal bulk work (offloaded merges) reads with the full die
+// fanout but every page op yields admission to queued host I/O, so a
+// long merge soaks up idle array bandwidth without pushing flush or WAL
+// traffic back in line — the QoS discipline firmware applies to GC.
+func (f *FTL) ReadManyBackground(r *vclock.Runner, rg Region, lpns []int) error {
+	f.mu.Lock()
+	rs := f.regions[rg]
+	ppns := make([]int32, 0, len(lpns))
+	for _, lpn := range lpns {
+		if lpn >= 0 && lpn < len(rs.mapping) && rs.mapping[lpn] != unmapped {
+			ppns = append(ppns, rs.mapping[lpn])
+		}
+	}
+	f.mu.Unlock()
+	return f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) error {
+		return f.arr.ReadPageBackground(w, f.addrOf(ppn))
+	})
+}
+
+// WriteManyBackground is WriteMany at background media priority (see
+// ReadManyBackground).
+func (f *FTL) WriteManyBackground(r *vclock.Runner, rg Region, lpns []int) error {
+	if len(lpns) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	ppns := make([]int32, len(lpns))
+	needGC := false
+	for i, lpn := range lpns {
+		ppn, gc := f.allocPageLocked(rg, lpn)
+		ppns[i] = ppn
+		needGC = needGC || gc
+	}
+	f.stats.HostPagesWritten += int64(len(lpns))
+	f.mu.Unlock()
+	err := f.fanout(r, ppns, func(w *vclock.Runner, ppn int32) error {
+		return f.arr.ProgramPageBackground(w, f.addrOf(ppn))
+	})
+	if needGC {
+		f.collect(r)
+	}
+	return err
+}
+
 // Trim invalidates a logical page without touching NAND.
 func (f *FTL) Trim(rg Region, lpn int) {
 	f.mu.Lock()
@@ -353,10 +398,16 @@ func (f *FTL) TrimRegion(rg Region) {
 // and returns the first error any worker hit (every page is still
 // attempted, so the batch's time model stays intact under faults).
 func (f *FTL) fanout(r *vclock.Runner, ppns []int32, op func(*vclock.Runner, int32) error) error {
+	return f.fanoutN(r, ppns, f.cfg.MaxFanout, op)
+}
+
+func (f *FTL) fanoutN(r *vclock.Runner, ppns []int32, workers int, op func(*vclock.Runner, int32) error) error {
 	if len(ppns) == 0 {
 		return nil
 	}
-	workers := f.cfg.MaxFanout
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > len(ppns) {
 		workers = len(ppns)
 	}

@@ -62,6 +62,12 @@ type Params struct {
 	// held across its WAL append (kvbench's -no-pipelined-wal flag) —
 	// the pipelined-WAL A/B and equivalence-test baseline.
 	NoPipelinedWAL bool
+	// WriteIntervalMicros, when positive, paces each writer to one put
+	// per this many unscaled virtual microseconds (multiplied by Scale
+	// like the CPU costs) — a fixed offered load per writer instead of an
+	// open throttle. The offload A/B uses it so both arms face the same
+	// demand and stall time measures capacity shortfall, not slack.
+	WriteIntervalMicros int64
 	// ValueThreshold enables WiscKey-style value separation in the
 	// Main-LSM: values at least this long live in the value log and the
 	// tree carries 13-byte pointers (kvbench's -value-threshold flag);
@@ -79,6 +85,9 @@ type Params struct {
 	// FrontCacheBytes enables KVACCEL's hot-key front cache (0 = off,
 	// matching the paper's design).
 	FrontCacheBytes int64
+	// FrontCacheNegative additionally caches confirmed-missing keys in
+	// the front cache (requires FrontCacheBytes > 0).
+	FrontCacheNegative bool
 	// DisableBlockCache zeroes the Main-LSM's SST block cache — the
 	// cold-cache side of the mixed-workload A/B.
 	DisableBlockCache bool
@@ -95,9 +104,17 @@ type Params struct {
 	// DevReadCacheBytes enables the Dev-LSM read cache the paper names
 	// as future work (Table V ablation); 0 reproduces the paper.
 	DevReadCacheBytes int64
+	// OffloadCompaction enables device-side L0→L1 compaction offload:
+	// the Main-LSM hands eligible merges to the SSD controller's merge
+	// executor (kvbench's -offload-compaction flag). See lsm.Options.
+	OffloadCompaction bool
 	// TuneCore, if set, adjusts KVACCEL's module options before Open —
 	// used by the detector-period and rollback ablations.
 	TuneCore func(*core.Options)
+	// TuneLSM, if set, adjusts the Main-LSM options after the standard
+	// Table III rendering — used by the offload A/B's stall-heavy regime
+	// (small memtable, tight L0 triggers).
+	TuneLSM func(*lsm.Options)
 	// FaultsSeed, when non-zero, arms a deterministic device fault plan
 	// (DefaultFaultRules) with that seed — kvbench's -faults-seed flag.
 	// The plan is exposed on the Testbed so callers can read its
@@ -151,6 +168,13 @@ func (p Params) workloadConfig() workload.Config {
 	cfg.KeySpace = p.KeySpace
 	cfg.Duration = p.Duration
 	cfg.Seed = p.Seed
+	if p.WriteIntervalMicros > 0 {
+		scale := int64(p.Scale)
+		if scale < 1 {
+			scale = 1
+		}
+		cfg.WriteInterval = time.Duration(p.WriteIntervalMicros*scale) * time.Microsecond
+	}
 	return cfg
 }
 
@@ -159,6 +183,7 @@ type Testbed struct {
 	Clk    *vclock.Clock
 	CPU    *cpu.Pool
 	Dev    *ssd.Device
+	NS     *ssd.BlockNS // the block namespace Fsys runs on
 	Fsys   *fs.FileSystem
 	Faults *faults.Plan // nil unless Params.FaultsSeed is set
 }
@@ -211,11 +236,13 @@ func (p Params) NewTestbed() *Testbed {
 	}
 	cfg.Trace = p.Trace
 	dev := ssd.New(clk, cfg)
+	ns := dev.BlockNamespace(0, 0)
 	return &Testbed{
 		Clk:    clk,
 		CPU:    cpu.NewPool(hostCores, "host-cpu"),
 		Dev:    dev,
-		Fsys:   fs.New(dev.BlockNamespace(0, 0)),
+		NS:     ns,
+		Fsys:   fs.New(ns),
 		Faults: plan,
 	}
 }
@@ -231,6 +258,10 @@ func (p Params) devLSMConfig() devlsm.Config {
 	c.PutCPU = 4 * time.Microsecond * scale
 	c.GetCPU *= scale
 	c.ScanCPUPerKB *= scale
+	// The merge executor shares the ARM core: its per-KB cost scales with
+	// the machine like every other CPU cost, so the host/device merge
+	// speed ratio is scale-invariant.
+	c.MergeCPUPerKB *= scale
 	return c
 }
 
@@ -281,6 +312,13 @@ func (p Params) lsmOptions(tb *Testbed, threads int, slowdown bool) lsm.Options 
 	opt.Cost.MergeCPUPerKB = opt.Cost.MergeCPUPerKB * sd * 4 / 10
 	opt.Cost.FlushCPUPerKB *= sd
 	opt.Trace = p.Trace
+	if p.OffloadCompaction {
+		opt.EnableCompactionOffload = true
+		opt.Offloader = tb.NS.Offloader()
+	}
+	if p.TuneLSM != nil {
+		p.TuneLSM(&opt)
+	}
 	return opt
 }
 
@@ -371,6 +409,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		copt.Trace = p.Trace
 		copt.StallFailover = !p.DisableGroupCommit
 		copt.FrontCacheBytes = p.FrontCacheBytes
+		copt.FrontCacheNegative = p.FrontCacheNegative
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}

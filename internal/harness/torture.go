@@ -70,6 +70,15 @@ type TortureParams struct {
 	// and the concurrent memtable are always on — they are the write
 	// path's defaults — so every phase exercises them.
 	LingerMicros int64
+	// Offload enables device-side compaction offload in the Main-LSM
+	// (forced, so every eligible L0→L1 merge goes to the device) and
+	// adds two offload-specific cut stages to the seeded pool: a sever
+	// right after the device merge completes ("merge-complete", before
+	// the host adopts any output) and one after adoption + validation
+	// but before the manifest install ("pre-install"). Requires
+	// ValueThreshold == 0 — value separation makes compactions
+	// ineligible for offload, so the stages would never fire.
+	Offload bool
 	// BrokenRecovery deliberately replays WALs without checksum
 	// verification (lsm.Options.UncheckedWALReplay). A correct oracle
 	// must catch the resulting corruption; the negative test asserts
@@ -120,7 +129,11 @@ type TortureReport struct {
 	DevRetries int64
 	DevFailed  int64
 	Injected   int64 // faults injected by the plan (all classes)
-	Violations []string
+	// Offloaded and OffloadFallbacks total the Main-LSM's device-merge
+	// counters across phases (zero unless TortureParams.Offload).
+	Offloaded        int64
+	OffloadFallbacks int64
+	Violations       []string
 	// TraceDumped reports that a violation fired with TracePath set and
 	// the Chrome trace of the violating phase's window was written.
 	TraceDumped bool
@@ -258,7 +271,8 @@ func RunTorture(p TortureParams) TortureReport {
 	scfg := tortureSSDConfig(plan)
 	scfg.Trace = tr
 	dev := ssd.New(clk, scfg)
-	fsys := fs.New(dev.BlockNamespace(0, 0))
+	ns := dev.BlockNamespace(0, 0)
+	fsys := fs.New(ns)
 	oracle := newTortureOracle()
 
 	rep := TortureReport{}
@@ -286,7 +300,15 @@ func RunTorture(p TortureParams) TortureReport {
 		// crash windows the deepened write pipeline added. If the chosen
 		// stage never reaches N hits (a futile-linger backoff, say), the
 		// timed cut still fires.
-		cutStage := [3]string{"", "in-linger", "pre-append"}[rng.Intn(3)]
+		stages := []string{"", "in-linger", "pre-append"}
+		if p.Offload {
+			// The offload commit protocol's two crash windows: device
+			// merge done but nothing adopted, and outputs adopted +
+			// validated but the manifest not yet persisted. Both must
+			// recover to the pre-compaction tree with zero loss.
+			stages = append(stages, "offload:merge-complete", "offload:pre-install")
+		}
+		cutStage := stages[rng.Intn(len(stages))]
 		cutNth := int64(1 + rng.Int63n(4))
 		var hookArmed atomic.Bool
 		var hookHits atomic.Int64
@@ -312,7 +334,22 @@ func RunTorture(p TortureParams) TortureReport {
 			// with applies, and sharded replay reconstructs the memtable on
 			// every Reopen. The hook severs power inside the chosen window.
 			lopt.GroupLingerMicros = p.LingerMicros
-			if cutPhase && cutStage != "" {
+			if p.Offload {
+				lopt.EnableCompactionOffload = true
+				lopt.Offloader = ns.Offloader()
+				lopt.ForceOffload = true
+			}
+			if cutPhase && strings.HasPrefix(cutStage, "offload:") {
+				want := strings.TrimPrefix(cutStage, "offload:")
+				lopt.TestHookOffload = func(stage string) {
+					if stage != want || !hookArmed.Load() {
+						return
+					}
+					if hookHits.Add(1) == cutNth && !dev.Severed() {
+						dev.Sever()
+					}
+				}
+			} else if cutPhase && cutStage != "" {
 				lopt.TestHookCommit = func(stage string) {
 					if stage != cutStage || !hookArmed.Load() {
 						return
@@ -343,6 +380,9 @@ func RunTorture(p TortureParams) TortureReport {
 			db := core.Open(clk, main, dev.KVRegionFull(), opt)
 			defer func() {
 				stats = stats.Add(db.Stats())
+				ms := main.Stats()
+				rep.Offloaded += ms.OffloadedCompactions
+				rep.OffloadFallbacks += ms.OffloadFallbacks
 				db.Close()
 			}()
 

@@ -39,6 +39,11 @@ type entry struct {
 	next  *entry
 	tag   uint32 // high hash bits, the primary sort key
 	count uint32 // accesses in the current sample window
+	// negative marks a confirmed-missing key: a hit on it answers
+	// "absent" without descending the read pipeline. Installed only via
+	// FillNegativeIfUnchanged, removed by the same invalidation writes
+	// already perform, promoted in place by a later positive fill.
+	negative bool
 }
 
 type shard struct {
@@ -49,7 +54,9 @@ type shard struct {
 	entries int64
 
 	hits, misses    int64
+	negHits         int64 // hits answered by a negative entry (⊆ hits)
 	fills, rejected int64
+	negFills        int64 // negative entries installed (not in fills)
 	invalidations   int64
 	evictions       int64
 	headMoves       int64
@@ -110,11 +117,26 @@ func less(aTag uint32, aKey string, bTag uint32, bKey string) bool {
 	return aKey < bKey
 }
 
-// Get returns a copy of the cached value for key, if present. A hit
-// bumps the entry's hotness and may migrate the ring's head to it.
+// Get returns a copy of the cached value for key, if present. Negative
+// entries read as misses here; use Lookup to distinguish "unknown" from
+// "confirmed missing".
 func (c *Cache) Get(key []byte) ([]byte, bool) {
-	if c == nil {
+	v, hit, negative := c.Lookup(key)
+	if negative {
 		return nil, false
+	}
+	return v, hit
+}
+
+// Lookup returns the cached state for key: hit=false means the cache
+// knows nothing; hit with negative=false returns a copy of the value;
+// hit with negative=true means the key was confirmed missing by an
+// earlier full-path read and no write has touched it since. Either kind
+// of hit bumps the entry's hotness and may migrate the ring's head — a
+// hammered missing key is exactly as hot as a hammered present one.
+func (c *Cache) Lookup(key []byte) (value []byte, hit, negative bool) {
+	if c == nil {
+		return nil, false, false
 	}
 	s, bucket, tag := c.locate(key)
 	s.mu.Lock()
@@ -122,9 +144,12 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 	if e == nil {
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return nil, false, false
 	}
 	s.hits++
+	if e.negative {
+		s.negHits++
+	}
 	e.count++
 	// Hotness-aware head migration: once an entry clearly out-accesses
 	// the current head within this sample window, lookups should start
@@ -140,9 +165,13 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 		}
 		e.count = 1
 	}
-	v := append([]byte(nil), e.value...)
+	neg := e.negative
+	var v []byte
+	if !neg {
+		v = append([]byte(nil), e.value...)
+	}
 	s.mu.Unlock()
-	return v, true
+	return v, true, neg
 }
 
 // find walks the ordered ring from its head, stopping early once the
@@ -207,8 +236,12 @@ func (c *Cache) FillIfUnchanged(key, value []byte, token uint64) {
 		return
 	}
 	if e := s.find(bucket, tag, key); e != nil {
+		// A positive fill promotes a negative entry in place: the same
+		// generation check that protects values proves the key has since
+		// been observed present with no intervening write.
 		s.used += int64(len(value) - len(e.value))
 		e.value = append([]byte(nil), value...)
+		e.negative = false
 		s.fills++
 		s.evictOver(c.perShardCap)
 		return
@@ -218,6 +251,39 @@ func (c *Cache) FillIfUnchanged(key, value []byte, token uint64) {
 	s.used += size
 	s.entries++
 	s.fills++
+	s.evictOver(c.perShardCap)
+}
+
+// FillNegativeIfUnchanged records key as confirmed-missing if the shard
+// generation still matches token: the caller descended the full read
+// path, found nothing, and no write invalidated the shard in between —
+// so until the next invalidation, repeat reads of key can be answered
+// "absent" from the ring. An existing entry (positive or negative) is
+// left alone: a concurrent positive fill under the same generation means
+// a racing reader actually found a value, and trusting it is safe.
+func (c *Cache) FillNegativeIfUnchanged(key []byte, token uint64) {
+	if c == nil {
+		return
+	}
+	s, bucket, tag := c.locate(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != token {
+		s.rejected++
+		return
+	}
+	size := int64(len(key))
+	if size > c.perShardCap {
+		return
+	}
+	if s.find(bucket, tag, key) != nil {
+		return
+	}
+	e := &entry{key: string(key), tag: tag, negative: true}
+	s.insert(bucket, e)
+	s.used += size
+	s.entries++
+	s.negFills++
 	s.evictOver(c.perShardCap)
 }
 
@@ -351,8 +417,10 @@ func (c *Cache) InvalidateAll() {
 // Stats is a point-in-time aggregate across shards.
 type Stats struct {
 	Hits          int64
+	NegHits       int64 // hits answered by negative entries (subset of Hits)
 	Misses        int64
 	Fills         int64
+	NegFills      int64 // negative entries installed (not counted in Fills)
 	Rejected      int64 // fills dropped by the generation check
 	Invalidations int64
 	Evictions     int64
@@ -379,8 +447,10 @@ func (c *Cache) Stats() Stats {
 		s := &c.shards[i]
 		s.mu.Lock()
 		st.Hits += s.hits
+		st.NegHits += s.negHits
 		st.Misses += s.misses
 		st.Fills += s.fills
+		st.NegFills += s.negFills
 		st.Rejected += s.rejected
 		st.Invalidations += s.invalidations
 		st.Evictions += s.evictions

@@ -7,6 +7,7 @@ import (
 	"kvaccel/internal/encoding"
 	"kvaccel/internal/iterkit"
 	"kvaccel/internal/memtable"
+	"kvaccel/internal/offload"
 	"kvaccel/internal/sstable"
 	"kvaccel/internal/trace"
 	"kvaccel/internal/vclock"
@@ -439,6 +440,13 @@ func keyRange(files []*FileMeta) (smallest, largest []byte) {
 // phase structure the paper's PCIe analysis depends on — timed block
 // reads interleaved with CPU merge work, then a burst of device writes.
 // Versions still visible to a live snapshot are retained.
+//
+// The merge-emit loop itself lives in offload.Merge, shared with the
+// device-side executor: an offloaded compaction runs the same code over
+// the same inputs in the same order, which is what makes its outputs
+// byte-identical to the host merge it replaces. When the offload gate
+// opens, the merge is handed to the device first; any failure there
+// falls back here with the inputs still marked.
 func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	csp := db.opt.Trace.Begin(r, trace.PhaseCompaction, "compaction")
 	var readBytes, writeBytes int64
@@ -446,6 +454,19 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	db.mu.Lock()
 	snaps := db.activeSnapshotsLocked()
 	db.mu.Unlock()
+
+	if db.shouldOffload(c, snaps) {
+		if rb, wb, ok := db.tryOffloadCompaction(r, c); ok {
+			readBytes, writeBytes = rb, wb
+			return
+		}
+		// Device fault, abort, or validation miss: the host merge below
+		// redoes the work from the durable inputs.
+		db.mu.Lock()
+		db.stats.OffloadFallbacks++
+		db.mu.Unlock()
+	}
+
 	iters := make([]iterkit.Iterator, 0, len(c.inputs)+len(c.overlap))
 	var openErr error
 	for _, f := range c.allFiles() {
@@ -460,107 +481,80 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	if openErr != nil {
 		// An unreadable input aborts before any merging: unmark the
 		// inputs and go read-only.
-		db.mu.Lock()
-		markCompacting(c.allFiles(), false)
-		if c.level == 0 {
-			db.compactingL0 = false
-		}
-		db.mu.Unlock()
-		db.setBackgroundError(openErr)
+		db.abortCompaction(r, c, nil, openErr)
 		return
 	}
-	merged := iterkit.NewMerge(iters)
 
 	var outputs []*FileMeta
-	b := sstable.NewBuilder(db.opt.builderOptions())
-	pendingCPU := 0
-	var lastUserKey []byte
-	haveUser := false
-	var lastKeptSeq uint64
 	// discards accumulates per-segment dead value-log bytes: every
 	// superseded pointer this merge drops strands its value in the vlog.
 	// Reported to the vlog after install so GC sees them only once the
 	// drop is durable.
 	var discards map[uint32]int64
-
-	var emitErr error
-	emit := func() {
-		if b.Entries() == 0 || emitErr != nil {
-			return
-		}
-		data, meta, err := b.Finish()
-		if err != nil {
-			emitErr = err
-			return
-		}
-		out, err := db.writeTable(r, data, meta, c.target, trace.PhaseCompactionIO)
-		if err != nil {
-			emitErr = err
-			return
-		}
-		outputs = append(outputs, out)
-		writeBytes += int64(meta.Size)
-		b = sstable.NewBuilder(db.opt.builderOptions())
-	}
-
-	for merged.SeekToFirst(); merged.Valid(); merged.Next() {
-		e := merged.Entry()
-		pendingCPU += len(e.Key) + len(e.Value) + 16
-		if pendingCPU >= cpuChunk {
-			db.chargeMergeCPU(r, pendingCPU)
-			pendingCPU = 0
-		}
-		// Keep the newest version of each user key, plus any older
-		// version that is the newest one visible to a live snapshot; the
-		// merge iterator yields newest-first within a key.
-		if haveUser && bytes.Equal(e.Key, lastUserKey) {
-			if !keepForSnapshot(snaps, e.Seq, lastKeptSeq) {
-				if e.Kind == memtable.KindValuePtr && db.vlog != nil {
-					if ptr, perr := encoding.DecodeValuePointer(e.Value); perr == nil {
-						if discards == nil {
-							discards = make(map[uint32]int64)
-						}
-						discards[ptr.Seg] += int64(ptr.Len)
+	mergeErr := offload.Merge(iterkit.NewMerge(iters), offload.MergeParams{
+		Builder:        db.opt.builderOptions(),
+		MaxFileSize:    db.opt.MaxFileSize,
+		DropTombstones: c.dropTombstones,
+		// Keep an older version when it is the newest one visible to a
+		// live snapshot; elide a bottom-level tombstone unless a snapshot
+		// still observes the deletion.
+		KeepDup: func(seq, lastKeptSeq uint64) bool {
+			return keepForSnapshot(snaps, seq, lastKeptSeq)
+		},
+		KeepTombstone: func(seq uint64) bool {
+			return keepForSnapshot(snaps, seq, ^uint64(0))
+		},
+		OnDrop: func(e memtable.Entry) {
+			if e.Kind == memtable.KindValuePtr && db.vlog != nil {
+				if ptr, perr := encoding.DecodeValuePointer(e.Value); perr == nil {
+					if discards == nil {
+						discards = make(map[uint32]int64)
 					}
+					discards[ptr.Seg] += int64(ptr.Len)
 				}
-				continue
 			}
-		} else if e.Kind == memtable.KindDelete && c.dropTombstones && !keepForSnapshot(snaps, e.Seq, ^uint64(0)) {
-			// A bottom-level tombstone shadowing nothing deeper can be
-			// elided — unless a snapshot still observes the deletion.
-			lastUserKey = append(lastUserKey[:0], e.Key...)
-			haveUser = true
-			lastKeptSeq = e.Seq
-			continue
-		}
-		lastUserKey = append(lastUserKey[:0], e.Key...)
-		haveUser = true
-		lastKeptSeq = e.Seq
-		if err := b.Add(e.Key, e.Seq, e.Kind, e.Value); err != nil {
-			panic("lsm: compaction merge out of order: " + err.Error())
-		}
-		if int64(b.EstimatedSize()) >= db.opt.MaxFileSize {
-			emit()
-		}
-	}
-	db.chargeMergeCPU(r, pendingCPU)
-	emit()
-	if emitErr != nil {
+		},
+		Charge: func(n int) { db.chargeMergeCPU(r, n) },
+		Emit: func(data []byte, meta sstable.Meta) error {
+			out, err := db.writeTable(r, data, meta, c.target, trace.PhaseCompactionIO)
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, out)
+			writeBytes += int64(meta.Size)
+			return nil
+		},
+	})
+	if mergeErr != nil {
 		// Abort: delete partial outputs, unmark inputs, go read-only.
-		for _, f := range outputs {
-			db.deleteFile(r, f)
-		}
-		db.mu.Lock()
-		markCompacting(c.allFiles(), false)
-		if c.level == 0 {
-			db.compactingL0 = false
-		}
-		db.mu.Unlock()
-		db.setBackgroundError(emitErr)
+		db.abortCompaction(r, c, outputs, mergeErr)
 		return
 	}
+	db.installCompaction(r, c, outputs, readBytes, writeBytes, discards, nil)
+}
 
-	// Install: swap inputs for outputs atomically.
+// abortCompaction unwinds a failed compaction: partial outputs are
+// deleted, the inputs unmarked, and the error made sticky (read-only).
+func (db *DB) abortCompaction(r *vclock.Runner, c *compaction, outputs []*FileMeta, err error) {
+	for _, f := range outputs {
+		db.deleteFile(r, f)
+	}
+	db.mu.Lock()
+	markCompacting(c.allFiles(), false)
+	if c.level == 0 {
+		db.compactingL0 = false
+	}
+	db.mu.Unlock()
+	db.setBackgroundError(err)
+}
+
+// installCompaction swaps c's inputs for outputs atomically and persists
+// the manifest — the single commit point both the host and the offloaded
+// path share. res is non-nil for an offloaded merge (its ARM cycles feed
+// the device-CPU attribution); discards is the host path's value-log
+// dead-byte report.
+func (db *DB) installCompaction(r *vclock.Runner, c *compaction, outputs []*FileMeta,
+	readBytes, writeBytes int64, discards map[uint32]int64, res *offload.MergeResult) {
 	db.mu.Lock()
 	var dead []*FileMeta
 	for _, f := range c.allFiles() {
@@ -580,6 +574,11 @@ func (db *DB) doCompaction(r *vclock.Runner, c *compaction) {
 	db.stats.Compactions++
 	db.stats.CompactionReadBytes += readBytes
 	db.stats.CompactionWriteBytes += writeBytes
+	if res != nil {
+		db.stats.OffloadedCompactions++
+		db.stats.OffloadedBytes += writeBytes
+		db.stats.DeviceMergeCPUMicros += res.DeviceCPU.Microseconds()
+	}
 	db.mu.Unlock()
 
 	if perr := db.persistManifest(r); perr != nil {

@@ -89,6 +89,7 @@ type DB struct {
 	activeCompactions int
 	flushing          bool
 	stalledWriters    int
+	lastPressure      vclock.Time // last instant a writer entered a stall (offload hysteresis)
 	cursor            [][]byte // per-level round-robin compaction cursor
 	closed            bool
 
@@ -116,6 +117,9 @@ type DB struct {
 	// ("after-rewrite", "before-punch", "after-punch") so the fault
 	// suite can crash the device mid-collection deterministically.
 	testHookGC func(string)
+	// testHookGCRewrite observes each live key as GC re-appends it, in
+	// rewrite order — the probe the batch-sort ordering test reads.
+	testHookGCRewrite func(key []byte)
 
 	stats Stats
 }
@@ -478,6 +482,7 @@ func (db *DB) stallWait(r *vclock.Runner, reason StallReason, counted *[numStall
 		counted[reason] = true
 		db.stats.StallEvents[reason]++
 	}
+	db.lastPressure = r.Now()
 	db.stalledWriters++
 	sp := db.opt.Trace.Begin(r, trace.PhaseStallWait, reason.String())
 	start := r.Now()

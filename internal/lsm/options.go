@@ -110,6 +110,39 @@ type Options struct {
 	// deterministically. Called without db.mu held, on the leader's runner.
 	TestHookCommit func(stage string)
 
+	// EnableCompactionOffload lets the engine hand L0→L1 merges to the
+	// device executor behind Offloader when write-stall pressure holds
+	// and the device is idle. Offload is strictly a hint: every returned
+	// table is validated (footer and index parse, key-range and ordering
+	// invariants) before the manifest install, and any device fault,
+	// abort, or validation miss falls back to the host merge — no
+	// durability guarantee ever depends on the device finishing.
+	EnableCompactionOffload bool
+	// OffloadVerifyReadback adds a paranoid post-adoption pass to that
+	// validation: the host re-reads every device-built table end to end
+	// (NAND reads plus PCIe, through the uncached file source) and checks
+	// every block checksum. Off by default — the device computes block
+	// checksums while building, exactly like the host builder, and a full
+	// host read-back re-imports the data movement the offload exists to
+	// avoid. Structural validation and the footer/index parse always run.
+	OffloadVerifyReadback bool
+	// Offloader is the device-side merge handle (ssd.MergeOffloader in
+	// the full stack; tests substitute fakes). Required when
+	// EnableCompactionOffload is set; ignored otherwise.
+	Offloader Offloader
+	// ForceOffload bypasses the pressure/idleness gate so every eligible
+	// L0→L1 compaction offloads — for the equivalence suite and A/B
+	// sweeps that need deterministic routing. The eligibility conditions
+	// (no live snapshots, no value log) still apply.
+	ForceOffload bool
+	// TestHookOffload, when set, is called at named instants inside the
+	// offload install path — "merge-complete" (device merge done, nothing
+	// adopted yet) and "pre-install" (outputs adopted and validated, the
+	// manifest not yet persisted) — so the crash-recovery torture suite
+	// can cut power at the protocol's in-between states. Called without
+	// db.mu held, on the compaction worker's runner.
+	TestHookOffload func(stage string)
+
 	// ValueThreshold enables WiscKey-style value separation: a Put whose
 	// value is at least this many bytes appends the value to the value
 	// log and stores a fixed-size pointer in the LSM instead, so the WAL,

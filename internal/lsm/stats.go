@@ -120,6 +120,18 @@ type Stats struct {
 	CompactionWriteBytes int64
 	WALBytesWritten      int64
 
+	// Compaction-offload counters. OffloadedCompactions counts merges
+	// the device executed end-to-end (installed from device-built
+	// tables); OffloadedBytes is the table bytes those merges produced;
+	// OffloadFallbacks counts offload attempts that fell back to a host
+	// merge (device fault, abort, or validation miss).
+	// DeviceMergeCPUMicros is the controller ARM time those merges cost
+	// — cycles that would otherwise have been host merge CPU.
+	OffloadedCompactions int64
+	OffloadedBytes       int64
+	OffloadFallbacks     int64
+	DeviceMergeCPUMicros int64
+
 	// UserBytes is the pre-separation key+value payload committed by user
 	// writes — write-amp's denominator. With value separation a 4 KiB
 	// value contributes 4 KiB here but only a 13-byte pointer to
@@ -271,6 +283,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.CompactionReadBytes += o.CompactionReadBytes
 	s.CompactionWriteBytes += o.CompactionWriteBytes
 	s.WALBytesWritten += o.WALBytesWritten
+	s.OffloadedCompactions += o.OffloadedCompactions
+	s.OffloadedBytes += o.OffloadedBytes
+	s.OffloadFallbacks += o.OffloadFallbacks
+	s.DeviceMergeCPUMicros += o.DeviceMergeCPUMicros
 	s.UserBytes += o.UserBytes
 	s.VLogBytes += o.VLogBytes
 	s.VLogGCRewrites += o.VLogGCRewrites

@@ -1,7 +1,9 @@
 package lsm
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"time"
 
 	"kvaccel/internal/encoding"
@@ -181,6 +183,12 @@ func (db *DB) gcSegment(r *vclock.Runner, seg uint32) error {
 		if end > len(live) {
 			end = len(live)
 		}
+		// Rewrite each batch in user-key order, not segment order: the
+		// re-appended values land adjacent in the head segment for keys
+		// adjacent in the tree, so a later range scan dereferencing the
+		// rewritten pointers reads the segment sequentially instead of
+		// replaying the dead segment's historical write order.
+		sortGCBatch(live[start:end])
 		for {
 			err := db.gcRewriteBatch(r, live[start:end], db.testHookGC)
 			if err == ErrWouldStall {
@@ -210,6 +218,15 @@ func (db *DB) gcSegment(r *vclock.Runner, seg uint32) error {
 		db.testHookGC("after-punch")
 	}
 	return nil
+}
+
+// sortGCBatch orders one rewrite batch by user key (ties — impossible
+// for live pointers, which are unique per key — fall back to segment
+// offset for determinism).
+func sortGCBatch(batch []vlog.Entry) {
+	sort.SliceStable(batch, func(i, j int) bool {
+		return bytes.Compare(batch[i].Key, batch[j].Key) < 0
+	})
 }
 
 // gcRewriteBatch re-checks and rewrites one batch of candidate records
@@ -256,6 +273,9 @@ func (db *DB) pointerLive(r *vclock.Runner, key []byte, ptr encoding.ValuePointe
 // the fresh pointer through the write path, bypassing the gate (the GC
 // holds it) and flagged internal so it does not count as a user write.
 func (db *DB) rewriteForGC(r *vclock.Runner, key, value []byte) error {
+	if db.testHookGCRewrite != nil {
+		db.testHookGCRewrite(key)
+	}
 	ptr, err := db.appendVLog(r, key, value)
 	if err != nil {
 		return err

@@ -472,3 +472,65 @@ func TestVLogWriteAmpBelowBaseline(t *testing.T) {
 		t.Errorf("vlog write-amp %.2f not below baseline %.2f", va, ba)
 	}
 }
+
+// GC rewrites each batch in user-key order regardless of the order the
+// values were originally appended. Values are written in descending key
+// order, so every segment holds its records in the exact reverse of key
+// order — an unsorted rewrite pass would re-append descending, which is
+// what this test would catch.
+func TestVLogGCRewriteBatchSortedByKey(t *testing.T) {
+	opt := vlogOpts()
+	opt.DisableVLogGC = true // drive GC by hand
+	clk := vclock.New()
+	fsys := fs.New(&testDev{pageSize: 4096, pages: 1 << 20})
+	db := Open(clk, fsys, opt)
+	clk.Go("test", func(r *vclock.Runner) {
+		defer db.Close()
+		// Descending writes; 16 KiB segments over ~540 B values hold
+		// under 32 records each, so one segment's survivors always fit a
+		// single rewrite batch and each GC pass must observe one fully
+		// ascending key sequence.
+		for round := 0; round < 2; round++ {
+			for i := 119; i >= 0; i-- {
+				if round > 0 && i%2 == 0 {
+					continue // even keys stay live in their old segments
+				}
+				v := append(bigValue(i), byte('0'+round))
+				if err := db.Put(r, key(i), v); err != nil {
+					t.Fatalf("round %d put %d: %v", round, i, err)
+				}
+			}
+			db.Flush(r)
+			db.WaitIdle(r)
+		}
+
+		var rewritten [][]byte
+		db.testHookGCRewrite = func(k []byte) {
+			rewritten = append(rewritten, append([]byte(nil), k...))
+		}
+		sortedPasses := 0
+		for pass := 0; pass < 32; pass++ {
+			rewritten = rewritten[:0]
+			did, err := db.CollectVLogGarbage(r, 0.01)
+			if err != nil {
+				t.Fatalf("gc pass %d: %v", pass, err)
+			}
+			if !did {
+				break
+			}
+			for i := 1; i < len(rewritten); i++ {
+				if bytes.Compare(rewritten[i-1], rewritten[i]) > 0 {
+					t.Fatalf("pass %d: rewrites out of key order: %q after %q",
+						pass, rewritten[i], rewritten[i-1])
+				}
+			}
+			if len(rewritten) >= 2 {
+				sortedPasses++
+			}
+		}
+		if sortedPasses == 0 {
+			t.Fatal("no GC pass rewrote enough records to exercise batch ordering")
+		}
+	})
+	clk.Wait()
+}

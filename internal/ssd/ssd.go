@@ -118,6 +118,10 @@ type Device struct {
 	NVMe  *nvme.Dispatcher
 	clk   *vclock.Clock
 	full  *KVRegion // full-region KV view wrapping Dev
+
+	// MergeExec services offloaded compactions (OFFLOAD_MERGE) for every
+	// block namespace; it shares the ARM core and FTL with the Dev-LSM.
+	MergeExec *devlsm.MergeExecutor
 }
 
 // New builds the device on clk. The ARM pool models the single Cortex-A9
@@ -155,6 +159,10 @@ func New(clk *vclock.Clock, cfg Config) *Device {
 		clk:   clk,
 	}
 	d.full = &KVRegion{dev: d, lsm: d.Dev, qp: d.NVMe.NewQueuePair("kv", 1)}
+	if cfg.DevLSM.MergeCPUPerKB <= 0 {
+		cfg.DevLSM.MergeCPUPerKB = devlsm.DefaultConfig().MergeCPUPerKB
+	}
+	d.MergeExec = devlsm.NewMergeExecutor(f, arm, cfg.DevLSM.MergeCPUPerKB, cfg.Trace)
 	if cfg.Faults != nil {
 		d.NVMe.SetFaultPlan(cfg.Faults)
 		arr.SetFaultPlan(cfg.Faults)

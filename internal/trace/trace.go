@@ -60,6 +60,9 @@ const (
 	PhaseFrontCache
 	PhaseSSTGet
 	PhaseScan
+	PhaseOffloadSubmit
+	PhaseDeviceMerge
+	PhaseOffloadInstall
 
 	NumPhases
 )
@@ -96,6 +99,9 @@ var phaseNames = [NumPhases]string{
 	PhaseFrontCache:     "front-cache",
 	PhaseSSTGet:         "sst-get",
 	PhaseScan:           "scan",
+	PhaseOffloadSubmit:  "offload-submit",
+	PhaseDeviceMerge:    "device-merge",
+	PhaseOffloadInstall: "offload-install",
 }
 
 func (p Phase) String() string {
@@ -107,7 +113,10 @@ func (p Phase) String() string {
 
 // activityPhases are the phases that represent background/device work a
 // stalled writer is waiting behind; the stall report attributes stall
-// windows to overlap with these.
+// windows to overlap with these. Host-absorbed compaction work shows up
+// under compaction/compaction-io; device-absorbed work under
+// device-merge (with offload-submit/offload-install as the host-side
+// bookends), so the report splits who soaked up each stall window.
 var activityPhases = []Phase{
 	PhaseFlush, PhaseFlushIO, PhaseCompaction, PhaseCompactionIO,
 	PhaseNVMeQueue, PhaseNVMeExec,
@@ -115,6 +124,7 @@ var activityPhases = []Phase{
 	PhaseDevLSM, PhaseDevLSMFlush,
 	PhaseRollback, PhaseRollbackScan, PhaseRecovery,
 	PhaseVLogGC,
+	PhaseOffloadSubmit, PhaseDeviceMerge, PhaseOffloadInstall,
 }
 
 // Event kinds, matching Chrome trace-event phase letters.

@@ -239,11 +239,15 @@ type Resource struct {
 
 	mu     sync.Mutex
 	busyNS int64 // cumulative unit-nanoseconds of service
+	fgWait int   // foreground callers currently queued for admission
+	bgCond *Cond // background admission: re-checked on releases and fg departures
 }
 
 // NewResource returns a resource with the given parallel capacity.
 func NewResource(capacity int, label string) *Resource {
-	return &Resource{sem: NewSemaphore(capacity, label)}
+	res := &Resource{sem: NewSemaphore(capacity, label)}
+	res.bgCond = NewCond(&res.mu, label+".bg")
+	return res
 }
 
 // Use occupies one unit for duration d of virtual time: it queues for
@@ -252,12 +256,44 @@ func (res *Resource) Use(r *Runner, d Duration) {
 	if d <= 0 {
 		return
 	}
+	res.mu.Lock()
+	res.fgWait++
+	res.mu.Unlock()
 	res.sem.Acquire(r, 1)
+	res.mu.Lock()
+	res.fgWait--
+	res.mu.Unlock()
+	res.bgCond.Broadcast() // a free unit may remain for a background waiter
 	r.Sleep(d)
 	res.sem.Release(1)
 	res.mu.Lock()
 	res.busyNS += int64(d)
 	res.mu.Unlock()
+	res.bgCond.Broadcast()
+}
+
+// UseBackground occupies one unit for d like Use, but at background
+// priority: it is admitted only when a unit is free AND no foreground
+// caller is queued, so bulk device-internal work (offloaded merges)
+// soaks up idle capacity without ever pushing host I/O back in line. An
+// admitted operation still runs to completion — a foreground arrival
+// waits at most one service time, the same bound it has against other
+// foreground traffic.
+func (res *Resource) UseBackground(r *Runner, d Duration) {
+	if d <= 0 {
+		return
+	}
+	res.mu.Lock()
+	for res.fgWait > 0 || !res.sem.TryAcquire(1) {
+		res.bgCond.Wait(r)
+	}
+	res.mu.Unlock()
+	r.Sleep(d)
+	res.sem.Release(1)
+	res.mu.Lock()
+	res.busyNS += int64(d)
+	res.mu.Unlock()
+	res.bgCond.Broadcast()
 }
 
 // Cap returns the resource's parallel capacity.

@@ -108,6 +108,18 @@ type Options struct {
 	// DRAM before either LSM is consulted. 0 (default) reproduces the
 	// paper. Sharded DBs split the budget evenly across shards.
 	FrontCacheBytes int64
+	// FrontCacheNegative additionally caches confirmed-missing keys in
+	// the front cache, so read-miss-heavy workloads stop paying the full
+	// metadata + dual-LSM descent for keys that are not there. Requires
+	// FrontCacheBytes > 0.
+	FrontCacheNegative bool
+	// OffloadCompaction enables device-side L0→L1 compaction offload:
+	// under stall pressure the Main-LSM hands eligible merges to the
+	// SSD controller, which runs them near the data (NAND reads, ARM
+	// merge, NAND programs) while the host only ships descriptors and
+	// validates results. Strictly a hint — any failure falls back to the
+	// host merge. Sharded DBs get one offload channel per shard.
+	OffloadCompaction bool
 	// QueueDepth is the NVMe submission-queue depth per queue pair: how
 	// many commands one submitter may keep in flight before blocking.
 	// 0 keeps the device default (32).
@@ -228,6 +240,7 @@ func (opt Options) coreOptions() core.Options {
 	// control, and only makes sense when the accelerator is on.
 	copt.StallFailover = opt.EnableRedirection && !opt.DisableGroupCommit
 	copt.FrontCacheBytes = opt.FrontCacheBytes
+	copt.FrontCacheNegative = opt.FrontCacheNegative
 	return copt
 }
 
@@ -237,10 +250,16 @@ func Open(opt Options) *DB {
 	clk := vclock.New()
 	release := clk.Hold()
 	dev := ssd.New(clk, opt.deviceConfig())
-	fsys := fs.New(dev.BlockNamespace(0, 0))
+	ns := dev.BlockNamespace(0, 0)
+	fsys := fs.New(ns)
 
 	pool := cpu.NewPool(opt.HostCores, "host-cpu")
-	main := lsm.Open(clk, fsys, opt.engineOptions(pool, 1))
+	lopt := opt.engineOptions(pool, 1)
+	if opt.OffloadCompaction {
+		lopt.EnableCompactionOffload = true
+		lopt.Offloader = ns.Offloader()
+	}
+	main := lsm.Open(clk, fsys, lopt)
 
 	kv := core.Open(clk, main, dev.KVRegionFull(), opt.coreOptions())
 	if !opt.EnableRedirection {

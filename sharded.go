@@ -84,8 +84,17 @@ func OpenSharded(opt ShardedOptions) *ShardedDB {
 		if i == n-1 {
 			pages = blockPages - i*per // last shard absorbs the remainder
 		}
-		fsys := fs.New(dev.BlockNamespace(i*per, pages))
-		main := lsm.Open(clk, fsys, lopt)
+		ns := dev.BlockNamespace(i*per, pages)
+		fsys := fs.New(ns)
+		slopt := lopt
+		if opt.OffloadCompaction {
+			// Each shard gets its own offload channel (queue pair) to the
+			// shared merge executor; the executor serializes them on the
+			// one ARM core, exactly like the shared NAND and PCIe paths.
+			slopt.EnableCompactionOffload = true
+			slopt.Offloader = ns.Offloader()
+		}
+		main := lsm.Open(clk, fsys, slopt)
 		kv := core.Open(clk, main, kvSlices[i], copt)
 		if !opt.EnableRedirection {
 			kv.Detector().SetOverride(false)
