@@ -65,10 +65,18 @@ func run() int {
 		frontMB   = flag.Int("front-cache-mb", 32, "hot-key front cache budget in MB (kvaccel engines; default-on for mixed workloads)")
 		noFront   = flag.Bool("no-front-cache", false, "disable the hot-key front cache")
 		frontNeg  = flag.Bool("front-cache-negative", false, "also cache confirmed-missing keys in the front cache (read-miss accelerator)")
+		frontDoor = flag.Bool("front-doorkeeper", false, "second-chance admission on the front cache: refuse one-touch keys their first fill (uniform-traffic churn guard)")
 		noBlock   = flag.Bool("no-block-cache", false, "disable the Main-LSM block cache and vlog read cache (cold-cache baseline)")
 		cacheAB   = flag.String("cache-ab", "", "run the mixed workload twice (caches on, then off) and write the paired A/B record to this JSON file")
 		offload   = flag.Bool("offload-compaction", false, "offload eligible L0→L1 compactions to the SSD controller under stall pressure (kvaccel engines)")
 		offloadAB = flag.String("offload-ab", "", "run stall-heavy fillrandom twice (offload off, then on) and write the paired A/B record to this JSON file")
+		servePath = flag.String("serve", "", "run the serving-tier A/B (batched vs per-connection dispatch, then open-loop overload) and write the paired record to this JSON file")
+		srvClis   = flag.Int("serve-clients", 1024, "serving A/B: concurrent RPC clients")
+		srvTens   = flag.Int("serve-tenants", 4, "serving A/B: tenant count for admission fairness accounting")
+		srvDur    = flag.Duration("serve-duration", 2*time.Second, "serving A/B: per-arm virtual measurement window")
+		srvLinger = flag.Int64("serve-linger-us", 100, "serving A/B: cross-connection batch linger ceiling in virtual microseconds")
+		srvOver   = flag.Float64("serve-overload", 2.0, "serving A/B: open-loop offered load as a multiple of measured batched capacity")
+		srvAdmit  = flag.Float64("serve-admit", 0.95, "serving A/B: admission-gate budget as a fraction of measured batched capacity")
 
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's virtual timeline to this file")
 		traceSum   = flag.Bool("trace-summary", false, "print per-phase virtual-time attribution and the stall-window report")
@@ -86,11 +94,29 @@ func run() int {
 		*vthresh = 0
 	}
 	frontSet := false
+	flagSet := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) {
+		flagSet[f.Name] = true
 		if f.Name == "front-cache-mb" {
 			frontSet = true
 		}
 	})
+	// The serving A/B has its own sensible defaults where they differ
+	// from the single-engine bench defaults.
+	if *servePath != "" {
+		if !flagSet["shards"] {
+			*shards = 4
+		}
+		if !flagSet["value"] && !flagSet["value-size"] {
+			*value = 128
+		}
+		if !flagSet["keyspace"] {
+			*keyspace = 100_000
+		}
+		if !flagSet["scale"] {
+			*scale = 1
+		}
+	}
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -101,6 +127,23 @@ func run() int {
 
 	if *cuts > 0 {
 		return runTorture(*faultSee, *cuts, *tracePath)
+	}
+
+	if *servePath != "" {
+		return runServe(serveRunParams{
+			clients:        *srvClis,
+			tenants:        *srvTens,
+			shards:         *shards,
+			scale:          *scale,
+			duration:       *srvDur,
+			keyspace:       *keyspace,
+			value:          *value,
+			seed:           *seed,
+			lingerUS:       *srvLinger,
+			preload:        20_000,
+			overloadFactor: *srvOver,
+			admitFraction:  *srvAdmit,
+		}, *servePath)
 	}
 
 	rb, ok := parseRollback(*rollback)
@@ -213,6 +256,7 @@ func run() int {
 		p.FrontCacheBytes = int64(*frontMB) << 20
 	}
 	p.FrontCacheNegative = *frontNeg
+	p.FrontCacheDoorkeeper = *frontDoor
 	p.OffloadCompaction = *offload
 
 	if *cacheAB != "" {
@@ -452,12 +496,24 @@ type attributionJSON struct {
 	Sums       bool  `json:"sums"`
 }
 
+// queueJSON is one NVMe queue pair. The unprefixed fields are totals;
+// fg_*/bg_* split foreground admission (WAL appends, user reads) from
+// background maintenance traffic (compaction, flush, offload validation)
+// so device-merge I/O no longer inflates the foreground depth numbers.
 type queueJSON struct {
-	Name      string  `json:"name"`
-	Submitted int64   `json:"submitted"`
-	MeanDepth float64 `json:"mean_depth"`
-	MeanUS    float64 `json:"mean_us"`
-	P99US     float64 `json:"p99_us"`
+	Name        string  `json:"name"`
+	Submitted   int64   `json:"submitted"`
+	MeanDepth   float64 `json:"mean_depth"`
+	MeanUS      float64 `json:"mean_us"`
+	P99US       float64 `json:"p99_us"`
+	FgSubmitted int64   `json:"fg_submitted,omitempty"`
+	FgMeanDepth float64 `json:"fg_mean_depth,omitempty"`
+	FgMeanUS    float64 `json:"fg_mean_us,omitempty"`
+	FgP99US     float64 `json:"fg_p99_us,omitempty"`
+	BgSubmitted int64   `json:"bg_submitted,omitempty"`
+	BgMeanDepth float64 `json:"bg_mean_depth,omitempty"`
+	BgMeanUS    float64 `json:"bg_mean_us,omitempty"`
+	BgP99US     float64 `json:"bg_p99_us,omitempty"`
 }
 
 type phaseJSON struct {
@@ -570,13 +626,24 @@ func makeBenchJSON(p harness.Params, spec harness.EngineSpec, kind harness.Workl
 		if q.Submitted == 0 {
 			continue
 		}
-		out.Queues = append(out.Queues, queueJSON{
+		qj := queueJSON{
 			Name:      q.Name,
 			Submitted: q.Submitted,
 			MeanDepth: q.MeanOutstanding,
 			MeanUS:    float64(q.Latency.Mean()) / 1e3,
 			P99US:     float64(q.Latency.Quantile(0.99)) / 1e3,
-		})
+		}
+		if q.BgSubmitted > 0 {
+			qj.FgSubmitted = q.Submitted - q.BgSubmitted
+			qj.FgMeanDepth = q.MeanOutstanding - q.MeanBgOutstanding
+			qj.FgMeanUS = float64(q.FgLatency.Mean()) / 1e3
+			qj.FgP99US = float64(q.FgLatency.Quantile(0.99)) / 1e3
+			qj.BgSubmitted = q.BgSubmitted
+			qj.BgMeanDepth = q.MeanBgOutstanding
+			qj.BgMeanUS = float64(q.BgLatency.Mean()) / 1e3
+			qj.BgP99US = float64(q.BgLatency.Quantile(0.99)) / 1e3
+		}
+		out.Queues = append(out.Queues, qj)
 	}
 	if res.TraceSummary != nil {
 		for _, ps := range res.TraceSummary.Phases {

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"kvaccel/internal/harness"
+	"kvaccel/internal/workload"
+)
+
+// serveRunParams shapes the serving-tier A/B driver.
+type serveRunParams struct {
+	clients  int
+	tenants  int
+	shards   int
+	scale    int
+	duration time.Duration
+	keyspace int
+	value    int
+	seed     int64
+	lingerUS int64
+	preload  int
+	// overloadFactor is the open-loop offered load as a multiple of the
+	// measured batched capacity; admitFraction is the admission-gate
+	// budget as a fraction of that capacity.
+	overloadFactor float64
+	admitFraction  float64
+}
+
+// serveJSON is one serving run's machine-readable headline.
+type serveJSON struct {
+	Mode      string  `json:"mode"` // batched, unbatched, overload
+	OpenLoop  bool    `json:"open_loop"`
+	Clients   int     `json:"clients"`
+	Tenants   int     `json:"tenants"`
+	Shards    int     `json:"shards"`
+	Seed      int64   `json:"seed"`
+	DurationS float64 `json:"duration_s"`
+
+	Sent     int64 `json:"sent"`
+	OK       int64 `json:"ok"`
+	NotFound int64 `json:"not_found"`
+	Retry    int64 `json:"retry"`
+	Errs     int64 `json:"errs"`
+	Dropped  int64 `json:"dropped"`
+
+	GoodputOps float64 `json:"goodput_ops"`
+	ShedRate   float64 `json:"shed_rate"`
+
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+
+	// Mean per-request phase residency (client-observed decomposition).
+	NetUS      float64 `json:"phase_net_us"`
+	AcceptUS   float64 `json:"phase_accept_us"`
+	LingerUS   float64 `json:"phase_linger_us"`
+	EngineUS   float64 `json:"phase_engine_us"`
+	ReplyUS    float64 `json:"phase_reply_us"`
+	PhaseCover float64 `json:"phase_coverage"`
+
+	Batches      int64   `json:"batches,omitempty"`
+	MeanBatchOps float64 `json:"mean_batch_ops,omitempty"`
+	ReadChunks   int64   `json:"read_chunks,omitempty"`
+	MeanChunk    float64 `json:"mean_read_chunk,omitempty"`
+	DirectOps    int64   `json:"direct_ops,omitempty"`
+	ServerShed   int64   `json:"server_shed,omitempty"`
+
+	EngineStalls    int64   `json:"engine_stalls"`
+	EngineStallS    float64 `json:"engine_stall_s"`
+	GroupCommits    int64   `json:"group_commits,omitempty"`
+	MeanGroupSize   float64 `json:"mean_group_size,omitempty"`
+	AppendsPerRec   float64 `json:"wal_appends_per_record,omitempty"`
+	RedirectedPuts  int64   `json:"redirected_puts,omitempty"`
+	TenantAdmits    []int64 `json:"tenant_admitted,omitempty"`
+	TenantSheds     []int64 `json:"tenant_shed,omitempty"`
+	ConservationOK  bool    `json:"conservation_ok"`
+	AdmitRateConfig float64 `json:"admit_rate,omitempty"`
+}
+
+func makeServeJSON(mode string, p serveRunParams, sp harness.ServeParams, res *harness.ServeResult) serveJSON {
+	s := res.Load
+	answered := s.Answered()
+	perReq := func(totalNS int64) float64 {
+		if answered == 0 {
+			return 0
+		}
+		return float64(totalNS) / float64(answered) / 1e3
+	}
+	out := serveJSON{
+		Mode:      mode,
+		OpenLoop:  sp.Load.OpenLoop,
+		Clients:   res.Clients,
+		Tenants:   p.tenants,
+		Shards:    p.shards,
+		Seed:      p.seed,
+		DurationS: res.Elapsed.Seconds(),
+
+		Sent:     s.Sent,
+		OK:       s.OK,
+		NotFound: s.NotFound,
+		Retry:    s.Retry,
+		Errs:     s.Errs,
+		Dropped:  s.Dropped,
+
+		GoodputOps: res.Goodput(),
+		ShedRate:   s.ShedRate(),
+
+		P50US:  float64(s.Latency.P50()) / 1e3,
+		P99US:  float64(s.Latency.P99()) / 1e3,
+		P999US: float64(s.Latency.P999()) / 1e3,
+
+		NetUS:      perReq(s.NetNS),
+		AcceptUS:   perReq(s.AcceptNS),
+		LingerUS:   perReq(s.LingerNS),
+		EngineUS:   perReq(s.EngineNS),
+		ReplyUS:    perReq(s.ReplyNS),
+		PhaseCover: s.PhaseCoverage(),
+
+		Batches:      res.Server.Batches,
+		MeanBatchOps: res.Server.MeanBatchOps(),
+		ReadChunks:   res.Server.ReadChunks,
+		MeanChunk:    res.Server.MeanReadChunk(),
+		DirectOps:    res.Server.DirectOps,
+		ServerShed:   res.Server.Shed,
+
+		EngineStalls:   res.Engine.Main.TotalStalls(),
+		EngineStallS:   res.Engine.Main.StallTime.Seconds(),
+		GroupCommits:   res.Engine.Main.GroupCommits,
+		MeanGroupSize:  res.Engine.Main.MeanGroupSize(),
+		AppendsPerRec:  res.Engine.Main.WALAppendsPerRecord(),
+		RedirectedPuts: res.Engine.KVAccel.RedirectedPuts,
+
+		ConservationOK:  s.Sent == answered+s.Dropped,
+		AdmitRateConfig: sp.Server.AdmitRate,
+	}
+	for _, t := range res.Server.Tenants {
+		out.TenantAdmits = append(out.TenantAdmits, t.Answered)
+		out.TenantSheds = append(out.TenantSheds, t.Shed)
+	}
+	return out
+}
+
+// serveParams builds the common harness setup for one arm.
+func (p serveRunParams) harnessParams() harness.ServeParams {
+	sp := harness.DefaultServeParams()
+	sp.Shards = p.shards
+	sp.Scale = p.scale
+	sp.Preload = p.preload
+	sp.Server.LingerMicros = p.lingerUS
+	sp.Server.Tenants = p.tenants
+	sp.Load.Clients = p.clients
+	sp.Load.Tenants = p.tenants
+	sp.Load.KeySpace = p.keyspace
+	sp.Load.ValueSize = p.value
+	sp.Load.Duration = p.duration
+	sp.Load.Seed = p.seed
+	return sp
+}
+
+func printServeRow(label string, j serveJSON) {
+	fmt.Printf("%-9s %9d %10.0f %7.2f %9.1f %9.1f %10.1f %7.2f %6d %6.1f\n",
+		label, j.Sent, j.GoodputOps, j.ShedRate, j.P99US, j.P999US,
+		j.EngineUS, j.PhaseCover, j.EngineStalls, j.MeanBatchOps)
+}
+
+// runServe is the serving-tier A/B driver: batched vs per-connection
+// dispatch closed-loop at full client count (the capacity comparison),
+// then an open-loop overload run at a multiple of the measured batched
+// capacity with the admission gate set just under it (the shed-or-stall
+// test). Writes the paired records to path and exits non-zero when an
+// acceptance invariant fails.
+func runServe(p serveRunParams, path string) int {
+	mix, _ := workload.Mix("ycsb-a")
+	fmt.Printf("kvbench: serving tier A/B, %s, clients=%d tenants=%d shards=%d scale=%d duration=%v value=%dB seed=%d\n",
+		mix, p.clients, p.tenants, p.shards, p.scale, p.duration, p.value, p.seed)
+	fmt.Printf("%-9s %9s %10s %7s %9s %9s %10s %7s %6s %6s\n",
+		"mode", "sent", "goodput", "shed", "p99-us", "p999-us", "engine-us", "cover", "stalls", "batch")
+
+	// Arm 1: batched closed loop — the serving tier's capacity.
+	spB := p.harnessParams()
+	spB.Server.Batch = true
+	resB := spB.RunServe()
+	jB := makeServeJSON("batched", p, spB, resB)
+	printServeRow("batched", jB)
+
+	// Arm 2: per-connection dispatch closed loop — the baseline.
+	spU := p.harnessParams()
+	spU.Server.Batch = false
+	resU := spU.RunServe()
+	jU := makeServeJSON("unbatched", p, spU, resU)
+	printServeRow("unbatched", jU)
+
+	// Arm 3: open-loop overload at overloadFactor x the measured batched
+	// capacity, admission gate at admitFraction of it. The tier must shed
+	// with RETRY_LATER and keep the engine out of stalls while goodput
+	// holds near saturation.
+	capacity := resB.Goodput()
+	offered := capacity * p.overloadFactor
+	spO := p.harnessParams()
+	spO.Server.Batch = true
+	spO.Server.AdmitRate = capacity * p.admitFraction
+	spO.Load.OpenLoop = true
+	if offered > 0 {
+		spO.Load.Interval = time.Duration(float64(p.clients) / offered * float64(time.Second))
+	}
+	resO := spO.RunServe()
+	jO := makeServeJSON("overload", p, spO, resO)
+	printServeRow("overload", jO)
+
+	ratio := 0.0
+	if g := resU.Goodput(); g > 0 {
+		ratio = resB.Goodput() / g
+	}
+	overVsCap := 0.0
+	if capacity > 0 {
+		overVsCap = resO.Goodput() / (capacity * p.admitFraction)
+	}
+	fmt.Printf("\nbatching    : %.2fx goodput over per-connection dispatch\n", ratio)
+	fmt.Printf("p999        : batched %v vs unbatched %v\n", resB.Load.Latency.P999(), resU.Load.Latency.P999())
+	fmt.Printf("overload    : offered %.0f ops/s (%.1fx capacity), goodput %.0f = %.2fx admitted budget, shed %.0f%%, stalls=%d\n",
+		offered, p.overloadFactor, resO.Goodput(), overVsCap, jO.ShedRate*100, jO.EngineStalls)
+
+	type invariant struct {
+		name string
+		ok   bool
+	}
+	invariants := []invariant{
+		{fmt.Sprintf("batched goodput >= 2x unbatched (got %.2fx)", ratio), ratio >= 2.0},
+		{fmt.Sprintf("batched p999 < unbatched p999 (%v vs %v)", resB.Load.Latency.P999(), resU.Load.Latency.P999()),
+			resB.Load.Latency.P999() < resU.Load.Latency.P999()},
+		{fmt.Sprintf("phase decomposition covers >= 90%% of mean latency (batched %.3f, unbatched %.3f)", jB.PhaseCover, jU.PhaseCover),
+			jB.PhaseCover >= 0.9 && jU.PhaseCover >= 0.9},
+		{fmt.Sprintf("overload engine stall time zero (stalls=%d stall_s=%.3f)", jO.EngineStalls, jO.EngineStallS),
+			jO.EngineStalls == 0 && jO.EngineStallS == 0},
+		{fmt.Sprintf("overload goodput within 10%% of admitted budget (got %.2fx)", overVsCap),
+			overVsCap >= 0.9},
+		{fmt.Sprintf("overload sheds are RETRY_LATER, none dropped (retry=%d dropped=%d)", jO.Retry, jO.Dropped),
+			jO.Retry > 0 && jO.Dropped == 0},
+		{fmt.Sprintf("request conservation in every arm (batched=%v unbatched=%v overload=%v)",
+			jB.ConservationOK, jU.ConservationOK, jO.ConservationOK),
+			jB.ConservationOK && jU.ConservationOK && jO.ConservationOK},
+	}
+
+	failed := 0
+	for _, inv := range invariants {
+		mark := "ok"
+		if !inv.ok {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("invariant   : [%s] %s\n", mark, inv.name)
+	}
+
+	out := struct {
+		Mix          string    `json:"mix"`
+		Batched      serveJSON `json:"batched"`
+		Unbatched    serveJSON `json:"unbatched"`
+		Overload     serveJSON `json:"overload"`
+		GoodputRatio float64   `json:"goodput_ratio"`
+		InvariantsOK bool      `json:"invariants_ok"`
+	}{mix.Name, jB, jU, jO, ratio, failed == 0}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("json        : serving A/B record -> %s\n", path)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d serving invariant(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

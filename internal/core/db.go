@@ -102,6 +102,11 @@ type Options struct {
 	// coherence machinery is needed. Only meaningful with
 	// FrontCacheBytes > 0.
 	FrontCacheNegative bool
+	// FrontCacheDoorkeeper enables second-chance admission on the front
+	// cache (see hotring.Cache.SetDoorkeeper): one-touch keys are refused
+	// their first fill, so uniform traffic stops churning the ring. Only
+	// meaningful with FrontCacheBytes > 0.
+	FrontCacheDoorkeeper bool
 }
 
 // DefaultOptions mirrors the paper's implementation constants.
@@ -277,6 +282,9 @@ func Open(clk *vclock.Clock, main MainEngine, dev KVDevice, opt Options) *DB {
 		gate:    vclock.NewSemaphore(gateUnits, "kvaccel.gate"),
 		closeEv: vclock.NewEvent("kvaccel.close"),
 		front:   hotring.New(opt.FrontCacheBytes, opt.FrontCacheShards),
+	}
+	if opt.FrontCacheDoorkeeper {
+		db.front.SetDoorkeeper(true)
 	}
 	db.det = NewDetector(main, opt.DetectorPeriod, opt.DetectorCost)
 	db.det.SetTracer(opt.Trace)

@@ -35,6 +35,37 @@ type BlockDevice interface {
 	Pages() int
 }
 
+// backgroundBlockDevice is the optional capability a device may implement
+// to have maintenance I/O tagged as background at the queueing layer
+// (ssd.BlockNS does). Devices without it serve background calls through
+// the ordinary foreground methods — the accounting split is best-effort,
+// never a functional requirement.
+type backgroundBlockDevice interface {
+	ReadPagesBackground(r *vclock.Runner, lpns []int) error
+	WritePagesBackground(r *vclock.Runner, lpns []int) error
+}
+
+// readPages dispatches a page read at the requested class, falling back
+// to the foreground path when the device lacks the background capability.
+func (fs *FileSystem) readPages(r *vclock.Runner, lpns []int, background bool) error {
+	if background {
+		if bd, ok := fs.dev.(backgroundBlockDevice); ok {
+			return bd.ReadPagesBackground(r, lpns)
+		}
+	}
+	return fs.dev.ReadPages(r, lpns)
+}
+
+// writePages is readPages for writes.
+func (fs *FileSystem) writePages(r *vclock.Runner, lpns []int, background bool) error {
+	if background {
+		if bd, ok := fs.dev.(backgroundBlockDevice); ok {
+			return bd.WritePagesBackground(r, lpns)
+		}
+	}
+	return fs.dev.WritePages(r, lpns)
+}
+
 // FileSystem allocates device pages to named files.
 //
 // Reads go through an OS-page-cache model: pages the host has written or
@@ -198,6 +229,17 @@ func (fs *FileSystem) allocLocked(n int) ([]int, error) {
 // WriteFile creates (or replaces) a file with the given contents, spending
 // the block-path write time for every page it covers.
 func (fs *FileSystem) WriteFile(r *vclock.Runner, name string, data []byte) error {
+	return fs.writeFile(r, name, data, false)
+}
+
+// WriteFileBackground is WriteFile with the device writes tagged as
+// background maintenance traffic (flush and compaction output); identical
+// semantics and timing, split accounting at the queueing layer.
+func (fs *FileSystem) WriteFileBackground(r *vclock.Runner, name string, data []byte) error {
+	return fs.writeFile(r, name, data, true)
+}
+
+func (fs *FileSystem) writeFile(r *vclock.Runner, name string, data []byte, background bool) error {
 	ps := fs.dev.PageSize()
 	nPages := (len(data) + ps - 1) / ps
 	if nPages == 0 {
@@ -222,7 +264,7 @@ func (fs *FileSystem) WriteFile(r *vclock.Runner, name string, data []byte) erro
 	fs.files[name] = f
 	fs.cacheInsertLocked(pages)
 	fs.mu.Unlock()
-	if err := fs.dev.WritePages(r, pages); err != nil {
+	if err := fs.writePages(r, pages, background); err != nil {
 		// Not durable: a crash reverts to the previous image (if any).
 		fs.mu.Lock()
 		f.torn = false
@@ -288,6 +330,18 @@ func (fs *FileSystem) Append(r *vclock.Runner, name string, data []byte) error {
 // ReadAt reads length bytes at offset off, spending read time for each
 // covered page. It returns a copy.
 func (fs *FileSystem) ReadAt(r *vclock.Runner, name string, off, length int) ([]byte, error) {
+	return fs.readAt(r, name, off, length, false)
+}
+
+// ReadAtBackground is ReadAt with the device reads tagged as background
+// maintenance traffic (compaction input scans, offload validation
+// read-back); identical semantics and timing, split accounting at the
+// queueing layer.
+func (fs *FileSystem) ReadAtBackground(r *vclock.Runner, name string, off, length int) ([]byte, error) {
+	return fs.readAt(r, name, off, length, true)
+}
+
+func (fs *FileSystem) readAt(r *vclock.Runner, name string, off, length int, background bool) ([]byte, error) {
 	ps := fs.dev.PageSize()
 	fs.mu.Lock()
 	f, ok := fs.files[name]
@@ -308,7 +362,7 @@ func (fs *FileSystem) ReadAt(r *vclock.Runner, name string, off, length int) ([]
 	out := make([]byte, length)
 	copy(out, f.data[off:off+length])
 	fs.mu.Unlock()
-	if err := fs.dev.ReadPages(r, misses); err != nil {
+	if err := fs.readPages(r, misses, background); err != nil {
 		return nil, err
 	}
 	return out, nil

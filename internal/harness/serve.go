@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kvaccel"
+	"kvaccel/internal/nvme"
+	"kvaccel/internal/server"
+	"kvaccel/internal/vclock"
+	"kvaccel/internal/workload"
+)
+
+// ServeParams configures one serving-tier benchmark run: a ShardedDB, a
+// server in front of it, and a fleet of RPC clients.
+type ServeParams struct {
+	// Shards is the engine shard count (default 4).
+	Shards int
+	// Scale is the simulation scale knob (kvaccel.Options.Scale).
+	Scale int
+	// Preload loads this many sequential keys through the engine before
+	// any client connects, so reads have something to hit.
+	Preload int
+
+	// Server is the serving-tier configuration (batching, linger,
+	// admission). Zero-value fields are normalized by server.New.
+	Server server.Config
+
+	// Load is the client-side configuration (clients, mix, loop mode).
+	Load workload.ServeConfig
+}
+
+// DefaultServeParams is the batched 1024-client closed-loop YCSB-A setup.
+func DefaultServeParams() ServeParams {
+	return ServeParams{
+		Shards:  4,
+		Scale:   1,
+		Preload: 20_000,
+		Server:  server.DefaultConfig(),
+		Load:    workload.DefaultServeConfig(),
+	}
+}
+
+// ServeResult carries everything one serving run produced.
+type ServeResult struct {
+	// Load is the client-observed accounting (latency, goodput, sheds).
+	Load workload.ServeStats
+	// Server is the serving tier's own counters.
+	Server server.Stats
+	// Engine is the engine-side view (stalls, redirects, flushes).
+	Engine kvaccel.ShardedStats
+	// Queues snapshots the shared device's NVMe queue pairs.
+	Queues []nvme.QueueStats
+	// Elapsed is the longest client's measured window (virtual).
+	Elapsed time.Duration
+	// Clients is the number of clients that ran.
+	Clients int
+}
+
+// Goodput is engine-answered ops per virtual second.
+func (res *ServeResult) Goodput() float64 { return res.Load.Goodput(res.Elapsed) }
+
+// RunServe executes the serving benchmark: open the sharded engine,
+// start the server, preload, unleash the clients, and tear everything
+// down in dependency order once the last client finishes.
+func (p ServeParams) RunServe() *ServeResult {
+	if p.Shards < 1 {
+		p.Shards = 4
+	}
+	opt := kvaccel.DefaultShardedOptions()
+	opt.Shards = p.Shards
+	if p.Scale > 0 {
+		opt.Scale = p.Scale
+	}
+	db := kvaccel.OpenSharded(opt)
+	srv := server.New(db, p.Server)
+	load := workload.NewServeLoad(p.Load, p.Preload)
+	cfg := load.Config()
+
+	var (
+		remaining atomic.Int32
+		mu        sync.Mutex
+		elapsed   time.Duration
+	)
+	remaining.Store(int32(cfg.Clients))
+	// Clients hold here until the preload is on disk; the event keeps
+	// them parked without consuming virtual time.
+	ready := vclock.NewEvent("serve.preload-done")
+
+	db.Run("serve.preload", func(r *kvaccel.Runner) {
+		eng := workload.ShardedEngine{DB: db}
+		wcfg := workload.Config{ValueSize: cfg.ValueSize}
+		workload.FillSequential(r, eng, wcfg, p.Preload)
+		ready.Set()
+	})
+
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		db.Run(fmt.Sprintf("serve.client.%d", c), func(r *kvaccel.Runner) {
+			ready.WaitFor(r, 365*24*time.Hour)
+			start := r.Now()
+			load.Client(r, db.Clock(), srv, c)
+			d := r.Now().Sub(start)
+			mu.Lock()
+			if d > elapsed {
+				elapsed = d
+			}
+			mu.Unlock()
+			if remaining.Add(-1) == 0 {
+				// Last client out shuts the tier down: connections have
+				// all closed, so Shutdown returns once in-flight replies
+				// drain, and only then does the engine close.
+				srv.Shutdown(r)
+				db.Close()
+			}
+		})
+	}
+	db.Wait()
+
+	res := &ServeResult{
+		Load:    load.Rec.Snapshot(),
+		Server:  srv.Stats(),
+		Engine:  db.Stats(),
+		Queues:  db.QueueStats(),
+		Elapsed: elapsed,
+		Clients: cfg.Clients,
+	}
+	if res.Elapsed <= 0 {
+		res.Elapsed = cfg.Duration
+	}
+	return res
+}

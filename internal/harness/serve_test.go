@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// smallServeParams is a fast serving setup for CI-grade checks.
+func smallServeParams() ServeParams {
+	p := DefaultServeParams()
+	p.Shards = 2
+	p.Preload = 2_000
+	p.Load.Clients = 64
+	p.Load.Tenants = 4
+	p.Load.KeySpace = 2_000
+	p.Load.Duration = 500 * time.Millisecond
+	return p
+}
+
+func TestServeClosedLoopBatched(t *testing.T) {
+	p := smallServeParams()
+	res := p.RunServe()
+	s := res.Load
+	t.Logf("batched: sent=%d ok=%d nf=%d retry=%d errs=%d dropped=%d goodput=%.0f ops/s p99=%v",
+		s.Sent, s.OK, s.NotFound, s.Retry, s.Errs, s.Dropped, res.Goodput(), s.Latency.P99())
+	t.Logf("server: accepted=%d requests=%d replies=%d batches=%d mean-batch=%.1f read-chunks=%d mean-chunk=%.1f direct=%d",
+		res.Server.Accepted, res.Server.Requests, res.Server.Replies,
+		res.Server.Batches, res.Server.MeanBatchOps(), res.Server.ReadChunks, res.Server.MeanReadChunk(), res.Server.DirectOps)
+	if s.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if s.OK+s.NotFound == 0 {
+		t.Fatal("no requests answered by the engine")
+	}
+	// Conservation: every sent request is answered or accounted dropped.
+	if got := s.Answered() + s.Dropped; got != s.Sent {
+		t.Errorf("conservation: sent=%d answered+dropped=%d", s.Sent, got)
+	}
+	if s.Dropped != 0 {
+		t.Errorf("closed-loop clients dropped %d requests", s.Dropped)
+	}
+	if res.Server.Accepted != int64(res.Clients) {
+		t.Errorf("accepted %d connections, want %d", res.Server.Accepted, res.Clients)
+	}
+	// The batcher must actually coalesce under 64 concurrent clients.
+	if res.Server.Batches == 0 {
+		t.Fatal("no write batches committed")
+	}
+	if mean := res.Server.MeanBatchOps(); mean < 2 {
+		t.Errorf("mean batch size %.2f, want >= 2 (batching not coalescing)", mean)
+	}
+	// Phase decomposition must explain the client-observed latency.
+	if cov := s.PhaseCoverage(); cov < 0.9 || cov > 1.01 {
+		t.Errorf("phase coverage %.3f, want ~1.0", cov)
+	}
+}
+
+func TestServeClosedLoopUnbatched(t *testing.T) {
+	p := smallServeParams()
+	p.Server.Batch = false
+	res := p.RunServe()
+	s := res.Load
+	t.Logf("unbatched: sent=%d ok=%d nf=%d goodput=%.0f ops/s p99=%v direct=%d",
+		s.Sent, s.OK, s.NotFound, res.Goodput(), s.Latency.P99(), res.Server.DirectOps)
+	if s.OK+s.NotFound == 0 {
+		t.Fatal("no requests answered")
+	}
+	if res.Server.Batches != 0 {
+		t.Errorf("unbatched run committed %d batches", res.Server.Batches)
+	}
+	if got := s.Answered() + s.Dropped; got != s.Sent {
+		t.Errorf("conservation: sent=%d answered+dropped=%d", s.Sent, got)
+	}
+}
+
+func TestServeOpenLoopOverloadSheds(t *testing.T) {
+	p := smallServeParams()
+	p.Load.OpenLoop = true
+	// Aggressive offered load against a tiny admission budget: most
+	// requests must be shed with RETRY_LATER, none silently dropped,
+	// and the engine must never stall.
+	p.Load.Interval = 200 * time.Microsecond
+	p.Server.AdmitRate = 20_000
+	res := p.RunServe()
+	s := res.Load
+	t.Logf("overload: sent=%d ok=%d nf=%d retry=%d dropped=%d goodput=%.0f shed-rate=%.2f",
+		s.Sent, s.OK, s.NotFound, s.Retry, s.Dropped, res.Goodput(), s.ShedRate())
+	t.Logf("engine: stalls=%d stall-time=%v", res.Engine.Main.TotalStalls(), res.Engine.Main.StallTime)
+	if s.Retry == 0 {
+		t.Fatal("overload run shed nothing")
+	}
+	if s.Dropped != 0 {
+		t.Errorf("%d requests silently dropped; sheds must be RETRY_LATER responses", s.Dropped)
+	}
+	if got := s.Answered() + s.Dropped; got != s.Sent {
+		t.Errorf("conservation: sent=%d answered+dropped=%d", s.Sent, got)
+	}
+	if res.Engine.Main.TotalStalls() != 0 {
+		t.Errorf("engine stalled %d times under admission control", res.Engine.Main.TotalStalls())
+	}
+	// Fairness accounting: every tenant both sent and was answered.
+	for i, ten := range s.Tenants {
+		if ten.Sent == 0 {
+			t.Errorf("tenant %d sent nothing", i)
+		}
+		if ten.OK == 0 {
+			t.Errorf("tenant %d was never admitted", i)
+		}
+	}
+}

@@ -88,6 +88,9 @@ type Params struct {
 	// FrontCacheNegative additionally caches confirmed-missing keys in
 	// the front cache (requires FrontCacheBytes > 0).
 	FrontCacheNegative bool
+	// FrontCacheDoorkeeper enables second-chance admission on the front
+	// cache (requires FrontCacheBytes > 0).
+	FrontCacheDoorkeeper bool
 	// DisableBlockCache zeroes the Main-LSM's SST block cache — the
 	// cold-cache side of the mixed-workload A/B.
 	DisableBlockCache bool
@@ -410,6 +413,7 @@ func (p Params) BuildEngine(tb *Testbed, spec EngineSpec) *Engine {
 		copt.StallFailover = !p.DisableGroupCommit
 		copt.FrontCacheBytes = p.FrontCacheBytes
 		copt.FrontCacheNegative = p.FrontCacheNegative
+		copt.FrontCacheDoorkeeper = p.FrontCacheDoorkeeper
 		if p.TuneCore != nil {
 			p.TuneCore(&copt)
 		}

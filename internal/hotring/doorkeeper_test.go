@@ -1,0 +1,109 @@
+package hotring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simulateUniform drives one-touch-dominated uniform traffic through c:
+// every miss descends (simulated) and fills, the classic scan/uniform
+// pattern that churns an unguarded cache. Returns hits observed during
+// the run for the zipfian "hot" subset that is interleaved throughout.
+func simulateUniform(c *Cache, seed int64, ops, coldSpace, hotKeys int) (hotHits int64) {
+	rng := rand.New(rand.NewSource(seed))
+	val := []byte("value-12345678")
+	for i := 0; i < ops; i++ {
+		var k []byte
+		hot := i%4 == 0 // 25% of traffic hammers a small hot set
+		if hot {
+			k = key(rng.Intn(hotKeys))
+		} else {
+			k = key(hotKeys + rng.Intn(coldSpace)) // one-touch cold tail
+		}
+		if _, ok := c.Get(k); ok {
+			if hot {
+				hotHits++
+			}
+			continue
+		}
+		fill(c, k, val)
+	}
+	return hotHits
+}
+
+// TestDoorkeeperStopsUniformChurn is the A/B: identical traffic against
+// an unguarded cache and a doorkeeper-guarded one. The guarded cache must
+// admit far fewer one-touch cold keys (fills way down) while serving the
+// hot subset at least as well.
+func TestDoorkeeperStopsUniformChurn(t *testing.T) {
+	// Small cache so cold-tail churn actually evicts hot entries.
+	const capacity = 32 << 10
+	const ops, coldSpace, hotKeys = 200_000, 100_000, 64
+
+	plain := New(capacity, 4)
+	plainHot := simulateUniform(plain, 42, ops, coldSpace, hotKeys)
+	ps := plain.Stats()
+
+	guarded := New(capacity, 4)
+	guarded.SetDoorkeeper(true)
+	guardHot := simulateUniform(guarded, 42, ops, coldSpace, hotKeys)
+	gs := guarded.Stats()
+
+	t.Logf("plain:   hot-hits=%d fills=%d evictions=%d hit-rate=%.3f", plainHot, ps.Fills, ps.Evictions, ps.HitRate())
+	t.Logf("guarded: hot-hits=%d fills=%d evictions=%d hit-rate=%.3f dk-rejected=%d dk-admitted=%d",
+		guardHot, gs.Fills, gs.Evictions, gs.HitRate(), gs.DoorkeeperRejected, gs.DoorkeeperAdmitted)
+
+	if gs.DoorkeeperRejected == 0 {
+		t.Fatal("doorkeeper never rejected a first-touch fill")
+	}
+	if gs.DoorkeeperAdmitted == 0 {
+		t.Fatal("doorkeeper never admitted a returning key")
+	}
+	// The guard's point: one-touch keys stop entering, so fills (and the
+	// evictions they force) collapse.
+	if gs.Fills >= ps.Fills/2 {
+		t.Errorf("guarded fills = %d, want well under plain %d", gs.Fills, ps.Fills)
+	}
+	if gs.Evictions >= ps.Evictions {
+		t.Errorf("guarded evictions = %d, want under plain %d", gs.Evictions, ps.Evictions)
+	}
+	// And the hot set must not get materially worse (ring eviction already
+	// shields hot entries, so the doorkeeper's win is the churn collapse
+	// above; hot keys just must not pay for it beyond their one extra
+	// admission touch).
+	if guardHot < plainHot*98/100 {
+		t.Errorf("guarded hot hits = %d, more than 2%% below plain %d", guardHot, plainHot)
+	}
+}
+
+// TestDoorkeeperOffByDefault pins that New returns an unguarded cache:
+// the first fill of a fresh key inserts immediately.
+func TestDoorkeeperOffByDefault(t *testing.T) {
+	c := New(1<<20, 1)
+	fill(c, key(1), []byte("v"))
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("first-touch fill did not insert with doorkeeper off")
+	}
+	if st := c.Stats(); st.DoorkeeperRejected != 0 || st.DoorkeeperAdmitted != 0 {
+		t.Fatalf("doorkeeper counters moved while off: %+v", st)
+	}
+}
+
+// TestDoorkeeperSecondChance pins the mechanism: first fill refused,
+// second fill of the same key admitted.
+func TestDoorkeeperSecondChance(t *testing.T) {
+	c := New(1<<20, 1)
+	c.SetDoorkeeper(true)
+	fill(c, key(7), []byte("v"))
+	if _, ok := c.Get(key(7)); ok {
+		t.Fatal("first-touch fill was admitted")
+	}
+	fill(c, key(7), []byte("v"))
+	if _, ok := c.Get(key(7)); !ok {
+		t.Fatal("second-chance fill was not admitted")
+	}
+	st := c.Stats()
+	if st.DoorkeeperRejected != 1 || st.DoorkeeperAdmitted != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}

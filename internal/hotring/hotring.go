@@ -46,6 +46,11 @@ type entry struct {
 	negative bool
 }
 
+// doorkeeperWindow is how many first-touch recordings a shard's current
+// doorkeeper set accumulates before it rotates to "previous" — roughly
+// two windows of recently-seen-once keys are remembered at any time.
+const doorkeeperWindow = 4 * bucketsPerShard
+
 type shard struct {
 	mu      sync.Mutex
 	gen     uint64 // bumped by every invalidation touching this shard
@@ -61,6 +66,13 @@ type shard struct {
 	evictions       int64
 	headMoves       int64
 
+	// Second-chance doorkeeper state: a new key's first fill attempt is
+	// only recorded (and refused); the insert goes through when the key
+	// is seen again while still remembered. dkCur rotates into dkPrev at
+	// doorkeeperWindow recordings, so one-touch keys age out.
+	dkCur, dkPrev          map[string]struct{}
+	dkRejected, dkAdmitted int64
+
 	evictCursor uint32 // round-robin bucket cursor for capacity eviction
 }
 
@@ -72,6 +84,7 @@ type Cache struct {
 	shardMask   uint64
 	perShardCap int64
 	seed        maphash.Seed
+	doorkeeper  bool
 }
 
 // New returns a cache bounded to roughly capacityBytes across shards
@@ -98,6 +111,52 @@ func New(capacityBytes int64, shards int) *Cache {
 		perShardCap: per,
 		seed:        maphash.MakeSeed(),
 	}
+}
+
+// SetDoorkeeper toggles second-chance admission: with it on, a key that
+// has never been seen before is refused its first cache fill and only
+// admitted when it returns while still remembered. Uniform (unskewed)
+// traffic — where most keys are touched once and never again — then
+// stops churning resident entries out, at the cost of hot keys needing
+// two touches to enter. Safe to call at any time; existing entries are
+// untouched.
+func (c *Cache) SetDoorkeeper(on bool) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if on && s.dkCur == nil {
+			s.dkCur = make(map[string]struct{})
+			s.dkPrev = make(map[string]struct{})
+		}
+		s.mu.Unlock()
+	}
+	c.doorkeeper = on
+}
+
+// admitNew decides whether a not-yet-resident key may be inserted.
+// Callers hold s.mu.
+func (s *shard) admitNew(c *Cache, key string) bool {
+	if !c.doorkeeper {
+		return true
+	}
+	if _, ok := s.dkCur[key]; ok {
+		s.dkAdmitted++
+		return true
+	}
+	if _, ok := s.dkPrev[key]; ok {
+		s.dkAdmitted++
+		return true
+	}
+	s.dkCur[key] = struct{}{}
+	if len(s.dkCur) >= doorkeeperWindow {
+		s.dkPrev = s.dkCur
+		s.dkCur = make(map[string]struct{})
+	}
+	s.dkRejected++
+	return false
 }
 
 func (c *Cache) locate(key []byte) (*shard, uint32, uint32) {
@@ -246,7 +305,11 @@ func (c *Cache) FillIfUnchanged(key, value []byte, token uint64) {
 		s.evictOver(c.perShardCap)
 		return
 	}
-	e := &entry{key: string(key), value: append([]byte(nil), value...), tag: tag}
+	k := string(key)
+	if !s.admitNew(c, k) {
+		return
+	}
+	e := &entry{key: k, value: append([]byte(nil), value...), tag: tag}
 	s.insert(bucket, e)
 	s.used += size
 	s.entries++
@@ -279,7 +342,11 @@ func (c *Cache) FillNegativeIfUnchanged(key []byte, token uint64) {
 	if s.find(bucket, tag, key) != nil {
 		return
 	}
-	e := &entry{key: string(key), tag: tag, negative: true}
+	k := string(key)
+	if !s.admitNew(c, k) {
+		return
+	}
+	e := &entry{key: k, tag: tag, negative: true}
 	s.insert(bucket, e)
 	s.used += size
 	s.entries++
@@ -427,6 +494,13 @@ type Stats struct {
 	HeadMoves     int64
 	Used          int64
 	Entries       int64
+
+	// Doorkeeper counters (all zero with the doorkeeper off):
+	// DoorkeeperRejected counts first-touch fills refused, and
+	// DoorkeeperAdmitted counts returning keys admitted on their second
+	// chance.
+	DoorkeeperRejected int64
+	DoorkeeperAdmitted int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
@@ -457,6 +531,8 @@ func (c *Cache) Stats() Stats {
 		st.HeadMoves += s.headMoves
 		st.Used += s.used
 		st.Entries += s.entries
+		st.DoorkeeperRejected += s.dkRejected
+		st.DoorkeeperAdmitted += s.dkAdmitted
 		s.mu.Unlock()
 	}
 	return st

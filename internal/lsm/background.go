@@ -176,7 +176,9 @@ func (db *DB) writeTable(r *vclock.Runner, data []byte, meta sstable.Meta, level
 
 	name := SSTName(num)
 	wsp := db.opt.Trace.Begin(r, ioPh, "sst-write")
-	err := db.fsys.WriteFile(r, name, data)
+	// Flush and compaction output is maintenance traffic: tag it so the
+	// queue stats keep it out of the foreground admission numbers.
+	err := db.fsys.WriteFileBackground(r, name, data)
 	wsp.EndArg(r, int64(len(data)))
 	if err != nil {
 		return nil, err
@@ -196,14 +198,21 @@ func (db *DB) writeTable(r *vclock.Runner, data []byte, meta sstable.Meta, level
 	}, nil
 }
 
-// fileSource adapts an fs file to sstable.Source.
+// fileSource adapts an fs file to sstable.Source. bg tags its device
+// reads as background maintenance traffic — set for sources that serve
+// compaction merges or offload validation, clear for long-lived readers
+// serving foreground Gets.
 type fileSource struct {
 	db   *DB
 	name string
 	size int
+	bg   bool
 }
 
 func (s *fileSource) ReadAt(r *vclock.Runner, off, length int) ([]byte, error) {
+	if s.bg {
+		return s.db.fsys.ReadAtBackground(r, s.name, off, length)
+	}
 	return s.db.fsys.ReadAt(r, s.name, off, length)
 }
 func (s *fileSource) Size() int { return s.size }
@@ -247,7 +256,7 @@ func (s *readaheadSource) Size() int { return s.inner.Size() }
 
 // compactionIterator opens a cache-bypassing, readahead iterator over f.
 func (db *DB) compactionIterator(r *vclock.Runner, f *FileMeta) (iterkit.Iterator, error) {
-	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size)}, tr: db.opt.Trace}
+	src := &readaheadSource{inner: &fileSource{db: db, name: f.Name(), size: int(f.Size), bg: true}, tr: db.opt.Trace}
 	rd, err := sstable.Open(r, src, f.Num, nil)
 	if err != nil {
 		return nil, err

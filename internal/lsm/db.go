@@ -677,6 +677,7 @@ func (db *DB) Stats() Stats {
 	s.BlockCacheHits = cs.Hits
 	s.BlockCacheMisses = cs.Misses
 	s.BlockCacheEvictions = cs.Evictions
+	s.ReadaheadBlocks = cs.Readahead
 	if db.vlog != nil {
 		vs := db.vlog.Stats()
 		s.VLogBytes = vs.BytesWritten

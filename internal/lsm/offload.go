@@ -148,10 +148,15 @@ func (db *DB) tryOffloadCompaction(r *vclock.Runner, c *compaction) (readBytes, 
 			return fail()
 		}
 		used += len(out.Pages)
-		rd, oerr := sstable.Open(r, &fileSource{db: db, name: name, size: len(out.Data)}, num, db.cache)
+		// Validation reads of the device-built table are background
+		// traffic; the source then flips to foreground, because the same
+		// reader goes on to serve user Gets once the table is installed.
+		src := &fileSource{db: db, name: name, size: len(out.Data), bg: true}
+		rd, oerr := sstable.Open(r, src, num, db.cache)
 		if oerr == nil && db.opt.OffloadVerifyReadback {
 			oerr = rd.VerifyChecksum(r)
 		}
+		src.bg = false
 		if oerr != nil {
 			_ = db.fsys.Remove(r, name)
 			db.cache.EvictFile(num)

@@ -68,6 +68,10 @@ type Stats struct {
 	BlockCacheHits      int64
 	BlockCacheMisses    int64
 	BlockCacheEvictions int64
+	// ReadaheadBlocks counts data blocks inserted by scan readahead: a
+	// sequential iterator walk prefetches upcoming blocks in one
+	// contiguous device read instead of per-block demand misses.
+	ReadaheadBlocks     int64
 	VLogReadCacheHits   int64
 	VLogReadCacheMisses int64
 
@@ -261,6 +265,7 @@ func (s Stats) Add(o Stats) Stats {
 	s.BlockCacheHits += o.BlockCacheHits
 	s.BlockCacheMisses += o.BlockCacheMisses
 	s.BlockCacheEvictions += o.BlockCacheEvictions
+	s.ReadaheadBlocks += o.ReadaheadBlocks
 	s.VLogReadCacheHits += o.VLogReadCacheHits
 	s.VLogReadCacheMisses += o.VLogReadCacheMisses
 	s.Slowdowns += o.Slowdowns

@@ -1,0 +1,99 @@
+package nvme
+
+import (
+	"testing"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+// TestBackgroundSplitCounters pins the foreground/background accounting
+// split: bg-tagged commands land in the Bg* counters and BgLatency, and
+// the unprefixed counters stay totals (foreground = total − bg).
+func TestBackgroundSplitCounters(t *testing.T) {
+	clk := vclock.New()
+	d := NewDispatcher(clk, Config{QueueDepth: 8, Slots: 8})
+	q := d.NewQueuePair("q", 1)
+	const fgService = time.Millisecond
+	const bgService = 4 * time.Millisecond
+	clk.Go("submitter", func(r *vclock.Runner) {
+		var cmds []*Command
+		for i := 0; i < 3; i++ {
+			c := sleeper("FG", fgService)
+			q.Submit(r, c)
+			cmds = append(cmds, c)
+		}
+		for i := 0; i < 2; i++ {
+			c := sleeper("BG", bgService)
+			c.Background = true
+			q.Submit(r, c)
+			cmds = append(cmds, c)
+		}
+		for _, c := range cmds {
+			q.Await(r, c)
+		}
+	})
+	clk.Wait()
+	s := q.Stats(clk.Now())
+
+	if s.Submitted != 5 || s.Completed != 5 {
+		t.Fatalf("totals: submitted=%d completed=%d, want 5/5", s.Submitted, s.Completed)
+	}
+	if s.BgSubmitted != 2 || s.BgCompleted != 2 || s.BgOutstanding != 0 {
+		t.Fatalf("bg: submitted=%d completed=%d outstanding=%d, want 2/2/0",
+			s.BgSubmitted, s.BgCompleted, s.BgOutstanding)
+	}
+	if s.BgMaxOutstanding < 1 || s.BgMaxOutstanding > 2 {
+		t.Errorf("bg max outstanding = %d, want 1..2", s.BgMaxOutstanding)
+	}
+	if got := s.FgLatency.Count(); got != 3 {
+		t.Errorf("fg latency observations = %d, want 3", got)
+	}
+	if got := s.BgLatency.Count(); got != 2 {
+		t.Errorf("bg latency observations = %d, want 2", got)
+	}
+	if got := s.Latency.Count(); got != 5 {
+		t.Errorf("total latency observations = %d, want 5", got)
+	}
+	// The bg commands sleep 4× longer; the per-class histograms must see
+	// that, so the merged view no longer hides maintenance latency inside
+	// the foreground numbers.
+	if s.BgLatency.Mean() <= s.FgLatency.Mean() {
+		t.Errorf("bg mean %v not above fg mean %v", s.BgLatency.Mean(), s.FgLatency.Mean())
+	}
+	// Occupancy integrals: bg share must be positive and below the total.
+	if s.MeanBgOutstanding <= 0 || s.MeanBgOutstanding >= s.MeanOutstanding {
+		t.Errorf("mean occupancy: bg=%.3f total=%.3f, want 0 < bg < total",
+			s.MeanBgOutstanding, s.MeanOutstanding)
+	}
+}
+
+// TestBackgroundSeverAccounting pins that a power cut drains bg commands
+// out of the bg outstanding count too, keeping the split conserved.
+func TestBackgroundSeverAccounting(t *testing.T) {
+	clk := vclock.New()
+	// One slot and a long fg command so the bg command is still queued
+	// (not executing) when the cut lands.
+	d := NewDispatcher(clk, Config{QueueDepth: 8, Slots: 1})
+	q := d.NewQueuePair("q", 1)
+	clk.Go("submitter", func(r *vclock.Runner) {
+		blocker := sleeper("FG", 50*time.Millisecond)
+		q.Submit(r, blocker)
+		bg := sleeper("BG", time.Millisecond)
+		bg.Background = true
+		q.Submit(r, bg)
+		r.Sleep(time.Millisecond)
+		d.Sever()
+		q.Await(r, blocker)
+		q.Await(r, bg)
+	})
+	clk.Wait()
+	s := q.Stats(clk.Now())
+	if s.BgCompleted != 1 || s.BgErrors != 1 || s.BgOutstanding != 0 {
+		t.Fatalf("bg after sever: completed=%d errors=%d outstanding=%d, want 1/1/0",
+			s.BgCompleted, s.BgErrors, s.BgOutstanding)
+	}
+	if s.Outstanding != 0 || s.Completed != 2 {
+		t.Fatalf("totals after sever: completed=%d outstanding=%d, want 2/0", s.Completed, s.Outstanding)
+	}
+}

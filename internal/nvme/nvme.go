@@ -37,6 +37,14 @@ type Command struct {
 	Bytes int
 	Exec  func(r *vclock.Runner) error
 
+	// Background marks host-initiated maintenance I/O (compaction reads
+	// and writes, flush output, offload read-back validation) as opposed
+	// to latency-sensitive foreground traffic (WAL appends, user reads).
+	// It changes accounting only — the queue pair splits its admission,
+	// occupancy, and latency stats by this flag so maintenance traffic
+	// stops inflating the foreground depth numbers — never scheduling.
+	Background bool
+
 	// Err is the completion status, valid once Await returns.
 	Err error
 
@@ -140,10 +148,15 @@ func (d *Dispatcher) Sever() {
 		for _, cmd := range q.sq {
 			cmd.done = true
 			cmd.Err = faults.ErrDeviceGone
-			q.accountLocked(now, q.outstanding)
+			q.accountLocked(now)
 			q.outstanding--
 			q.completed++
 			q.errors++
+			if cmd.Background {
+				q.bgOutstanding--
+				q.bgCompleted++
+				q.bgErrors++
+			}
 		}
 		if len(q.sq) > 0 {
 			q.sq = q.sq[:0]
@@ -211,9 +224,10 @@ func (d *Dispatcher) NewQueuePair(name string, weight int) *QueuePair {
 		d:       d,
 		weight:  weight,
 		credit:  weight,
-		depth:   d.cfg.QueueDepth,
-		latency: metrics.NewHistogram(),
-		depths:  metrics.NewDistribution(),
+		depth:     d.cfg.QueueDepth,
+		latency:   metrics.NewHistogram(),
+		bgLatency: metrics.NewHistogram(),
+		depths:    metrics.NewDistribution(),
 	}
 	q.notFull = vclock.NewCond(&d.mu, "nvme.sq.full:"+name)
 	q.cq = vclock.NewCond(&d.mu, "nvme.cq:"+name)
@@ -358,14 +372,25 @@ type QueuePair struct {
 	cq          *vclock.Cond
 
 	// Stats, guarded by d.mu except the internally-locked histograms.
-	submitted      int64
-	completed      int64
-	errors         int64
-	maxOutstanding int
-	occupancyNS    int64 // ∫ outstanding dt
-	lastChange     vclock.Time
-	latency        *metrics.Histogram
-	depths         *metrics.Distribution
+	// The bg* counters cover commands submitted with Background set; the
+	// unprefixed counters remain totals (foreground = total − bg), except
+	// latency, which is foreground-only and merged with bgLatency for the
+	// total view in Stats.
+	submitted        int64
+	completed        int64
+	errors           int64
+	maxOutstanding   int
+	occupancyNS      int64 // ∫ outstanding dt
+	bgSubmitted      int64
+	bgCompleted      int64
+	bgErrors         int64
+	bgOutstanding    int
+	bgMaxOutstanding int
+	bgOccupancyNS    int64 // ∫ bgOutstanding dt
+	lastChange       vclock.Time
+	latency          *metrics.Histogram
+	bgLatency        *metrics.Histogram
+	depths           *metrics.Distribution
 }
 
 // Name returns the queue's label.
@@ -377,12 +402,14 @@ func (q *QueuePair) Depth() int { return q.depth }
 // Weight returns the queue's WRR weight.
 func (q *QueuePair) Weight() int { return q.weight }
 
-// accountLocked folds the time spent at the previous outstanding level
-// into the occupancy integral. Called with d.mu held on every level
-// change.
-func (q *QueuePair) accountLocked(now vclock.Time, prev int) {
+// accountLocked folds the time spent at the current outstanding levels
+// into the occupancy integrals. Called with d.mu held on every level
+// change, before the level is mutated.
+func (q *QueuePair) accountLocked(now vclock.Time) {
 	if now > q.lastChange {
-		q.occupancyNS += int64(now.Sub(q.lastChange)) * int64(prev)
+		dt := int64(now.Sub(q.lastChange))
+		q.occupancyNS += dt * int64(q.outstanding)
+		q.bgOccupancyNS += dt * int64(q.bgOutstanding)
 	}
 	q.lastChange = now
 }
@@ -412,18 +439,30 @@ func (q *QueuePair) Submit(r *vclock.Runner, cmd *Command) {
 		q.submitted++
 		q.completed++
 		q.errors++
+		if cmd.Background {
+			q.bgSubmitted++
+			q.bgCompleted++
+			q.bgErrors++
+		}
 		q.d.mu.Unlock()
 		return
 	}
 	cmd.qp = q
 	cmd.submitted = now
 	cmd.done = false
-	q.accountLocked(now, q.outstanding)
+	q.accountLocked(now)
 	q.outstanding++
 	if q.outstanding > q.maxOutstanding {
 		q.maxOutstanding = q.outstanding
 	}
 	q.submitted++
+	if cmd.Background {
+		q.bgSubmitted++
+		q.bgOutstanding++
+		if q.bgOutstanding > q.bgMaxOutstanding {
+			q.bgMaxOutstanding = q.bgOutstanding
+		}
+	}
 	q.depths.Observe(int64(q.outstanding))
 	q.sq = append(q.sq, cmd)
 	q.d.ensureRunningLocked()
@@ -455,14 +494,25 @@ func (q *QueuePair) complete(cmd *Command, now vclock.Time, err error) {
 	q.d.mu.Lock()
 	cmd.done = true
 	cmd.Err = err
-	q.accountLocked(now, q.outstanding)
+	q.accountLocked(now)
 	q.outstanding--
 	q.completed++
 	if err != nil {
 		q.errors++
 	}
+	if cmd.Background {
+		q.bgOutstanding--
+		q.bgCompleted++
+		if err != nil {
+			q.bgErrors++
+		}
+	}
 	q.d.mu.Unlock()
-	q.latency.Observe(time.Duration(now.Sub(cmd.submitted)))
+	if cmd.Background {
+		q.bgLatency.Observe(time.Duration(now.Sub(cmd.submitted)))
+	} else {
+		q.latency.Observe(time.Duration(now.Sub(cmd.submitted)))
+	}
 	q.notFull.Signal()
 	q.cq.Broadcast()
 }
@@ -482,44 +532,79 @@ type QueueStats struct {
 	// MeanOutstanding is the time-weighted average queue occupancy from
 	// the queue's first submit to now.
 	MeanOutstanding float64
-	// Latency is the submit-to-completion histogram; Depths samples the
-	// instantaneous outstanding count at each submit. Both are snapshots.
+	// Latency is the submit-to-completion histogram over every command;
+	// Depths samples the instantaneous outstanding count at each submit.
+	// Both are snapshots.
 	Latency *metrics.Histogram
 	Depths  *metrics.Distribution
+
+	// Background split: commands submitted with Command.Background set
+	// (compaction, flush, offload validation). The unprefixed counters
+	// above are totals, so foreground = total − Bg; FgLatency and
+	// BgLatency are the per-class latency histograms whose union is
+	// Latency.
+	BgSubmitted       int64
+	BgCompleted       int64
+	BgErrors          int64
+	BgOutstanding     int
+	BgMaxOutstanding  int
+	MeanBgOutstanding float64
+	FgLatency         *metrics.Histogram
+	BgLatency         *metrics.Histogram
 }
 
 // String formats a one-line summary for Stats output.
 func (s QueueStats) String() string {
-	return fmt.Sprintf("%s: qd=%d w=%d submitted=%d errors=%d inflight=%d max=%d mean-occ=%.2f lat{%s}",
+	line := fmt.Sprintf("%s: qd=%d w=%d submitted=%d errors=%d inflight=%d max=%d mean-occ=%.2f lat{%s}",
 		s.Name, s.Depth, s.Weight, s.Submitted, s.Errors, s.Outstanding, s.MaxOutstanding, s.MeanOutstanding, s.Latency)
+	if s.BgSubmitted > 0 {
+		line += fmt.Sprintf(" bg{submitted=%d mean-occ=%.2f lat{%s}}",
+			s.BgSubmitted, s.MeanBgOutstanding, s.BgLatency)
+	}
+	return line
 }
 
 // Stats snapshots the queue's counters at virtual time now.
 func (q *QueuePair) Stats(now vclock.Time) QueueStats {
+	fgLat := metrics.NewHistogram()
+	fgLat.Merge(q.latency)
+	bgLat := metrics.NewHistogram()
+	bgLat.Merge(q.bgLatency)
 	lat := metrics.NewHistogram()
-	lat.Merge(q.latency)
+	lat.Merge(fgLat)
+	lat.Merge(bgLat)
 	dep := metrics.NewDistribution()
 	dep.Merge(q.depths)
 	q.d.mu.Lock()
 	defer q.d.mu.Unlock()
 	s := QueueStats{
-		Name:           q.name,
-		Depth:          q.depth,
-		Weight:         q.weight,
-		Submitted:      q.submitted,
-		Completed:      q.completed,
-		Errors:         q.errors,
-		Outstanding:    q.outstanding,
-		MaxOutstanding: q.maxOutstanding,
-		Latency:        lat,
-		Depths:         dep,
+		Name:             q.name,
+		Depth:            q.depth,
+		Weight:           q.weight,
+		Submitted:        q.submitted,
+		Completed:        q.completed,
+		Errors:           q.errors,
+		Outstanding:      q.outstanding,
+		MaxOutstanding:   q.maxOutstanding,
+		Latency:          lat,
+		Depths:           dep,
+		BgSubmitted:      q.bgSubmitted,
+		BgCompleted:      q.bgCompleted,
+		BgErrors:         q.bgErrors,
+		BgOutstanding:    q.bgOutstanding,
+		BgMaxOutstanding: q.bgMaxOutstanding,
+		FgLatency:        fgLat,
+		BgLatency:        bgLat,
 	}
-	occ := q.occupancyNS
+	occ, bgOcc := q.occupancyNS, q.bgOccupancyNS
 	if now > q.lastChange {
-		occ += int64(now.Sub(q.lastChange)) * int64(q.outstanding)
+		dt := int64(now.Sub(q.lastChange))
+		occ += dt * int64(q.outstanding)
+		bgOcc += dt * int64(q.bgOutstanding)
 	}
 	if q.submitted > 0 && now > 0 {
 		s.MeanOutstanding = float64(occ) / float64(now)
+		s.MeanBgOutstanding = float64(bgOcc) / float64(now)
 	}
 	return s
 }

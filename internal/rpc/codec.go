@@ -1,0 +1,343 @@
+// Package rpc is the wire layer of the KVACCEL serving tier: a
+// length-prefixed binary codec for KV requests and responses, CRC-framed
+// exactly like the WAL record format, plus a virtual-clock-native
+// simulated connection (conn.go) that charges per-hop latency and
+// bandwidth on the shared clock.
+//
+// Framing mirrors internal/wal: every frame is
+//
+//	u32 payload-len | u32 crc32c(payload) | payload
+//
+// and a stream decoder keeps the longest checksummed prefix — a torn
+// tail (connection cut mid-frame) yields the frames fully received, then
+// a clean stop, never a garbage message. The torn-frame property test
+// mirrors the WAL torn-tail test.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"kvaccel/internal/encoding"
+)
+
+// Opcodes. One request frame carries one opcode; OpBatch nests a list of
+// write sub-ops that commit atomically per shard.
+const (
+	OpPut byte = iota + 1
+	OpGet
+	OpDelete
+	OpScan
+	OpBatch
+)
+
+// OpName returns the opcode's wire name.
+func OpName(op byte) string {
+	switch op {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	case OpBatch:
+		return "BATCH"
+	}
+	return fmt.Sprintf("OP(%d)", op)
+}
+
+// Response status codes.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	// StatusRetryLater is the admission-control shed signal: the server
+	// refused the request before it touched the engine. The client should
+	// back off and retry; nothing was written.
+	StatusRetryLater
+	StatusErr
+)
+
+// StatusName returns the status code's wire name.
+func StatusName(s byte) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusRetryLater:
+		return "RETRY_LATER"
+	case StatusErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("STATUS(%d)", s)
+}
+
+// BatchOp is one write inside an OpBatch request: OpPut or OpDelete.
+type BatchOp struct {
+	Op    byte
+	Key   []byte
+	Value []byte
+}
+
+// Request is one client request. ID is a client-chosen correlation id
+// echoed in the response; Tenant labels the request for per-tenant
+// admission accounting.
+type Request struct {
+	ID     uint64
+	Tenant uint8
+	Op     byte
+	Key    []byte
+	Value  []byte    // OpPut payload
+	Limit  uint32    // OpScan: max entries returned
+	Ops    []BatchOp // OpBatch sub-operations
+}
+
+// ScanEntry is one key/value pair in a scan response.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Timing is the server-side residency breakdown a response carries back
+// to the client (nanoseconds of virtual time): time waiting in the
+// accept/socket queue before the handler decoded the request, time
+// lingering in the cross-connection batcher, time inside the engine
+// call, and time queued for the reply writer. The client adds the two
+// network hops as (observed latency − sum), so the per-phase
+// decomposition sums to the client-observed latency exactly.
+type Timing struct {
+	AcceptNS uint64
+	LingerNS uint64
+	EngineNS uint64
+	ReplyNS  uint64
+}
+
+// Sum returns the total server-side residency in nanoseconds.
+func (t Timing) Sum() uint64 { return t.AcceptNS + t.LingerNS + t.EngineNS + t.ReplyNS }
+
+// Response is one server response. Value is set for a successful OpGet;
+// Entries for an OpScan.
+type Response struct {
+	ID      uint64
+	Status  byte
+	Value   []byte
+	Entries []ScanEntry
+	Timing  Timing
+}
+
+// MaxFrame bounds a frame payload; a length prefix beyond it is treated
+// as corruption, mirroring the WAL's chunk bound.
+const MaxFrame = 1 << 20
+
+// frameHeader is the fixed frame prelude: u32 len + u32 crc.
+const frameHeader = 8
+
+// AppendFrame appends payload to dst as one CRC-framed wire frame.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = encoding.PutU32(dst, uint32(len(payload)))
+	dst = encoding.PutU32(dst, encoding.Checksum(payload))
+	return append(dst, payload...)
+}
+
+// AppendRequest appends req's frame to dst.
+func AppendRequest(dst []byte, req *Request) []byte {
+	payload := appendRequestPayload(nil, req)
+	return AppendFrame(dst, payload)
+}
+
+func appendRequestPayload(dst []byte, req *Request) []byte {
+	dst = append(dst, req.Op, req.Tenant)
+	dst = encoding.PutU64(dst, req.ID)
+	switch req.Op {
+	case OpPut:
+		dst = encoding.AppendRecord(dst, req.Key, req.Value)
+	case OpGet, OpDelete:
+		dst = encoding.AppendRecord(dst, req.Key, nil)
+	case OpScan:
+		dst = encoding.AppendRecord(dst, req.Key, nil)
+		dst = encoding.PutUvarint(dst, uint64(req.Limit))
+	case OpBatch:
+		dst = encoding.PutUvarint(dst, uint64(len(req.Ops)))
+		for _, op := range req.Ops {
+			dst = append(dst, op.Op)
+			dst = encoding.AppendRecord(dst, op.Key, op.Value)
+		}
+	}
+	return dst
+}
+
+// DecodeRequest parses one request payload (the frame body, CRC already
+// verified by the stream decoder).
+func DecodeRequest(payload []byte) (*Request, error) {
+	if len(payload) < 10 {
+		return nil, encoding.ErrCorrupt
+	}
+	req := &Request{Op: payload[0], Tenant: payload[1]}
+	id, rest, err := encoding.U64(payload[2:])
+	if err != nil {
+		return nil, err
+	}
+	req.ID = id
+	switch req.Op {
+	case OpPut:
+		req.Key, req.Value, _, err = encoding.DecodeRecord(rest)
+	case OpGet, OpDelete:
+		req.Key, _, _, err = encoding.DecodeRecord(rest)
+	case OpScan:
+		var limit uint64
+		req.Key, _, rest, err = encoding.DecodeRecord(rest)
+		if err == nil {
+			limit, _, err = encoding.Uvarint(rest)
+			req.Limit = uint32(limit)
+		}
+	case OpBatch:
+		var n uint64
+		n, rest, err = encoding.Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		req.Ops = make([]BatchOp, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(rest) < 1 {
+				return nil, encoding.ErrCorrupt
+			}
+			op := BatchOp{Op: rest[0]}
+			op.Key, op.Value, rest, err = encoding.DecodeRecord(rest[1:])
+			if err != nil {
+				return nil, err
+			}
+			req.Ops = append(req.Ops, op)
+		}
+	default:
+		return nil, encoding.ErrCorrupt
+	}
+	if err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// AppendResponse appends resp's frame to dst.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	payload := appendResponsePayload(nil, resp)
+	return AppendFrame(dst, payload)
+}
+
+func appendResponsePayload(dst []byte, resp *Response) []byte {
+	dst = append(dst, resp.Status)
+	dst = encoding.PutU64(dst, resp.ID)
+	dst = encoding.PutUvarint(dst, resp.Timing.AcceptNS)
+	dst = encoding.PutUvarint(dst, resp.Timing.LingerNS)
+	dst = encoding.PutUvarint(dst, resp.Timing.EngineNS)
+	dst = encoding.PutUvarint(dst, resp.Timing.ReplyNS)
+	dst = encoding.AppendRecord(dst, nil, resp.Value)
+	dst = encoding.PutUvarint(dst, uint64(len(resp.Entries)))
+	for _, e := range resp.Entries {
+		dst = encoding.AppendRecord(dst, e.Key, e.Value)
+	}
+	return dst
+}
+
+// DecodeResponse parses one response payload.
+func DecodeResponse(payload []byte) (*Response, error) {
+	if len(payload) < 9 {
+		return nil, encoding.ErrCorrupt
+	}
+	resp := &Response{Status: payload[0]}
+	id, rest, err := encoding.U64(payload[1:])
+	if err != nil {
+		return nil, err
+	}
+	resp.ID = id
+	if resp.Timing.AcceptNS, rest, err = encoding.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if resp.Timing.LingerNS, rest, err = encoding.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if resp.Timing.EngineNS, rest, err = encoding.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if resp.Timing.ReplyNS, rest, err = encoding.Uvarint(rest); err != nil {
+		return nil, err
+	}
+	if _, resp.Value, rest, err = encoding.DecodeRecord(rest); err != nil {
+		return nil, err
+	}
+	n, rest, err := encoding.Uvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		resp.Entries = make([]ScanEntry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e ScanEntry
+			if e.Key, e.Value, rest, err = encoding.DecodeRecord(rest); err != nil {
+				return nil, err
+			}
+			resp.Entries = append(resp.Entries, e)
+		}
+	}
+	return resp, nil
+}
+
+// ErrTornFrame is returned by Decoder.Next for a frame whose bytes are
+// present but whose checksum does not match — mid-stream corruption, as
+// opposed to a cleanly incomplete tail.
+var ErrTornFrame = errors.New("rpc: torn or corrupt frame")
+
+// Decoder is an incremental frame decoder over a byte stream. Feed
+// appends received bytes; Next yields complete, checksum-verified frame
+// payloads. An incomplete tail simply waits for more bytes; a frame that
+// fails its CRC (or an absurd length prefix) poisons the stream — every
+// later Next returns ErrTornFrame, exactly like WAL replay refusing to
+// read past a torn record.
+type Decoder struct {
+	buf    []byte
+	off    int // consumed prefix of buf
+	poison bool
+}
+
+// Feed appends stream bytes to the decoder's buffer.
+func (d *Decoder) Feed(p []byte) {
+	if d.off > 0 && d.off == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.off = 0
+	}
+	d.buf = append(d.buf, p...)
+}
+
+// Buffered returns the number of unconsumed bytes held.
+func (d *Decoder) Buffered() int { return len(d.buf) - d.off }
+
+// Next returns the next complete frame payload. ok is false when the
+// buffered bytes hold no complete frame (cleanly torn tail: feed more or
+// stop); err is ErrTornFrame when the stream is corrupt. The returned
+// payload aliases the decoder's buffer and is valid until the next Feed.
+func (d *Decoder) Next() (payload []byte, ok bool, err error) {
+	if d.poison {
+		return nil, false, ErrTornFrame
+	}
+	rest := d.buf[d.off:]
+	if len(rest) < frameHeader {
+		return nil, false, nil
+	}
+	length, rest, _ := encoding.U32(rest)
+	if length > MaxFrame {
+		d.poison = true
+		return nil, false, ErrTornFrame
+	}
+	crc, rest, _ := encoding.U32(rest)
+	if uint32(len(rest)) < length {
+		return nil, false, nil
+	}
+	payload = rest[:length]
+	if encoding.Checksum(payload) != crc {
+		d.poison = true
+		return nil, false, ErrTornFrame
+	}
+	d.off += frameHeader + int(length)
+	return payload, true, nil
+}

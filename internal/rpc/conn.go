@@ -1,0 +1,190 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"kvaccel/internal/vclock"
+)
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// NetConfig models one network hop between a client and the serving
+// host: per-direction propagation latency, serialization bandwidth, and
+// a bounded in-flight frame buffer (the socket buffer — a full buffer
+// backpressures the sender in virtual time).
+type NetConfig struct {
+	// Latency is the one-way propagation delay added to every frame.
+	Latency time.Duration
+	// Bandwidth is the per-direction serialization rate in bytes/second;
+	// 0 means infinite (no transmit time).
+	Bandwidth float64
+	// Buffer is the per-direction in-flight frame capacity (minimum 1).
+	Buffer int
+}
+
+// DefaultNetConfig models an intra-datacenter hop: 50µs one-way, 10GbE,
+// a 64-frame socket buffer.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{Latency: 50 * time.Microsecond, Bandwidth: 1.25e9, Buffer: 64}
+}
+
+func (c NetConfig) normalize() NetConfig {
+	if c.Buffer < 1 {
+		c.Buffer = 1
+	}
+	return c
+}
+
+// transmitTime returns the serialization delay for n bytes.
+func (c NetConfig) transmitTime(n int) time.Duration {
+	if c.Bandwidth <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / c.Bandwidth * float64(time.Second))
+}
+
+// frame is one in-flight wire frame.
+type frame struct {
+	data []byte
+	// sentAt is when the last byte left the sender; readyAt is when it
+	// arrives at the receiver (sentAt + propagation).
+	sentAt  vclock.Time
+	readyAt vclock.Time
+}
+
+// halfConn is one direction of a connection: a bounded frame queue with
+// close-tolerant semantics (a parked sender wakes with ErrClosed instead
+// of panicking, a parked receiver drains the queue then sees EOF).
+type halfConn struct {
+	cfg NetConfig
+
+	mu       sync.Mutex
+	items    []frame
+	closed   bool
+	notEmpty *vclock.Cond
+	notFull  *vclock.Cond
+}
+
+func newHalfConn(cfg NetConfig, label string) *halfConn {
+	h := &halfConn{cfg: cfg}
+	h.notEmpty = vclock.NewCond(&h.mu, label+".recv")
+	h.notFull = vclock.NewCond(&h.mu, label+".send")
+	return h
+}
+
+func (h *halfConn) send(r *vclock.Runner, data []byte) error {
+	// Serialization: the sender owns its NIC for the transmit time, so a
+	// connection's frames rate-limit naturally.
+	if d := h.cfg.transmitTime(len(data)); d > 0 {
+		r.Sleep(d)
+	}
+	now := r.Now()
+	fr := frame{data: data, sentAt: now, readyAt: now.Add(h.cfg.Latency)}
+	h.mu.Lock()
+	for len(h.items) >= h.cfg.Buffer && !h.closed {
+		h.notFull.Wait(r)
+	}
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.items = append(h.items, fr)
+	h.mu.Unlock()
+	h.notEmpty.Signal()
+	return nil
+}
+
+func (h *halfConn) recv(r *vclock.Runner) (frame, bool) {
+	h.mu.Lock()
+	for len(h.items) == 0 && !h.closed {
+		h.notEmpty.Wait(r)
+	}
+	if len(h.items) == 0 {
+		h.mu.Unlock()
+		return frame{}, false
+	}
+	fr := h.items[0]
+	copy(h.items, h.items[1:])
+	h.items[len(h.items)-1] = frame{}
+	h.items = h.items[:len(h.items)-1]
+	h.mu.Unlock()
+	h.notFull.Signal()
+	// Propagation: the frame is not visible before it arrives.
+	if now := r.Now(); now < fr.readyAt {
+		r.Sleep(fr.readyAt.Sub(now))
+	}
+	return fr, true
+}
+
+// close marks the half closed. In-flight frames stay deliverable (like
+// data queued before a FIN); truncate drops them and, when a frame is
+// queued, tears the last one mid-frame — the abrupt-drop model the torn
+// tail tests exercise.
+func (h *halfConn) close(truncate bool) {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		if truncate && len(h.items) > 0 {
+			last := &h.items[len(h.items)-1]
+			if len(last.data) > 1 {
+				last.data = last.data[:len(last.data)/2]
+			}
+		}
+	}
+	h.mu.Unlock()
+	h.notEmpty.Broadcast()
+	h.notFull.Broadcast()
+}
+
+// Conn is one endpoint of a simulated full-duplex connection. Both
+// endpoints share the two directional halves; every Send/Recv charges
+// transmit and propagation time on the virtual clock.
+type Conn struct {
+	out *halfConn
+	in  *halfConn
+}
+
+// NewPair returns the two endpoints of a new connection over cfg.
+func NewPair(cfg NetConfig, label string) (client, server *Conn) {
+	cfg = cfg.normalize()
+	c2s := newHalfConn(cfg, label+".c2s")
+	s2c := newHalfConn(cfg, label+".s2c")
+	return &Conn{out: c2s, in: s2c}, &Conn{out: s2c, in: c2s}
+}
+
+// Send transmits one wire frame (already CRC-framed by the codec),
+// charging serialization time and parking while the socket buffer is
+// full. It returns ErrClosed once either side has closed the direction.
+func (c *Conn) Send(r *vclock.Runner, data []byte) error {
+	return c.out.send(r, data)
+}
+
+// Recv returns the next frame's bytes and the virtual time its last byte
+// left the sender. ok is false at EOF (peer closed and queue drained).
+// Recv parks until a frame arrives; the frame is not returned before its
+// propagation delay has elapsed.
+func (c *Conn) Recv(r *vclock.Runner) (data []byte, sentAt vclock.Time, ok bool) {
+	fr, ok := c.in.recv(r)
+	if !ok {
+		return nil, 0, false
+	}
+	return fr.data, fr.sentAt, true
+}
+
+// Close shuts both directions down cleanly: frames already in flight
+// remain deliverable, then receivers see EOF.
+func (c *Conn) Close() {
+	c.out.close(false)
+	c.in.close(false)
+}
+
+// Abort models an abrupt connection drop: both directions close, and the
+// newest undelivered frame in each is truncated mid-frame, so the peer's
+// decoder exercises its torn-tail path.
+func (c *Conn) Abort() {
+	c.out.close(true)
+	c.in.close(true)
+}

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kvaccel"
+	"kvaccel/internal/rpc"
+	"kvaccel/internal/vclock"
+)
+
+// Tunables of the batcher's adaptive linger policy — the same shape as
+// the engine's group-commit policy (lsm/group.go): an EWMA of recent
+// batch sizes decides whether holding the window open is worth the
+// latency, joiners past a depth threshold cut the window short, and a
+// futile counter turns lingering off when it keeps producing singleton
+// batches.
+const (
+	// batchLingerTarget: once the recent-batch EWMA reaches this many
+	// ops, batches are forming from queue depth alone and the extra
+	// linger latency buys nothing.
+	batchLingerTarget = 16.0
+	// batchWakeOps: an inbox this deep is already a full batch — a
+	// producer reaching it wakes the lingering batcher immediately.
+	batchWakeOps = 32
+	// batchFutileLimit: after this many consecutive lingered commits
+	// that still went out as singletons, stop lingering until batches
+	// form on their own again.
+	batchFutileLimit = 3
+)
+
+// shardBatcher is the hot path of the serving tier: one runner per shard
+// that coalesces writes from every connection into a single engine
+// WriteBatch, plus a small reader pool that drains gets in multi-get
+// chunks. The linger window reuses the engine group-commit policy's
+// adaptive EWMA (see constants above); its point here is amortizing the
+// per-commit costs — WAL append (one partial-page program per commit),
+// commit-queue entry, controller gate — across clients and tenants.
+type shardBatcher struct {
+	srv    *Server
+	shard  int
+	inbox  *mailbox[*pending]   // writes; bounded — full = queue-depth shed
+	readq  *mailbox[*pending]   // reads; bounded the same way
+	chunkq *mailbox[[]*pending] // claimed multi-get chunks awaiting a reader
+
+	mu        sync.Mutex
+	recentOps float64 // EWMA of recent batch sizes
+	futile    int
+	lingerEv  *vclock.Event // non-nil while a linger window is open
+
+	// Read-side mirror of the adaptive linger state. Reads coalesce via a
+	// single claimer runner (readClaim) for the same reason writes do: a
+	// pool of workers parked on pop claims arrivals one at a time and no
+	// chunk ever forms, so every get pays a full engine crossing.
+	readRecent   float64
+	readFutile   int
+	readLingerEv *vclock.Event
+}
+
+func newShardBatcher(s *Server, shard int) *shardBatcher {
+	b := &shardBatcher{
+		srv:    s,
+		shard:  shard,
+		inbox:  newMailbox[*pending](s.cfg.BatchQueue, fmt.Sprintf("server.batch.%d", shard)),
+		readq:  newMailbox[*pending](s.cfg.BatchQueue, fmt.Sprintf("server.readq.%d", shard)),
+		chunkq: newMailbox[[]*pending](0, fmt.Sprintf("server.chunkq.%d", shard)),
+	}
+	s.clk.Go(fmt.Sprintf("server.batcher.%d", shard), b.run)
+	s.clk.Go(fmt.Sprintf("server.readclaim.%d", shard), b.readClaim)
+	for w := 0; w < s.cfg.Readers; w++ {
+		s.clk.Go(fmt.Sprintf("server.reader.%d.%d", shard, w), b.readLoop)
+	}
+	return b
+}
+
+func (b *shardBatcher) close() {
+	b.inbox.close()
+	b.readq.close()
+	b.chunkq.close()
+}
+
+// enqueueWrite hands p to the batcher; false means the inbox is full
+// (queue-depth shed). A producer that fills the inbox past the wake
+// threshold cuts an open linger window short.
+func (b *shardBatcher) enqueueWrite(p *pending) bool {
+	p.enq = p.decoded
+	if !b.inbox.tryPush(p) {
+		return false
+	}
+	if b.inbox.len() >= batchWakeOps {
+		b.wake()
+	}
+	return true
+}
+
+// enqueueRead hands p to the read claimer; false means queue-depth shed.
+// Like writes, a producer that fills the queue past the wake threshold
+// cuts an open read-linger window short.
+func (b *shardBatcher) enqueueRead(p *pending) bool {
+	p.enq = p.decoded
+	if !b.readq.tryPush(p) {
+		return false
+	}
+	if b.readq.len() >= batchWakeOps {
+		b.wakeRead()
+	}
+	return true
+}
+
+// wake cuts the current linger window short, if one is open.
+func (b *shardBatcher) wake() {
+	b.mu.Lock()
+	ev := b.lingerEv
+	b.mu.Unlock()
+	if ev != nil {
+		ev.Set()
+	}
+}
+
+// wakeRead cuts the current read-linger window short, if one is open.
+func (b *shardBatcher) wakeRead() {
+	b.mu.Lock()
+	ev := b.readLingerEv
+	b.mu.Unlock()
+	if ev != nil {
+		ev.Set()
+	}
+}
+
+// lingerDuration mirrors lsm's lingerDurationLocked: no window when the
+// policy is off or futile, none when a full batch is already queued,
+// none when recent batches say depth alone is doing the job.
+func (b *shardBatcher) lingerDuration(queued int) time.Duration {
+	us := b.srv.cfg.LingerMicros
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if us <= 0 || b.futile >= batchFutileLimit {
+		return 0
+	}
+	if queued >= b.srv.cfg.MaxBatchOps || queued >= batchWakeOps {
+		return 0
+	}
+	if b.recentOps >= batchLingerTarget {
+		return 0
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// noteBatch feeds the adaptive policy after a commit, exactly like lsm's
+// noteGroupLocked.
+func (b *shardBatcher) noteBatch(ops int, lingered bool) {
+	b.mu.Lock()
+	b.recentOps = 0.75*b.recentOps + 0.25*float64(ops)
+	if ops > 1 {
+		b.futile = 0
+	} else if lingered {
+		b.futile++
+	}
+	b.mu.Unlock()
+}
+
+// readLingerDuration / noteChunk: the read-side twins, gated on the
+// multi-get chunk cap instead of the write-batch cap.
+func (b *shardBatcher) readLingerDuration(queued int) time.Duration {
+	us := b.srv.cfg.LingerMicros
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if us <= 0 || b.readFutile >= batchFutileLimit {
+		return 0
+	}
+	if queued >= b.srv.cfg.ReadChunk || queued >= batchWakeOps {
+		return 0
+	}
+	if b.readRecent >= batchLingerTarget {
+		return 0
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+func (b *shardBatcher) noteChunk(ops int, lingered bool) {
+	b.mu.Lock()
+	b.readRecent = 0.75*b.readRecent + 0.25*float64(ops)
+	if ops > 1 {
+		b.readFutile = 0
+	} else if lingered {
+		b.readFutile++
+	}
+	b.mu.Unlock()
+}
+
+// drainInto moves queued writes into batch up to the batch cap.
+func (b *shardBatcher) drainInto(batch []*pending) []*pending {
+	max := b.srv.cfg.MaxBatchOps
+	for len(batch) < max {
+		p, ok := b.inbox.tryPop()
+		if !ok {
+			break
+		}
+		batch = append(batch, p)
+	}
+	return batch
+}
+
+// run is the write-batching loop: claim, linger, drain, commit as one
+// engine WriteBatch, complete every member.
+func (b *shardBatcher) run(r *vclock.Runner) {
+	shard := b.srv.db.Shard(b.shard)
+	for {
+		first, ok := b.inbox.pop(r)
+		if !ok {
+			return
+		}
+		batch := b.drainInto([]*pending{first})
+		lingered := false
+		if d := b.lingerDuration(len(batch)); d > 0 {
+			lingered = true
+			ev := vclock.NewEvent(fmt.Sprintf("server.linger.%d", b.shard))
+			b.mu.Lock()
+			b.lingerEv = ev
+			b.mu.Unlock()
+			deadline := r.Now().Add(d)
+			for len(batch) < b.srv.cfg.MaxBatchOps {
+				left := deadline.Sub(r.Now())
+				if left <= 0 {
+					break
+				}
+				woken := ev.WaitFor(r, left)
+				batch = b.drainInto(batch)
+				if woken {
+					break
+				}
+			}
+			b.mu.Lock()
+			b.lingerEv = nil
+			b.mu.Unlock()
+		}
+		b.noteBatch(len(batch), lingered)
+
+		claimed := r.Now()
+		wb := &kvaccel.Batch{}
+		for _, p := range batch {
+			p.claimed = claimed
+			if p.req.Op == rpc.OpDelete {
+				wb.Delete(p.req.Key)
+			} else {
+				wb.Put(p.req.Key, p.req.Value)
+			}
+		}
+		// One engine crossing for the whole batch — the amortization that
+		// per-connection dispatch pays per op.
+		b.srv.cpu.Run(r, b.srv.cfg.DispatchCPU)
+		err := shard.WriteBatch(r, wb)
+		b.srv.stats.Batches.Add(1)
+		b.srv.stats.BatchedOps.Add(int64(len(batch)))
+		b.srv.completeBatch(batch, r.Now(), err)
+	}
+}
+
+// readClaim is the single per-shard read claimer: it forms multi-get
+// chunks with the adaptive linger and hands each to the reader pool via
+// chunkq. One claimer exists precisely so arrivals can pile up behind it
+// — a pool parked directly on readq claims each get the instant it
+// lands and the mean chunk size collapses to 1, which puts a full
+// engine crossing back on every read.
+func (b *shardBatcher) readClaim(r *vclock.Runner) {
+	max := b.srv.cfg.ReadChunk
+	for {
+		first, ok := b.readq.pop(r)
+		if !ok {
+			return
+		}
+		chunk := []*pending{first}
+		for len(chunk) < max {
+			p, ok := b.readq.tryPop()
+			if !ok {
+				break
+			}
+			chunk = append(chunk, p)
+		}
+		lingered := false
+		if d := b.readLingerDuration(len(chunk)); d > 0 {
+			lingered = true
+			ev := vclock.NewEvent(fmt.Sprintf("server.readlinger.%d", b.shard))
+			b.mu.Lock()
+			b.readLingerEv = ev
+			b.mu.Unlock()
+			deadline := r.Now().Add(d)
+			for len(chunk) < max {
+				left := deadline.Sub(r.Now())
+				if left <= 0 {
+					break
+				}
+				woken := ev.WaitFor(r, left)
+				for len(chunk) < max {
+					p, ok := b.readq.tryPop()
+					if !ok {
+						break
+					}
+					chunk = append(chunk, p)
+				}
+				if woken {
+					break
+				}
+			}
+			b.mu.Lock()
+			b.readLingerEv = nil
+			b.mu.Unlock()
+		}
+		b.noteChunk(len(chunk), lingered)
+		claimed := r.Now()
+		for _, p := range chunk {
+			p.claimed = claimed
+		}
+		b.srv.stats.ReadChunks.Add(1)
+		b.srv.stats.ReadOps.Add(int64(len(chunk)))
+		b.chunkq.push(chunk)
+	}
+}
+
+// readLoop is one reader worker: it takes a claimed chunk, pays one
+// engine crossing for the whole chunk, then resolves each get against
+// the shard, delivering as it goes. Execution stays parallel across the
+// pool even though chunk formation is serialized in readClaim.
+func (b *shardBatcher) readLoop(r *vclock.Runner) {
+	shard := b.srv.db.Shard(b.shard)
+	for {
+		chunk, ok := b.chunkq.pop(r)
+		if !ok {
+			return
+		}
+		// One engine crossing per multi-get chunk.
+		b.srv.cpu.Run(r, b.srv.cfg.DispatchCPU)
+		for _, p := range chunk {
+			resp := &rpc.Response{ID: p.req.ID, Status: rpc.StatusOK}
+			value, found, err := shard.Get(r, p.req.Key)
+			switch {
+			case err != nil:
+				b.srv.stats.EngineErrors.Add(1)
+				resp.Status = rpc.StatusErr
+			case !found:
+				resp.Status = rpc.StatusNotFound
+			default:
+				resp.Value = value
+			}
+			p.engDone = r.Now()
+			p.resp = resp
+			b.srv.stats.tenant(int(p.req.Tenant)).OK.Add(1)
+			p.conn.deliver(p)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+
+	"kvaccel/internal/rpc"
+	"kvaccel/internal/vclock"
+)
+
+// nsBetween returns b-a in nanoseconds, clamped at zero (a frame's
+// nominal arrival can postdate its decode when the handler drains a
+// burst that was buffered behind it).
+func nsBetween(a, b vclock.Time) uint64 {
+	if b <= a {
+		return 0
+	}
+	return uint64(b.Sub(a))
+}
+
+// connState is the server side of one accepted connection: a handler
+// runner that decodes request frames and dispatches them, and a reply
+// writer that sends responses back **in per-client request order** — a
+// reorder buffer heals the out-of-order completions that cross-shard,
+// cross-batch execution produces, so a client always observes its own
+// requests answered in the order it sent them, exactly once.
+type connState struct {
+	srv  *Server
+	conn *rpc.Conn
+	id   int64
+
+	mu       sync.Mutex
+	nextSeq  uint64 // assigned at decode, in arrival order
+	sendSeq  uint64 // next seq the reply writer may transmit
+	reorder  map[uint64]*pending
+	inflight int  // decoded but not yet handed to the reply mailbox
+	done     bool // handler exited
+	replies  *mailbox[*pending]
+}
+
+func newConnState(s *Server, conn *rpc.Conn, id int64) *connState {
+	return &connState{
+		srv:     s,
+		conn:    conn,
+		id:      id,
+		reorder: make(map[uint64]*pending),
+		replies: newMailbox[*pending](0, "server.replies"),
+	}
+}
+
+// handle is the per-connection request loop.
+func (c *connState) handle(r *vclock.Runner) {
+	dec := &rpc.Decoder{}
+	latency := c.srv.cfg.Net.Latency
+recv:
+	for {
+		data, sentAt, ok := c.conn.Recv(r)
+		if !ok {
+			break
+		}
+		arrived := sentAt.Add(latency)
+		dec.Feed(data)
+		for {
+			payload, ok, err := dec.Next()
+			if err != nil {
+				// Torn or corrupt frame: the stream is unrecoverable, as
+				// in WAL replay. Drop the connection.
+				c.srv.stats.TornFrames.Add(1)
+				break recv
+			}
+			if !ok {
+				break
+			}
+			req, err := rpc.DecodeRequest(payload)
+			if err != nil {
+				c.srv.stats.BadRequests.Add(1)
+				continue
+			}
+			// The full decode charge is paid in dispatch, after admission:
+			// the gate reads only the fixed request prelude, so shed
+			// requests cost (nearly) nothing — under overload the tier
+			// must be able to refuse load it cannot afford to parse.
+			p := &pending{req: req, conn: c, arrived: arrived, decoded: r.Now()}
+			c.mu.Lock()
+			p.seq = c.nextSeq
+			c.nextSeq++
+			c.inflight++
+			c.mu.Unlock()
+			c.srv.dispatch(r, p)
+		}
+	}
+	c.mu.Lock()
+	c.done = true
+	idle := c.inflight == 0
+	c.mu.Unlock()
+	if idle {
+		c.replies.close()
+	}
+}
+
+// deliver queues p's response for transmission, releasing it (and any
+// successors it unblocks) to the reply writer only in seq order. Safe to
+// call from any runner: handlers, batchers, readers.
+func (c *connState) deliver(p *pending) {
+	c.mu.Lock()
+	c.reorder[p.seq] = p
+	for {
+		q, ok := c.reorder[c.sendSeq]
+		if !ok {
+			break
+		}
+		delete(c.reorder, c.sendSeq)
+		c.sendSeq++
+		c.inflight--
+		c.replies.push(q)
+	}
+	closeNow := c.done && c.inflight == 0
+	c.mu.Unlock()
+	if closeNow {
+		c.replies.close()
+	}
+}
+
+// writeReplies is the per-connection reply writer: it drains the reply
+// mailbox in order, stamps the reply-queue phase, and transmits. When
+// the mailbox closes (handler done, no requests in flight) it closes the
+// connection and reports the connection finished.
+func (c *connState) writeReplies(r *vclock.Runner) {
+	for {
+		p, ok := c.replies.pop(r)
+		if !ok {
+			break
+		}
+		sendStart := r.Now()
+		p.resp.Timing = rpc.Timing{
+			AcceptNS: nsBetween(p.arrived, p.decoded),
+			LingerNS: nsBetween(p.enq, p.claimed),
+			EngineNS: nsBetween(p.claimed, p.engDone),
+			ReplyNS:  nsBetween(p.engDone, sendStart),
+		}
+		c.srv.tracePhases(r, p, sendStart)
+		c.srv.stats.phases.add(p, sendStart)
+		data := rpc.AppendResponse(nil, p.resp)
+		if err := c.conn.Send(r, data); err != nil {
+			c.srv.stats.DroppedReplies.Add(1)
+		} else {
+			c.srv.stats.Replies.Add(1)
+		}
+	}
+	c.conn.Close()
+	c.srv.connDone()
+}

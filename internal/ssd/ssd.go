@@ -318,6 +318,18 @@ func awaitAll(r *vclock.Runner, subs []submission) error {
 // it via the FTL on a dispatcher worker, so at QD>1 one chunk's DMA
 // overlaps another's NAND program.
 func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) error {
+	return ns.writePages(r, lpns, false)
+}
+
+// WritePagesBackground is WritePages with the commands tagged Background:
+// maintenance traffic (flush output, compaction writes) the queue stats
+// keep out of the foreground admission and latency numbers. The service
+// path — PCIe, FTL, NAND — is identical.
+func (ns *BlockNS) WritePagesBackground(r *vclock.Runner, lpns []int) error {
+	return ns.writePages(r, lpns, true)
+}
+
+func (ns *BlockNS) writePages(r *vclock.Runner, lpns []int, background bool) error {
 	if len(lpns) == 0 {
 		return nil
 	}
@@ -331,7 +343,7 @@ func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) error {
 			end = len(lpns)
 		}
 		chunk := lpns[start:end]
-		cmd := &nvme.Command{Op: "WRITE", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) error {
+		cmd := &nvme.Command{Op: "WRITE", Bytes: len(chunk) * ps, Background: background, Exec: func(w *vclock.Runner) error {
 			ns.dev.Link.Transfer(w, pcie.HostToDevice, len(chunk)*ps)
 			return ns.dev.FTL.WriteMany(w, ftl.BlockRegion, chunk)
 		}}
@@ -346,6 +358,17 @@ func (ns *BlockNS) WritePages(r *vclock.Runner, lpns []int) error {
 // their completions; each command reads via the FTL and DMAs its chunk
 // back to the host.
 func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) error {
+	return ns.readPages(r, lpns, false)
+}
+
+// ReadPagesBackground is ReadPages with the commands tagged Background
+// (compaction input reads, offload read-back validation); accounting
+// only, same service path.
+func (ns *BlockNS) ReadPagesBackground(r *vclock.Runner, lpns []int) error {
+	return ns.readPages(r, lpns, true)
+}
+
+func (ns *BlockNS) readPages(r *vclock.Runner, lpns []int, background bool) error {
 	if len(lpns) == 0 {
 		return nil
 	}
@@ -359,7 +382,7 @@ func (ns *BlockNS) ReadPages(r *vclock.Runner, lpns []int) error {
 			end = len(lpns)
 		}
 		chunk := lpns[start:end]
-		cmd := &nvme.Command{Op: "READ", Bytes: len(chunk) * ps, Exec: func(w *vclock.Runner) error {
+		cmd := &nvme.Command{Op: "READ", Bytes: len(chunk) * ps, Background: background, Exec: func(w *vclock.Runner) error {
 			err := ns.dev.FTL.ReadMany(w, ftl.BlockRegion, chunk)
 			ns.dev.Link.Transfer(w, pcie.DeviceToHost, len(chunk)*ps)
 			return err

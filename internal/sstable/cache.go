@@ -16,7 +16,7 @@ type BlockCache struct {
 	lru   *list.List // front = most recent; values are *cacheEntry
 	items map[cacheKey]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, readahead int64
 }
 
 // CacheStats is a point-in-time snapshot of a BlockCache's counters.
@@ -24,6 +24,7 @@ type CacheStats struct {
 	Hits      int64 // Get calls served from the cache
 	Misses    int64 // Get calls that found nothing
 	Evictions int64 // entries dropped for capacity or file deletion
+	Readahead int64 // blocks inserted by scan readahead, not demand misses
 	Used      int64 // bytes currently resident
 	Entries   int64 // blocks currently resident
 }
@@ -97,6 +98,29 @@ func (c *BlockCache) Put(file uint64, off uint32, data []byte) {
 	}
 }
 
+// Contains reports residency without touching the hit/miss counters or
+// LRU order; the readahead path uses it so probing for already-resident
+// blocks does not masquerade as demand traffic.
+func (c *BlockCache) Contains(file uint64, off uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[cacheKey{file, off}]
+	return ok
+}
+
+// PutReadahead is Put for prefetched blocks: identical insertion, but
+// counted separately so the stats distinguish readahead fills from
+// demand-miss fills.
+func (c *BlockCache) PutReadahead(file uint64, off uint32, data []byte) {
+	if c.cap <= 0 || int64(len(data)) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	c.readahead++
+	c.mu.Unlock()
+	c.Put(file, off, data)
+}
+
 // EvictFile drops every cached block of one file (called when a
 // compaction deletes it).
 func (c *BlockCache) EvictFile(file uint64) {
@@ -123,6 +147,7 @@ func (c *BlockCache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Readahead: c.readahead,
 		Used:      c.used,
 		Entries:   int64(c.lru.Len()),
 	}

@@ -301,6 +301,50 @@ func (rd *Reader) loadBlock(r *vclock.Runner, i int) ([]byte, error) {
 	return b, nil
 }
 
+// readaheadWindow is how many upcoming data blocks a sequential scan
+// prefetches in one contiguous read once it has proven itself sequential.
+const readaheadWindow = 4
+
+// prefetch loads blocks [from, from+count) into the cache with a single
+// contiguous device read, skipping any prefix/suffix already resident.
+// Data blocks are laid out back to back, so one ReadAt spanning the run
+// replaces count individual block reads — the same fixed per-command
+// device cost is paid once. Returns how many blocks were inserted.
+func (rd *Reader) prefetch(r *vclock.Runner, from, count int) int {
+	if rd.cache == nil || count <= 0 {
+		return 0
+	}
+	if from+count > len(rd.index) {
+		count = len(rd.index) - from
+	}
+	// Trim blocks already resident at either end; a hole in the middle is
+	// re-read (still one command, and Put is idempotent).
+	for count > 0 && rd.cache.Contains(rd.fileID, rd.index[from].off) {
+		from, count = from+1, count-1
+	}
+	for count > 0 && rd.cache.Contains(rd.fileID, rd.index[from+count-1].off) {
+		count--
+	}
+	if count == 0 {
+		return 0
+	}
+	first, last := rd.index[from], rd.index[from+count-1]
+	span := int(last.off) + int(last.length) - int(first.off)
+	buf, err := rd.src.ReadAt(r, int(first.off), span)
+	if err != nil {
+		return 0 // readahead is best-effort; demand reads will surface the error
+	}
+	inserted := 0
+	for i := from; i < from+count; i++ {
+		e := rd.index[i]
+		rel := int(e.off) - int(first.off)
+		blk := append([]byte(nil), buf[rel:rel+int(e.length)]...)
+		rd.cache.PutReadahead(rd.fileID, e.off, blk)
+		inserted++
+	}
+	return inserted
+}
+
 // record is one decoded block entry.
 type record struct {
 	key   []byte

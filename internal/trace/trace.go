@@ -63,6 +63,12 @@ const (
 	PhaseOffloadSubmit
 	PhaseDeviceMerge
 	PhaseOffloadInstall
+	PhaseNetXfer
+	PhaseAcceptQueue
+	PhaseServeLinger
+	PhaseServeEngine
+	PhaseServeReply
+	PhaseServeShed
 
 	NumPhases
 )
@@ -102,6 +108,12 @@ var phaseNames = [NumPhases]string{
 	PhaseOffloadSubmit:  "offload-submit",
 	PhaseDeviceMerge:    "device-merge",
 	PhaseOffloadInstall: "offload-install",
+	PhaseNetXfer:        "net-xfer",
+	PhaseAcceptQueue:    "accept-queue",
+	PhaseServeLinger:    "serve-linger",
+	PhaseServeEngine:    "serve-engine",
+	PhaseServeReply:     "serve-reply",
+	PhaseServeShed:      "serve-shed",
 }
 
 func (p Phase) String() string {

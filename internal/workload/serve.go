@@ -1,0 +1,557 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kvaccel/internal/metrics"
+	"kvaccel/internal/rpc"
+	"kvaccel/internal/vclock"
+)
+
+// Dialer opens simulated connections to a serving tier; server.Server
+// satisfies it. A nil return means the connection was refused (backlog
+// full) or the server is shut down.
+type Dialer interface {
+	Connect(r *vclock.Runner, label string) *rpc.Conn
+}
+
+// ServeConfig shapes a serving-tier load run: N client runners issue a
+// YCSB mix over RPC connections instead of calling the engine directly,
+// so every op pays the network, accept-queue, linger, engine, and reply
+// phases the serving tier models.
+type ServeConfig struct {
+	// Clients is the number of concurrent client connections.
+	Clients int
+	// Tenants spreads clients round-robin over tenant IDs (default 1).
+	Tenants int
+	// Mix is the YCSB operation mix each client draws from.
+	Mix MixSpec
+	// KeySpace and ValueSize shape keys and values, as in Config.
+	KeySpace  int
+	ValueSize int
+	// Duration is the virtual measurement window per client.
+	Duration time.Duration
+	// Seed feeds the per-client generators.
+	Seed int64
+	// OpenLoop switches from closed-loop (send, await reply, repeat —
+	// throughput finds the system's capacity) to open-loop (send every
+	// Interval regardless of replies — offered load is fixed and overload
+	// surfaces as shed or queueing, never as generator back-off).
+	OpenLoop bool
+	// Interval is the open-loop per-client interarrival time.
+	Interval time.Duration
+	// DrainGrace bounds how long an open-loop client waits for straggler
+	// replies after its send window closes (default 2s). Replies still
+	// missing after the grace count as Dropped.
+	DrainGrace time.Duration
+	// RetryBackoff, when positive, makes closed-loop clients pause after
+	// a RETRY_LATER before issuing their next op.
+	RetryBackoff time.Duration
+}
+
+// DefaultServeConfig returns a 1024-client closed-loop YCSB-A run with
+// serving-sized values (small enough that batching, not value transfer,
+// dominates the per-op cost).
+func DefaultServeConfig() ServeConfig {
+	mix, _ := Mix("ycsb-a")
+	return ServeConfig{
+		Clients:    1024,
+		Tenants:    4,
+		Mix:        mix,
+		KeySpace:   100_000,
+		ValueSize:  128,
+		Duration:   10 * time.Second,
+		Seed:       1,
+		DrainGrace: 2 * time.Second,
+	}
+}
+
+func (c ServeConfig) normalize() ServeConfig {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.Tenants < 1 {
+		c.Tenants = 1
+	}
+	if c.KeySpace < 1 {
+		c.KeySpace = 1
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	if c.OpenLoop && c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	return c
+}
+
+// ServeTenantStats is one tenant's client-side accounting.
+type ServeTenantStats struct {
+	Sent  int64
+	OK    int64 // OK + NOT_FOUND: requests the engine answered
+	Retry int64 // RETRY_LATER responses
+}
+
+// serveTenantRow is the atomic backing store for ServeTenantStats.
+type serveTenantRow struct {
+	sent, ok, retry atomic.Int64
+}
+
+// ServeRecorder accumulates client-observed measurements across all
+// clients of a serving run. Counters are atomic and the histogram locks
+// internally, so every client shares one recorder.
+type ServeRecorder struct {
+	sent       atomic.Int64
+	okOps      atomic.Int64
+	notFound   atomic.Int64
+	retry      atomic.Int64
+	errs       atomic.Int64
+	dropped    atomic.Int64 // open-loop sends never answered
+	connFailed atomic.Int64
+	torn       atomic.Int64
+
+	// Latency is the client-observed request latency: send start to
+	// response decode, network and all server phases included.
+	Latency *metrics.Histogram
+
+	// Per-phase residency totals over answered requests, in virtual
+	// nanoseconds. Accept/linger/engine/reply come from the response's
+	// timing annex; network is the remainder of the client-observed
+	// total, so the five phases sum to it exactly.
+	netNS    atomic.Int64
+	acceptNS atomic.Int64
+	lingerNS atomic.Int64
+	engineNS atomic.Int64
+	replyNS  atomic.Int64
+
+	tenants []*serveTenantRow
+}
+
+// NewServeRecorder returns an empty recorder sized for tenants.
+func NewServeRecorder(tenants int) *ServeRecorder {
+	if tenants < 1 {
+		tenants = 1
+	}
+	rec := &ServeRecorder{Latency: metrics.NewHistogram()}
+	rec.tenants = make([]*serveTenantRow, tenants)
+	for i := range rec.tenants {
+		rec.tenants[i] = &serveTenantRow{}
+	}
+	return rec
+}
+
+// record books one answered request.
+func (rec *ServeRecorder) record(total time.Duration, resp *rpc.Response, tenant int) {
+	rec.Latency.Observe(total)
+	annex := resp.Timing.Sum()
+	tot := uint64(total)
+	if annex > tot {
+		annex = tot // server phases can round past a tiny client total
+	}
+	rec.netNS.Add(int64(tot - annex))
+	rec.acceptNS.Add(int64(resp.Timing.AcceptNS))
+	rec.lingerNS.Add(int64(resp.Timing.LingerNS))
+	rec.engineNS.Add(int64(resp.Timing.EngineNS))
+	rec.replyNS.Add(int64(resp.Timing.ReplyNS))
+	row := rec.tenants[tenant%len(rec.tenants)]
+	switch resp.Status {
+	case rpc.StatusOK:
+		rec.okOps.Add(1)
+		row.ok.Add(1)
+	case rpc.StatusNotFound:
+		rec.notFound.Add(1)
+		row.ok.Add(1)
+	case rpc.StatusRetryLater:
+		rec.retry.Add(1)
+		row.retry.Add(1)
+	default:
+		rec.errs.Add(1)
+	}
+}
+
+// ServeStats is a snapshot of a serving run's client-side accounting.
+type ServeStats struct {
+	Sent       int64
+	OK         int64 // StatusOK responses
+	NotFound   int64
+	Retry      int64 // RETRY_LATER (shed) responses
+	Errs       int64
+	Dropped    int64 // open-loop sends never answered (conn torn down)
+	ConnFailed int64 // refused connections
+	TornFrames int64
+
+	Latency *metrics.Histogram
+
+	NetNS    int64
+	AcceptNS int64
+	LingerNS int64
+	EngineNS int64
+	ReplyNS  int64
+
+	Tenants []ServeTenantStats
+}
+
+// Snapshot captures the recorder's current totals.
+func (rec *ServeRecorder) Snapshot() ServeStats {
+	s := ServeStats{
+		Sent:       rec.sent.Load(),
+		OK:         rec.okOps.Load(),
+		NotFound:   rec.notFound.Load(),
+		Retry:      rec.retry.Load(),
+		Errs:       rec.errs.Load(),
+		Dropped:    rec.dropped.Load(),
+		ConnFailed: rec.connFailed.Load(),
+		TornFrames: rec.torn.Load(),
+		Latency:    rec.Latency,
+		NetNS:      rec.netNS.Load(),
+		AcceptNS:   rec.acceptNS.Load(),
+		LingerNS:   rec.lingerNS.Load(),
+		EngineNS:   rec.engineNS.Load(),
+		ReplyNS:    rec.replyNS.Load(),
+	}
+	s.Tenants = make([]ServeTenantStats, len(rec.tenants))
+	for i, row := range rec.tenants {
+		s.Tenants[i] = ServeTenantStats{
+			Sent:  row.sent.Load(),
+			OK:    row.ok.Load(),
+			Retry: row.retry.Load(),
+		}
+	}
+	return s
+}
+
+// Answered is how many requests received any response.
+func (s ServeStats) Answered() int64 { return s.OK + s.NotFound + s.Retry + s.Errs }
+
+// Goodput is engine-answered (non-shed, non-error) ops per second.
+func (s ServeStats) Goodput(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.OK+s.NotFound) / elapsed.Seconds()
+}
+
+// ShedRate is the fraction of answered requests that were shed.
+func (s ServeStats) ShedRate() float64 {
+	a := s.Answered()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Retry) / float64(a)
+}
+
+// PhaseCoverage reports what fraction of the total client-observed
+// latency mass the five-phase decomposition explains (1.0 up to
+// clamping, by construction: network is measured as the remainder).
+func (s ServeStats) PhaseCoverage() float64 {
+	mass := float64(s.Latency.Mean().Nanoseconds()) * float64(s.Latency.Count())
+	if mass <= 0 {
+		return 0
+	}
+	return float64(s.NetNS+s.AcceptNS+s.LingerNS+s.EngineNS+s.ReplyNS) / mass
+}
+
+// ServeLoad is the shared cross-client state of one serving run: the
+// config, one zipfian generator (read-only after construction), the
+// insert frontier, and the recorder.
+type ServeLoad struct {
+	cfg   ServeConfig
+	zipf  *zipfGen
+	state *MixedState
+	Rec   *ServeRecorder
+
+	// cumulative mix thresholds
+	cRead, cUpdate, cInsert, cScan float64
+	maxScan                        int
+}
+
+// NewServeLoad builds the shared state for a run whose keyspace was
+// preloaded with `preloaded` sequential keys.
+func NewServeLoad(cfg ServeConfig, preloaded int) *ServeLoad {
+	cfg = cfg.normalize()
+	l := &ServeLoad{
+		cfg:   cfg,
+		zipf:  newZipf(cfg.KeySpace, cfg.Mix.ZipfTheta),
+		state: NewMixedState(preloaded),
+		Rec:   NewServeRecorder(cfg.Tenants),
+	}
+	l.cRead = cfg.Mix.ReadPct
+	l.cUpdate = l.cRead + cfg.Mix.UpdatePct
+	l.cInsert = l.cUpdate + cfg.Mix.InsertPct
+	l.cScan = l.cInsert + cfg.Mix.ScanPct
+	l.maxScan = cfg.Mix.MaxScanLen
+	if l.maxScan <= 0 {
+		l.maxScan = 100
+	}
+	return l
+}
+
+// Config returns the normalized config the load was built with.
+func (l *ServeLoad) Config() ServeConfig { return l.cfg }
+
+// op kinds drawn from the mix.
+const (
+	serveRead = iota
+	serveUpdate
+	serveInsert
+	serveScan
+	serveRMW
+)
+
+// pickKey draws a request key per the mix's distribution.
+func (l *ServeLoad) pickKey(rng *rand.Rand) int {
+	switch l.cfg.Mix.Dist {
+	case DistZipfian:
+		return scramble(l.zipf.next(rng), l.cfg.KeySpace)
+	case DistLatest:
+		latest := int(l.state.Inserted()) - 1
+		k := latest - l.zipf.next(rng)
+		if k < 0 {
+			k = 0
+		}
+		return k
+	default:
+		return rng.Intn(l.cfg.KeySpace)
+	}
+}
+
+// pickOp draws an op kind from the mix thresholds.
+func (l *ServeLoad) pickOp(rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < l.cRead:
+		return serveRead
+	case u < l.cUpdate:
+		return serveUpdate
+	case u < l.cInsert:
+		return serveInsert
+	case u < l.cScan:
+		return serveScan
+	default:
+		return serveRMW
+	}
+}
+
+// buildRequest materializes one request for op kind; RMW callers issue
+// the read themselves and follow with the update this returns.
+func (l *ServeLoad) buildRequest(rng *rand.Rand, kind int, id uint64, tenant uint8) *rpc.Request {
+	req := &rpc.Request{ID: id, Tenant: tenant}
+	switch kind {
+	case serveRead:
+		req.Op = rpc.OpGet
+		req.Key = Key(l.pickKey(rng))
+	case serveUpdate, serveRMW:
+		n := l.pickKey(rng)
+		req.Op = rpc.OpPut
+		req.Key = Key(n)
+		req.Value = MakeValue(n, l.cfg.ValueSize)
+	case serveInsert:
+		n := int(l.state.frontier.Add(1)) - 1
+		req.Op = rpc.OpPut
+		req.Key = Key(n)
+		req.Value = MakeValue(n, l.cfg.ValueSize)
+	case serveScan:
+		req.Op = rpc.OpScan
+		req.Key = Key(l.pickKey(rng))
+		req.Limit = uint32(rng.Intn(l.maxScan) + 1)
+	}
+	return req
+}
+
+// Client runs one client (id) against the dialer until the duration
+// elapses, closed- or open-loop per the config. clk spawns the open-loop
+// receiver runner; the closed loop never uses it.
+func (l *ServeLoad) Client(r *vclock.Runner, clk *vclock.Clock, d Dialer, id int) {
+	if l.cfg.OpenLoop {
+		l.openLoop(r, clk, d, id)
+	} else {
+		l.closedLoop(r, d, id)
+	}
+}
+
+// call sends req and blocks for its response — the closed-loop inner
+// step. Returns nil when the connection died.
+func (l *ServeLoad) call(r *vclock.Runner, conn *rpc.Conn, dec *rpc.Decoder, req *rpc.Request, tenant int) *rpc.Response {
+	frame := rpc.AppendRequest(nil, req)
+	t0 := r.Now()
+	l.Rec.sent.Add(1)
+	l.Rec.tenants[tenant].sent.Add(1)
+	if err := conn.Send(r, frame); err != nil {
+		l.Rec.dropped.Add(1)
+		return nil
+	}
+	for {
+		payload, ok, err := dec.Next()
+		if err != nil {
+			l.Rec.torn.Add(1)
+			l.Rec.dropped.Add(1)
+			return nil
+		}
+		if ok {
+			resp, derr := rpc.DecodeResponse(payload)
+			if derr != nil {
+				l.Rec.torn.Add(1)
+				l.Rec.dropped.Add(1)
+				return nil
+			}
+			l.Rec.record(r.Now().Sub(t0), resp, tenant)
+			return resp
+		}
+		data, _, alive := conn.Recv(r)
+		if !alive {
+			l.Rec.dropped.Add(1)
+			return nil
+		}
+		dec.Feed(data)
+	}
+}
+
+// closedLoop is the capacity-probing client: one op in flight, the next
+// issued when the reply lands.
+func (l *ServeLoad) closedLoop(r *vclock.Runner, d Dialer, id int) {
+	conn := d.Connect(r, fmt.Sprintf("client.%d", id))
+	if conn == nil {
+		l.Rec.connFailed.Add(1)
+		return
+	}
+	defer conn.Close()
+	dec := &rpc.Decoder{}
+	rng := rand.New(rand.NewSource(l.cfg.Seed + int64(id)*7919))
+	tenant := id % l.cfg.Tenants
+	deadline := r.Now().Add(l.cfg.Duration)
+	var seq uint64
+	for deadline.Sub(r.Now()) > 0 {
+		kind := l.pickOp(rng)
+		if kind == serveRMW {
+			// Read half first; fall through to the update half below.
+			get := &rpc.Request{ID: reqID(id, seq), Tenant: uint8(tenant), Op: rpc.OpGet}
+			seq++
+			get.Key = Key(l.pickKey(rng))
+			if l.call(r, conn, dec, get, tenant) == nil {
+				return
+			}
+		}
+		req := l.buildRequest(rng, kind, reqID(id, seq), uint8(tenant))
+		seq++
+		resp := l.call(r, conn, dec, req, tenant)
+		if resp == nil {
+			return
+		}
+		if resp.Status == rpc.StatusRetryLater && l.cfg.RetryBackoff > 0 {
+			r.Sleep(l.cfg.RetryBackoff)
+		}
+	}
+}
+
+// openState tracks an open-loop client's in-flight requests.
+type openState struct {
+	mu          sync.Mutex
+	outstanding map[uint64]vclock.Time // request ID -> send start
+}
+
+// openLoop is the offered-load client: a sender issuing one request per
+// interval on schedule (with catch-up, so the offered rate holds through
+// server-side queueing) and a receiver runner booking replies as they
+// arrive, any order.
+func (l *ServeLoad) openLoop(r *vclock.Runner, clk *vclock.Clock, d Dialer, id int) {
+	conn := d.Connect(r, fmt.Sprintf("client.%d", id))
+	if conn == nil {
+		l.Rec.connFailed.Add(1)
+		return
+	}
+	tenant := id % l.cfg.Tenants
+	st := &openState{outstanding: make(map[uint64]vclock.Time)}
+
+	clk.Go(fmt.Sprintf("client.%d.recv", id), func(rr *vclock.Runner) {
+		dec := &rpc.Decoder{}
+		for {
+			data, _, ok := conn.Recv(rr)
+			if !ok {
+				return
+			}
+			dec.Feed(data)
+			for {
+				payload, ok, err := dec.Next()
+				if err != nil {
+					l.Rec.torn.Add(1)
+					return
+				}
+				if !ok {
+					break
+				}
+				resp, derr := rpc.DecodeResponse(payload)
+				if derr != nil {
+					l.Rec.torn.Add(1)
+					continue
+				}
+				st.mu.Lock()
+				t0, known := st.outstanding[resp.ID]
+				delete(st.outstanding, resp.ID)
+				st.mu.Unlock()
+				if known {
+					l.Rec.record(rr.Now().Sub(t0), resp, tenant)
+				}
+			}
+		}
+	})
+
+	rng := rand.New(rand.NewSource(l.cfg.Seed + int64(id)*7919))
+	start := r.Now()
+	deadline := start.Add(l.cfg.Duration)
+	var seq uint64
+	for i := 0; ; i++ {
+		due := start.Add(l.cfg.Interval * time.Duration(i))
+		if due.Sub(deadline) >= 0 {
+			break
+		}
+		if w := due.Sub(r.Now()); w > 0 {
+			r.Sleep(w)
+		}
+		kind := l.pickOp(rng)
+		if kind == serveRMW {
+			kind = serveUpdate // open loop keeps one request per slot
+		}
+		req := l.buildRequest(rng, kind, reqID(id, seq), uint8(tenant))
+		seq++
+		frame := rpc.AppendRequest(nil, req)
+		st.mu.Lock()
+		st.outstanding[req.ID] = r.Now()
+		st.mu.Unlock()
+		l.Rec.sent.Add(1)
+		l.Rec.tenants[tenant].sent.Add(1)
+		if err := conn.Send(r, frame); err != nil {
+			st.mu.Lock()
+			delete(st.outstanding, req.ID)
+			st.mu.Unlock()
+			l.Rec.dropped.Add(1)
+			return
+		}
+	}
+
+	// Drain: wait for stragglers up to the grace, then cut the
+	// connection; whatever is still outstanding counts as dropped.
+	graceEnd := r.Now().Add(l.cfg.DrainGrace)
+	for {
+		st.mu.Lock()
+		n := len(st.outstanding)
+		st.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if graceEnd.Sub(r.Now()) <= 0 {
+			l.Rec.dropped.Add(int64(n))
+			break
+		}
+		r.Sleep(200 * time.Microsecond)
+	}
+	conn.Close()
+}
+
+// reqID packs a globally unique request ID from client and sequence.
+func reqID(client int, seq uint64) uint64 {
+	return uint64(client)<<40 | (seq & (1<<40 - 1))
+}

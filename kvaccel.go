@@ -113,6 +113,11 @@ type Options struct {
 	// metadata + dual-LSM descent for keys that are not there. Requires
 	// FrontCacheBytes > 0.
 	FrontCacheNegative bool
+	// FrontCacheDoorkeeper enables second-chance admission on the front
+	// cache: a key's first fill is refused and only a return visit while
+	// still remembered admits it, so uniform one-touch traffic stops
+	// churning resident hot entries out. Requires FrontCacheBytes > 0.
+	FrontCacheDoorkeeper bool
 	// OffloadCompaction enables device-side L0→L1 compaction offload:
 	// under stall pressure the Main-LSM hands eligible merges to the
 	// SSD controller, which runs them near the data (NAND reads, ARM
@@ -241,6 +246,7 @@ func (opt Options) coreOptions() core.Options {
 	copt.StallFailover = opt.EnableRedirection && !opt.DisableGroupCommit
 	copt.FrontCacheBytes = opt.FrontCacheBytes
 	copt.FrontCacheNegative = opt.FrontCacheNegative
+	copt.FrontCacheDoorkeeper = opt.FrontCacheDoorkeeper
 	return copt
 }
 

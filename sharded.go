@@ -125,6 +125,13 @@ func (db *ShardedDB) shard(key []byte) *core.DB {
 	return db.shards[shardIndex(key, len(db.shards))]
 }
 
+// ShardIndex returns the index of the shard that owns key — the routing
+// hook serving tiers use to group requests by shard before committing
+// them as per-shard batches.
+func (db *ShardedDB) ShardIndex(key []byte) int {
+	return shardIndex(key, len(db.shards))
+}
+
 // Run starts fn as a simulated thread named name.
 func (db *ShardedDB) Run(name string, fn func(r *Runner)) {
 	db.clk.Go(name, fn)
